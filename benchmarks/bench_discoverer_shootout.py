@@ -1,0 +1,88 @@
+"""E15 -- six-way discoverer shoot-out on the labeled synthetic lake.
+
+All built-in discoverers (the paper's SANTOS / LSH Ensemble / JOSIE plus
+the Starmie/TUS/COCOA-style reproductions) evaluated with the ranking
+metrics of :mod:`repro.discovery.evaluation`: average precision against the
+relevance class each discoverer targets.  Expected shape: every union-style
+engine beats chance on unionable truth, every join-style engine on joinable
+truth, and SANTOS/JOSIE lead their classes on this lake.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import (
+    CocoaJoinSearch,
+    JosieJoinSearch,
+    LSHEnsembleJoinSearch,
+    SantosUnionSearch,
+    StarmieUnionSearch,
+    TusUnionSearch,
+    evaluate_discoverer,
+)
+
+from conftest import print_header
+
+_UNION_ENGINES = [SantosUnionSearch, TusUnionSearch, StarmieUnionSearch]
+_JOIN_ENGINES = [JosieJoinSearch, LSHEnsembleJoinSearch, CocoaJoinSearch]
+
+
+@pytest.fixture(scope="module")
+def reports(bench_lake):
+    query = bench_lake.query.with_name("Q")
+    collected = {}
+    for engine_class in _UNION_ENGINES:
+        collected[engine_class.name] = evaluate_discoverer(
+            engine_class(), bench_lake.lake, query,
+            relevant=bench_lake.truth.unionable, ks=(1, 3, 6),
+            query_column="City",
+        )
+    for engine_class in _JOIN_ENGINES:
+        collected[engine_class.name] = evaluate_discoverer(
+            engine_class(), bench_lake.lake, query,
+            relevant=bench_lake.truth.joinable, ks=(1, 3, 6),
+            query_column="City",
+        )
+    return collected
+
+
+def test_shootout_table(benchmark, reports, bench_lake):
+    print_header("E15", "average precision per discoverer vs its target class")
+    print(f"{'discoverer':<14} {'target':<10} {'AP':>6} {'P@3':>6} {'R@6':>6}")
+    for name, report in reports.items():
+        target = "unionable" if name in {e.name for e in _UNION_ENGINES} else "joinable"
+        print(
+            f"{name:<14} {target:<10} {report.average_precision:>6.2f} "
+            f"{report.precision[3]:>6.2f} {report.recall[6]:>6.2f}"
+        )
+
+    # Shape assertions: each engine clearly beats a random ranking (the
+    # lake is 6 relevant / 26 tables, so random AP ~ 0.25).
+    for name, report in reports.items():
+        assert report.average_precision > 0.4, name
+    # The paper's default engines lead their classes on this lake.
+    assert reports["santos"].average_precision >= reports["starmie"].average_precision
+    assert reports["josie"].average_precision >= reports["cocoa"].average_precision
+
+    query = bench_lake.query.with_name("Q")
+    benchmark(
+        evaluate_discoverer,
+        SantosUnionSearch(), bench_lake.lake, query,
+        bench_lake.truth.unionable, (1, 3, 6), "City",
+    )
+
+
+def test_all_discoverers_pipeline(benchmark, bench_lake):
+    """The convenience constructor wires all six into one pipeline."""
+    from repro import Dialite
+
+    pipeline = Dialite.with_all_discoverers(bench_lake.lake).fit()
+    query = bench_lake.query.with_name("Q")
+    outcome = benchmark(pipeline.discover, query, 6, "City")
+
+    assert set(outcome.per_discoverer) == {
+        "santos", "lsh_ensemble", "josie", "starmie", "tus", "cocoa",
+    }
+    found = set(outcome.discovered_names)
+    assert bench_lake.truth.relevant() <= found | bench_lake.truth.distractors

@@ -1,0 +1,94 @@
+"""E10 -- discovery quality: precision/recall@k against ground truth.
+
+The demo's discovery stage (Sec. 2.1) leans on SANTOS for unionable and LSH
+Ensemble / JOSIE for joinable search.  On synthetic lakes with known ground
+truth: each discoverer must rank its own relevance class highest, and the
+merged union must cover (high recall over) all relevant tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dialite
+
+from conftest import print_header
+
+K = 6
+
+
+@pytest.fixture(scope="module")
+def fitted(bench_lake):
+    return Dialite(bench_lake.lake).fit(), bench_lake
+
+
+def _precision_recall(found, relevant, k):
+    top = found[:k]
+    hits = sum(1 for name in top if name in relevant)
+    return hits / max(1, len(top)), hits / max(1, len(relevant))
+
+
+def test_santos_union_quality(benchmark, fitted):
+    pipeline, synth = fitted
+    query = synth.query.with_name("Q")
+    results = benchmark(
+        pipeline.discoverers.get("santos").search, query, K, "City"
+    )
+    precision, recall = _precision_recall(
+        [r.table_name for r in results], synth.truth.unionable, K
+    )
+    print_header("E10 (SANTOS)", f"P@{K}={precision:.2f} R@{K}={recall:.2f} vs unionable truth")
+    assert recall >= 0.8
+
+def test_lsh_ensemble_join_quality(benchmark, fitted):
+    pipeline, synth = fitted
+    query = synth.query.with_name("Q")
+    results = benchmark(
+        pipeline.discoverers.get("lsh_ensemble").search, query, K, "City"
+    )
+    precision, recall = _precision_recall(
+        [r.table_name for r in results], synth.truth.joinable, K
+    )
+    print_header("E10 (LSHE)", f"P@{K}={precision:.2f} R@{K}={recall:.2f} vs joinable truth")
+    assert recall >= 0.8
+
+
+def test_josie_exact_join_quality(benchmark, fitted):
+    pipeline, synth = fitted
+    query = synth.query.with_name("Q")
+    results = benchmark(pipeline.discoverers.get("josie").search, query, K, "City")
+    found = [r.table_name for r in results]
+    precision, recall = _precision_recall(found, synth.truth.joinable, K)
+    print_header("E10 (JOSIE)", f"P@{K}={precision:.2f} R@{K}={recall:.2f} vs joinable truth")
+    # JOSIE is exact overlap: joinable tables (shared city domains) must
+    # dominate the top ranks.
+    assert recall >= 0.8
+
+
+def test_merged_union_recall(benchmark, fitted):
+    pipeline, synth = fitted
+    query = synth.query.with_name("Q")
+    merged = benchmark(pipeline.index.search_merged, query, K, "City")
+    found = [r.table_name for r in merged]
+    relevant = synth.truth.relevant()
+    hits = sum(1 for name in found if name in relevant)
+    recall = hits / len(relevant)
+
+    print_header("E10 (union)", "the integration-set construction of Sec. 3.1")
+    print(f"  union of all top-{K} result sets: {len(found)} tables, "
+          f"recall over all relevant = {recall:.2f}")
+    for result in merged[:10]:
+        marker = "+" if result.table_name in relevant else "-"
+        print(f"  {marker} {result.table_name:<16} {result.score:.3f}  {result.reason}")
+    assert recall >= 0.8
+
+
+@pytest.mark.parametrize("k", [1, 3, 6])
+def test_precision_at_k_sweep(benchmark, fitted, k):
+    pipeline, synth = fitted
+    query = synth.query.with_name("Q")
+    merged = benchmark(pipeline.index.search_merged, query, k, "City")
+    precision, _ = _precision_recall(
+        [r.table_name for r in merged], synth.truth.relevant(), k
+    )
+    assert precision >= 0.9  # top ranks are clean on the synthetic lake

@@ -1,0 +1,79 @@
+"""E14 -- ER quality with vs without good integration (quantifying Fig. 8).
+
+A synthetic workload of alias-perturbed entities split Figure 7-style
+across three tables with injected nulls.  ER runs over (a) the FD result
+and (b) the outer-join result of the same integration set; predicted
+clusters are mapped back to source TIDs and scored against gold pairwise
+F1.  Expected shape: FD >= outer join, with the gap widening as inputs get
+more incomplete -- outer-join fragments carry too few comparable attributes
+to match (the paper's f9/f10 story, at scale).
+"""
+
+from __future__ import annotations
+
+from repro.er import EntityResolver, cluster_metrics, make_er_workload
+from repro.integration import AliteFD, OuterJoinIntegrator
+
+from conftest import print_header
+
+
+def _predicted_tid_clusters(integrated, er_result):
+    """ER clusters of integrated rows -> clusters of source TIDs; TIDs that
+    integration dropped (subsumed) become singletons (a consistent penalty
+    for losing tuples)."""
+    clusters = []
+    covered: set[str] = set()
+    row_tids = {f"f{i + 1}": tids for i, tids in enumerate(integrated.provenance)}
+    for members in er_result.clusters:
+        tids: set[str] = set()
+        for member in members:
+            tids.update(row_tids.get(member, ()))
+        if tids:
+            clusters.append(sorted(tids))
+            covered.update(tids)
+    for tid in integrated.tid_sources:
+        if tid not in covered:
+            clusters.append([tid])
+    return clusters
+
+
+def _score(workload, integrator):
+    integrated = integrator.integrate(workload.tables)
+    er_result = EntityResolver().resolve_table(integrated)
+    predicted = _predicted_tid_clusters(integrated, er_result)
+    return cluster_metrics(predicted, workload.gold_clusters)
+
+
+def test_fd_beats_outer_join_for_er(benchmark):
+    workload = make_er_workload(num_entities=8, seed=2, null_rate=0.4)
+
+    fd_metrics = _score(workload, AliteFD())
+    oj_metrics = _score(workload, OuterJoinIntegrator())
+
+    print_header("E14", "ER pairwise F1 over FD vs outer-join integration")
+    print(f"  FD:         P={fd_metrics.precision:.2f} R={fd_metrics.recall:.2f} "
+          f"F1={fd_metrics.f1:.2f}")
+    print(f"  outer join: P={oj_metrics.precision:.2f} R={oj_metrics.recall:.2f} "
+          f"F1={oj_metrics.f1:.2f}")
+
+    assert fd_metrics.f1 >= oj_metrics.f1
+    assert fd_metrics.recall > oj_metrics.recall  # FD connects the fragments
+
+    benchmark(_score, workload, AliteFD())
+
+
+def test_null_rate_widens_the_gap(benchmark):
+    print_header("E14 (null sweep)", "F1 gap vs input completeness")
+    print(f"{'null rate':>10} {'fd F1':>8} {'oj F1':>8}")
+    gaps = []
+    for null_rate in (0.0, 0.2, 0.4):
+        workload = make_er_workload(num_entities=8, seed=5, null_rate=null_rate)
+        fd_metrics = _score(workload, AliteFD())
+        oj_metrics = _score(workload, OuterJoinIntegrator())
+        print(f"{null_rate:>10.1f} {fd_metrics.f1:>8.2f} {oj_metrics.f1:>8.2f}")
+        gaps.append(fd_metrics.f1 - oj_metrics.f1)
+    assert all(gap >= 0 for gap in gaps)
+    assert gaps[-1] > gaps[0]  # incompleteness widens FD's advantage
+
+    workload = make_er_workload(num_entities=8, seed=5, null_rate=0.4)
+    benchmark(_score, workload, OuterJoinIntegrator())

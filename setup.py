@@ -1,0 +1,6 @@
+"""Setup shim: lets `pip install -e . --no-use-pep517` work on environments
+that lack the `wheel` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro -- a from-scratch reproduction of DIALITE (SIGMOD '23):
+Discover, Align and Integrate Open Data Tables.
+
+The public surface in one import::
+
+    from repro import Dialite, Table, DataLake
+
+    pipeline = Dialite(DataLake.from_dir("lake/")).fit()
+    outcome = pipeline.discover(query, k=5, query_column="City")
+    integrated = pipeline.integrate(outcome)
+    pipeline.analyze(integrated, "entity_resolution")
+
+Subpackages (each usable standalone):
+
+- :mod:`repro.table` -- null-aware table engine + relational operators
+- :mod:`repro.text` / :mod:`repro.embeddings` / :mod:`repro.sketch` -- kernels
+- :mod:`repro.discovery` -- SANTOS, LSH Ensemble, JOSIE, user-defined search
+- :mod:`repro.alignment` -- ALITE's holistic schema matching
+- :mod:`repro.integration` -- Full Disjunction (ALITE + baselines), joins
+- :mod:`repro.er` -- entity resolution
+- :mod:`repro.analysis` -- downstream apps and quality metrics
+- :mod:`repro.datalake` -- catalogs, indexing, synthetic benchmark lakes
+- :mod:`repro.genquery` -- prompt-to-table generation
+- :mod:`repro.core` -- the pipeline itself
+"""
+
+from .core.pipeline import Dialite
+from .core.results import DiscoveryOutcome, PipelineResult
+from .datalake.catalog import DataLake
+from .integration.tuples import IntegratedTable
+from .table.table import Table
+from .table.values import MISSING, PRODUCED
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dialite",
+    "Table",
+    "DataLake",
+    "IntegratedTable",
+    "DiscoveryOutcome",
+    "PipelineResult",
+    "MISSING",
+    "PRODUCED",
+    "__version__",
+]

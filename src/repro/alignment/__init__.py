@@ -1,0 +1,24 @@
+"""Holistic schema matching: ALITE's "Align" stage (paper Sec. 2.2).
+
+Columns across the integration set are featurized, scored pairwise, and
+clustered under the same-table constraint; each cluster receives an
+*integration ID* that the Full Disjunction then treats as an attribute name.
+"""
+
+from .aligner import Alignment, HolisticAligner
+from .cluster import cluster_columns, cluster_columns_optimal, partition_objective
+from .features import AlignedColumn, ColumnRef, featurize_tables
+from .matcher import MatcherWeights, column_pair_score
+
+__all__ = [
+    "HolisticAligner",
+    "Alignment",
+    "ColumnRef",
+    "AlignedColumn",
+    "featurize_tables",
+    "MatcherWeights",
+    "column_pair_score",
+    "cluster_columns",
+    "cluster_columns_optimal",
+    "partition_objective",
+]

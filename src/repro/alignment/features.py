@@ -1,0 +1,88 @@
+"""Column featurization for holistic schema matching.
+
+Each column of every table in the integration set is summarized once into an
+:class:`AlignedColumn` carrying four evidence channels the matcher combines:
+
+* the **value set** (sampled distinct normalized strings) -- direct overlap
+  is the strongest unionability/joinability evidence;
+* a **semantic type distribution** from the knowledge base -- this is what
+  lets ``Country`` columns with *disjoint* values (Germany/Spain vs
+  Canada/Mexico) still align, the role pretrained embeddings play in the
+  original ALITE;
+* the **header** -- useful but never trusted alone;
+* a hashed **embedding** plus scalar statistics (numeric fraction, mean
+  length) used for gating numeric columns away from text columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..embeddings.column import ColumnEmbedder, ColumnProfile
+from ..discovery.kb import KnowledgeBase
+from ..table.table import Table
+from ..text.tokenize import normalize_token
+
+__all__ = ["ColumnRef", "AlignedColumn", "featurize_tables"]
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A column identified by (table name, column name)."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass
+class AlignedColumn:
+    """All matcher-visible evidence about one column."""
+
+    ref: ColumnRef
+    header: str
+    values: frozenset[str]
+    type_weights: dict[str, float]
+    profile: ColumnProfile
+
+
+def featurize_tables(
+    tables: Sequence[Table],
+    kb: KnowledgeBase | None = None,
+    embedder: ColumnEmbedder | None = None,
+    max_values: int = 500,
+) -> list[AlignedColumn]:
+    """Featurize every column of every table (tables must be uniquely named)."""
+    names = [t.name for t in tables]
+    if len(set(names)) != len(names):
+        raise ValueError(f"integration-set tables must have unique names, got {names}")
+    embedder = embedder or ColumnEmbedder()
+    featurized = []
+    for table in tables:
+        for column in table.columns:
+            non_null = table.column_values(column)
+            sample = non_null[:max_values]
+            value_set = frozenset(
+                normalize_token(str(v)) for v in sample if isinstance(v, str)
+            )
+            type_weights: dict[str, float] = {}
+            if kb is not None and sample:
+                distinct = list(dict.fromkeys(str(v) for v in sample))
+                for value in distinct:
+                    for type_name in kb.types_of(value):
+                        type_weights[type_name] = type_weights.get(type_name, 0.0) + 1.0
+                for type_name in type_weights:
+                    type_weights[type_name] /= len(distinct)
+            featurized.append(
+                AlignedColumn(
+                    ref=ColumnRef(table.name, column),
+                    header=column,
+                    values=value_set,
+                    type_weights=type_weights,
+                    profile=embedder.profile(column, sample),
+                )
+            )
+    return featurized

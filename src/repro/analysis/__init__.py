@@ -1,0 +1,55 @@
+"""Analysis: downstream applications over integrated tables (Sec. 2.3).
+
+Aggregations, correlations, null accounting, integration-quality comparison
+and the pluggable app interface the pipeline's analyze stage uses.
+"""
+
+from .aggregate import extreme, group_summary, histogram, numeric_column, top_k
+from .apps import (
+    AggregationApp,
+    AnalysisApp,
+    CorrelationApp,
+    DescribeApp,
+    EntityResolutionApp,
+    HistogramApp,
+    PivotApp,
+)
+from .correlation import column_correlation, correlation_matrix, pearson, spearman
+from .quality import (
+    IntegrationReport,
+    compare_integrations,
+    information_dominates,
+    order_variability,
+)
+from .report import pipeline_report, table_to_markdown
+from .stats import NullProfile, describe, fact_coverage, null_profile, outliers
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "column_correlation",
+    "correlation_matrix",
+    "extreme",
+    "top_k",
+    "group_summary",
+    "numeric_column",
+    "histogram",
+    "NullProfile",
+    "null_profile",
+    "describe",
+    "fact_coverage",
+    "outliers",
+    "IntegrationReport",
+    "compare_integrations",
+    "information_dominates",
+    "order_variability",
+    "AnalysisApp",
+    "DescribeApp",
+    "AggregationApp",
+    "CorrelationApp",
+    "EntityResolutionApp",
+    "HistogramApp",
+    "PivotApp",
+    "pipeline_report",
+    "table_to_markdown",
+]

@@ -1,0 +1,112 @@
+"""Aggregation queries over integrated tables (paper Sec. 2.3, Example 3).
+
+Thin, null-aware conveniences over :func:`repro.table.ops.aggregate`: find
+extremes ("Boston has the lowest vaccination rate"), top-k, and group
+summaries, all parsing human-written numbers ("63%", "1.4M") on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..table import ops
+from ..table.table import Table
+from ..table.values import Cell, is_null
+from ..text.normalize import to_float
+
+__all__ = ["extreme", "top_k", "group_summary", "numeric_column", "histogram"]
+
+
+def numeric_column(table: Table, column: str) -> list[tuple[int, float]]:
+    """``(row index, parsed number)`` for every row whose cell parses."""
+    position = table.column_index(column)
+    parsed = []
+    for i, row in enumerate(table.rows):
+        number = to_float(row[position])
+        if number is not None:
+            parsed.append((i, number))
+    return parsed
+
+
+def extreme(
+    table: Table, value_column: str, label_column: str, mode: str = "max"
+) -> tuple[Cell, float]:
+    """The label holding the extreme value: e.g. ``extreme(t, "Vaccination
+    Rate", "City", "min") -> ("Boston", 62.0)``.
+
+    Rows where the value cell does not parse as a number are skipped; raises
+    if nothing parses.
+    """
+    if mode not in ("min", "max"):
+        raise ValueError("mode must be 'min' or 'max'")
+    parsed = numeric_column(table, value_column)
+    if not parsed:
+        raise ValueError(f"no numeric values in column {value_column!r}")
+    choose = min if mode == "min" else max
+    row_index, value = choose(parsed, key=lambda pair: pair[1])
+    return table.cell(row_index, label_column), value
+
+
+def top_k(
+    table: Table, value_column: str, k: int = 5, descending: bool = True
+) -> Table:
+    """The *k* rows with the largest (or smallest) parsed values."""
+    parsed = numeric_column(table, value_column)
+    parsed.sort(key=lambda pair: pair[1], reverse=descending)
+    rows = [table.rows[i] for i, _ in parsed[:k]]
+    return Table(table.columns, rows, name=f"{table.name}_top{k}")
+
+
+def group_summary(
+    table: Table,
+    group_by: Sequence[str],
+    value_column: str,
+) -> Table:
+    """count / mean / min / max of *value_column* per group, parsing
+    human-written numbers first."""
+    parsed = table.map_column(
+        value_column,
+        lambda cell: cell if is_null(cell) else (to_float(cell) if to_float(cell) is not None else cell),
+    )
+    return ops.aggregate(
+        parsed,
+        group_by=group_by,
+        aggregations={
+            "count": (value_column, "count"),
+            "mean": (value_column, "mean"),
+            "min": (value_column, "min"),
+            "max": (value_column, "max"),
+        },
+    )
+
+
+def histogram(table: Table, column: str, bins: int = 10) -> Table:
+    """Equal-width histogram of a (parseable-)numeric column.
+
+    Returns ``(bin_start, bin_end, count)`` rows; cells that do not parse as
+    numbers are ignored (their count is visible via
+    :func:`repro.analysis.stats.describe`).  A constant column yields one
+    bin containing everything.
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    parsed = [value for _, value in numeric_column(table, column)]
+    if not parsed:
+        raise ValueError(f"no numeric values in column {column!r}")
+    low, high = min(parsed), max(parsed)
+    if low == high:
+        return Table(
+            ["bin_start", "bin_end", "count"],
+            [(low, high, len(parsed))],
+            name=f"{table.name}_hist",
+        )
+    width = (high - low) / bins
+    counts = [0] * bins
+    for value in parsed:
+        index = min(int((value - low) / width), bins - 1)
+        counts[index] += 1
+    rows = [
+        (round(low + i * width, 6), round(low + (i + 1) * width, 6), counts[i])
+        for i in range(bins)
+    ]
+    return Table(["bin_start", "bin_end", "count"], rows, name=f"{table.name}_hist")

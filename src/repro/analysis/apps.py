@@ -1,0 +1,146 @@
+"""Downstream analysis applications (paper Sec. 2.3).
+
+The analyze stage is pluggable like discovery and integration: an
+:class:`AnalysisApp` takes the integrated table and returns a result object
+(usually a table or a dict of scalars).  Shipping apps: aggregation summary,
+correlation, descriptive statistics, and entity resolution.  Users register
+their own through :class:`repro.core.registry.Registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+from ..er.pipeline import EntityResolver, ERResult
+from ..table.table import Table
+from .aggregate import extreme, group_summary
+from .correlation import column_correlation, correlation_matrix
+from .stats import describe, null_profile
+
+__all__ = [
+    "AnalysisApp",
+    "DescribeApp",
+    "AggregationApp",
+    "CorrelationApp",
+    "EntityResolutionApp",
+    "HistogramApp",
+    "PivotApp",
+]
+
+
+class AnalysisApp(abc.ABC):
+    """Base class for analyze-stage applications."""
+
+    #: Identifier used by the pipeline registry.
+    name: str = "app"
+
+    @abc.abstractmethod
+    def run(self, table: Table, **options: Any) -> Any:
+        """Run the analysis over *table* and return its result."""
+
+
+class DescribeApp(AnalysisApp):
+    """Per-column summary plus a null profile."""
+
+    name = "describe"
+
+    def run(self, table: Table, **options: Any) -> dict[str, Any]:
+        profile = null_profile(table)
+        return {
+            "summary": describe(table),
+            "rows": table.num_rows,
+            "columns": table.num_columns,
+            "missing_nulls": profile.missing,
+            "produced_nulls": profile.produced,
+            "completeness": profile.completeness,
+        }
+
+
+class AggregationApp(AnalysisApp):
+    """Example 3's flavor of analysis: extremes and group summaries.
+
+    Options: ``value_column`` (required), ``label_column`` (for extremes),
+    ``group_by`` (optional list).
+    """
+
+    name = "aggregation"
+
+    def run(self, table: Table, **options: Any) -> dict[str, Any]:
+        value_column: str = options["value_column"]
+        result: dict[str, Any] = {}
+        label_column = options.get("label_column")
+        if label_column is not None:
+            result["lowest"] = extreme(table, value_column, label_column, "min")
+            result["highest"] = extreme(table, value_column, label_column, "max")
+        group_by: Sequence[str] | None = options.get("group_by")
+        if group_by:
+            result["groups"] = group_summary(table, group_by, value_column)
+        return result
+
+
+class CorrelationApp(AnalysisApp):
+    """Pairwise correlations (Example 3's 0.16 / 0.9 computation).
+
+    Options: ``columns`` (pair or list; default all numeric-ish columns),
+    ``method`` ("pearson" default, or "spearman").
+    """
+
+    name = "correlation"
+
+    def run(self, table: Table, **options: Any) -> Any:
+        method = options.get("method", "pearson")
+        columns = options.get("columns")
+        if columns is not None and len(columns) == 2:
+            coefficient, support = column_correlation(table, columns[0], columns[1], method)
+            return {"correlation": coefficient, "pairs_used": support, "method": method}
+        return correlation_matrix(table, columns, method)
+
+
+class EntityResolutionApp(AnalysisApp):
+    """ER over the integrated table (the Figure 8(c)/(d) comparison).
+
+    Options: ``resolver`` (an :class:`EntityResolver`; default configuration
+    otherwise).
+    """
+
+    name = "entity_resolution"
+
+    def run(self, table: Table, **options: Any) -> ERResult:
+        resolver: EntityResolver = options.get("resolver") or EntityResolver()
+        return resolver.resolve_table(table)
+
+
+class HistogramApp(AnalysisApp):
+    """Distribution view of one numeric-ish column.
+
+    Options: ``column`` (required), ``bins`` (default 10).
+    """
+
+    name = "histogram"
+
+    def run(self, table: Table, **options: Any) -> Table:
+        from .aggregate import histogram
+
+        return histogram(table, options["column"], bins=int(options.get("bins", 10)))
+
+
+class PivotApp(AnalysisApp):
+    """Long-to-wide reshape of the integrated table.
+
+    Options: ``index``, ``columns``, ``values`` (required), ``agg``
+    (default "mean").
+    """
+
+    name = "pivot"
+
+    def run(self, table: Table, **options: Any) -> Table:
+        from ..table.ops import pivot
+
+        return pivot(
+            table,
+            index=options["index"],
+            columns=options["columns"],
+            values=options["values"],
+            agg=options.get("agg", "mean"),
+        )

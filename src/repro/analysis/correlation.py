@@ -1,0 +1,121 @@
+"""Correlations over (possibly messy, possibly null) table columns.
+
+Example 3 of the paper computes Pearson correlations over the integrated
+COVID table's ``Vaccination Rate`` ("63%"), ``Total Cases`` ("1.4M") and
+``Death Rate`` columns; the values 0.16 and 0.9 it reports only come out if
+percent/magnitude strings are parsed and null rows are pairwise-deleted --
+both of which this module does.  Pearson and Spearman are implemented
+directly (tests cross-check them against scipy).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..table.table import Table
+from ..text.normalize import to_float
+
+__all__ = ["pearson", "spearman", "column_correlation", "correlation_matrix"]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson's r; raises on length mismatch or fewer than 2 points.
+
+    Returns 0.0 when either side has zero variance (degenerate but common
+    in small integrated tables; callers get "no linear relationship" rather
+    than an exception).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least 2 points for correlation")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Fractional ranks (average rank for ties), 1-based."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average = (i + j) / 2 + 1
+        for position in range(i, j + 1):
+            ranks[order[position]] = average
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman's rho: Pearson over fractional ranks (tie-aware)."""
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+def _paired_numeric(table: Table, column_a: str, column_b: str) -> tuple[list[float], list[float]]:
+    position_a = table.column_index(column_a)
+    position_b = table.column_index(column_b)
+    xs: list[float] = []
+    ys: list[float] = []
+    for row in table.rows:
+        x = to_float(row[position_a])
+        y = to_float(row[position_b])
+        if x is None or y is None:
+            continue
+        xs.append(x)
+        ys.append(y)
+    return xs, ys
+
+
+def column_correlation(
+    table: Table, column_a: str, column_b: str, method: str = "pearson"
+) -> tuple[float, int]:
+    """Correlation between two columns with pairwise-complete parsing.
+
+    Returns ``(coefficient, n_pairs_used)``; ``n_pairs_used`` makes the
+    support of the estimate explicit (integrated tables are full of nulls).
+    Raises if fewer than 2 complete pairs exist.
+    """
+    xs, ys = _paired_numeric(table, column_a, column_b)
+    if method == "pearson":
+        return pearson(xs, ys), len(xs)
+    if method == "spearman":
+        return spearman(xs, ys), len(xs)
+    raise ValueError(f"unknown method {method!r}; use 'pearson' or 'spearman'")
+
+
+def correlation_matrix(
+    table: Table, columns: Sequence[str] | None = None, method: str = "pearson"
+) -> Table:
+    """All pairwise correlations among *columns* (default: columns where at
+    least 2 cells parse as numbers), as a square table."""
+    if columns is None:
+        columns = [
+            c
+            for c in table.columns
+            if sum(1 for v in table.column(c) if to_float(v) is not None) >= 2
+        ]
+    rows = []
+    for a in columns:
+        row: list = [a]
+        for b in columns:
+            if a == b:
+                row.append(1.0)
+                continue
+            try:
+                coefficient, _ = column_correlation(table, a, b, method)
+            except ValueError:
+                coefficient = float("nan")
+            row.append(round(coefficient, 4))
+        rows.append(tuple(row))
+    return Table(["column", *columns], rows, name=f"{table.name}_corr")

@@ -1,0 +1,125 @@
+"""Descriptive statistics and null accounting for (integrated) tables.
+
+Integration quality is largely a story about nulls: how many, of which kind,
+where.  These helpers power the analyze stage's summaries and the
+FD-vs-outer-join quality benchmarks (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..table.table import Table
+from ..table.values import is_missing, is_null, is_produced
+from ..text.normalize import to_float
+
+__all__ = ["NullProfile", "null_profile", "describe", "fact_coverage", "outliers"]
+
+
+@dataclass(frozen=True)
+class NullProfile:
+    """Null counts for one table, split by kind."""
+
+    total_cells: int
+    missing: int
+    produced: int
+
+    @property
+    def nulls(self) -> int:
+        return self.missing + self.produced
+
+    @property
+    def completeness(self) -> float:
+        if self.total_cells == 0:
+            return 1.0
+        return 1.0 - self.nulls / self.total_cells
+
+
+def null_profile(table: Table) -> NullProfile:
+    """Count missing (``±``) and produced (``⊥``) nulls in *table*."""
+    missing = produced = 0
+    for row in table.rows:
+        for cell in row:
+            if is_missing(cell):
+                missing += 1
+            elif is_produced(cell):
+                produced += 1
+    return NullProfile(
+        total_cells=table.num_rows * table.num_columns,
+        missing=missing,
+        produced=produced,
+    )
+
+
+def describe(table: Table) -> Table:
+    """Per-column summary: dtype, non-null count, distinct count, numeric
+    min/mean/max where applicable."""
+    rows = []
+    for spec in table.schema:
+        values = table.column(spec.name)
+        non_null = [v for v in values if not is_null(v)]
+        numbers = [x for x in (to_float(v) for v in non_null) if x is not None]
+        if numbers:
+            minimum: object = min(numbers)
+            mean: object = sum(numbers) / len(numbers)
+            maximum: object = max(numbers)
+        else:
+            minimum = mean = maximum = ""
+        rows.append(
+            (
+                spec.name,
+                spec.dtype,
+                len(non_null),
+                len(set(map(str, non_null))),
+                minimum,
+                mean,
+                maximum,
+            )
+        )
+    return Table(
+        ["column", "dtype", "non_null", "distinct", "min", "mean", "max"],
+        rows,
+        name=f"{table.name}_describe",
+    )
+
+
+def fact_coverage(provenance: tuple[frozenset[str], ...] | list[frozenset[str]]) -> dict[str, float]:
+    """How much integration actually *connected*: distribution of output
+    tuples by how many source tuples support them.
+
+    Returns ``{"tuples": n, "merged_tuples": m, "max_sources": k,
+    "mean_sources": x}`` -- FD should dominate outer join on the merged
+    counts (experiment E9's headline metric).
+    """
+    sizes = [len(tids) for tids in provenance]
+    if not sizes:
+        return {"tuples": 0, "merged_tuples": 0, "max_sources": 0, "mean_sources": 0.0}
+    return {
+        "tuples": len(sizes),
+        "merged_tuples": sum(1 for s in sizes if s >= 2),
+        "max_sources": max(sizes),
+        "mean_sources": sum(sizes) / len(sizes),
+    }
+
+
+def outliers(table: Table, column: str, z_threshold: float = 3.0) -> Table:
+    """Rows whose parsed value in *column* lies more than *z_threshold*
+    standard deviations from the column mean.
+
+    The quick data-quality check an analyst runs right after integration:
+    a merged fact with a wildly off value usually means a bad join, not a
+    discovery.  Non-numeric and null cells are skipped; a column with zero
+    variance has no outliers.
+    """
+    values = [(i, x) for i, row in enumerate(table.rows)
+              if (x := to_float(row[table.column_index(column)])) is not None]
+    if len(values) < 3:
+        return Table(table.columns, [], name=f"{table.name}_outliers")
+    numbers = [x for _, x in values]
+    mean = sum(numbers) / len(numbers)
+    variance = sum((x - mean) ** 2 for x in numbers) / len(numbers)
+    if variance == 0.0:
+        return Table(table.columns, [], name=f"{table.name}_outliers")
+    stddev = variance ** 0.5
+    rows = [table.rows[i] for i, x in values if abs(x - mean) / stddev > z_threshold]
+    return Table(table.columns, rows, name=f"{table.name}_outliers")

@@ -1,0 +1,274 @@
+"""Command-line interface: the DIALITE pipeline over CSV lake directories.
+
+The demo paper fronts the pipeline with a web app; this CLI is the
+equivalent headless surface::
+
+    python -m repro lake-info  --lake lake/
+    python -m repro profile    --lake lake/ [--table T3]
+    python -m repro generate   --prompt "covid cases, 5 rows" --out query.csv
+    python -m repro discover   --lake lake/ --query query.csv --column City -k 5
+    python -m repro integrate  --lake lake/ --query query.csv --column City \
+                               --integrator alite_fd --out integrated.csv
+    python -m repro integrate  --tables a.csv b.csv c.csv --out integrated.csv
+    python -m repro analyze    --table integrated.csv --app correlation \
+                               --option "columns=Vaccination Rate,Death Rate"
+    python -m repro report     --lake lake/ --query query.csv --column City \
+                               --out run.md
+
+Every command prints human-readable tables to stdout; ``--out`` writes CSV
+with the paper's ``±``/``⊥`` null markers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from .core.pipeline import Dialite
+from .datalake.catalog import DataLake
+from .genquery.generator import generate_query_table
+from .integration.tuples import IntegratedTable
+from .table.io import read_csv, write_csv
+from .table.table import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of all CLI subcommands (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIALITE reproduction: discover, align and integrate open data tables.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("lake-info", help="summarize a CSV lake directory")
+    info.add_argument("--lake", required=True, help="directory of CSV files")
+
+    profile = commands.add_parser(
+        "profile", help="per-column statistics for every table in a lake"
+    )
+    profile.add_argument("--lake", required=True, help="directory of CSV files")
+    profile.add_argument("--table", default=None, help="profile one table only")
+
+    generate = commands.add_parser("generate", help="generate a query table from a prompt")
+    generate.add_argument("--prompt", required=True)
+    generate.add_argument("--rows", type=int, default=None)
+    generate.add_argument("--columns", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", default=None, help="write the table as CSV")
+
+    discover = commands.add_parser("discover", help="find tables related to a query")
+    _add_discovery_arguments(discover)
+
+    integrate = commands.add_parser(
+        "integrate", help="discover (or take) an integration set and integrate it"
+    )
+    _add_discovery_arguments(integrate, query_required=False)
+    integrate.add_argument(
+        "--tables", nargs="+", default=None,
+        help="explicit integration set (CSV files); skips discovery",
+    )
+    integrate.add_argument("--integrator", default="alite_fd")
+    integrate.add_argument("--no-align", action="store_true", help="inputs are pre-aligned")
+    integrate.add_argument("--out", default=None, help="write the integrated table as CSV")
+
+    report = commands.add_parser(
+        "report", help="run the full pipeline and write a markdown report"
+    )
+    _add_discovery_arguments(report)
+    report.add_argument("--integrator", default="alite_fd")
+    report.add_argument("--out", default=None, help="write the markdown report here")
+
+    analyze = commands.add_parser("analyze", help="run a downstream app over a table")
+    analyze.add_argument("--table", required=True, help="CSV file to analyze")
+    analyze.add_argument("--app", default="describe",
+                         help="describe | aggregation | correlation | entity_resolution")
+    analyze.add_argument(
+        "--option", action="append", default=[],
+        help="app option as key=value; comma-separated values become lists",
+    )
+    return parser
+
+
+def _add_discovery_arguments(parser: argparse.ArgumentParser, query_required: bool = True) -> None:
+    parser.add_argument("--lake", default=None, help="directory of CSV files")
+    parser.add_argument("--query", required=query_required, default=None, help="query table CSV")
+    parser.add_argument("--column", default=None, help="intent/join column of the query")
+    parser.add_argument("-k", type=int, default=10, help="top-k per discoverer")
+    parser.add_argument(
+        "--discoverers", default=None,
+        help="comma-separated subset (santos,lsh_ensemble,josie)",
+    )
+
+
+def _parse_options(raw_options: Sequence[str]) -> dict[str, Any]:
+    options: dict[str, Any] = {}
+    for raw in raw_options:
+        if "=" not in raw:
+            raise SystemExit(f"--option must be key=value, got {raw!r}")
+        key, _, value = raw.partition("=")
+        if "," in value:
+            options[key.strip()] = [part.strip() for part in value.split(",")]
+        else:
+            options[key.strip()] = value.strip()
+    return options
+
+
+def _load_pipeline(lake_dir: str) -> Dialite:
+    return Dialite(DataLake.from_dir(lake_dir)).fit()
+
+
+def _emit(table: Table, out: str | None) -> None:
+    print(table.to_pretty(max_rows=50))
+    if out:
+        write_csv(table, out)
+        print(f"\nwritten: {out}")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_lake_info(args: argparse.Namespace) -> int:
+    lake = DataLake.from_dir(args.lake)
+    print(f"{len(lake)} tables, {lake.total_rows()} rows total\n")
+    rows = [
+        (name, table.num_rows, table.num_columns, ", ".join(table.columns[:6]))
+        for name, table in lake.items()
+    ]
+    print(Table(["table", "rows", "cols", "columns"], rows, name="lake").to_pretty(100))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .datalake.profiler import profile_lake, profile_table
+
+    lake = DataLake.from_dir(args.lake)
+    if args.table is not None:
+        print(profile_table(lake[args.table]).to_pretty(200))
+    else:
+        print(profile_lake(lake).to_pretty(500))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    table = generate_query_table(
+        args.prompt, rows=args.rows, columns=args.columns, seed=args.seed
+    )
+    _emit(table, args.out)
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    if args.lake is None:
+        raise SystemExit("discover requires --lake")
+    pipeline = _load_pipeline(args.lake)
+    query = read_csv(args.query)
+    names = args.discoverers.split(",") if args.discoverers else None
+    outcome = pipeline.discover(
+        query, k=args.k, query_column=args.column, discoverer_names=names
+    )
+    print(outcome.summary().to_pretty(50))
+    return 0
+
+
+def _cmd_integrate(args: argparse.Namespace) -> int:
+    if args.tables:
+        tables = [read_csv(path) for path in args.tables]
+        pipeline = Dialite(DataLake())
+        result = pipeline.integrate(
+            tables, integrator=args.integrator, align=not args.no_align
+        )
+    else:
+        if args.lake is None or args.query is None:
+            raise SystemExit("integrate requires --tables, or --lake with --query")
+        pipeline = _load_pipeline(args.lake)
+        query = read_csv(args.query)
+        names = args.discoverers.split(",") if args.discoverers else None
+        outcome = pipeline.discover(
+            query, k=args.k, query_column=args.column, discoverer_names=names
+        )
+        print("integration set: " + ", ".join(t.name for t in outcome.integration_set) + "\n")
+        result = pipeline.integrate(
+            outcome, integrator=args.integrator, align=not args.no_align
+        )
+    display = result.to_display_table() if isinstance(result, IntegratedTable) else result
+    _emit(display, args.out)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import pipeline_report
+
+    if args.lake is None:
+        raise SystemExit("report requires --lake")
+    pipeline = _load_pipeline(args.lake)
+    query = read_csv(args.query)
+    names = args.discoverers.split(",") if args.discoverers else None
+    result = pipeline.run(
+        query,
+        k=args.k,
+        query_column=args.column,
+        integrator=args.integrator,
+        analyses={"describe": {}},
+    )
+    del names  # run() always uses the full roster; subsets are a discover concern
+    markdown = pipeline_report(result, title=f"DIALITE run: {query.name}")
+    print(markdown)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(markdown, encoding="utf-8")
+        print(f"written: {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    table = read_csv(args.table)
+    pipeline = Dialite(DataLake())
+    options = _parse_options(args.option)
+    result = pipeline.analyze(table, args.app, **options)
+    _print_analysis(result)
+    return 0
+
+
+def _print_analysis(result: Any) -> None:
+    if isinstance(result, Table):
+        print(result.to_pretty(50))
+        return
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, Table):
+                print(f"{key}:")
+                print(value.to_pretty(50))
+            else:
+                print(f"{key}: {value}")
+        return
+    entities = getattr(result, "entities", None)
+    if entities is not None:  # an ERResult
+        print(f"{result.num_entities} entities from {len(result.records)} rows")
+        print(entities.to_pretty(50))
+        return
+    print(result)
+
+
+_COMMANDS = {
+    "lake-info": _cmd_lake_info,
+    "profile": _cmd_profile,
+    "generate": _cmd_generate,
+    "discover": _cmd_discover,
+    "integrate": _cmd_integrate,
+    "report": _cmd_report,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

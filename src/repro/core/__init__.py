@@ -1,0 +1,13 @@
+"""DIALITE's core: the three-stage pipeline and its plugin registries."""
+
+from .pipeline import Dialite
+from .registry import DuplicateComponentError, Registry
+from .results import DiscoveryOutcome, PipelineResult
+
+__all__ = [
+    "Dialite",
+    "Registry",
+    "DuplicateComponentError",
+    "DiscoveryOutcome",
+    "PipelineResult",
+]

@@ -1,0 +1,288 @@
+"""The DIALITE pipeline: discover -> align & integrate -> analyze.
+
+:class:`Dialite` wires every substrate together behind the three-stage API
+of the paper's Figure 1.  Each stage is independently callable (the demo's
+three demonstration items) and each stage's machinery is swappable through
+registries:
+
+* ``discoverers`` -- defaults: SANTOS union search + LSH Ensemble join
+  search (+ JOSIE available by name); add your own with
+  :meth:`add_discoverer`, including bare similarity functions (Fig. 4);
+* ``integrators`` -- default ALITE Full Disjunction; outer/inner join and
+  union pre-registered for comparison (Fig. 6);
+* ``apps`` -- describe / aggregation / correlation / entity resolution.
+
+Typical use::
+
+    from repro import Dialite
+    from repro.datalake import DataLake
+
+    pipeline = Dialite(DataLake.from_dir("my_lake/")).fit()
+    outcome = pipeline.discover(query_table, k=5, query_column="City")
+    integrated = pipeline.integrate(outcome.integration_set)
+    stats = pipeline.analyze(integrated, "correlation",
+                             columns=["Vaccination Rate", "Death Rate"])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..alignment.aligner import Alignment, HolisticAligner
+from ..analysis.apps import (
+    AggregationApp,
+    AnalysisApp,
+    CorrelationApp,
+    DescribeApp,
+    EntityResolutionApp,
+    HistogramApp,
+    PivotApp,
+)
+from ..datalake.catalog import DataLake
+from ..datalake.indexer import LakeIndex
+from ..discovery.base import Discoverer, merge_result_sets
+from ..discovery.custom import FunctionDiscoverer
+from ..discovery.josie import JosieJoinSearch
+from ..discovery.lshensemble import LSHEnsembleJoinSearch
+from ..discovery.santos import SantosUnionSearch
+from ..genquery.generator import generate_query_table
+from ..integration.alite import AliteFD
+from ..integration.base import Integrator
+from ..integration.outerjoin import (
+    InnerJoinIntegrator,
+    OuterJoinIntegrator,
+    UnionIntegrator,
+)
+from ..integration.tuples import IntegratedTable
+from ..table.table import Table
+from .registry import Registry
+from .results import DiscoveryOutcome, PipelineResult
+
+__all__ = ["Dialite"]
+
+
+class Dialite:
+    """The end-to-end table discovery & integration system."""
+
+    def __init__(
+        self,
+        lake: DataLake | Mapping[str, Table] | Sequence[Table] | None = None,
+        discoverers: Sequence[Discoverer] | None = None,
+        aligner: HolisticAligner | None = None,
+        default_integrator: str = "alite_fd",
+    ):
+        if lake is None:
+            lake = DataLake()
+        elif not isinstance(lake, DataLake):
+            if isinstance(lake, Mapping):
+                lake = DataLake.from_tables(lake.values())
+            else:
+                lake = DataLake.from_tables(lake)
+        self.lake = lake
+        self.aligner = aligner or HolisticAligner()
+
+        self.discoverers: Registry[Discoverer] = Registry("discoverer")
+        for discoverer in discoverers if discoverers is not None else (
+            SantosUnionSearch(),
+            LSHEnsembleJoinSearch(),
+            JosieJoinSearch(),
+        ):
+            self.discoverers.register(discoverer.name, discoverer)
+
+        self.integrators: Registry[Integrator] = Registry("integrator")
+        for integrator in (
+            AliteFD(),
+            OuterJoinIntegrator(),
+            InnerJoinIntegrator(),
+            UnionIntegrator(),
+        ):
+            self.integrators.register(integrator.name, integrator)
+        self.default_integrator = default_integrator
+        self.integrators.get(default_integrator)  # validate eagerly
+
+        self.apps: Registry[AnalysisApp] = Registry("analysis app")
+        for app in (
+            DescribeApp(),
+            AggregationApp(),
+            CorrelationApp(),
+            EntityResolutionApp(),
+            HistogramApp(),
+            PivotApp(),
+        ):
+            self.apps.register(app.name, app)
+
+        self._index: LakeIndex | None = None
+
+    @classmethod
+    def with_all_discoverers(
+        cls, lake: DataLake | Mapping[str, Table] | Sequence[Table] | None = None
+    ) -> "Dialite":
+        """A pipeline carrying every built-in discoverer: the paper's three
+        (SANTOS, LSH Ensemble, JOSIE) plus the related-work reproductions
+        (Starmie-, TUS- and COCOA-style)."""
+        from ..discovery.cocoa import CocoaJoinSearch
+        from ..discovery.starmie import StarmieUnionSearch
+        from ..discovery.tus import TusUnionSearch
+
+        return cls(
+            lake,
+            discoverers=(
+                SantosUnionSearch(),
+                LSHEnsembleJoinSearch(),
+                JosieJoinSearch(),
+                StarmieUnionSearch(),
+                TusUnionSearch(),
+                CocoaJoinSearch(),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Extensibility (paper Sec. 3.2)
+    # ------------------------------------------------------------------
+    def add_discoverer(
+        self,
+        discoverer: Discoverer | Callable[[Table, Table], float],
+        name: str | None = None,
+        replace: bool = False,
+    ) -> Discoverer:
+        """Register a discoverer, or wrap a bare ``f(query, candidate) ->
+        float`` similarity function (the Fig. 4 extensibility path).  Newly
+        added discoverers are fitted immediately if the lake is indexed."""
+        if not isinstance(discoverer, Discoverer):
+            discoverer = FunctionDiscoverer(discoverer, name=name or "user_defined")
+        elif name is not None:
+            discoverer.name = name
+        self.discoverers.register(discoverer.name, discoverer, replace=replace)
+        if self._index is not None:
+            discoverer.fit(self.lake)
+            self._index = None  # rebuild lazily with the new roster
+        return discoverer
+
+    def add_integrator(self, integrator: Integrator, replace: bool = False) -> Integrator:
+        """Register an integration operator (the Fig. 6 path)."""
+        return self.integrators.register(integrator.name, integrator, replace=replace)
+
+    def add_app(self, app: AnalysisApp, replace: bool = False) -> AnalysisApp:
+        """Register a downstream analysis application."""
+        return self.apps.register(app.name, app, replace=replace)
+
+    # ------------------------------------------------------------------
+    # Stage 0: query acquisition
+    # ------------------------------------------------------------------
+    def generate_query(self, prompt: str, **options: Any) -> Table:
+        """Prompt -> query table (the GPT-3 substitute, Fig. 5)."""
+        return generate_query_table(prompt, **options)
+
+    # ------------------------------------------------------------------
+    # Stage 1: discover
+    # ------------------------------------------------------------------
+    def fit(self) -> "Dialite":
+        """Build all discovery indexes offline (idempotent); returns self."""
+        self._index = LakeIndex(self.lake, self.discoverers.components()).build()
+        return self
+
+    @property
+    def index(self) -> LakeIndex:
+        if self._index is None:
+            self.fit()
+        assert self._index is not None
+        return self._index
+
+    def discover(
+        self,
+        query: Table,
+        k: int = 10,
+        query_column: str | None = None,
+        discoverer_names: Sequence[str] | None = None,
+    ) -> DiscoveryOutcome:
+        """Find related tables and form the integration set (Sec. 2.1).
+
+        The integration set is the query plus the union of every requested
+        discoverer's top-k (overlapping results deduplicated), preserving
+        the merged ranking order.
+        """
+        if query.name in self.lake:
+            raise ValueError(
+                f"query table name {query.name!r} collides with a lake table; rename it"
+            )
+        per_discoverer = self.index.search(
+            query, k=k, query_column=query_column, discoverer_names=discoverer_names
+        )
+        merged = merge_result_sets(list(per_discoverer.values()))
+        integration_set = [query] + [self.lake[r.table_name] for r in merged]
+        return DiscoveryOutcome(
+            query=query,
+            per_discoverer=per_discoverer,
+            merged=merged,
+            integration_set=integration_set,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 2: align & integrate
+    # ------------------------------------------------------------------
+    def align(self, tables: Sequence[Table]) -> Alignment:
+        """Holistic schema matching only (inspectable intermediate)."""
+        return self.aligner.align(tables)
+
+    def integrate(
+        self,
+        tables: Sequence[Table] | DiscoveryOutcome,
+        integrator: str | Integrator | None = None,
+        align: bool = True,
+        name: str = "integrated",
+    ) -> IntegratedTable:
+        """Align (optionally) and integrate an integration set (Sec. 2.2).
+
+        *tables* may be a plain list (the traditional given-integration-set
+        scenario) or a :class:`DiscoveryOutcome`.  ``align=False`` skips
+        matching for pre-aligned inputs (shared columns already share
+        names).
+        """
+        if isinstance(tables, DiscoveryOutcome):
+            tables = tables.integration_set
+        if isinstance(integrator, Integrator):
+            chosen = integrator
+        else:
+            chosen = self.integrators.get(integrator or self.default_integrator)
+        tables = list(tables)
+        if align:
+            tables = self.aligner.align(tables).apply(tables)
+        return chosen.integrate(tables, name=name)
+
+    # ------------------------------------------------------------------
+    # Stage 3: analyze
+    # ------------------------------------------------------------------
+    def analyze(self, table: Table, app: str = "describe", **options: Any) -> Any:
+        """Run a downstream application over an integrated table (Sec. 2.3)."""
+        return self.apps.get(app).run(table, **options)
+
+    def explain(self, integrated: IntegratedTable, oid: str) -> Table:
+        """Attribute-level lineage of one integrated fact (``oid = "f3"``):
+        which source tuples contributed each value, and why nulls are null.
+        Works on results produced by the default (ALITE) integrator."""
+        from ..integration.explain import explain_fact
+
+        return explain_fact(integrated, oid)
+
+    # ------------------------------------------------------------------
+    # End to end
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: Table,
+        k: int = 10,
+        query_column: str | None = None,
+        integrator: str | None = None,
+        analyses: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> PipelineResult:
+        """Discover, integrate and (optionally) analyze in one call.
+
+        *analyses* maps app name -> options, e.g. ``{"correlation":
+        {"columns": ["Vaccination Rate", "Death Rate"]}}``.
+        """
+        discovery = self.discover(query, k=k, query_column=query_column)
+        integrated = self.integrate(discovery, integrator=integrator)
+        results: dict[str, Any] = {}
+        for app_name, options in (analyses or {}).items():
+            results[app_name] = self.analyze(integrated, app_name, **dict(options))
+        return PipelineResult(discovery=discovery, integrated=integrated, analyses=results)

@@ -1,0 +1,78 @@
+"""Plugin registries: DIALITE's extensibility backbone (paper Sec. 3.2).
+
+The demo's selling point is that discovery algorithms, integration operators
+and analysis apps are all user-replaceable.  A :class:`Registry` is a typed
+name -> component map with defaults pre-registered by the pipeline; users
+``register`` their own instances (or, for discovery, a bare similarity
+function -- the Fig. 4 path) and select them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+__all__ = ["Registry", "DuplicateComponentError"]
+
+T = TypeVar("T")
+
+
+class DuplicateComponentError(ValueError):
+    """Raised when a component name is registered twice without replace."""
+
+
+class Registry(Generic[T]):
+    """An ordered, typed name -> component mapping."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._components: dict[str, T] = {}
+
+    def register(self, name: str, component: T, replace: bool = False) -> T:
+        """Add *component* under *name*; set ``replace=True`` to overwrite."""
+        if not name:
+            raise ValueError(f"{self.kind} name must be non-empty")
+        if name in self._components and not replace:
+            raise DuplicateComponentError(
+                f"{self.kind} {name!r} already registered; pass replace=True to override"
+            )
+        self._components[name] = component
+        return component
+
+    def unregister(self, name: str) -> T:
+        """Remove and return the component under *name*."""
+        try:
+            return self._components.pop(name)
+        except KeyError:
+            raise KeyError(self._missing_message(name)) from None
+
+    def get(self, name: str) -> T:
+        """The component under *name* (KeyError lists what exists)."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise KeyError(self._missing_message(name)) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._components
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._components)
+
+    def components(self) -> list[T]:
+        """All registered components, in registration order."""
+        return list(self._components.values())
+
+    def _missing_message(self, name: object) -> str:
+        return (
+            f"no {self.kind} named {name!r}; registered: {sorted(self._components)}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind}: {sorted(self._components)})"

@@ -1,0 +1,63 @@
+"""Result objects for the pipeline stages.
+
+Each stage returns a structured, inspectable object -- the demo lets users
+"interact with the system after each step so that they can validate the
+intermediate results" (Sec. 2.4), and these objects are what there is to
+inspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..discovery.base import DiscoveryResult
+from ..integration.tuples import IntegratedTable
+from ..table.table import Table
+
+__all__ = ["DiscoveryOutcome", "PipelineResult"]
+
+
+@dataclass
+class DiscoveryOutcome:
+    """The discover stage's output: per-discoverer results, their union, and
+    the resulting integration set (query table included, as in Sec. 2.1)."""
+
+    query: Table
+    per_discoverer: dict[str, list[DiscoveryResult]]
+    merged: list[DiscoveryResult]
+    integration_set: list[Table]
+
+    @property
+    def discovered_names(self) -> list[str]:
+        return [result.table_name for result in self.merged]
+
+    def select(self, names: list[str]) -> list[Table]:
+        """A user-chosen subset of the integration set (query always kept),
+        mirroring the demo's 'select a subset of the discovered tables'."""
+        chosen = {self.query.name, *names}
+        unknown = set(names) - {t.name for t in self.integration_set}
+        if unknown:
+            raise KeyError(f"not in the integration set: {sorted(unknown)}")
+        return [t for t in self.integration_set if t.name in chosen]
+
+    def summary(self) -> Table:
+        """One row per discovered table: score, who found it, why."""
+        rows = [
+            (r.table_name, round(r.score, 4), r.discoverer, r.reason)
+            for r in self.merged
+        ]
+        return Table(["table", "score", "best_discoverer", "reason"], rows, name="discovery")
+
+
+@dataclass
+class PipelineResult:
+    """End-to-end run: everything each stage produced."""
+
+    discovery: DiscoveryOutcome
+    integrated: IntegratedTable
+    analyses: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def integration_set_names(self) -> list[str]:
+        return [t.name for t in self.discovery.integration_set]

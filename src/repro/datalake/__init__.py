@@ -1,0 +1,29 @@
+"""Data-lake substrate: catalogs over CSV directories, offline index
+building, seed vocabularies, paper fixtures and the synthetic-lake
+generator with ground truth."""
+
+from . import fixtures, seeds
+from .catalog import DataLake
+from .indexer import LakeIndex
+from .profiler import profile_lake, profile_table
+from .synth import (
+    GroundTruth,
+    SyntheticLake,
+    SyntheticLakeBuilder,
+    build_integration_set,
+    perturb_string,
+)
+
+__all__ = [
+    "DataLake",
+    "LakeIndex",
+    "profile_lake",
+    "profile_table",
+    "SyntheticLakeBuilder",
+    "SyntheticLake",
+    "GroundTruth",
+    "build_integration_set",
+    "perturb_string",
+    "seeds",
+    "fixtures",
+]

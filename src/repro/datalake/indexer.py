@@ -1,0 +1,113 @@
+"""Offline index building over a data lake (paper Sec. 3.1).
+
+The demo pre-builds the SANTOS and LSH Ensemble indexes so users query a
+ready lake; :class:`LakeIndex` is that offline step: it fits every
+configured discoverer against the lake, records per-discoverer build times,
+and then serves fan-out searches.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..discovery.base import Discoverer, DiscoveryResult, merge_result_sets
+from ..table.table import Table
+
+__all__ = ["LakeIndex"]
+
+
+class LakeIndex:
+    """A set of fitted discoverers over one lake."""
+
+    def __init__(self, lake: Mapping[str, Table], discoverers: Sequence[Discoverer]):
+        names = [d.name for d in discoverers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"discoverer names must be unique: {names}")
+        self._lake = lake
+        self._discoverers = list(discoverers)
+        self._build_seconds: dict[str, float] = {}
+        self._built = False
+
+    @property
+    def discoverers(self) -> list[Discoverer]:
+        return list(self._discoverers)
+
+    @property
+    def build_seconds(self) -> dict[str, float]:
+        """Per-discoverer offline index-build wall time."""
+        return dict(self._build_seconds)
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def build(self) -> "LakeIndex":
+        """Fit every discoverer (idempotent); returns self."""
+        for discoverer in self._discoverers:
+            start = time.perf_counter()
+            discoverer.fit(self._lake)
+            self._build_seconds[discoverer.name] = time.perf_counter() - start
+        self._built = True
+        return self
+
+    def search(
+        self,
+        query: Table,
+        k: int = 10,
+        query_column: str | None = None,
+        discoverer_names: Sequence[str] | None = None,
+    ) -> dict[str, list[DiscoveryResult]]:
+        """Top-k per discoverer (build first if needed)."""
+        if not self._built:
+            self.build()
+        chosen = self._discoverers
+        if discoverer_names is not None:
+            by_name = {d.name: d for d in self._discoverers}
+            missing = sorted(set(discoverer_names) - set(by_name))
+            if missing:
+                raise KeyError(f"unknown discoverers: {missing}; have {sorted(by_name)}")
+            chosen = [by_name[name] for name in discoverer_names]
+        return {
+            discoverer.name: discoverer.search(query, k=k, query_column=query_column)
+            for discoverer in chosen
+        }
+
+    def search_merged(
+        self,
+        query: Table,
+        k: int = 10,
+        query_column: str | None = None,
+    ) -> list[DiscoveryResult]:
+        """The union of all discoverers' result sets (the integration set
+        construction of Sec. 3.1)."""
+        per_discoverer = self.search(query, k=k, query_column=query_column)
+        return merge_result_sets(list(per_discoverer.values()))
+
+    # ------------------------------------------------------------------
+    # Persistence: the demo's "indexes are built offline" workflow
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Pickle the fitted index (lake snapshot included) to *path*.
+
+        Standard discoverers pickle cleanly; a
+        :class:`~repro.discovery.custom.FunctionDiscoverer` wrapping a
+        lambda will not -- register such discoverers after loading instead.
+        """
+        if not self._built:
+            self.build()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump(self, handle)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LakeIndex":
+        """Load a previously saved index; it is ready to search."""
+        with Path(path).open("rb") as handle:
+            index = pickle.load(handle)
+        if not isinstance(index, cls):
+            raise TypeError(f"{path} does not contain a LakeIndex (got {type(index).__name__})")
+        return index

@@ -1,0 +1,309 @@
+"""Synthetic open-data lakes with ground truth.
+
+The public benchmarks DIALITE demonstrates on (SANTOS benchmark, TUS
+benchmark) are multi-GB downloads; offline we generate lakes with the same
+*structure*: a query table, tables genuinely unionable with it (same
+concept, disjoint rows, possibly renamed headers), tables genuinely joinable
+with it (overlapping key domains, new attributes), and thematic distractors.
+Because the generator knows which is which, discovery quality (P@k / R@k,
+experiment E10) is measurable, not eyeballed.
+
+A second generator builds *integration sets* for FD scaling experiments
+(E8): vertical fragments of one wide fact table that agree on a key column,
+with controllable table count, row count, attribute overlap and null rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..table.table import Table
+from ..table.values import MISSING, Cell
+from . import seeds
+from .catalog import DataLake
+
+__all__ = [
+    "GroundTruth",
+    "SyntheticLake",
+    "SyntheticLakeBuilder",
+    "build_integration_set",
+    "perturb_string",
+]
+
+#: Header synonyms used to simulate the unreliable metadata of open data.
+HEADER_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "City": ("Municipality", "Town", "city_name", "Urban Area"),
+    "Country": ("Nation", "country_name", "Country/Region"),
+    "Vaccination Rate": ("Vax Rate", "Pct Vaccinated", "vaccination_pct"),
+    "Total Cases": ("Cases", "Case Count", "total_cases"),
+    "Death Rate": ("Deaths per 100k", "death_rate", "Mortality"),
+    "Population": ("Residents", "population", "Pop."),
+    "Hospitalizations": ("Hospitalized", "hosp_count"),
+}
+
+
+def perturb_string(value: str, rng: random.Random, rate: float) -> str:
+    """With probability *rate*, apply one small edit (case flip, dropped
+    character, or doubled character) -- open-data typo noise."""
+    if not value or rng.random() >= rate:
+        return value
+    kind = rng.randrange(3)
+    position = rng.randrange(len(value))
+    if kind == 0:
+        char = value[position]
+        flipped = char.lower() if char.isupper() else char.upper()
+        return value[:position] + flipped + value[position + 1 :]
+    if kind == 1 and len(value) > 2:
+        return value[:position] + value[position + 1 :]
+    return value[:position] + value[position] + value[position:]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Which lake tables are truly related to the query, and how."""
+
+    unionable: frozenset[str]
+    joinable: frozenset[str]
+    distractors: frozenset[str]
+
+    def relevant(self) -> frozenset[str]:
+        """Everything truly related to the query: unionable + joinable."""
+        return self.unionable | self.joinable
+
+
+@dataclass
+class SyntheticLake:
+    """A generated benchmark instance."""
+
+    query: Table
+    lake: DataLake
+    truth: GroundTruth
+    seed: int = 0
+
+
+@dataclass
+class SyntheticLakeBuilder:
+    """Seeded generator of query-anchored lakes.
+
+    Two themes:
+
+    * ``"covid"`` (default) mirrors the paper's running example: the query
+      holds (City, Country, Vaccination Rate); unionable tables repeat that
+      concept over other cities; joinable tables key on overlapping cities
+      and add case/death/population attributes;
+    * ``"business"`` anchors on (Company, City, Revenue) with joinable
+      tables adding employees/founding data keyed on company names.
+
+    Distractors come from unrelated topics via :mod:`repro.genquery`.
+    """
+
+    seed: int = 0
+    rows_per_table: int = 12
+    null_rate: float = 0.05
+    header_synonym_rate: float = 0.3
+    typo_rate: float = 0.0
+    join_key_overlap: float = 0.6
+    theme: str = "covid"
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.theme not in ("covid", "business"):
+            raise ValueError(f"unknown theme {self.theme!r}; use 'covid' or 'business'")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        num_unionable: int = 4,
+        num_joinable: int = 4,
+        num_distractors: int = 8,
+    ) -> SyntheticLake:
+        """Generate one lake; deterministic for a fixed builder config."""
+        if self.theme == "business":
+            keys = list(seeds.COMPANIES)
+            anchor_table = self._business_table
+            stats_table = self._company_stats_table
+        else:
+            keys = list(seeds.CITIES)
+            anchor_table = self._covid_table
+            stats_table = self._stats_table
+        self._rng.shuffle(keys)
+        rows = min(self.rows_per_table, max(2, len(keys) // 2))
+        query_keys = keys[:rows]
+        other_keys = keys[rows:]
+
+        query = anchor_table("query", query_keys)
+        tables: list[Table] = []
+        unionable: set[str] = set()
+        joinable: set[str] = set()
+        distractors: set[str] = set()
+
+        for i in range(num_unionable):
+            pool = other_keys if other_keys else query_keys
+            chosen = [pool[(i * 3 + j) % len(pool)] for j in range(rows)]
+            table = anchor_table(f"union_{i}", chosen, synonyms=True)
+            tables.append(table)
+            unionable.add(table.name)
+
+        for i in range(num_joinable):
+            overlap_count = max(1, int(self.join_key_overlap * rows))
+            shared = self._rng.sample(query_keys, min(overlap_count, len(query_keys)))
+            fresh_pool = other_keys if other_keys else query_keys
+            fresh = [
+                fresh_pool[(i * 5 + j) % len(fresh_pool)]
+                for j in range(rows - len(shared))
+            ]
+            table = stats_table(f"join_{i}", shared + fresh)
+            tables.append(table)
+            joinable.add(table.name)
+
+        from ..genquery import generate_query_table
+
+        topics = ("people", "restaurant", "school", "sport")
+        for i in range(num_distractors):
+            topic = topics[i % len(topics)]
+            table = generate_query_table(
+                f"a table about {topic}",
+                rows=self.rows_per_table,
+                seed=self.seed * 1000 + i,
+                name=f"distractor_{i}",
+            )
+            tables.append(table)
+            distractors.add(table.name)
+
+        return SyntheticLake(
+            query=query,
+            lake=DataLake.from_tables(tables),
+            truth=GroundTruth(
+                unionable=frozenset(unionable),
+                joinable=frozenset(joinable),
+                distractors=frozenset(distractors),
+            ),
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def _covid_table(self, name: str, cities: list[str], synonyms: bool = False) -> Table:
+        header = ["City", "Country", "Vaccination Rate"]
+        if synonyms:
+            header = [self._maybe_synonym(h) for h in header]
+        rows = []
+        for city in cities:
+            country = seeds.CITIES[city]
+            rows.append(
+                (
+                    self._noise(city),
+                    self._noise(country),
+                    self._maybe_null(f"{self._rng.randint(30, 95)}%"),
+                )
+            )
+        return Table(header, rows, name=name)
+
+    def _stats_table(self, name: str, cities: list[str]) -> Table:
+        attributes = ["Total Cases", "Death Rate", "Population", "Hospitalizations"]
+        count = self._rng.randint(2, 3)
+        chosen = self._rng.sample(attributes, count)
+        header = [self._maybe_synonym("City")] + [self._maybe_synonym(a) for a in chosen]
+        rows = []
+        for city in cities:
+            cells: list[Cell] = [self._noise(city)]
+            for attribute in chosen:
+                if attribute == "Total Cases":
+                    cells.append(self._maybe_null(f"{self._rng.randint(50, 3000)}k"))
+                elif attribute == "Death Rate":
+                    cells.append(self._maybe_null(self._rng.randint(40, 400)))
+                elif attribute == "Population":
+                    cells.append(self._maybe_null(f"{round(self._rng.uniform(0.1, 20), 1)}M"))
+                else:
+                    cells.append(self._maybe_null(self._rng.randint(100, 90000)))
+            rows.append(tuple(cells))
+        return Table(header, rows, name=name)
+
+    def _business_table(self, name: str, companies: list[str], synonyms: bool = False) -> Table:
+        header = ["Company", "City", "Revenue"]
+        if synonyms and self._rng.random() < self.header_synonym_rate:
+            header = ["Business", "Location", "Annual Revenue"]
+        rows = []
+        for company in companies:
+            rows.append(
+                (
+                    self._noise(company),
+                    self._noise(self._rng.choice(list(seeds.CITIES))),
+                    self._maybe_null(f"${self._rng.randint(1, 900)}M"),
+                )
+            )
+        return Table(header, rows, name=name)
+
+    def _company_stats_table(self, name: str, companies: list[str]) -> Table:
+        attributes = ["Employees", "Founded", "Offices"]
+        count = self._rng.randint(2, 3)
+        chosen = self._rng.sample(attributes, count)
+        header = ["Company"] + chosen
+        rows = []
+        for company in companies:
+            cells: list[Cell] = [self._noise(company)]
+            for attribute in chosen:
+                if attribute == "Employees":
+                    cells.append(self._maybe_null(self._rng.randint(10, 250_000)))
+                elif attribute == "Founded":
+                    cells.append(self._maybe_null(self._rng.randint(1900, 2022)))
+                else:
+                    cells.append(self._maybe_null(self._rng.randint(1, 400)))
+            rows.append(tuple(cells))
+        return Table(header, rows, name=name)
+
+    def _maybe_synonym(self, header: str) -> str:
+        options = HEADER_SYNONYMS.get(header)
+        if options and self._rng.random() < self.header_synonym_rate:
+            return self._rng.choice(options)
+        return header
+
+    def _maybe_null(self, value: Cell) -> Cell:
+        return MISSING if self._rng.random() < self.null_rate else value
+
+    def _noise(self, value: str) -> str:
+        return perturb_string(value, self._rng, self.typo_rate)
+
+
+def build_integration_set(
+    num_tables: int = 5,
+    rows_per_table: int = 50,
+    num_attributes: int = 8,
+    attributes_per_table: int = 3,
+    key_pool_size: int = 80,
+    null_rate: float = 0.08,
+    seed: int = 0,
+) -> list[Table]:
+    """Vertical fragments of a wide fact table, for FD scaling experiments.
+
+    Each table has a shared ``Key`` column (integration IDs pre-assigned, so
+    integrators run without an alignment step) plus a random subset of the
+    global attributes; the value of (key, attribute) is globally consistent,
+    so FD merges fragments of the same key into wider facts.
+    """
+    rng = random.Random(seed)
+    keys = [f"e{i}" for i in range(key_pool_size)]
+    attributes = [f"attr_{i}" for i in range(num_attributes)]
+
+    def value_of(key: str, attribute: str) -> Cell:
+        # Deterministic per (key, attribute): fragments never conflict.
+        local = random.Random((key, attribute).__repr__())
+        return f"{attribute}:{local.randint(0, 9999)}"
+
+    tables = []
+    for t in range(num_tables):
+        chosen_attrs = rng.sample(attributes, min(attributes_per_table, num_attributes))
+        chosen_keys = rng.sample(keys, min(rows_per_table, key_pool_size))
+        header = ["Key"] + chosen_attrs
+        rows = []
+        for key in chosen_keys:
+            cells: list[Cell] = [key]
+            for attribute in chosen_attrs:
+                if rng.random() < null_rate:
+                    cells.append(MISSING)
+                else:
+                    cells.append(value_of(key, attribute))
+            rows.append(tuple(cells))
+        tables.append(Table(header, rows, name=f"frag_{t}"))
+    return tables

@@ -1,0 +1,129 @@
+"""The discovery API: what every table-search algorithm implements.
+
+DIALITE is explicitly pluggable here (Sec. 3.2 / Fig. 4 of the paper): a
+discoverer is anything that can be fitted to a lake (``{name: Table}``) and
+answer top-k searches for a query table.  The pipeline persists the union of
+the result sets of *all* configured discoverers to form the integration set
+(Sec. 3.1: "we persist the set of tables found by all techniques").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..table.table import Table
+
+__all__ = ["DiscoveryResult", "Discoverer", "merge_result_sets"]
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """One discovered table: who found it, how strongly, and why."""
+
+    table_name: str
+    score: float
+    discoverer: str
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.score < 0.0:
+            raise ValueError(f"negative discovery score: {self.score}")
+
+
+class Discoverer(abc.ABC):
+    """Base class for table-search algorithms.
+
+    Lifecycle: construct, :meth:`fit` once against a lake (index building is
+    the offline step the demo describes), then :meth:`search` any number of
+    times.  Implementations must be deterministic for a fixed lake.
+    """
+
+    #: Short identifier used in results and the pipeline registry.
+    name: str = "discoverer"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, lake: Mapping[str, Table]) -> "Discoverer":
+        """Build this discoverer's index over *lake*; returns self."""
+        self._build_index(dict(lake))
+        self._fitted = True
+        return self
+
+    @abc.abstractmethod
+    def _build_index(self, lake: Mapping[str, Table]) -> None:
+        """Index construction hook (lake is a private copy)."""
+
+    def search(
+        self, query: Table, k: int = 10, query_column: str | None = None
+    ) -> list[DiscoveryResult]:
+        """Top-*k* lake tables related to *query*.
+
+        *query_column* is the user's intent/join column where the algorithm
+        uses one (SANTOS's intent column, LSH Ensemble / JOSIE's query
+        column); algorithms that don't need it may ignore it.
+        """
+        if not self._fitted:
+            raise RuntimeError(f"discoverer {self.name!r} used before fit()")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        results = self._search(query, k, query_column)
+        results.sort(key=lambda r: (-r.score, r.table_name))
+        return results[:k]
+
+    @abc.abstractmethod
+    def _search(
+        self, query: Table, k: int, query_column: str | None
+    ) -> list[DiscoveryResult]:
+        """Search hook; may return more than *k* results (caller truncates)."""
+
+
+def merge_result_sets(
+    result_sets: Sequence[Sequence[DiscoveryResult]],
+    normalize: bool = True,
+) -> list[DiscoveryResult]:
+    """Union the results of several discoverers (the paper's integration-set
+    construction).  A table found by multiple discoverers keeps its best
+    score and accumulates the discoverer names in ``reason``.
+
+    Scores of different discoverers live on different scales (JOSIE reports
+    raw overlap counts, SANTOS a [0, 1] semantic score), so by default each
+    result set is max-normalized before merging -- order within a discoverer
+    is preserved, and the merged ranking becomes scale-free.  Pass
+    ``normalize=False`` to merge raw scores.
+    """
+    best: dict[str, DiscoveryResult] = {}
+    found_by: dict[str, list[str]] = {}
+    for results in result_sets:
+        top = max((r.score for r in results), default=0.0)
+        scale = top if (normalize and top > 0) else 1.0
+        for result in results:
+            found_by.setdefault(result.table_name, []).append(result.discoverer)
+            scored = result.score / scale
+            current = best.get(result.table_name)
+            if current is None or scored > current.score:
+                best[result.table_name] = DiscoveryResult(
+                    table_name=result.table_name,
+                    score=scored,
+                    discoverer=result.discoverer,
+                    reason=result.reason,
+                )
+    merged = []
+    for table_name, result in best.items():
+        names = sorted(set(found_by[table_name]))
+        merged.append(
+            DiscoveryResult(
+                table_name=table_name,
+                score=result.score,
+                discoverer=result.discoverer,
+                reason=f"found by: {', '.join(names)}",
+            )
+        )
+    merged.sort(key=lambda r: (-r.score, r.table_name))
+    return merged

@@ -1,0 +1,113 @@
+"""Discovery evaluation: ranking metrics against ground truth.
+
+Formalizes what the quality benchmarks measure: precision@k, recall@k,
+average precision, and a one-call harness that fits a discoverer on a
+labeled lake (e.g. a :class:`~repro.datalake.synth.SyntheticLake`) and
+reports the metrics at several cutoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..table.table import Table
+from .base import Discoverer
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "RankingReport",
+    "evaluate_ranking",
+    "evaluate_discoverer",
+]
+
+
+def precision_at_k(ranked: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Fraction of the top-k that is relevant (1.0 for an empty top-k)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = ranked[:k]
+    if not top:
+        return 1.0
+    relevant_set = set(relevant)
+    return sum(1 for name in top if name in relevant_set) / len(top)
+
+
+def recall_at_k(ranked: Sequence[str], relevant: Iterable[str], k: int) -> float:
+    """Fraction of the relevant set found in the top-k (1.0 if none exist)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 1.0
+    return sum(1 for name in ranked[:k] if name in relevant_set) / len(relevant_set)
+
+
+def average_precision(ranked: Sequence[str], relevant: Iterable[str]) -> float:
+    """Mean of precision@rank over the ranks of relevant items (AP).
+
+    The standard single-number ranking summary: 1.0 iff every relevant item
+    is ranked above every irrelevant one.
+    """
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 1.0
+    hits = 0
+    total = 0.0
+    for rank, name in enumerate(ranked, start=1):
+        if name in relevant_set:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant_set)
+
+
+@dataclass(frozen=True)
+class RankingReport:
+    """Metrics of one ranking against one relevance set."""
+
+    discoverer: str
+    average_precision: float
+    precision: dict[int, float]
+    recall: dict[int, float]
+
+    def to_table(self) -> Table:
+        """The metrics as a printable table (one row per cutoff k)."""
+        rows = [
+            (self.discoverer, k, round(self.precision[k], 4), round(self.recall[k], 4))
+            for k in sorted(self.precision)
+        ]
+        return Table(["discoverer", "k", "precision", "recall"], rows, name="ranking")
+
+
+def evaluate_ranking(
+    ranked: Sequence[str],
+    relevant: Iterable[str],
+    ks: Sequence[int] = (1, 5, 10),
+    name: str = "ranking",
+) -> RankingReport:
+    """Score an already-computed ranking."""
+    relevant_list = list(relevant)
+    return RankingReport(
+        discoverer=name,
+        average_precision=average_precision(ranked, relevant_list),
+        precision={k: precision_at_k(ranked, relevant_list, k) for k in ks},
+        recall={k: recall_at_k(ranked, relevant_list, k) for k in ks},
+    )
+
+
+def evaluate_discoverer(
+    discoverer: Discoverer,
+    lake: Mapping[str, Table],
+    query: Table,
+    relevant: Iterable[str],
+    ks: Sequence[int] = (1, 5, 10),
+    query_column: str | None = None,
+) -> RankingReport:
+    """Fit (if needed), search with the largest cutoff, and score."""
+    if not discoverer.is_fitted:
+        discoverer.fit(lake)
+    results = discoverer.search(query, k=max(ks), query_column=query_column)
+    ranked = [r.table_name for r in results]
+    return evaluate_ranking(ranked, relevant, ks=ks, name=discoverer.name)

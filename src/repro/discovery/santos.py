@@ -1,0 +1,265 @@
+"""SANTOS-style relationship-based semantic union search.
+
+Reproduces the architecture of SANTOS (Khatiwada et al., SIGMOD 2023):
+
+1. **Column annotation** -- every column is annotated with semantic types by
+   looking its distinct values up in a knowledge base (seed ontology plus a
+   KB synthesized from the lake itself); each type carries a confidence
+   (fraction of annotatable values supporting it).
+2. **Relationship annotation** -- every column *pair* whose types the KB
+   relates is annotated with the relation labels, weighted by the pair's
+   type confidences and row co-occurrence.
+3. **Scoring** -- a lake table is unionable with the query to the extent it
+   covers the query's relationships involving the *intent column* (plus the
+   intent column's own types).  Tables that only share stray values score
+   near zero; tables expressing the same relationships score high.
+
+The KB channels are where the offline substitution lives (see
+:mod:`repro.discovery.kb`); the annotation and scoring machinery follows the
+original design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..table.table import Table
+from .base import Discoverer, DiscoveryResult
+from .kb import KnowledgeBase, seed_knowledge_base
+
+__all__ = ["SantosConfig", "TableAnnotation", "SantosUnionSearch"]
+
+
+@dataclass(frozen=True)
+class SantosConfig:
+    """Tuning knobs for :class:`SantosUnionSearch`."""
+
+    min_type_confidence: float = 0.25
+    synthesize_kb: bool = True
+    synth_min_jaccard: float = 0.35
+    relationship_weight: float = 0.6
+    column_weight: float = 0.4
+    max_distinct_values: int = 500
+
+
+@dataclass
+class TableAnnotation:
+    """Semantic summary of one table: per-column types + pair relationships."""
+
+    column_types: dict[str, dict[str, float]] = field(default_factory=dict)
+    relationships: dict[str, float] = field(default_factory=dict)
+
+    def all_types(self) -> dict[str, float]:
+        """Type -> best confidence across columns."""
+        merged: dict[str, float] = {}
+        for types in self.column_types.values():
+            for type_name, confidence in types.items():
+                merged[type_name] = max(merged.get(type_name, 0.0), confidence)
+        return merged
+
+
+class SantosUnionSearch(Discoverer):
+    """Top-k semantically unionable table search."""
+
+    name = "santos"
+
+    def __init__(self, kb: KnowledgeBase | None = None, config: SantosConfig | None = None):
+        super().__init__()
+        self.config = config or SantosConfig()
+        self._kb = kb if kb is not None else seed_knowledge_base()
+        self._annotations: dict[str, TableAnnotation] = {}
+        self._tables_by_type: dict[str, set[str]] = {}
+        self._tables_by_relationship: dict[str, set[str]] = {}
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        return self._kb
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def _build_index(self, lake: Mapping[str, Table]) -> None:
+        if self.config.synthesize_kb:
+            self._kb.synthesize_from_tables(
+                lake, min_jaccard=self.config.synth_min_jaccard
+            )
+        self._annotations = {}
+        self._tables_by_type = {}
+        self._tables_by_relationship = {}
+        for table_name, table in lake.items():
+            annotation = self.annotate(table)
+            self._annotations[table_name] = annotation
+            for type_name in annotation.all_types():
+                self._tables_by_type.setdefault(type_name, set()).add(table_name)
+            for relationship in annotation.relationships:
+                self._tables_by_relationship.setdefault(relationship, set()).add(table_name)
+
+    def annotate(self, table: Table) -> TableAnnotation:
+        """Annotate one table with column types and pair relationships."""
+        annotation = TableAnnotation()
+        for column in table.columns:
+            annotation.column_types[column] = self._annotate_column(table, column)
+        columns = list(table.columns)
+        for i in range(len(columns)):
+            for j in range(i + 1, len(columns)):
+                self._annotate_pair(table, columns[i], columns[j], annotation)
+        return annotation
+
+    def _annotate_column(self, table: Table, column: str) -> dict[str, float]:
+        distinct = list(table.distinct_values(column))[: self.config.max_distinct_values]
+        if not distinct:
+            return {}
+        support: dict[str, int] = {}
+        annotatable = 0
+        for value in distinct:
+            types = self._kb.types_of(value)
+            if types:
+                annotatable += 1
+                for type_name in types:
+                    support[type_name] = support.get(type_name, 0) + 1
+        if annotatable == 0:
+            return {}
+        confidences = {
+            type_name: count / annotatable
+            for type_name, count in support.items()
+            if count / annotatable >= self.config.min_type_confidence
+        }
+        return confidences
+
+    def _annotate_pair(
+        self, table: Table, column_a: str, column_b: str, annotation: TableAnnotation
+    ) -> None:
+        types_a = annotation.column_types.get(column_a, {})
+        types_b = annotation.column_types.get(column_b, {})
+        if not types_a or not types_b:
+            return
+        co_occurrence = self._co_occurrence(table, column_a, column_b)
+        if co_occurrence == 0.0:
+            return
+        for type_a, conf_a in types_a.items():
+            for type_b, conf_b in types_b.items():
+                for label in self._kb.relations_between(type_a, type_b):
+                    confidence = min(conf_a, conf_b) * co_occurrence
+                    current = annotation.relationships.get(label, 0.0)
+                    annotation.relationships[label] = max(current, confidence)
+
+    @staticmethod
+    def _co_occurrence(table: Table, column_a: str, column_b: str) -> float:
+        """Fraction of rows where both columns are non-null."""
+        if table.num_rows == 0:
+            return 0.0
+        position_a = table.column_index(column_a)
+        position_b = table.column_index(column_b)
+        from ..table.values import is_null
+
+        both = sum(
+            1
+            for row in table.rows
+            if not is_null(row[position_a]) and not is_null(row[position_b])
+        )
+        return both / table.num_rows
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _search(
+        self, query: Table, k: int, query_column: str | None
+    ) -> list[DiscoveryResult]:
+        query_annotation = self.annotate(query)
+        intent = query_column if query_column in query.columns else None
+        query_relationships = self._intent_relationships(query, query_annotation, intent)
+        intent_types = (
+            query_annotation.column_types.get(intent, {})
+            if intent is not None
+            else query_annotation.all_types()
+        )
+
+        candidates: set[str] = set()
+        for relationship in query_relationships:
+            candidates.update(self._tables_by_relationship.get(relationship, ()))
+        for type_name in intent_types:
+            candidates.update(self._tables_by_type.get(type_name, ()))
+
+        results = []
+        for table_name in candidates:
+            annotation = self._annotations[table_name]
+            score, reason = self._score(
+                query_relationships, intent_types, annotation
+            )
+            if score > 0.0:
+                results.append(
+                    DiscoveryResult(
+                        table_name=table_name,
+                        score=score,
+                        discoverer=self.name,
+                        reason=reason,
+                    )
+                )
+        return results
+
+    def _intent_relationships(
+        self, query: Table, annotation: TableAnnotation, intent: str | None
+    ) -> dict[str, float]:
+        """Relationships the scoring uses.
+
+        With an intent column, SANTOS anchors on the relationships that
+        involve one of the intent column's types; without one (or when the
+        intent column has no KB types, or none of its relationships
+        qualify) every annotated relationship participates.
+        """
+        if intent is None:
+            return dict(annotation.relationships)
+        intent_types = set(annotation.column_types.get(intent, {}))
+        if not intent_types:
+            return dict(annotation.relationships)
+        anchored_labels: set[str] = set()
+        for type_a in intent_types:
+            for type_b in annotation.all_types():
+                anchored_labels.update(self._kb.relations_between(type_a, type_b))
+        relevant = {
+            label: confidence
+            for label, confidence in annotation.relationships.items()
+            if label in anchored_labels
+        }
+        return relevant or dict(annotation.relationships)
+
+    def _score(
+        self,
+        query_relationships: dict[str, float],
+        intent_types: dict[str, float],
+        candidate: TableAnnotation,
+    ) -> tuple[float, str]:
+        matched_relationships = []
+        relationship_score = 0.0
+        if query_relationships:
+            for label, query_confidence in query_relationships.items():
+                candidate_confidence = candidate.relationships.get(label)
+                if candidate_confidence is not None:
+                    matched_relationships.append(label)
+                    relationship_score += min(query_confidence, candidate_confidence)
+            relationship_score /= len(query_relationships)
+
+        matched_types = []
+        type_score = 0.0
+        if intent_types:
+            candidate_types = candidate.all_types()
+            for type_name, query_confidence in intent_types.items():
+                candidate_confidence = candidate_types.get(type_name)
+                if candidate_confidence is not None:
+                    matched_types.append(type_name)
+                    type_score += min(query_confidence, candidate_confidence)
+            type_score /= len(intent_types)
+
+        score = (
+            self.config.relationship_weight * relationship_score
+            + self.config.column_weight * type_score
+        )
+        reason_parts = []
+        if matched_relationships:
+            reason_parts.append("relationships: " + ", ".join(sorted(matched_relationships)[:4]))
+        if matched_types:
+            shown = [t for t in sorted(matched_types) if not t.startswith("syn:")][:4]
+            if shown:
+                reason_parts.append("types: " + ", ".join(shown))
+        return score, "; ".join(reason_parts)

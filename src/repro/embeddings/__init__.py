@@ -1,0 +1,19 @@
+"""Deterministic hashed embeddings (the pretrained-embedding substitute).
+
+See :mod:`repro.embeddings.hashing` for the substitution rationale: GloVe /
+FastText are unavailable offline, and the matchers only need "similar value
+sets embed nearby", which feature hashing provides deterministically.
+"""
+
+from .column import ColumnEmbedder, ColumnEmbedderConfig, ColumnProfile
+from .hashing import HashedVectorSpace, signed_slot, stable_hash, token_vector
+
+__all__ = [
+    "stable_hash",
+    "signed_slot",
+    "token_vector",
+    "HashedVectorSpace",
+    "ColumnEmbedder",
+    "ColumnEmbedderConfig",
+    "ColumnProfile",
+]

@@ -1,0 +1,112 @@
+"""Column embeddings: the featurization behind holistic schema matching.
+
+A column is embedded from three channels, each in its own salted hash space
+so they cannot collide:
+
+* **value channel** -- word tokens + character trigrams of the cell values
+  (what the column *contains*);
+* **header channel** -- tokens and trigrams of the column name (what the
+  column *claims* to be; data lakes make this unreliable, so it gets a
+  configurable, typically small, weight);
+* **type channel** -- a coarse signature (numeric fraction, mean string
+  length, distinctness) so a numeric column never drifts toward a text one.
+
+The ALITE aligner consumes these embeddings; see
+:mod:`repro.alignment.features`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..table.values import Cell, is_null
+from ..text.normalize import numeric_fraction
+from ..text.tokenize import cell_tokens, char_ngrams, word_tokens
+from .hashing import HashedVectorSpace
+
+__all__ = ["ColumnEmbedderConfig", "ColumnEmbedder", "ColumnProfile"]
+
+
+@dataclass(frozen=True)
+class ColumnEmbedderConfig:
+    """Weights and dimensions for :class:`ColumnEmbedder`."""
+
+    dim: int = 256
+    value_weight: float = 1.0
+    header_weight: float = 0.25
+    max_values: int = 512  # sample cap: embeddings stabilize long before this
+
+
+@dataclass
+class ColumnProfile:
+    """A column's embedding plus the scalar statistics matchers gate on."""
+
+    embedding: np.ndarray
+    numeric_fraction: float
+    mean_length: float
+    distinct_ratio: float
+    non_null: int
+    header_tokens: tuple[str, ...] = field(default=())
+
+
+class ColumnEmbedder:
+    """Embeds (header, values) into a single L2-normalized vector."""
+
+    def __init__(self, config: ColumnEmbedderConfig | None = None):
+        self.config = config or ColumnEmbedderConfig()
+        self._value_space = HashedVectorSpace(self.config.dim, salt="value")
+        self._header_space = HashedVectorSpace(self.config.dim, salt="header")
+
+    def profile(self, header: str, values: Sequence[Cell]) -> ColumnProfile:
+        """Full profile: embedding + statistics for matcher gating."""
+        non_null = [v for v in values if not is_null(v)]
+        sample = non_null[: self.config.max_values]
+        value_tokens: dict[str, float] = {}
+        total_length = 0
+        for value in sample:
+            text = _text_of(value)
+            total_length += len(text)
+            for token in cell_tokens(value):
+                value_tokens[token] = value_tokens.get(token, 0.0) + 1.0
+                for gram in char_ngrams(token, 3):
+                    value_tokens[gram] = value_tokens.get(gram, 0.0) + 0.5
+        header_tokens: dict[str, float] = {}
+        for token in word_tokens(header):
+            header_tokens[token] = header_tokens.get(token, 0.0) + 1.0
+            for gram in char_ngrams(token, 3):
+                header_tokens[gram] = header_tokens.get(gram, 0.0) + 0.5
+
+        vector = self.config.value_weight * self._value_space.embed_tokens(value_tokens)
+        vector = vector + self.config.header_weight * self._header_space.embed_tokens(
+            header_tokens
+        )
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector = vector / norm
+        distinct = len({str(v) for v in sample})
+        return ColumnProfile(
+            embedding=vector,
+            numeric_fraction=numeric_fraction(list(sample)),
+            mean_length=(total_length / len(sample)) if sample else 0.0,
+            distinct_ratio=(distinct / len(sample)) if sample else 0.0,
+            non_null=len(non_null),
+            header_tokens=tuple(word_tokens(header)),
+        )
+
+    def embed(self, header: str, values: Sequence[Cell]) -> np.ndarray:
+        """Just the embedding vector (convenience over :meth:`profile`)."""
+        return self.profile(header, values).embedding
+
+    @staticmethod
+    def similarity(a: ColumnProfile, b: ColumnProfile) -> float:
+        """Cosine between two column profiles' embeddings."""
+        return HashedVectorSpace.cosine(a.embedding, b.embedding)
+
+
+def _text_of(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

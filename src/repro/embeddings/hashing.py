@@ -1,0 +1,85 @@
+"""Deterministic feature hashing: the embedding substrate.
+
+The original SANTOS/ALITE stacks embed column values with pretrained GloVe /
+FastText vectors.  Those models are unavailable offline, so we substitute
+*feature-hashed n-gram vectors*: every token is hashed into a fixed-width
+dense vector with a sign hash (the classic "hashing trick").  The property
+the downstream matchers rely on -- lexically/structurally similar value sets
+map to nearby vectors, dissimilar ones to near-orthogonal vectors -- is
+preserved, and the whole pipeline stays deterministic and seed-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+__all__ = ["stable_hash", "signed_slot", "token_vector", "HashedVectorSpace"]
+
+_DEFAULT_DIM = 256
+
+
+def stable_hash(text: str, salt: str = "") -> int:
+    """A 64-bit hash of *text* that is stable across processes and runs
+    (unlike builtin ``hash``, which is randomized per interpreter)."""
+    digest = hashlib.blake2b((salt + "\x1f" + text).encode("utf-8"), digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+def signed_slot(token: str, dim: int, salt: str = "") -> tuple[int, float]:
+    """The (index, sign) pair feature hashing assigns to *token*."""
+    value = stable_hash(token, salt)
+    index = value % dim
+    sign = 1.0 if (value >> 63) & 1 else -1.0
+    return index, sign
+
+
+def token_vector(token: str, dim: int = _DEFAULT_DIM, salt: str = "") -> np.ndarray:
+    """The one-hot signed vector of a single token."""
+    vector = np.zeros(dim, dtype=np.float64)
+    index, sign = signed_slot(token, dim, salt)
+    vector[index] = sign
+    return vector
+
+
+class HashedVectorSpace:
+    """A fixed-dimension vector space over hashed tokens.
+
+    ``embed_tokens`` accumulates (optionally weighted) token vectors and
+    L2-normalizes, so cosine similarity between two embeddings approximates
+    the weighted cosine between the underlying token multisets.
+    """
+
+    def __init__(self, dim: int = _DEFAULT_DIM, salt: str = ""):
+        if dim <= 0:
+            raise ValueError("embedding dimension must be positive")
+        self.dim = dim
+        self.salt = salt
+
+    def embed_tokens(self, tokens: dict[str, float] | list[str]) -> np.ndarray:
+        """Embed a token multiset (list) or weighted token map."""
+        vector = np.zeros(self.dim, dtype=np.float64)
+        if isinstance(tokens, dict):
+            items = tokens.items()
+        else:
+            counts: dict[str, float] = {}
+            for token in tokens:
+                counts[token] = counts.get(token, 0.0) + 1.0
+            items = counts.items()
+        for token, weight in items:
+            index, sign = signed_slot(token, self.dim, self.salt)
+            vector[index] += sign * weight
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    @staticmethod
+    def cosine(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity of two embeddings (0.0 if either is zero)."""
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0.0:
+            return 0.0
+        return float(np.dot(a, b) / denom)

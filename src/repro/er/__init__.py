@@ -1,0 +1,57 @@
+"""Entity resolution (the ``py_entitymatching`` substitute).
+
+Blocking, similarity features with gazetteer support, rule/learned matchers,
+transitive clustering, canonical entities.  Used as the downstream analysis
+app that contrasts FD against outer join (paper Figure 8(c)/(d)).
+"""
+
+from .blocking import (
+    AttributeEquivalenceBlocker,
+    Blocker,
+    FullBlocker,
+    SortedNeighborhoodBlocker,
+    TokenBlocker,
+    blocking_quality,
+)
+from .evaluation import (
+    ERWorkload,
+    PairMetrics,
+    cluster_metrics,
+    gold_pairs_from_clusters,
+    make_er_workload,
+    pair_metrics,
+)
+from .clustering import canonicalize_cluster, cluster_matches, entities_to_table
+from .features import FeatureGenerator, Gazetteer, PairFeatures, default_gazetteer
+from .matchers import LogisticRegressionMatcher, Matcher, RuleMatcher
+from .pipeline import EntityResolver, ERResult
+from .records import Record, records_from_table
+
+__all__ = [
+    "Record",
+    "records_from_table",
+    "Blocker",
+    "FullBlocker",
+    "AttributeEquivalenceBlocker",
+    "TokenBlocker",
+    "SortedNeighborhoodBlocker",
+    "blocking_quality",
+    "Gazetteer",
+    "default_gazetteer",
+    "FeatureGenerator",
+    "PairFeatures",
+    "Matcher",
+    "RuleMatcher",
+    "LogisticRegressionMatcher",
+    "cluster_matches",
+    "canonicalize_cluster",
+    "entities_to_table",
+    "EntityResolver",
+    "ERResult",
+    "PairMetrics",
+    "pair_metrics",
+    "cluster_metrics",
+    "gold_pairs_from_clusters",
+    "ERWorkload",
+    "make_er_workload",
+]

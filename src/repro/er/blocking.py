@@ -1,0 +1,164 @@
+"""Blocking: cheaply pruning the candidate pair space.
+
+Comparing every record pair is quadratic; blockers emit only pairs that
+share some cheap signal.  Three standard blockers are provided (the same
+menu ``py_entitymatching`` offers for its first stage):
+
+* :class:`FullBlocker` -- all pairs (fine for integrated tables of demo
+  size, and the recall ceiling for evaluating other blockers);
+* :class:`AttributeEquivalenceBlocker` -- pairs equal on one attribute;
+* :class:`TokenBlocker` -- pairs sharing at least one word token in any (or
+  a chosen) attribute, with a stop-token cap so ubiquitous tokens don't
+  resurrect the quadratic blowup.
+"""
+
+from __future__ import annotations
+
+import abc
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..table.values import is_null
+from ..text.tokenize import cell_tokens
+from .records import Record
+
+__all__ = [
+    "Blocker",
+    "FullBlocker",
+    "AttributeEquivalenceBlocker",
+    "TokenBlocker",
+    "SortedNeighborhoodBlocker",
+    "blocking_quality",
+]
+
+
+class Blocker(abc.ABC):
+    """Base class: records in, candidate id pairs out (i < j order)."""
+
+    @abc.abstractmethod
+    def candidate_pairs(self, records: Sequence[Record]) -> set[tuple[str, str]]:
+        """Unordered candidate pairs as (record_id, record_id), sorted ids."""
+
+    @staticmethod
+    def _pair(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+
+class FullBlocker(Blocker):
+    """Every pair -- no pruning (quadratic; demo-size inputs only)."""
+
+    def candidate_pairs(self, records: Sequence[Record]) -> set[tuple[str, str]]:
+        return {
+            self._pair(a.record_id, b.record_id) for a, b in combinations(records, 2)
+        }
+
+
+class AttributeEquivalenceBlocker(Blocker):
+    """Pairs whose *attribute* values are equal and non-null."""
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+
+    def candidate_pairs(self, records: Sequence[Record]) -> set[tuple[str, str]]:
+        buckets: dict[str, list[str]] = {}
+        for record in records:
+            value = record.get(self.attribute)
+            if value is None or is_null(value):
+                continue
+            buckets.setdefault(str(value).strip().lower(), []).append(record.record_id)
+        pairs: set[tuple[str, str]] = set()
+        for members in buckets.values():
+            for a, b in combinations(members, 2):
+                pairs.add(self._pair(a, b))
+        return pairs
+
+
+class TokenBlocker(Blocker):
+    """Pairs sharing a word token in the chosen attributes (default: all).
+
+    Tokens occurring in more than *max_token_frequency* fraction of records
+    are treated as stop tokens and ignored.
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[str] | None = None,
+        max_token_frequency: float = 0.5,
+    ):
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.max_token_frequency = max_token_frequency
+
+    def candidate_pairs(self, records: Sequence[Record]) -> set[tuple[str, str]]:
+        token_owners: dict[str, list[str]] = {}
+        for record in records:
+            tokens: set[str] = set()
+            for name, value in record.values:
+                if self.attributes is not None and name not in self.attributes:
+                    continue
+                tokens.update(cell_tokens(value))
+            for token in tokens:
+                token_owners.setdefault(token, []).append(record.record_id)
+        limit = max(2, int(self.max_token_frequency * max(1, len(records))))
+        pairs: set[tuple[str, str]] = set()
+        for owners in token_owners.values():
+            if len(owners) > limit:
+                continue
+            for a, b in combinations(owners, 2):
+                pairs.add(self._pair(a, b))
+        return pairs
+
+
+class SortedNeighborhoodBlocker(Blocker):
+    """Sorted-neighborhood blocking: sort records by a key expression, emit
+    pairs within a sliding window.
+
+    The classic linear-ish alternative to token blocking when records have a
+    roughly sortable surrogate key (names, addresses).  The key is the
+    lowercase concatenation of the chosen attributes' tokens; window size
+    trades recall for candidate count.
+    """
+
+    def __init__(self, attributes: Iterable[str] | None = None, window: int = 3):
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.window = window
+
+    def _sort_key(self, record: Record) -> str:
+        parts: list[str] = []
+        for name, value in record.values:
+            if self.attributes is not None and name not in self.attributes:
+                continue
+            parts.extend(cell_tokens(value))
+        return " ".join(parts)
+
+    def candidate_pairs(self, records: Sequence[Record]) -> set[tuple[str, str]]:
+        ordered = sorted(records, key=self._sort_key)
+        pairs: set[tuple[str, str]] = set()
+        for i, record in enumerate(ordered):
+            for j in range(i + 1, min(i + self.window, len(ordered))):
+                pairs.add(self._pair(record.record_id, ordered[j].record_id))
+        return pairs
+
+
+def blocking_quality(
+    candidates: set[tuple[str, str]],
+    gold_pairs: set[tuple[str, str]],
+    num_records: int,
+) -> dict[str, float]:
+    """The two standard blocking metrics.
+
+    *Pair completeness* (recall of gold pairs among candidates) and
+    *reduction ratio* (how much of the quadratic pair space was pruned).
+    A good blocker keeps completeness near 1.0 with a high reduction ratio.
+    """
+    normalized_candidates = {tuple(sorted(pair)) for pair in candidates}
+    normalized_gold = {tuple(sorted(pair)) for pair in gold_pairs}
+    completeness = (
+        len(normalized_candidates & normalized_gold) / len(normalized_gold)
+        if normalized_gold
+        else 1.0
+    )
+    total_pairs = num_records * (num_records - 1) / 2
+    reduction = 1.0 - len(normalized_candidates) / total_pairs if total_pairs else 0.0
+    return {"pair_completeness": completeness, "reduction_ratio": reduction}

@@ -1,0 +1,109 @@
+"""From matched pairs to entities: transitive clustering + canonicalization.
+
+Matching is pairwise; entities are the connected components of the match
+graph (the standard transitive-closure step).  Each cluster is then
+*canonicalized* into one representative record: per attribute, the non-null
+values vote, gazetteer aliases collapse to their canonical form, and ties
+break toward the longer (more informative) surface form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..table.table import Table
+from ..table.values import PRODUCED, Cell, is_null
+from .features import Gazetteer
+from .records import Record, attributes_of
+
+__all__ = ["cluster_matches", "canonicalize_cluster", "entities_to_table"]
+
+
+def cluster_matches(
+    record_ids: Iterable[str], matched_pairs: Iterable[tuple[str, str]]
+) -> list[list[str]]:
+    """Connected components of the match graph; singletons included.
+
+    Output is deterministic: clusters sorted by their smallest member id
+    (numeric-aware so ``f2 < f10``), members sorted likewise.
+    """
+    ids = list(record_ids)
+    index = {record_id: i for i, record_id in enumerate(ids)}
+    parent = list(range(len(ids)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for a, b in matched_pairs:
+        if a not in index or b not in index:
+            raise KeyError(f"matched pair ({a}, {b}) references unknown record ids")
+        parent[find(index[a])] = find(index[b])
+
+    groups: dict[int, list[str]] = {}
+    for record_id, i in index.items():
+        groups.setdefault(find(i), []).append(record_id)
+
+    def id_key(record_id: str):
+        digits = "".join(ch for ch in record_id if ch.isdigit())
+        return (int(digits) if digits else 0, record_id)
+
+    clusters = [sorted(members, key=id_key) for members in groups.values()]
+    clusters.sort(key=lambda members: id_key(members[0]))
+    return clusters
+
+
+def canonicalize_cluster(
+    records: Sequence[Record], gazetteer: Gazetteer | None = None
+) -> dict[str, Cell]:
+    """Merge a cluster's records into one entity (see module docstring)."""
+    from ..table.values import merge_null_kind
+
+    attributes = attributes_of(records)
+    merged: dict[str, Cell] = {}
+    for attribute in attributes:
+        votes: dict[str, tuple[int, str]] = {}
+        non_string: Cell | None = None
+        null_kind = PRODUCED
+        for record in records:
+            value = record.get(attribute)
+            if value is None:
+                continue
+            if is_null(value):
+                null_kind = merge_null_kind(null_kind, value)
+                continue
+            if not isinstance(value, str):
+                non_string = value
+                continue
+            key = gazetteer.canonical(value) if gazetteer is not None else value.lower()
+            count, best_surface = votes.get(key, (0, value))
+            if len(value) > len(best_surface):
+                best_surface = value
+            votes[key] = (count + 1, best_surface)
+        if votes:
+            winner = max(votes.items(), key=lambda item: (item[1][0], len(item[1][1])))
+            merged[attribute] = winner[1][1]
+        elif non_string is not None:
+            merged[attribute] = non_string
+        else:
+            merged[attribute] = null_kind
+    return merged
+
+
+def entities_to_table(
+    clusters: Sequence[Sequence[str]],
+    records: Mapping[str, Record],
+    gazetteer: Gazetteer | None = None,
+    name: str = "entities",
+) -> Table:
+    """Render clusters as a table (one row per resolved entity)."""
+    if not records:
+        return Table.empty([], name=name)
+    attributes = attributes_of(records.values())
+    rows = []
+    for members in clusters:
+        entity = canonicalize_cluster([records[m] for m in members], gazetteer)
+        rows.append(tuple(entity.get(a, PRODUCED) for a in attributes))
+    return Table(attributes, rows, name=name)

@@ -1,0 +1,181 @@
+"""Evaluation for entity resolution: pair/cluster metrics and a synthetic
+workload with ground truth.
+
+Used by experiment E14 (ER quality over FD vs outer-join integration, the
+quantified version of Figure 8's anecdote) and by anyone tuning matchers:
+``pair_metrics`` scores predicted match pairs against gold pairs,
+``cluster_metrics`` scores the final clustering, and
+``make_er_workload`` generates alias-perturbed entity tables whose true
+clusters are known.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..datalake import seeds
+from ..table.table import Table
+from ..table.values import MISSING
+
+__all__ = [
+    "PairMetrics",
+    "pair_metrics",
+    "cluster_metrics",
+    "gold_pairs_from_clusters",
+    "ERWorkload",
+    "make_er_workload",
+]
+
+
+@dataclass(frozen=True)
+class PairMetrics:
+    """Precision / recall / F1 over unordered record pairs."""
+
+    true_positive: int
+    false_positive: int
+    false_negative: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _normalize_pairs(pairs: Iterable[tuple[str, str]]) -> set[tuple[str, str]]:
+    return {tuple(sorted(pair)) for pair in pairs}
+
+
+def pair_metrics(
+    predicted: Iterable[tuple[str, str]], gold: Iterable[tuple[str, str]]
+) -> PairMetrics:
+    """Compare predicted match pairs against gold pairs."""
+    predicted_set = _normalize_pairs(predicted)
+    gold_set = _normalize_pairs(gold)
+    return PairMetrics(
+        true_positive=len(predicted_set & gold_set),
+        false_positive=len(predicted_set - gold_set),
+        false_negative=len(gold_set - predicted_set),
+    )
+
+
+def gold_pairs_from_clusters(clusters: Sequence[Sequence[str]]) -> set[tuple[str, str]]:
+    """All within-cluster pairs of a gold clustering."""
+    pairs: set[tuple[str, str]] = set()
+    for members in clusters:
+        for a, b in combinations(sorted(members), 2):
+            pairs.add((a, b))
+    return pairs
+
+
+def cluster_metrics(
+    predicted: Sequence[Sequence[str]], gold: Sequence[Sequence[str]]
+) -> PairMetrics:
+    """Pairwise metrics of a predicted clustering against a gold clustering
+    (the standard pairwise-F1 view of clustering quality)."""
+    return pair_metrics(
+        gold_pairs_from_clusters(predicted), gold_pairs_from_clusters(gold)
+    )
+
+
+# ----------------------------------------------------------------------
+# Synthetic ER workload
+# ----------------------------------------------------------------------
+@dataclass
+class ERWorkload:
+    """Alias-perturbed entity records split across source tables.
+
+    ``tables`` form an integration set; ``gold_clusters`` group *source
+    TIDs* (``t1..tn``, numbered across the integration set in input order --
+    the same numbering integration uses) that refer to one real entity.
+    """
+
+    tables: list[Table]
+    gold_clusters: list[list[str]]
+
+
+def make_er_workload(
+    num_entities: int = 8,
+    seed: int = 0,
+    null_rate: float = 0.25,
+) -> ERWorkload:
+    """Vaccine-style entities split Figure 7-style across three tables.
+
+    Each entity is a distinct (vaccine, country, agency) triple -- distinct
+    per attribute so tuples are entity-discriminating, exactly like the
+    paper's T4-T6 where one country row belongs to one vaccine's story.
+    Table A carries (Vaccine, Approver), B (Country, Approver), C
+    (Vaccine, Country); the vaccine surface in C is a *different alias*
+    than in A whenever the entity has aliases (the J&J/JnJ mechanic), and
+    approver/country cells go missing at *null_rate* (the ``±`` mechanic
+    that strands outer-join fragments).
+    """
+    rng = random.Random(seed)
+    vaccine_names = list(seeds.VACCINES)
+    agency_names = list(seeds.AGENCIES)
+    country_names = list(seeds.COUNTRIES)
+    rng.shuffle(vaccine_names)
+    rng.shuffle(agency_names)
+    rng.shuffle(country_names)
+    if num_entities > min(len(vaccine_names), len(agency_names), len(country_names)):
+        raise ValueError(
+            "num_entities exceeds the distinct seed vocabulary "
+            f"({min(len(vaccine_names), len(agency_names), len(country_names))})"
+        )
+
+    rows_a: list[tuple] = []  # (Vaccine, Approver)
+    rows_b: list[tuple] = []  # (Country, Approver)
+    rows_c: list[tuple] = []  # (Vaccine, Country)
+    entity_rows: list[list[tuple[int, int]]] = []  # (table idx, row idx) per entity
+    for entity_index in range(num_entities):
+        vaccine = vaccine_names[entity_index]
+        agency = agency_names[entity_index]
+        country = country_names[entity_index]
+        vaccine_aliases = seeds.VACCINES[vaccine][0]
+        country_aliases = seeds.COUNTRIES.get(country, ())
+        members: list[tuple[int, int]] = []
+
+        del country_aliases  # country is the FD bridge: one surface everywhere
+        vaccine_in_a = vaccine
+        vaccine_in_c = vaccine_aliases[0] if vaccine_aliases else vaccine
+        country_in_b = country
+        country_in_c = country
+
+        rows_a.append(
+            (vaccine_in_a, MISSING if rng.random() < null_rate else agency)
+        )
+        members.append((0, len(rows_a) - 1))
+        rows_b.append(
+            (country_in_b, MISSING if rng.random() < null_rate else agency)
+        )
+        members.append((1, len(rows_b) - 1))
+        rows_c.append((vaccine_in_c, country_in_c))
+        members.append((2, len(rows_c) - 1))
+        entity_rows.append(members)
+
+    tables = [
+        Table(["Vaccine", "Approver"], rows_a, name="approvals"),
+        Table(["Country", "Approver"], rows_b, name="agencies"),
+        Table(["Vaccine", "Country"], rows_c, name="origins"),
+    ]
+    # TID numbering follows prepare_integration_input: all of table 0's rows
+    # first, then table 1's, then table 2's.
+    offsets = [0, len(rows_a), len(rows_a) + len(rows_b)]
+    gold_clusters = []
+    for members in entity_rows:
+        gold_clusters.append(
+            sorted(f"t{offsets[table_index] + row_index + 1}" for table_index, row_index in members)
+        )
+    return ERWorkload(tables=tables, gold_clusters=gold_clusters)

@@ -1,0 +1,127 @@
+"""Match decision: is this candidate pair the same entity?
+
+Two matchers mirror ``py_entitymatching``'s rule-based and learning-based
+modes:
+
+* :class:`RuleMatcher` -- a pair matches when its total comparable evidence
+  reaches ``min_total`` and each contributing similarity is strong enough.
+  The default ``min_total=1.5`` demands roughly two strongly-agreeing
+  attributes, which is what separates the paper's Figure 8(c) from 8(d):
+  Full Disjunction tuples carry enough non-null attributes to clear the
+  bar; outer-join fragments don't.
+* :class:`LogisticRegressionMatcher` -- a from-scratch logistic regression
+  over the similarity vector (missing similarities imputed at 0), trained
+  on labeled pairs, thresholded on predicted probability.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from .features import PairFeatures
+
+__all__ = ["Matcher", "RuleMatcher", "LogisticRegressionMatcher"]
+
+
+class Matcher(abc.ABC):
+    """Base class for pair-level match predicates."""
+
+    @abc.abstractmethod
+    def is_match(self, pair: PairFeatures) -> bool:
+        """True when the two records refer to the same entity."""
+
+    def match_pairs(self, pairs: Sequence[PairFeatures]) -> list[PairFeatures]:
+        """Filter *pairs* down to the matches."""
+        return [pair for pair in pairs if self.is_match(pair)]
+
+
+class RuleMatcher(Matcher):
+    """Evidence-mass rule (see module docstring)."""
+
+    def __init__(
+        self,
+        min_total: float = 1.5,
+        min_attribute_similarity: float = 0.7,
+        min_comparable: int = 1,
+    ):
+        self.min_total = min_total
+        self.min_attribute_similarity = min_attribute_similarity
+        self.min_comparable = min_comparable
+
+    def is_match(self, pair: PairFeatures) -> bool:
+        comparable = pair.comparable()
+        if len(comparable) < self.min_comparable:
+            return False
+        strong = [
+            value for value in comparable.values() if value >= self.min_attribute_similarity
+        ]
+        # Conflicting evidence vetoes: one attribute saying "clearly
+        # different" (< 0.3) outweighs fuzzy agreement elsewhere.
+        if any(value < 0.3 for value in comparable.values()):
+            return False
+        return sum(strong) >= self.min_total
+
+
+class LogisticRegressionMatcher(Matcher):
+    """Logistic regression over similarity vectors (numpy, full-batch GD)."""
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        threshold: float = 0.5,
+        learning_rate: float = 0.5,
+        epochs: int = 500,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.attributes = tuple(attributes)
+        self.threshold = threshold
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self._rng = np.random.default_rng(seed)
+        self.weights = np.zeros(len(self.attributes) + 1)
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    def _vector(self, pair: PairFeatures) -> np.ndarray:
+        lookup = dict(pair.similarities)
+        values = [
+            (lookup.get(attribute) if lookup.get(attribute) is not None else 0.0)
+            for attribute in self.attributes
+        ]
+        return np.array([1.0, *values], dtype=np.float64)
+
+    def fit(
+        self, pairs: Sequence[PairFeatures], labels: Sequence[bool]
+    ) -> "LogisticRegressionMatcher":
+        """Train on labeled pairs; returns self."""
+        if len(pairs) != len(labels):
+            raise ValueError("pairs and labels must align")
+        if not pairs:
+            raise ValueError("cannot train on zero pairs")
+        features = np.stack([self._vector(pair) for pair in pairs])
+        target = np.array([1.0 if label else 0.0 for label in labels])
+        weights = self._rng.normal(0.0, 0.01, size=features.shape[1])
+        for _ in range(self.epochs):
+            logits = features @ weights
+            predictions = 1.0 / (1.0 + np.exp(-logits))
+            gradient = features.T @ (predictions - target) / len(target)
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.weights = weights
+        self._trained = True
+        return self
+
+    def predict_proba(self, pair: PairFeatures) -> float:
+        """Match probability of one pair (requires fit())."""
+        if not self._trained:
+            raise RuntimeError("LogisticRegressionMatcher used before fit()")
+        logit = float(self._vector(pair) @ self.weights)
+        return 1.0 / (1.0 + np.exp(-logit))
+
+    def is_match(self, pair: PairFeatures) -> bool:
+        return self.predict_proba(pair) >= self.threshold

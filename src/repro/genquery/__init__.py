@@ -1,0 +1,20 @@
+"""Query-table generation from prompts (the GPT-3 substitute, Fig. 5)."""
+
+from .generator import (
+    available_topics,
+    generate_query_table,
+    parse_shape_from_prompt,
+    template_for,
+)
+from .templates import TEMPLATES, ColumnTemplate, TableTemplate, match_template
+
+__all__ = [
+    "generate_query_table",
+    "parse_shape_from_prompt",
+    "available_topics",
+    "template_for",
+    "TEMPLATES",
+    "TableTemplate",
+    "ColumnTemplate",
+    "match_template",
+]

@@ -1,0 +1,96 @@
+"""Prompt -> query table (the GPT-3 substitute; paper Fig. 5).
+
+``generate_query_table("a table about covid cases", rows=5, columns=5)``
+routes the prompt to a topic template, then deterministically (seeded RNG)
+samples the requested shape.  Requesting more columns than the topic defines
+pads with generic ``Attribute N`` numeric columns; fewer truncates.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from ..table.table import Table
+from .templates import TEMPLATES, ColumnTemplate, TableTemplate, match_template
+
+__all__ = ["generate_query_table", "parse_shape_from_prompt"]
+
+_ROWS_RE = re.compile(r"(\d+)\s*rows?")
+_COLS_RE = re.compile(r"(\d+)\s*col(?:umn)?s?")
+
+
+def parse_shape_from_prompt(prompt: str) -> tuple[int | None, int | None]:
+    """Extract "(rows, columns)" hints like "5 rows and 5 columns"."""
+    rows_match = _ROWS_RE.search(prompt.lower())
+    cols_match = _COLS_RE.search(prompt.lower())
+    return (
+        int(rows_match.group(1)) if rows_match else None,
+        int(cols_match.group(1)) if cols_match else None,
+    )
+
+
+def generate_query_table(
+    prompt: str,
+    rows: int | None = None,
+    columns: int | None = None,
+    seed: int = 0,
+    name: str = "generated_query",
+) -> Table:
+    """Generate a query table from a free-text *prompt*.
+
+    Shape resolution order: explicit arguments, then shape hints inside the
+    prompt ("5 rows", "5 columns"), then the template's natural width and 5
+    rows.  Fully deterministic for a fixed (prompt, shape, seed).
+    """
+    template = match_template(prompt)
+    hint_rows, hint_columns = parse_shape_from_prompt(prompt)
+    num_rows = rows if rows is not None else (hint_rows if hint_rows is not None else 5)
+    num_columns = (
+        columns
+        if columns is not None
+        else (hint_columns if hint_columns is not None else len(template.columns))
+    )
+    if num_rows <= 0 or num_columns <= 0:
+        raise ValueError("rows and columns must be positive")
+
+    rng = random.Random((seed, template.topic, num_rows, num_columns).__repr__())
+    chosen = list(template.columns[:num_columns])
+    for extra in range(num_columns - len(chosen)):
+        chosen.append(_generic_column(extra))
+
+    keyed_orders: dict[str, list[object]] = {}
+    for column in chosen:
+        pool = getattr(column, "keyed_pool", None)
+        if pool is not None:
+            order = list(pool)
+            rng.shuffle(order)
+            keyed_orders[column.name] = order
+
+    table_rows = []
+    for row in range(num_rows):
+        cells = []
+        for column in chosen:
+            if column.name in keyed_orders:
+                order = keyed_orders[column.name]
+                cells.append(order[row % len(order)])
+            else:
+                cells.append(column.generate(rng, row))
+        table_rows.append(tuple(cells))
+    return Table([c.name for c in chosen], table_rows, name=name)
+
+
+def _generic_column(index: int) -> ColumnTemplate:
+    return ColumnTemplate(
+        f"Attribute {index + 1}", lambda rng, row: round(rng.uniform(0, 100), 2)
+    )
+
+
+def available_topics() -> list[str]:
+    """Topics the generator understands (for docs and error messages)."""
+    return [template.topic for template in TEMPLATES]
+
+
+def template_for(prompt: str) -> TableTemplate:
+    """Expose routing for tests and curious users."""
+    return match_template(prompt)

@@ -1,0 +1,182 @@
+"""ALITE's Full Disjunction: complementation to fixpoint, then subsumption.
+
+The algorithm (Khatiwada et al., VLDB 2023, adapted to in-memory scale):
+
+1. **Outer union** the aligned tables over the united header, labelling the
+   tuples ``t1..tn`` (:func:`prepare_integration_input`).
+2. **Complementation closure**: repeatedly merge *joinable* tuple pairs
+   (agree wherever both non-null, overlap on at least one value) until no
+   new tuple appears.  The working set is keyed by value so re-derivations
+   collapse; an inverted index on (attribute, value) means each tuple only
+   ever meets tuples it shares a value with -- the same pruning ALITE gets
+   from its partitioning step, realized incrementally.
+3. **Subsumption removal** drops every tuple another tuple makes redundant.
+
+The result is exactly the set of maximal merges of connected,
+join-consistent subsets of the input tuples (see
+``tests/property/test_fd_oracle.py``, which checks this against a
+brute-force oracle), which is the integration semantics of the paper's
+Figures 3 and 8(b).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..table.table import Table
+from ..table.values import MISSING, PRODUCED, is_null
+from .base import Integrator
+from .subsume import dedupe_tuples, remove_subsumed
+from .tuples import (
+    IntegratedTable,
+    WorkTuple,
+    base_cells_map,
+    canonicalize_null_kinds,
+    combine_duplicate,
+    joinable,
+    merge_tuples,
+    normalized_key,
+    prepare_integration_input,
+)
+
+__all__ = ["AliteFD", "complementation_closure"]
+
+
+def complementation_closure(tuples: list[WorkTuple]) -> list[WorkTuple]:
+    """Close *tuples* under pairwise complementation (merge of joinable
+    pairs).  Returns the full closure including intermediates; callers
+    typically follow with :func:`remove_subsumed`."""
+    store: dict[tuple, WorkTuple] = {}
+    postings: dict[tuple, set[tuple]] = {}
+
+    def cell_keys(work: WorkTuple) -> list[tuple]:
+        return [
+            (position, normalized_key((cell,))[0])
+            for position, cell in enumerate(work.cells)
+            if not is_null(cell)
+        ]
+
+    def insert(work: WorkTuple) -> tuple | None:
+        """Add to the store; returns the key if the tuple is new.
+
+        A re-derivation of an already-known fact folds provenance via
+        :func:`combine_duplicate` (minimal support wins -- the paper's
+        Figure 8(b) keeps ``f12 = {t16}`` even though merging ``t12``
+        derives the same values) and never re-enters the agenda.
+        """
+        key = normalized_key(work.cells)
+        existing = store.get(key)
+        if existing is not None:
+            store[key] = combine_duplicate(existing, work)
+            return None
+        store[key] = work
+        for cell_key in cell_keys(work):
+            postings.setdefault(cell_key, set()).add(key)
+        return key
+
+    agenda: deque[tuple] = deque()
+    for work in dedupe_tuples(tuples):
+        key = insert(work)
+        if key is not None:
+            agenda.append(key)
+
+    while agenda:
+        key = agenda.popleft()
+        work = store[key]
+        partner_keys: set[tuple] = set()
+        for cell_key in cell_keys(work):
+            partner_keys.update(postings.get(cell_key, ()))
+        partner_keys.discard(key)
+        # Sorted iteration keeps the whole closure independent of Python's
+        # per-process hash randomization (keys are tuples of tagged cells,
+        # so they sort totally).
+        for partner_key in sorted(partner_keys):
+            partner = store.get(partner_key)
+            if partner is None:
+                continue
+            if joinable(work.cells, partner.cells):
+                merged_key = insert(merge_tuples(work, partner))
+                if merged_key is not None:
+                    agenda.append(merged_key)
+    return list(store.values())
+
+
+class AliteFD(Integrator):
+    """The default DIALITE integrator: ALITE's Full Disjunction."""
+
+    name = "alite_fd"
+
+    def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
+        header, work, tid_sources = prepare_integration_input(tables)
+        base = base_cells_map(work)
+        closed = complementation_closure(work)
+        final = canonicalize_null_kinds(remove_subsumed(closed), base)
+        return IntegratedTable.from_work_tuples(
+            header, final, tid_sources, name=name, algorithm=self.name,
+            input_tuples=work,
+        )
+
+    def integrate_incremental(
+        self, existing: IntegratedTable, table: Table, name: str = "integrated"
+    ) -> IntegratedTable:
+        """Fold one more table into an existing FD result.
+
+        Produces exactly ``FD(original tables + table)`` (asserted by tests
+        at every prefix): the closure is seeded with the *original input
+        tuples* (kept on :class:`IntegratedTable` precisely for this), the
+        previous final output (so already-discovered merges are free), and
+        the new table's rows under fresh TIDs.  Seeding only the previous
+        output would be unsound -- a tuple subsumed away earlier can still
+        merge with a future table's rows.
+        """
+        if not existing.input_tuples:
+            raise ValueError(
+                "existing result carries no input tuples; it was not produced "
+                "by AliteFD (or was reconstructed) -- integrate from scratch"
+            )
+        header = list(existing.columns)
+        for column in table.columns:
+            if column not in existing.columns:
+                header.append(column)
+        width = len(header)
+        position_of = {c: i for i, c in enumerate(header)}
+
+        def widen(cells: tuple) -> tuple:
+            return cells + (PRODUCED,) * (width - len(cells))
+
+        seeds: list[WorkTuple] = [
+            WorkTuple(widen(w.cells), w.tids) for w in existing.input_tuples
+        ]
+        seeds.extend(WorkTuple(widen(w.cells), w.tids) for _, w in _final_tuples(existing))
+
+        next_tid = 1 + max(
+            (int(t[1:]) for t in existing.tid_sources), default=0
+        )
+        tid_sources = dict(existing.tid_sources)
+        own_positions = [position_of[c] for c in table.columns]
+        new_inputs: list[WorkTuple] = []
+        for row_index, row in enumerate(table.rows):
+            tid = f"t{next_tid}"
+            next_tid += 1
+            tid_sources[tid] = (table.name, row_index)
+            cells: list = [PRODUCED] * width
+            for column_position, cell in zip(own_positions, row):
+                cells[column_position] = MISSING if is_null(cell) else cell
+            new_inputs.append(WorkTuple(tuple(cells), frozenset({tid})))
+
+        all_inputs = [
+            WorkTuple(widen(w.cells), w.tids) for w in existing.input_tuples
+        ] + new_inputs
+        base = base_cells_map(all_inputs)
+        closed = complementation_closure(seeds + new_inputs)
+        final = canonicalize_null_kinds(remove_subsumed(closed), base)
+        return IntegratedTable.from_work_tuples(
+            header, final, tid_sources, name=name, algorithm=self.name,
+            input_tuples=all_inputs,
+        )
+
+
+def _final_tuples(existing: IntegratedTable):
+    """(OID, WorkTuple) pairs of an integrated table's final rows."""
+    for i, row in enumerate(existing.rows):
+        yield f"f{i + 1}", WorkTuple(tuple(row), existing.provenance[i])

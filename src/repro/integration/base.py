@@ -1,0 +1,39 @@
+"""The integration-operator API (paper Sec. 2.2 / Sec. 3.2, Fig. 6).
+
+An integrator turns an *aligned* integration set (tables whose shared
+columns already carry the same integration IDs) into one
+:class:`~repro.integration.tuples.IntegratedTable`.  ALITE's Full
+Disjunction is the default; outer join, inner join and union are provided as
+the comparison operators the demo plugs in, and users can register their own
+through :mod:`repro.core.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..table.table import Table
+from .tuples import IntegratedTable
+
+__all__ = ["Integrator"]
+
+
+class Integrator(abc.ABC):
+    """Base class for integration operators."""
+
+    #: Short identifier used by the pipeline registry and result labels.
+    name: str = "integrator"
+
+    def integrate(self, tables: Sequence[Table], name: str = "integrated") -> IntegratedTable:
+        """Integrate *tables* (aligned, uniquely named) into one table."""
+        if not tables:
+            raise ValueError("cannot integrate an empty set of tables")
+        table_names = [t.name for t in tables]
+        if len(set(table_names)) != len(table_names):
+            raise ValueError(f"integration-set tables must be uniquely named: {table_names}")
+        return self._integrate(list(tables), name)
+
+    @abc.abstractmethod
+    def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
+        """Implementation hook."""

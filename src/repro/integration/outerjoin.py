@@ -1,0 +1,187 @@
+"""Outer join / inner join / union as integration operators.
+
+These are the comparison operators of the demo: outer join is what a user
+plugs in via Fig. 6 (and what Figure 8(a) renders), inner join and union are
+the operators Auctus-style systems apply pairwise.  All are provenance-aware
+so their outputs can be displayed and analyzed exactly like FD outputs.
+
+The outer-join integrator folds the binary natural full outer join over the
+integration set **in the given table order**.  Because full outer join is not
+associative, the result genuinely depends on that order --
+:func:`order_sensitivity` quantifies this, reproducing the motivation the
+paper cites for Full Disjunction (experiment E9).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, Sequence
+
+from ..table.table import Table
+from ..table.values import PRODUCED, Cell, is_null
+from .base import Integrator
+from .subsume import dedupe_tuples
+from .tuples import IntegratedTable, WorkTuple, normalized_key
+
+__all__ = [
+    "OuterJoinIntegrator",
+    "InnerJoinIntegrator",
+    "UnionIntegrator",
+    "order_sensitivity",
+]
+
+
+def _label_tables(tables: Sequence[Table]) -> tuple[list[list[WorkTuple]], dict[str, tuple[str, int]]]:
+    """Assign TIDs t1..tn across the integration set in input order (the
+    same numbering :func:`prepare_integration_input` uses)."""
+    labelled: list[list[WorkTuple]] = []
+    tid_sources: dict[str, tuple[str, int]] = {}
+    counter = 0
+    for table in tables:
+        rows = []
+        for row_index, row in enumerate(table.rows):
+            counter += 1
+            tid = f"t{counter}"
+            tid_sources[tid] = (table.name, row_index)
+            rows.append(WorkTuple(cells=tuple(row), tids=frozenset({tid})))
+        labelled.append(rows)
+    return labelled, tid_sources
+
+
+class _JoinState:
+    """An intermediate join result: a header plus provenance-carrying rows."""
+
+    def __init__(self, header: tuple[str, ...], rows: list[WorkTuple]):
+        self.header = header
+        self.rows = rows
+
+
+def _fold_join(
+    state: _JoinState,
+    table: Table,
+    tuples: list[WorkTuple],
+    keep_left: bool,
+    keep_right: bool,
+) -> _JoinState:
+    shared = [c for c in state.header if table.has_column(c)]
+    right_extra = [c for c in table.columns if c not in shared]
+    new_header = state.header + tuple(right_extra)
+    left_pos = {c: i for i, c in enumerate(state.header)}
+    right_pos = {c: i for i, c in enumerate(table.columns)}
+
+    if not shared:
+        # Natural join with no shared attributes would be a cross product;
+        # integration folds degrade to padding both sides instead (the
+        # behaviour a user plugging "outer join" into the demo expects).
+        rows: list[WorkTuple] = []
+        if keep_left:
+            for work in state.rows:
+                rows.append(
+                    WorkTuple(work.cells + (PRODUCED,) * len(right_extra), work.tids)
+                )
+        if keep_right:
+            for work in tuples:
+                cells: list[Cell] = [PRODUCED] * len(state.header)
+                cells.extend(work.cells[right_pos[c]] for c in right_extra)
+                rows.append(WorkTuple(tuple(cells), work.tids))
+        return _JoinState(new_header, rows)
+
+    def key_of(cells: Sequence[Cell], positions: list[int]) -> tuple | None:
+        parts = []
+        for position in positions:
+            cell = cells[position]
+            if is_null(cell):
+                return None
+            parts.append(normalized_key((cell,))[0])
+        return tuple(parts)
+
+    shared_left = [left_pos[c] for c in shared]
+    shared_right = [right_pos[c] for c in shared]
+    index: dict[tuple, list[int]] = {}
+    for j, work in enumerate(tuples):
+        key = key_of(work.cells, shared_right)
+        if key is not None:
+            index.setdefault(key, []).append(j)
+
+    rows = []
+    matched_right: set[int] = set()
+    for work in state.rows:
+        key = key_of(work.cells, shared_left)
+        matches = index.get(key, []) if key is not None else []
+        if matches:
+            for j in matches:
+                matched_right.add(j)
+                right = tuples[j]
+                cells = work.cells + tuple(right.cells[right_pos[c]] for c in right_extra)
+                rows.append(WorkTuple(cells, work.tids | right.tids))
+        elif keep_left:
+            rows.append(WorkTuple(work.cells + (PRODUCED,) * len(right_extra), work.tids))
+    if keep_right:
+        for j, right in enumerate(tuples):
+            if j in matched_right:
+                continue
+            cells = [PRODUCED] * len(state.header)
+            for c in shared:
+                cells[left_pos[c]] = right.cells[right_pos[c]]
+            cells.extend(right.cells[right_pos[c]] for c in right_extra)
+            rows.append(WorkTuple(tuple(cells), right.tids))
+    return _JoinState(new_header, rows)
+
+
+class OuterJoinIntegrator(Integrator):
+    """Fold binary natural full outer join left-to-right (paper's ``⟗``)."""
+
+    name = "outer_join"
+
+    def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
+        labelled, tid_sources = _label_tables(tables)
+        state = _JoinState(tuple(tables[0].columns), labelled[0])
+        for table, tuples in zip(tables[1:], labelled[1:]):
+            state = _fold_join(state, table, tuples, keep_left=True, keep_right=True)
+        return IntegratedTable.from_work_tuples(
+            state.header, state.rows, tid_sources, name=name, algorithm=self.name
+        )
+
+
+class InnerJoinIntegrator(Integrator):
+    """Fold binary natural inner join (the harshest baseline: any tuple
+    without a match anywhere simply disappears)."""
+
+    name = "inner_join"
+
+    def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
+        labelled, tid_sources = _label_tables(tables)
+        state = _JoinState(tuple(tables[0].columns), labelled[0])
+        for table, tuples in zip(tables[1:], labelled[1:]):
+            state = _fold_join(state, table, tuples, keep_left=False, keep_right=False)
+        return IntegratedTable.from_work_tuples(
+            state.header, state.rows, tid_sources, name=name, algorithm=self.name
+        )
+
+
+class UnionIntegrator(Integrator):
+    """Outer union with duplicate elimination: stack tuples, never merge."""
+
+    name = "union"
+
+    def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
+        from .tuples import prepare_integration_input
+
+        header, work, tid_sources = prepare_integration_input(tables)
+        return IntegratedTable.from_work_tuples(
+            header, dedupe_tuples(work), tid_sources, name=name, algorithm=self.name
+        )
+
+
+def order_sensitivity(
+    tables: Sequence[Table], max_orders: int = 24
+) -> Iterator[tuple[tuple[str, ...], IntegratedTable]]:
+    """Yield the outer-join integration under each table permutation (up to
+    *max_orders*): the demonstration that outer join is not associative,
+    while FD gives one canonical answer regardless of order."""
+    integrator = OuterJoinIntegrator()
+    for count, order in enumerate(permutations(tables)):
+        if count >= max_orders:
+            return
+        names = tuple(t.name for t in order)
+        yield names, integrator.integrate(list(order), name="outer_join_" + "_".join(names))

@@ -1,0 +1,77 @@
+"""Subsumption removal: dropping tuples that add no information.
+
+The last step of every FD algorithm.  A tuple is dropped when some other
+tuple repeats all of its non-null values (Figure 8(b): ``t12 = (JnJ, ±)``
+disappears because ``f12 = (JnJ, ⊥, USA)`` already says everything it says).
+Provenance of a subsumed tuple is dropped with it -- the paper reports the
+*derivation* set of each output fact, not a coverage set.
+
+The implementation first collapses duplicates (same values up to null kind,
+provenance unioned), then uses an inverted index on (position, value) so
+each tuple is only checked against candidates sharing its rarest value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..table.values import is_null
+from .tuples import WorkTuple, combine_duplicate, normalized_key, subsumes
+
+__all__ = ["dedupe_tuples", "remove_subsumed"]
+
+
+def dedupe_tuples(tuples: Iterable[WorkTuple]) -> list[WorkTuple]:
+    """Collapse value-identical tuples (null kind ignored), unioning
+    provenance and upgrading null kinds (missing beats produced)."""
+    store: dict[tuple, WorkTuple] = {}
+    for work in tuples:
+        key = normalized_key(work.cells)
+        existing = store.get(key)
+        store[key] = work if existing is None else combine_duplicate(existing, work)
+    return list(store.values())
+
+
+def remove_subsumed(tuples: Sequence[WorkTuple]) -> list[WorkTuple]:
+    """Keep only tuples not subsumed by another (distinct) tuple.
+
+    Input should already be deduped; duplicates are collapsed defensively.
+    """
+    unique = dedupe_tuples(tuples)
+    if len(unique) <= 1:
+        return unique
+
+    # Inverted index: (position, value key) -> indices of tuples having it.
+    postings: dict[tuple, list[int]] = {}
+    cell_keys: list[list[tuple]] = []
+    for i, work in enumerate(unique):
+        keys = []
+        for position, cell in enumerate(work.cells):
+            if is_null(cell):
+                continue
+            key = (position, normalized_key((cell,))[0])
+            postings.setdefault(key, []).append(i)
+            keys.append(key)
+        cell_keys.append(keys)
+
+    kept: list[WorkTuple] = []
+    for i, work in enumerate(unique):
+        keys = cell_keys[i]
+        if not keys:
+            # All-null tuple: subsumed by anything else.
+            if len(unique) > 1:
+                continue
+            kept.append(work)
+            continue
+        # Candidates must contain the tuple's rarest value.
+        rarest = min(keys, key=lambda key: len(postings[key]))
+        dominated = False
+        for j in postings[rarest]:
+            if j == i:
+                continue
+            if subsumes(unique[j].cells, work.cells):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(work)
+    return kept

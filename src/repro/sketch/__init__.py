@@ -1,0 +1,22 @@
+"""Probabilistic sketches: MinHash, banded LSH, LSH Ensemble.
+
+These back the joinable-table discoverer
+(:class:`repro.discovery.lshensemble.LSHEnsembleJoinSearch`).
+"""
+
+from .ensemble import EnsembleMatch, LSHEnsemble
+from .hll import HyperLogLog
+from .lsh import BandedLSHIndex, collision_probability, optimal_param
+from .minhash import MinHasher, MinHashSignature, containment_from_jaccard
+
+__all__ = [
+    "MinHasher",
+    "MinHashSignature",
+    "containment_from_jaccard",
+    "BandedLSHIndex",
+    "collision_probability",
+    "optimal_param",
+    "LSHEnsemble",
+    "EnsembleMatch",
+    "HyperLogLog",
+]

@@ -1,0 +1,176 @@
+"""LSH Ensemble: containment search with domain partitioning (VLDB 2016).
+
+The problem with plain MinHash LSH for joinability is that *containment*
+(query ⊆ candidate) does not translate to a single Jaccard threshold: the
+conversion depends on the candidate's size.  LSH Ensemble's fix, reproduced
+here, is to
+
+1. partition the indexed domains by cardinality (equi-depth),
+2. within each partition use the partition's *upper* size bound to convert
+   the containment threshold into a per-partition Jaccard threshold, and
+3. tune the LSH ``(b, r)`` parameters per partition, per query, choosing
+   among prebuilt band structures (the prefix-of-bands trick).
+
+Candidates from all partitions are verified against their signatures and
+ranked by estimated containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from .lsh import BandedLSHIndex, optimal_param
+from .minhash import MinHasher, MinHashSignature
+
+__all__ = ["LSHEnsemble", "EnsembleMatch"]
+
+_DEFAULT_ALLOWED_R = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class EnsembleMatch:
+    """One query result: the indexed key and its estimated containment."""
+
+    key: Hashable
+    containment: float
+
+
+class _Partition:
+    """One cardinality range: shared signatures, one banded index per r."""
+
+    def __init__(self, num_perm: int, allowed_r: Sequence[int]):
+        self.upper = 0
+        self.signatures: dict[Hashable, MinHashSignature] = {}
+        self.indexes = {r: BandedLSHIndex(num_perm, r) for r in allowed_r}
+
+    def insert(self, key: Hashable, signature: MinHashSignature) -> None:
+        self.upper = max(self.upper, signature.size)
+        self.signatures[key] = signature
+        for index in self.indexes.values():
+            index.insert(key, signature)
+
+
+class LSHEnsemble:
+    """Top-k containment search over indexed token sets.
+
+    Usage::
+
+        ensemble = LSHEnsemble(num_perm=128, num_partitions=8)
+        ensemble.index([("lake.T3.City", city_tokens), ...])
+        for match in ensemble.query(query_tokens, threshold=0.5, k=10):
+            ...
+
+    ``index`` may be called once with all entries (it sorts by cardinality to
+    form equi-depth partitions); incremental ``insert`` routes to the best
+    existing partition, trading a little tuning accuracy for convenience.
+    """
+
+    def __init__(
+        self,
+        num_perm: int = 128,
+        num_partitions: int = 8,
+        seed: int = 1,
+        allowed_r: Sequence[int] | None = None,
+    ):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_perm = num_perm
+        self.num_partitions = num_partitions
+        self._hasher = MinHasher(num_perm=num_perm, seed=seed)
+        self._allowed_r = tuple(
+            r for r in (allowed_r or _DEFAULT_ALLOWED_R) if r <= num_perm
+        )
+        if not self._allowed_r:
+            raise ValueError("allowed_r has no entry <= num_perm")
+        self._partitions: list[_Partition] = []
+        self._indexed = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._indexed
+
+    def signature_of(self, tokens: Iterable[Hashable]) -> MinHashSignature:
+        """Expose the hasher so callers can cache query signatures."""
+        return self._hasher.signature(tokens)
+
+    def index(self, entries: Iterable[tuple[Hashable, Iterable[Hashable]]]) -> None:
+        """Bulk-index ``(key, token set)`` pairs with equi-depth partitioning."""
+        signed = [(key, self._hasher.signature(tokens)) for key, tokens in entries]
+        signed = [(key, sig) for key, sig in signed if sig.size > 0]
+        if not signed:
+            return
+        signed.sort(key=lambda pair: pair[1].size)
+        chunks = max(1, min(self.num_partitions, len(signed)))
+        per_chunk = -(-len(signed) // chunks)  # ceil division: equi-depth
+        for start in range(0, len(signed), per_chunk):
+            partition = _Partition(self.num_perm, self._allowed_r)
+            for key, signature in signed[start : start + per_chunk]:
+                partition.insert(key, signature)
+            self._partitions.append(partition)
+        self._indexed += len(signed)
+
+    def insert(self, key: Hashable, tokens: Iterable[Hashable]) -> None:
+        """Incrementally index one set (routed by cardinality)."""
+        signature = self._hasher.signature(tokens)
+        if signature.size == 0:
+            return
+        if not self._partitions:
+            self._partitions.append(_Partition(self.num_perm, self._allowed_r))
+        target = min(
+            self._partitions,
+            key=lambda p: abs(p.upper - signature.size),
+        )
+        target.insert(key, signature)
+        self._indexed += 1
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        tokens: Iterable[Hashable],
+        threshold: float = 0.5,
+        k: int | None = None,
+    ) -> list[EnsembleMatch]:
+        """Indexed sets whose estimated containment of the query is >=
+        *threshold*, best first, optionally truncated to *k*."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        query_sig = self._hasher.signature(tokens)
+        if query_sig.size == 0:
+            return []
+        candidates: set[Hashable] = set()
+        signature_of: dict[Hashable, MinHashSignature] = {}
+        for partition in self._partitions:
+            if not partition.signatures:
+                continue
+            jaccard_threshold = self._containment_to_jaccard(
+                threshold, query_sig.size, partition.upper
+            )
+            b, r = optimal_param(jaccard_threshold, self.num_perm, self._allowed_r)
+            hits = partition.indexes[r].query(query_sig, bands=b)
+            for key in hits:
+                candidates.add(key)
+                signature_of[key] = partition.signatures[key]
+        matches = []
+        for key in candidates:
+            estimate = query_sig.containment_in(signature_of[key])
+            if estimate >= threshold:
+                matches.append(EnsembleMatch(key=key, containment=estimate))
+        matches.sort(key=lambda m: (-m.containment, str(m.key)))
+        if k is not None:
+            matches = matches[:k]
+        return matches
+
+    @staticmethod
+    def _containment_to_jaccard(threshold: float, query_size: int, upper: int) -> float:
+        """Per-partition conversion using the partition's max cardinality.
+
+        For candidate size ``u``: ``j = t·|Q| / (|Q| + u − t·|Q|)``.  Using
+        the partition upper bound makes the converted threshold a *lower*
+        bound over the partition, so recall is preserved (the Ensemble
+        paper's central inequality).
+        """
+        denominator = query_size + upper - threshold * query_size
+        if denominator <= 0:
+            return 1.0
+        return max(0.0, min(1.0, threshold * query_size / denominator))

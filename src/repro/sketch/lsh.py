@@ -1,0 +1,116 @@
+"""Banded locality-sensitive hashing over MinHash signatures.
+
+Standard b-bands-of-r-rows LSH: a pair whose Jaccard is ``s`` collides in at
+least one band with probability ``1 - (1 - s^r)^b``.  The Ensemble layer
+(:mod:`repro.sketch.ensemble`) picks ``(b, r)`` per query; this module
+provides the bucket structure and the false-positive/negative optimizer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from .minhash import MinHashSignature
+
+__all__ = ["collision_probability", "optimal_param", "BandedLSHIndex"]
+
+
+def collision_probability(similarity: float, b: int, r: int) -> float:
+    """P[at least one band collides] for a pair with Jaccard *similarity*."""
+    return 1.0 - (1.0 - similarity**r) ** b
+
+
+def _false_positive_area(threshold: float, b: int, r: int, steps: int = 64) -> float:
+    """∫₀ᵗ P(collide | s) ds -- mass of unwanted collisions below threshold."""
+    if threshold <= 0.0:
+        return 0.0
+    xs = np.linspace(0.0, threshold, steps)
+    ys = 1.0 - (1.0 - xs**r) ** b
+    return float(np.trapezoid(ys, xs))
+
+
+def _false_negative_area(threshold: float, b: int, r: int, steps: int = 64) -> float:
+    """∫ₜ¹ P(miss | s) ds -- mass of wanted pairs that never collide."""
+    if threshold >= 1.0:
+        return 0.0
+    xs = np.linspace(threshold, 1.0, steps)
+    ys = (1.0 - xs**r) ** b
+    return float(np.trapezoid(ys, xs))
+
+
+def optimal_param(
+    threshold: float,
+    num_perm: int,
+    allowed_r: tuple[int, ...] | None = None,
+    fp_weight: float = 0.5,
+) -> tuple[int, int]:
+    """The ``(b, r)`` pair minimizing weighted FP+FN area at *threshold*.
+
+    Only ``b * r <= num_perm`` combinations are considered; *allowed_r*
+    restricts the row counts to those the index has prebuilt.
+    """
+    threshold = min(max(threshold, 0.0), 1.0)
+    candidates = allowed_r if allowed_r is not None else tuple(range(1, num_perm + 1))
+    best: tuple[float, int, int] | None = None
+    for r in candidates:
+        b = num_perm // r
+        if b == 0:
+            continue
+        error = fp_weight * _false_positive_area(threshold, b, r) + (
+            1.0 - fp_weight
+        ) * _false_negative_area(threshold, b, r)
+        if best is None or error < best[0]:
+            best = (error, b, r)
+    if best is None:
+        raise ValueError(f"no feasible (b, r) for num_perm={num_perm}")
+    return best[1], best[2]
+
+
+class BandedLSHIndex:
+    """One banded index with fixed ``r``; bands can be probed prefix-wise.
+
+    The same stored signatures serve any effective band count ``b' <= b``:
+    probing only the first ``b'`` bands is exactly LSH with ``(b', r)``.
+    That prefix trick is what lets LSH Ensemble tune parameters per query
+    without rebuilding anything.
+    """
+
+    def __init__(self, num_perm: int, r: int):
+        if r <= 0 or r > num_perm:
+            raise ValueError(f"invalid band width r={r} for num_perm={num_perm}")
+        self.num_perm = num_perm
+        self.r = r
+        self.b = num_perm // r
+        self._buckets: list[dict[bytes, list[Hashable]]] = [{} for _ in range(self.b)]
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _band_key(self, signature: MinHashSignature, band: int) -> bytes:
+        start = band * self.r
+        return signature.values[start : start + self.r].tobytes()
+
+    def insert(self, key: Hashable, signature: MinHashSignature) -> None:
+        """Index *signature* under *key* in every band."""
+        self._count += 1
+        for band in range(self.b):
+            self._buckets[band].setdefault(self._band_key(signature, band), []).append(key)
+
+    def query(self, signature: MinHashSignature, bands: int | None = None) -> set[Hashable]:
+        """Keys colliding with *signature* in any of the first *bands* bands."""
+        use = self.b if bands is None else min(bands, self.b)
+        result: set[Hashable] = set()
+        for band in range(use):
+            hits = self._buckets[band].get(self._band_key(signature, band))
+            if hits:
+                result.update(hits)
+        return result
+
+
+def minhash_accuracy_stderr(num_perm: int) -> float:
+    """Standard error of the Jaccard estimate: 1 / sqrt(num_perm)."""
+    return 1.0 / math.sqrt(num_perm)

@@ -1,0 +1,52 @@
+"""Null-aware in-memory table engine (the pandas substitute).
+
+This package is DIALITE's common substrate: a typed, row-major relation with
+the paper's two-kind null model (*missing* ``±`` from inputs, *produced*
+``⊥`` from integration), CSV I/O, type inference and the classical
+relational operators.
+
+Quick tour::
+
+    from repro.table import Table, ops
+    t = Table(["City", "Rate"], [("Berlin", 63), ("Boston", 62)], name="T1")
+    joined = ops.full_outer_join(t, other)
+"""
+
+from . import ops
+from .infer import infer_dtype, infer_schema, parse_cell
+from .io import read_csv, read_lake_dir, write_csv
+from .schema import ColumnSpec, Schema
+from .table import Table
+from .values import (
+    MISSING,
+    PRODUCED,
+    Cell,
+    Null,
+    coalesce,
+    is_missing,
+    is_null,
+    is_produced,
+    values_equal,
+)
+
+__all__ = [
+    "Table",
+    "Schema",
+    "ColumnSpec",
+    "Cell",
+    "Null",
+    "MISSING",
+    "PRODUCED",
+    "is_null",
+    "is_missing",
+    "is_produced",
+    "values_equal",
+    "coalesce",
+    "parse_cell",
+    "infer_dtype",
+    "infer_schema",
+    "read_csv",
+    "write_csv",
+    "read_lake_dir",
+    "ops",
+]

@@ -1,0 +1,509 @@
+"""Relational operators over :class:`~repro.table.table.Table`.
+
+These are the classical operators DIALITE's integration baselines are built
+from: projection, selection, natural inner/left/full-outer joins, outer
+union, distinct, sort and group-by aggregation.  All joins are *natural*
+(keyed on shared column names) unless an explicit ``on`` list is given,
+because after alignment the shared names are exactly the integration IDs.
+
+Null semantics follow SQL: a null (of either kind) never matches a join key
+and is skipped by aggregates.  Cells *introduced* by an operator (padding of
+non-matching rows, outer-union widening) are :data:`PRODUCED` (``⊥``) nulls,
+which is precisely how the paper's Figure 8(a) outer join is rendered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .table import Table
+from .values import PRODUCED, Cell, is_null
+
+__all__ = [
+    "project",
+    "select",
+    "distinct",
+    "sort_by",
+    "limit",
+    "union_all",
+    "outer_union",
+    "inner_join",
+    "left_outer_join",
+    "full_outer_join",
+    "semi_join",
+    "anti_join",
+    "aggregate",
+    "AGGREGATES",
+    "add_column",
+    "drop_columns",
+    "value_counts",
+    "sample",
+    "pivot",
+]
+
+
+# ----------------------------------------------------------------------
+# Unary operators
+# ----------------------------------------------------------------------
+def project(table: Table, columns: Sequence[str], name: str | None = None) -> Table:
+    """Keep only *columns*, in the given order."""
+    positions = [table.column_index(c) for c in columns]
+    rows = (tuple(row[p] for p in positions) for row in table.rows)
+    return Table(columns, rows, name=name or table.name)
+
+
+def select(
+    table: Table, predicate: Callable[[dict[str, Cell]], bool], name: str | None = None
+) -> Table:
+    """Keep rows where ``predicate(row_as_dict)`` is true."""
+    columns = table.columns
+    rows = (row for row in table.rows if predicate(dict(zip(columns, row))))
+    return Table(columns, rows, name=name or table.name)
+
+
+def distinct(table: Table) -> Table:
+    """Remove duplicate rows, keeping first occurrences (null kind matters)."""
+    seen: set[tuple] = set()
+    rows = []
+    for row in table.rows:
+        key = tuple(_hashable(cell) for cell in row)
+        if key not in seen:
+            seen.add(key)
+            rows.append(row)
+    return Table(table.columns, rows, name=table.name)
+
+
+def sort_by(table: Table, columns: Sequence[str], descending: bool = False) -> Table:
+    """Stable sort by *columns*; nulls sort last regardless of direction."""
+    positions = [table.column_index(c) for c in columns]
+
+    def key(row: tuple[Cell, ...]):
+        parts = []
+        for position in positions:
+            cell = row[position]
+            # (null flag, type name, value-as-string) is a total order over
+            # heterogeneous cells; the null flag pushes nulls to the end.
+            parts.append((is_null(cell), type(cell).__name__, str(cell)))
+        return tuple(parts)
+
+    rows = sorted(table.rows, key=key, reverse=descending)
+    return Table(table.columns, rows, name=table.name)
+
+
+def limit(table: Table, n: int) -> Table:
+    """The first *n* rows."""
+    return table.head(n)
+
+
+# ----------------------------------------------------------------------
+# Union-family operators
+# ----------------------------------------------------------------------
+def union_all(tables: Sequence[Table], name: str = "union") -> Table:
+    """Concatenate tables that share an identical header (bag semantics)."""
+    if not tables:
+        raise ValueError("union_all of zero tables")
+    header = tables[0].columns
+    for table in tables[1:]:
+        if table.columns != header:
+            raise ValueError(
+                f"union_all header mismatch: {header} vs {table.columns} ({table.name!r})"
+            )
+    rows: list[tuple[Cell, ...]] = []
+    for table in tables:
+        rows.extend(table.rows)
+    return Table(header, rows, name=name)
+
+
+def outer_union(tables: Sequence[Table], name: str = "outer_union") -> Table:
+    """Union over the *united* header: columns are aligned by name and rows
+    are padded with produced nulls for attributes a source table lacks.
+
+    This is the first step of every Full Disjunction algorithm in
+    :mod:`repro.integration`.  Column order: first appearance wins.
+    """
+    if not tables:
+        raise ValueError("outer_union of zero tables")
+    header: list[str] = []
+    seen: set[str] = set()
+    for table in tables:
+        for column in table.columns:
+            if column not in seen:
+                seen.add(column)
+                header.append(column)
+    rows = []
+    for table in tables:
+        positions = {column: i for i, column in enumerate(table.columns)}
+        for row in table.rows:
+            rows.append(
+                tuple(
+                    row[positions[column]] if column in positions else PRODUCED
+                    for column in header
+                )
+            )
+    return Table(header, rows, name=name)
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+def inner_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str | None = None
+) -> Table:
+    """Natural (or ``on``-keyed) inner join; null keys never match."""
+    return _hash_join(left, right, on, keep_left=False, keep_right=False, name=name)
+
+
+def left_outer_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str | None = None
+) -> Table:
+    """Left outer join; unmatched left rows are padded with ``⊥``."""
+    return _hash_join(left, right, on, keep_left=True, keep_right=False, name=name)
+
+
+def full_outer_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str | None = None
+) -> Table:
+    """Full outer join (the paper's ``⟗``); unmatched rows on either side are
+    padded with ``⊥``.  Note this operator is **not associative** -- the very
+    deficiency Full Disjunction exists to fix -- and
+    :mod:`repro.integration.outerjoin` demonstrates the order sensitivity.
+    """
+    return _hash_join(left, right, on, keep_left=True, keep_right=True, name=name)
+
+
+def _hash_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str] | None,
+    keep_left: bool,
+    keep_right: bool,
+    name: str | None,
+) -> Table:
+    if on is None:
+        on = [c for c in left.columns if right.has_column(c)]
+    else:
+        for column in on:
+            left.column_index(column)
+            right.column_index(column)
+    if not on:
+        raise ValueError(
+            f"no shared columns between {left.name!r} and {right.name!r}; "
+            "pass on=[...] or align the tables first"
+        )
+    left_key_pos = [left.column_index(c) for c in on]
+    right_key_pos = [right.column_index(c) for c in on]
+    right_extra = [c for c in right.columns if c not in on]
+    right_extra_pos = [right.column_index(c) for c in right_extra]
+    header = list(left.columns) + right_extra
+
+    index: dict[tuple, list[int]] = {}
+    for i, row in enumerate(right.rows):
+        key = _key_of(row, right_key_pos)
+        if key is not None:
+            index.setdefault(key, []).append(i)
+
+    matched_right: set[int] = set()
+    rows: list[tuple[Cell, ...]] = []
+    for row in left.rows:
+        key = _key_of(row, left_key_pos)
+        matches = index.get(key, []) if key is not None else []
+        if matches:
+            for j in matches:
+                matched_right.add(j)
+                right_row = right.rows[j]
+                rows.append(row + tuple(right_row[p] for p in right_extra_pos))
+        elif keep_left:
+            rows.append(row + (PRODUCED,) * len(right_extra))
+    if keep_right:
+        left_extra_width = len(left.columns) - len(on)
+        left_on_pos = {c: i for i, c in enumerate(left.columns)}
+        for j, right_row in enumerate(right.rows):
+            if j in matched_right:
+                continue
+            out: list[Cell] = [PRODUCED] * len(left.columns)
+            for column, right_pos in zip(on, right_key_pos):
+                out[left_on_pos[column]] = right_row[right_pos]
+            out.extend(right_row[p] for p in right_extra_pos)
+            rows.append(tuple(out))
+        del left_extra_width
+    join_name = name or f"{left.name}_join_{right.name}"
+    return Table(header, rows, name=join_name)
+
+
+def semi_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str | None = None
+) -> Table:
+    """Left rows that have at least one join partner in *right*."""
+    return _filter_join(left, right, on, keep_matching=True, name=name)
+
+
+def anti_join(
+    left: Table, right: Table, on: Sequence[str] | None = None, name: str | None = None
+) -> Table:
+    """Left rows with **no** join partner in *right* (null keys count as
+    unmatched, SQL-style)."""
+    return _filter_join(left, right, on, keep_matching=False, name=name)
+
+
+def _filter_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str] | None,
+    keep_matching: bool,
+    name: str | None,
+) -> Table:
+    if on is None:
+        on = [c for c in left.columns if right.has_column(c)]
+    if not on:
+        raise ValueError(
+            f"no shared columns between {left.name!r} and {right.name!r}; pass on=[...]"
+        )
+    left_positions = [left.column_index(c) for c in on]
+    right_positions = [right.column_index(c) for c in on]
+    right_keys = {
+        key
+        for key in (_key_of(row, right_positions) for row in right.rows)
+        if key is not None
+    }
+    rows = []
+    for row in left.rows:
+        key = _key_of(row, left_positions)
+        matched = key is not None and key in right_keys
+        if matched == keep_matching:
+            rows.append(row)
+    return Table(left.columns, rows, name=name or left.name)
+
+
+def _key_of(row: tuple[Cell, ...], positions: Sequence[int]) -> tuple | None:
+    """Join key for a row, or ``None`` if any key cell is null."""
+    key = []
+    for position in positions:
+        cell = row[position]
+        if is_null(cell):
+            return None
+        key.append(_hashable(cell))
+    return tuple(key)
+
+
+def _hashable(cell: Cell) -> tuple[str, str]:
+    """A hashable, type-tagged stand-in for a cell (nulls keep their kind)."""
+    if is_null(cell):
+        return ("null", repr(cell))
+    if isinstance(cell, bool):
+        return ("bool", str(cell))
+    if isinstance(cell, (int, float)):
+        # 1 and 1.0 join; format drops the distinction deliberately.
+        return ("num", f"{float(cell):g}")
+    return ("str", str(cell))
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _agg_count(values: list[Cell]) -> int:
+    return len(values)
+
+
+def _agg_sum(values: list[Cell]) -> Cell:
+    numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    if not numeric:
+        return PRODUCED
+    return sum(numeric)
+
+
+def _agg_mean(values: list[Cell]) -> Cell:
+    numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    if not numeric:
+        return PRODUCED
+    return sum(numeric) / len(numeric)
+
+
+def _agg_min(values: list[Cell]) -> Cell:
+    if not values:
+        return PRODUCED
+    try:
+        return min(values)
+    except TypeError:
+        return min(values, key=str)
+
+
+def _agg_max(values: list[Cell]) -> Cell:
+    if not values:
+        return PRODUCED
+    try:
+        return max(values)
+    except TypeError:
+        return max(values, key=str)
+
+
+#: Built-in aggregate functions usable by name in :func:`aggregate`.
+AGGREGATES: dict[str, Callable[[list[Cell]], Cell]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "mean": _agg_mean,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+
+def aggregate(
+    table: Table,
+    group_by: Sequence[str],
+    aggregations: Mapping[str, tuple[str, str | Callable[[list[Cell]], Cell]]],
+    name: str | None = None,
+) -> Table:
+    """Group-by aggregation.
+
+    *aggregations* maps each output column name to ``(input column, func)``
+    where *func* is a key of :data:`AGGREGATES` or any callable from a list
+    of non-null cells to one cell.  Rows with a null in a grouping column
+    form their own per-kind null group (so incomplete integrated tuples stay
+    visible rather than silently vanishing, which is the analytic point of
+    Section 2.3).
+
+    An empty *group_by* aggregates the whole table into a single row.
+    """
+    group_pos = [table.column_index(c) for c in group_by]
+    resolved: list[tuple[str, int, Callable[[list[Cell]], Cell]]] = []
+    for out_column, (in_column, func) in aggregations.items():
+        func_callable = AGGREGATES[func] if isinstance(func, str) else func
+        resolved.append((out_column, table.column_index(in_column), func_callable))
+
+    groups: dict[tuple, list[tuple[Cell, ...]]] = {}
+    order: list[tuple] = []
+    for row in table.rows:
+        key = tuple(_hashable(row[p]) for p in group_pos)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    header = list(group_by) + [out for out, _, _ in resolved]
+    out_rows = []
+    for key in order:
+        members = groups[key]
+        group_cells = [members[0][p] for p in group_pos]
+        for out_column, position, func_callable in resolved:
+            values = [row[position] for row in members if not is_null(row[position])]
+            group_cells.append(func_callable(values))
+        out_rows.append(tuple(group_cells))
+    return Table(header, out_rows, name=name or f"{table.name}_agg")
+
+
+# ----------------------------------------------------------------------
+# Column-level and reshaping operators
+# ----------------------------------------------------------------------
+def add_column(
+    table: Table,
+    name: str,
+    func: Callable[[dict[str, Cell]], Cell],
+    position: int | None = None,
+) -> Table:
+    """Append (or insert at *position*) a computed column.
+
+    *func* receives each row as a dict.  The classic use is materializing a
+    parsed numeric view next to a messy source column.
+    """
+    if table.has_column(name):
+        raise ValueError(f"table {table.name!r} already has a column {name!r}")
+    insert_at = len(table.columns) if position is None else position
+    columns = list(table.columns)
+    columns.insert(insert_at, name)
+    rows = []
+    for row in table.rows:
+        value = func(dict(zip(table.columns, row)))
+        cells = list(row)
+        cells.insert(insert_at, value)
+        rows.append(tuple(cells))
+    return Table(columns, rows, name=table.name)
+
+
+def drop_columns(table: Table, names: Sequence[str]) -> Table:
+    """Remove *names*; dropping every column raises."""
+    for column in names:
+        table.column_index(column)
+    remaining = [c for c in table.columns if c not in set(names)]
+    if not remaining:
+        raise ValueError(f"cannot drop every column of {table.name!r}")
+    return project(table, remaining)
+
+
+def value_counts(table: Table, column: str, descending: bool = True) -> Table:
+    """Distinct values of *column* with their frequencies (nulls grouped by
+    kind, rendered with the paper's markers)."""
+    position = table.column_index(column)
+    counts: dict[tuple, tuple[Cell, int]] = {}
+    for row in table.rows:
+        cell = row[position]
+        key = _hashable(cell)
+        current = counts.get(key)
+        counts[key] = (cell, (current[1] if current else 0) + 1)
+    rows = sorted(
+        counts.values(),
+        key=lambda pair: (-pair[1] if descending else pair[1], str(pair[0])),
+    )
+    return Table([column, "count"], rows, name=f"{table.name}_counts")
+
+
+def sample(table: Table, n: int, seed: int = 0) -> Table:
+    """A deterministic pseudo-random sample of *n* rows (without
+    replacement; all rows if ``n >= len``)."""
+    import random as _random
+
+    if n < 0:
+        raise ValueError("sample size must be non-negative")
+    if n >= table.num_rows:
+        return Table(table.columns, table.rows, name=table.name)
+    rng = _random.Random(seed)
+    indices = sorted(rng.sample(range(table.num_rows), n))
+    return Table(table.columns, [table.rows[i] for i in indices], name=table.name)
+
+
+def pivot(
+    table: Table,
+    index: str,
+    columns: str,
+    values: str,
+    agg: str | Callable[[list[Cell]], Cell] = "mean",
+) -> Table:
+    """Long-to-wide reshape: one output row per *index* value, one output
+    column per distinct *columns* value, cells aggregated from *values*.
+
+    Missing combinations are produced nulls; distinct pivot values are
+    ordered by first appearance for determinism.
+    """
+    func = AGGREGATES[agg] if isinstance(agg, str) else agg
+    index_position = table.column_index(index)
+    column_position = table.column_index(columns)
+    value_position = table.column_index(values)
+
+    column_order: list[str] = []
+    seen_columns: set[str] = set()
+    groups: dict[tuple, dict[str, list[Cell]]] = {}
+    row_order: list[tuple] = []
+    labels: dict[tuple, Cell] = {}
+    for row in table.rows:
+        pivot_value = row[column_position]
+        if is_null(pivot_value):
+            continue
+        pivot_label = str(pivot_value)
+        if pivot_label not in seen_columns:
+            seen_columns.add(pivot_label)
+            column_order.append(pivot_label)
+        key = _hashable(row[index_position])
+        if key not in groups:
+            groups[key] = {}
+            row_order.append(key)
+            labels[key] = row[index_position]
+        if not is_null(row[value_position]):
+            groups[key].setdefault(pivot_label, []).append(row[value_position])
+
+    header = [index] + column_order
+    out_rows = []
+    for key in row_order:
+        cells: list[Cell] = [labels[key]]
+        for label in column_order:
+            bucket = groups[key].get(label)
+            cells.append(func(bucket) if bucket else PRODUCED)
+        out_rows.append(tuple(cells))
+    return Table(header, out_rows, name=f"{table.name}_pivot")

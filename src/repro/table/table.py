@@ -1,0 +1,264 @@
+"""The in-memory table: the data structure every stage of DIALITE shares.
+
+A :class:`Table` is an immutable-by-convention, row-major relation with named
+columns and null-aware cells.  It deliberately stays small: relational
+operators live in :mod:`repro.table.ops`, CSV I/O in :mod:`repro.table.io`,
+and integration provenance (tuple IDs / output IDs) in
+:mod:`repro.integration.tuples` -- the table itself is just well-formed data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .infer import infer_schema
+from .schema import Schema
+from .values import MISSING, Cell, is_null
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named relation: ordered columns over a list of equal-width rows.
+
+    Rows are stored as tuples; cells are :data:`repro.table.values.Cell`
+    values.  Construction validates shape (ragged rows and duplicate column
+    names are rejected immediately rather than surfacing later as silent
+    misalignment, the classic data-lake failure mode).
+    """
+
+    __slots__ = ("_name", "_columns", "_rows", "_schema", "_col_index")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Cell]] = (),
+        name: str = "table",
+    ):
+        self._name = name
+        self._columns = tuple(str(c) for c in columns)
+        self._col_index = {c: i for i, c in enumerate(self._columns)}
+        if len(self._col_index) != len(self._columns):
+            raise ValueError(f"duplicate column names in table {name!r}: {self._columns}")
+        width = len(self._columns)
+        materialized = []
+        for row_number, row in enumerate(rows):
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise ValueError(
+                    f"row {row_number} of table {name!r} has {len(row_tuple)} cells, "
+                    f"expected {width}"
+                )
+            materialized.append(row_tuple)
+        self._rows = materialized
+        self._schema: Schema | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[Cell]], name: str = "table") -> "Table":
+        """Build a table from ``{column name: column values}``.
+
+        All columns must have equal length (ragged input raises).
+        """
+        columns = list(data)
+        lengths = {len(values) for values in data.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"columns of table {name!r} have unequal lengths: {sorted(lengths)}")
+        height = lengths.pop() if lengths else 0
+        rows = (tuple(data[c][i] for c in columns) for i in range(height))
+        return cls(columns, rows, name=name)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str], name: str = "table") -> "Table":
+        """A zero-row table with the given header."""
+        return cls(columns, (), name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def rows(self) -> list[tuple[Cell, ...]]:
+        """The row list itself; treat it as read-only."""
+        return self._rows
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, columns)``, pandas-style."""
+        return (len(self._rows), len(self._columns))
+
+    @property
+    def schema(self) -> Schema:
+        """The inferred schema (computed lazily and cached)."""
+        if self._schema is None:
+            self._schema = infer_schema(self._columns, self._rows)
+        return self._schema
+
+    def column_index(self, name: str) -> int:
+        """Position of column *name* (KeyError lists available columns)."""
+        try:
+            return self._col_index[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self._name!r} has no column {name!r}; columns: {list(self._columns)}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table has a column called *name*."""
+        return name in self._col_index
+
+    def column(self, name: str) -> list[Cell]:
+        """All values of one column, in row order."""
+        position = self.column_index(name)
+        return [row[position] for row in self._rows]
+
+    def column_values(self, name: str) -> list[Cell]:
+        """Non-null values of one column, in row order."""
+        position = self.column_index(name)
+        return [row[position] for row in self._rows if not is_null(row[position])]
+
+    def distinct_values(self, name: str) -> set[Cell]:
+        """The set of distinct non-null values in a column (a *domain*)."""
+        return set(self.column_values(name))
+
+    def cell(self, row: int, column: str) -> Cell:
+        """One cell by row index and column name."""
+        return self._rows[row][self.column_index(column)]
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[Cell, ...]]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def iter_dicts(self) -> Iterator[dict[str, Cell]]:
+        """Rows as ``{column: value}`` dictionaries."""
+        for row in self._rows:
+            yield dict(zip(self._columns, row))
+
+    # ------------------------------------------------------------------
+    # Lightweight transforms (anything heavier lives in table.ops)
+    # ------------------------------------------------------------------
+    def with_name(self, name: str) -> "Table":
+        """The same data under a different table name."""
+        return Table(self._columns, self._rows, name=name)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Table":
+        """Rename a subset of columns (old name -> new name)."""
+        unknown = sorted(set(mapping) - set(self._col_index))
+        if unknown:
+            raise KeyError(f"cannot rename unknown columns of {self._name!r}: {unknown}")
+        new_columns = [mapping.get(c, c) for c in self._columns]
+        return Table(new_columns, self._rows, name=self._name)
+
+    def head(self, n: int = 5) -> "Table":
+        """The first *n* rows."""
+        return Table(self._columns, self._rows[:n], name=self._name)
+
+    def map_column(self, name: str, func: Callable[[Cell], Cell]) -> "Table":
+        """Apply *func* to every cell of one column, nulls included."""
+        position = self.column_index(name)
+        rows = (
+            row[:position] + (func(row[position]),) + row[position + 1 :] for row in self._rows
+        )
+        return Table(self._columns, rows, name=self._name)
+
+    def fill_missing(self) -> "Table":
+        """Replace every null by :data:`MISSING` -- used when loading input
+        tables so that file-borne nulls carry the *missing* (``±``) kind."""
+        rows = (
+            tuple(MISSING if is_null(cell) else cell for cell in row) for row in self._rows
+        )
+        return Table(self._columns, rows, name=self._name)
+
+    def null_count(self) -> int:
+        """Total number of null cells of either kind."""
+        return sum(1 for row in self._rows for cell in row if is_null(cell))
+
+    def completeness(self) -> float:
+        """Fraction of non-null cells (1.0 for an empty table)."""
+        total = self.num_rows * self.num_columns
+        if total == 0:
+            return 1.0
+        return 1.0 - self.null_count() / total
+
+    def to_dict(self) -> dict[str, list[Cell]]:
+        """Column-major view: ``{column name: list of values}``."""
+        return {column: self.column(column) for column in self._columns}
+
+    def to_records(self) -> list[dict[str, Cell]]:
+        """Row-major view: a list of ``{column: value}`` dictionaries."""
+        return [dict(zip(self._columns, row)) for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Comparison and display
+    # ------------------------------------------------------------------
+    def equals(self, other: "Table", ignore_row_order: bool = False) -> bool:
+        """Structural equality on columns + rows (names ignored).
+
+        Null kind matters: a table whose null is ``±`` is *not* equal to one
+        whose null is ``⊥`` in the same cell, mirroring the paper's figures.
+        """
+        if self._columns != other._columns:
+            return False
+        if ignore_row_order:
+            return sorted(map(_row_sort_key, self._rows)) == sorted(
+                map(_row_sort_key, other._rows)
+            )
+        return self._rows == other._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.equals(other)
+
+    def __hash__(self) -> int:  # pragma: no cover - tables are not dict keys
+        raise TypeError("Table is not hashable; key by table.name instead")
+
+    def __repr__(self) -> str:
+        return f"Table({self._name!r}, {self.num_rows}x{self.num_columns})"
+
+    def to_pretty(self, max_rows: int = 20) -> str:
+        """A fixed-width rendering with ``±``/``⊥`` null markers."""
+        shown = self._rows[:max_rows]
+        cells = [[_render(c) for c in self._columns]]
+        cells.extend([_render(v) for v in row] for row in shown)
+        widths = [max(len(r[i]) for r in cells) for i in range(self.num_columns)] or [0]
+        lines = []
+        for rendered in cells:
+            lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(rendered)))
+        if len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _row_sort_key(row: tuple[Cell, ...]) -> tuple[tuple[str, str], ...]:
+    """A total order over heterogeneous rows, for order-insensitive equality."""
+    return tuple((type(cell).__name__, _render(cell)) for cell in row)
+

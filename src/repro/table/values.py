@@ -1,0 +1,136 @@
+"""Cell values and the two-kind null model used throughout the library.
+
+DIALITE (following ALITE) distinguishes two kinds of nulls:
+
+* **missing nulls** (rendered ``±`` in the paper) -- nulls that were present
+  in the *input* tables, i.e. a value the data producer did not provide;
+* **produced nulls** (rendered ``⊥``) -- nulls *created by integration*, i.e.
+  an attribute a source tuple simply does not speak about.
+
+Both behave identically for relational semantics (a null never equals
+anything, including another null), but the output of integration must report
+which kind each null is -- Figures 2, 3 and 8 of the paper annotate every
+null with its kind.  This module makes the distinction first-class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+__all__ = [
+    "Null",
+    "MISSING",
+    "PRODUCED",
+    "Cell",
+    "is_null",
+    "is_missing",
+    "is_produced",
+    "values_equal",
+    "merge_null_kind",
+    "coalesce",
+]
+
+
+class Null:
+    """A null marker carrying its provenance kind.
+
+    Exactly two instances exist: :data:`MISSING` and :data:`PRODUCED`.
+    Instances are falsy, hashable and compare equal only to themselves, so a
+    null never accidentally joins with a concrete value.  Use
+    :func:`values_equal` for SQL-style comparison where ``null != null``.
+    """
+
+    __slots__ = ("_kind",)
+    _instances: dict[str, "Null"] = {}
+
+    def __new__(cls, kind: str) -> "Null":
+        if kind not in ("missing", "produced"):
+            raise ValueError(f"unknown null kind: {kind!r}")
+        existing = cls._instances.get(kind)
+        if existing is not None:
+            return existing
+        instance = super().__new__(cls)
+        instance._kind = kind
+        cls._instances[kind] = instance
+        return instance
+
+    @property
+    def kind(self) -> str:
+        """Either ``"missing"`` or ``"produced"``."""
+        return self._kind
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "±" if self._kind == "missing" else "⊥"
+
+    def __reduce__(self):
+        # Preserve singleton identity across pickling (used by parallel FD).
+        return (Null, (self._kind,))
+
+
+#: The null that was already present in an input table ("±" in the paper).
+MISSING = Null("missing")
+
+#: The null introduced by an integration operator ("⊥" in the paper).
+PRODUCED = Null("produced")
+
+#: Type alias for anything a table cell may hold.
+Cell = Union[str, int, float, bool, Null]
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` if *value* is a null of either kind."""
+    return isinstance(value, Null)
+
+
+def is_missing(value: Any) -> bool:
+    """Return ``True`` only for the input-data ("missing", ``±``) null."""
+    return value is MISSING
+
+
+def is_produced(value: Any) -> bool:
+    """Return ``True`` only for the integration-time ("produced", ``⊥``) null."""
+    return value is PRODUCED
+
+
+def values_equal(a: Cell, b: Cell) -> bool:
+    """SQL-style equality: nulls are never equal to anything.
+
+    Two concrete values are compared with ``==`` after unifying numeric
+    types, so ``1 == 1.0`` holds but ``"1" != 1`` (string/number confusion is
+    the type-inference layer's job, not the comparator's).
+    """
+    if is_null(a) or is_null(b):
+        return False
+    if isinstance(a, bool) != isinstance(b, bool):
+        # bool is an int subclass; keep True distinct from 1 in data context.
+        return False
+    return a == b
+
+
+def merge_null_kind(a: Null, b: Null) -> Null:
+    """Combine two nulls during tuple merge.
+
+    A *missing* null records positive knowledge ("the source said this value
+    exists but withheld it"), so it dominates a produced null: the merged
+    tuple still owes the reader that caveat.
+    """
+    if a is MISSING or b is MISSING:
+        return MISSING
+    return PRODUCED
+
+
+def coalesce(a: Cell, b: Cell) -> Cell:
+    """Return the more informative of two cells (used by tuple merge).
+
+    Non-null beats null; two nulls combine via :func:`merge_null_kind`.  The
+    caller is responsible for having checked that two non-null values agree
+    (see :func:`repro.integration.tuples.joinable`).
+    """
+    if is_null(a) and is_null(b):
+        return merge_null_kind(a, b)
+    if is_null(a):
+        return b
+    return a

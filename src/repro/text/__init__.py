@@ -1,0 +1,59 @@
+"""Text kernels: tokenization, set similarity, edit distances, quantities.
+
+Single home for every string-level primitive so discovery, alignment and
+entity resolution agree on what a token is and how strings compare.
+"""
+
+from .distance import (
+    acronym_score,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    name_similarity,
+)
+from .normalize import numeric_fraction, parse_quantity, to_float
+from .similarity import (
+    containment,
+    cosine_sets,
+    dice,
+    jaccard,
+    overlap,
+    weighted_jaccard,
+)
+from .tfidf import TfIdfWeights
+from .tokenize import (
+    cell_tokens,
+    char_ngrams,
+    column_token_set,
+    normalize_token,
+    word_ngrams,
+    word_tokens,
+)
+
+__all__ = [
+    "normalize_token",
+    "word_tokens",
+    "char_ngrams",
+    "word_ngrams",
+    "cell_tokens",
+    "column_token_set",
+    "jaccard",
+    "overlap",
+    "containment",
+    "dice",
+    "cosine_sets",
+    "weighted_jaccard",
+    "levenshtein",
+    "levenshtein_similarity",
+    "jaro",
+    "jaro_winkler",
+    "monge_elkan",
+    "acronym_score",
+    "name_similarity",
+    "parse_quantity",
+    "to_float",
+    "numeric_fraction",
+    "TfIdfWeights",
+]

@@ -1,0 +1,83 @@
+"""Quantity normalization: turning open-data strings into numbers.
+
+Open data writes numbers the way people do: ``"63%"``, ``"1.4M"``,
+``"263k"``, ``"$1,200"``.  The paper's Example 3 computes correlations over
+exactly such columns, so the analysis layer needs a principled parser.  The
+parser is opt-in -- type inference never applies it implicitly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..table.values import is_null
+
+__all__ = ["parse_quantity", "to_float", "numeric_fraction"]
+
+#: Magnitude suffixes, case-insensitive except "m" vs "M" is unified: open
+#: data uses both "1.4M" and "1.4m" for millions in count contexts.
+_SUFFIXES = {
+    "k": 1e3,
+    "m": 1e6,
+    "b": 1e9,
+    "bn": 1e9,
+    "t": 1e12,
+    "thousand": 1e3,
+    "million": 1e6,
+    "billion": 1e9,
+    "trillion": 1e12,
+}
+
+_QUANTITY_RE = re.compile(
+    r"""^\s*
+    (?P<currency>[$€£¥])?\s*
+    (?P<sign>[-+])?\s*
+    (?P<number>\d{1,3}(?:,\d{3})+(?:\.\d+)?|\d*\.?\d+)\s*
+    (?P<suffix>k|m|b|bn|t|thousand|million|billion|trillion)?\s*
+    (?P<percent>%)?\s*$""",
+    re.IGNORECASE | re.VERBOSE,
+)
+
+
+def parse_quantity(text: str) -> float | None:
+    """Parse a human-written quantity to a float, or ``None`` if it isn't one.
+
+    Percentages are returned as their face value (``"63%" -> 63.0``), because
+    that is how the paper's running example treats vaccination rates; callers
+    needing fractions can divide by 100.  Magnitude suffixes are expanded
+    (``"1.4M" -> 1_400_000.0``); thousands separators and currency symbols
+    are tolerated.
+    """
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        return None
+    number = float(match.group("number").replace(",", ""))
+    if match.group("sign") == "-":
+        number = -number
+    suffix = match.group("suffix")
+    if suffix:
+        number *= _SUFFIXES[suffix.lower()]
+    return number
+
+
+def to_float(cell: Any) -> float | None:
+    """Best-effort numeric view of a cell: numbers pass through, strings go
+    through :func:`parse_quantity`, nulls and everything else give ``None``."""
+    if is_null(cell) or cell is None:
+        return None
+    if isinstance(cell, bool):
+        return 1.0 if cell else 0.0
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    if isinstance(cell, str):
+        return parse_quantity(cell)
+    return None
+
+
+def numeric_fraction(values: list[Any]) -> float:
+    """Fraction of cells that have a numeric view -- used by alignment to
+    gate numeric columns against string columns."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if to_float(v) is not None) / len(values)

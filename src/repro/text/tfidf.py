@@ -1,0 +1,58 @@
+"""A small TF-IDF weighting scheme over token sets.
+
+Used by discovery scoring to damp ubiquitous tokens (years, "county",
+"total") that would otherwise dominate overlap-based measures on open data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Mapping
+
+__all__ = ["TfIdfWeights"]
+
+
+class TfIdfWeights:
+    """Corpus-level inverse-document-frequency weights.
+
+    A *document* is any token set (typically a column domain).  Weights are
+    smooth IDF: ``log(1 + N / (1 + df))``, never zero, so rare tokens score
+    high and tokens present in every document still count a little.
+    """
+
+    def __init__(self) -> None:
+        self._doc_freq: dict[Hashable, int] = {}
+        self._num_docs = 0
+
+    def add_document(self, tokens: Iterable[Hashable]) -> None:
+        """Register one document's token *set* (duplicates are collapsed)."""
+        self._num_docs += 1
+        for token in set(tokens):
+            self._doc_freq[token] = self._doc_freq.get(token, 0) + 1
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_docs
+
+    def idf(self, token: Hashable) -> float:
+        """Smooth inverse document frequency of *token*."""
+        df = self._doc_freq.get(token, 0)
+        return math.log(1.0 + self._num_docs / (1.0 + df)) if self._num_docs else 1.0
+
+    def weight_map(self, tokens: Iterable[Hashable]) -> dict[Hashable, float]:
+        """IDF weights for a token set, suitable for weighted Jaccard."""
+        return {token: self.idf(token) for token in set(tokens)}
+
+    def weighted_containment(
+        self, query: Iterable[Hashable], candidate: Mapping[Hashable, float] | set
+    ) -> float:
+        """IDF-weighted containment of *query* in *candidate* tokens."""
+        query_set = set(query)
+        if not query_set:
+            return 0.0
+        candidate_set = set(candidate)
+        total = sum(self.idf(t) for t in query_set)
+        if total == 0.0:
+            return 0.0
+        hit = sum(self.idf(t) for t in query_set if t in candidate_set)
+        return hit / total

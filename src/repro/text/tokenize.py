@@ -1,0 +1,86 @@
+"""Tokenizers shared by discovery, alignment and entity resolution.
+
+Every index in the library (MinHash/LSH Ensemble, JOSIE, SANTOS annotation,
+TF-IDF) consumes token sets produced here, so the definition of a "token" is
+kept in exactly one place.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from ..table.values import is_null
+
+__all__ = [
+    "normalize_token",
+    "word_tokens",
+    "char_ngrams",
+    "word_ngrams",
+    "cell_tokens",
+    "column_token_set",
+]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_token(text: str) -> str:
+    """Lowercase and strip surrounding whitespace -- the canonical form."""
+    return text.strip().lower()
+
+
+def word_tokens(text: str) -> list[str]:
+    """Alphanumeric word tokens of *text*, lowercased.
+
+    Punctuation splits tokens, so ``"J&J"`` yields ``["j", "j"]`` and
+    ``"New Delhi"`` yields ``["new", "delhi"]``.
+    """
+    return _WORD_RE.findall(text.lower())
+
+
+def char_ngrams(text: str, n: int = 3, pad: bool = True) -> list[str]:
+    """Character n-grams; with padding the string is wrapped in ``#``.
+
+    Padding makes prefixes/suffixes distinctive, which materially helps
+    matching short values such as country codes.
+    """
+    cleaned = normalize_token(text)
+    if not cleaned:
+        return []
+    if pad:
+        cleaned = "#" + cleaned + "#"
+    if len(cleaned) < n:
+        return [cleaned]
+    return [cleaned[i : i + n] for i in range(len(cleaned) - n + 1)]
+
+
+def word_ngrams(text: str, n: int = 2) -> list[str]:
+    """Word-level n-grams joined by underscores."""
+    words = word_tokens(text)
+    if len(words) < n:
+        return ["_".join(words)] if words else []
+    return ["_".join(words[i : i + n]) for i in range(len(words) - n + 1)]
+
+
+def cell_tokens(cell: Any) -> list[str]:
+    """Tokens of one table cell: nulls contribute nothing, numbers contribute
+    their canonical rendering, strings are word-tokenized."""
+    if is_null(cell):
+        return []
+    if isinstance(cell, bool):
+        return ["true" if cell else "false"]
+    if isinstance(cell, (int, float)):
+        return [f"{float(cell):g}"]
+    return word_tokens(str(cell))
+
+
+def column_token_set(values: Iterable[Any]) -> set[str]:
+    """The *domain token set* of a column: union of all cell token sets.
+
+    This is the set LSH Ensemble / JOSIE index; containment of a query
+    column's token set in a lake column's token set approximates joinability.
+    """
+    tokens: set[str] = set()
+    for value in values:
+        tokens.update(cell_tokens(value))
+    return tokens

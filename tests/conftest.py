@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalake.fixtures import (
+    covid_integration_set,
+    covid_joinable_table,
+    covid_query_table,
+    covid_unionable_table,
+    vaccine_integration_set,
+)
+from repro.datalake.synth import SyntheticLakeBuilder, build_integration_set
+
+
+@pytest.fixture
+def covid_tables():
+    """The paper's T1, T2, T3 (Figure 2)."""
+    return covid_integration_set()
+
+
+@pytest.fixture
+def covid_query():
+    return covid_query_table()
+
+
+@pytest.fixture
+def covid_unionable():
+    return covid_unionable_table()
+
+
+@pytest.fixture
+def covid_joinable():
+    return covid_joinable_table()
+
+
+@pytest.fixture
+def vaccine_tables():
+    """The paper's T4, T5, T6 (Figure 7)."""
+    return vaccine_integration_set()
+
+
+@pytest.fixture
+def small_synth_lake():
+    """A small deterministic synthetic lake with ground truth."""
+    return SyntheticLakeBuilder(seed=7).build(
+        num_unionable=3, num_joinable=3, num_distractors=4
+    )
+
+
+@pytest.fixture
+def small_integration_set():
+    """Five pre-aligned fragments for FD tests."""
+    return build_integration_set(
+        num_tables=5, rows_per_table=12, num_attributes=6,
+        attributes_per_table=3, key_pool_size=20, null_rate=0.1, seed=3,
+    )

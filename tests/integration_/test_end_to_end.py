@@ -1,0 +1,109 @@
+"""Cross-module integration tests: the full pipeline over synthetic lakes,
+CSV round trips, and the paper's workflow reproduced through the public API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dialite, DataLake
+from repro.analysis import IntegrationReport, information_dominates
+from repro.datalake import SyntheticLakeBuilder
+from repro.er import EntityResolver
+from repro.genquery import generate_query_table
+from repro.integration import AliteFD
+from repro.table import read_csv
+
+
+class TestPipelineOverSyntheticLake:
+    @pytest.fixture(scope="class")
+    def pipeline_and_lake(self):
+        synth = SyntheticLakeBuilder(seed=11).build(
+            num_unionable=3, num_joinable=3, num_distractors=6
+        )
+        pipeline = Dialite(synth.lake).fit()
+        return pipeline, synth
+
+    def test_discovery_ranks_ground_truth_over_distractors(self, pipeline_and_lake):
+        pipeline, synth = pipeline_and_lake
+        query = synth.query.with_name("Q")
+        outcome = pipeline.discover(query, k=6, query_column="City")
+        top = set(outcome.discovered_names[:6])
+        relevant = synth.truth.relevant()
+        assert len(top & relevant) >= 4  # most of the top-6 is truly related
+
+    def test_santos_favors_unionable_lshe_favors_joinable(self, pipeline_and_lake):
+        pipeline, synth = pipeline_and_lake
+        query = synth.query.with_name("Q")
+        outcome = pipeline.discover(query, k=3, query_column="City")
+        santos_top = {r.table_name for r in outcome.per_discoverer["santos"]}
+        lshe_top = {r.table_name for r in outcome.per_discoverer["lsh_ensemble"]}
+        assert santos_top & synth.truth.unionable
+        assert lshe_top & synth.truth.joinable
+
+    def test_full_run_produces_analyzable_table(self, pipeline_and_lake):
+        pipeline, synth = pipeline_and_lake
+        query = synth.query.with_name("Q")
+        result = pipeline.run(
+            query, k=4, query_column="City", analyses={"describe": {}}
+        )
+        assert result.integrated.num_rows > 0
+        assert result.analyses["describe"]["rows"] == result.integrated.num_rows
+
+    def test_fd_dominates_outer_join_on_synthetic_data(self, pipeline_and_lake):
+        pipeline, synth = pipeline_and_lake
+        query = synth.query.with_name("Q")
+        outcome = pipeline.discover(query, k=4, query_column="City")
+        aligned = pipeline.align(outcome.integration_set).apply(outcome.integration_set)
+        fd = pipeline.integrate(aligned, align=False)
+        oj = pipeline.integrate(aligned, integrator="outer_join", align=False)
+        assert information_dominates(fd, oj)
+        fd_report = IntegrationReport.from_integrated(fd)
+        oj_report = IntegrationReport.from_integrated(oj)
+        assert fd_report.merged_tuples >= oj_report.merged_tuples
+
+
+class TestCsvWorkflow:
+    def test_lake_from_directory_pipeline(self, tmp_path, covid_tables):
+        # Persist T2/T3 as a lake directory, reload, run the whole paper
+        # workflow through files -- the demo's actual deployment shape.
+        lake = DataLake(covid_tables[1:])
+        lake.save_to(tmp_path / "lake")
+        reloaded = DataLake.from_dir(tmp_path / "lake")
+        pipeline = Dialite(reloaded).fit()
+        query = covid_tables[0]
+        outcome = pipeline.discover(query, k=3, query_column="City")
+        integrated = pipeline.integrate(outcome)
+        assert integrated.num_rows == 7
+
+    def test_integrated_table_persists_null_kinds(self, tmp_path, covid_tables):
+        from repro.alignment import HolisticAligner
+        from repro.table import write_csv
+
+        aligned = HolisticAligner().align(covid_tables).apply(covid_tables)
+        fd = AliteFD().integrate(aligned)
+        path = tmp_path / "result.csv"
+        write_csv(fd, path)
+        text = path.read_text(encoding="utf-8")
+        assert "±" in text and "⊥" in text
+        back = read_csv(path)
+        assert back.num_rows == 7
+
+
+class TestGeneratedQueryPipeline:
+    def test_generated_query_drives_discovery(self):
+        synth = SyntheticLakeBuilder(seed=3).build(2, 2, 2)
+        pipeline = Dialite(synth.lake).fit()
+        query = generate_query_table(
+            "a table about covid vaccination", rows=6, seed=1, name="gptq"
+        )
+        outcome = pipeline.discover(query, k=4, query_column="City")
+        assert outcome.integration_set[0].name == "gptq"
+        integrated = pipeline.integrate(outcome)
+        assert integrated.num_rows > 0
+
+
+class TestERDownstreamOnIntegrated:
+    def test_er_merges_alias_rows_after_integration(self, vaccine_tables):
+        fd = AliteFD().integrate(vaccine_tables)
+        result = EntityResolver().resolve_table(fd)
+        assert result.num_entities < fd.num_rows

@@ -1,0 +1,95 @@
+"""Extensibility scenarios from Sec. 3.2: user-defined discovery (Fig. 4),
+query generation (Fig. 5) and user-defined integration (Fig. 6), exercised
+end-to-end exactly as the demo describes them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Dialite, DataLake
+from repro.analysis import AnalysisApp
+from repro.core.registry import DuplicateComponentError
+from repro.integration import Integrator, OuterJoinIntegrator
+from repro.table import Table, ops
+
+
+@pytest.fixture
+def pipeline(covid_unionable, covid_joinable):
+    return Dialite(DataLake([covid_unionable, covid_joinable])).fit()
+
+
+class TestFig4UserDefinedDiscovery:
+    def test_similarity_function_becomes_discoverer(self, pipeline, covid_query):
+        # The figure's snippet: similarity = |inner join| / |query|.
+        def inner_join_size(df1: Table, df2: Table) -> float:
+            shared = [c for c in df1.columns if df2.has_column(c)]
+            if not shared or df1.num_rows == 0:
+                return 0.0
+            return ops.inner_join(df1, df2, on=shared).num_rows / df1.num_rows
+
+        pipeline.add_discoverer(inner_join_size, name="my_join_search")
+        assert "my_join_search" in pipeline.discoverers
+        outcome = pipeline.discover(
+            covid_query, k=2, discoverer_names=["my_join_search"]
+        )
+        assert outcome.per_discoverer["my_join_search"][0].table_name == "T3"
+
+    def test_duplicate_name_requires_replace(self, pipeline):
+        pipeline.add_discoverer(lambda a, b: 0.5, name="dup")
+        with pytest.raises(DuplicateComponentError):
+            pipeline.add_discoverer(lambda a, b: 0.7, name="dup")
+        pipeline.add_discoverer(lambda a, b: 0.7, name="dup", replace=True)
+
+    def test_new_discoverer_is_fitted_automatically(self, pipeline, covid_query):
+        pipeline.add_discoverer(lambda a, b: 1.0, name="always")
+        outcome = pipeline.discover(covid_query, k=5, discoverer_names=["always"])
+        assert len(outcome.per_discoverer["always"]) == 2  # whole lake
+
+
+class TestFig5QueryGeneration:
+    def test_prompt_to_pipeline(self, pipeline):
+        query = pipeline.generate_query(
+            "generate a query table about COVID-19 cases that has 5 columns and 5 rows"
+        )
+        assert query.shape == (5, 5)
+        outcome = pipeline.discover(query, k=2, query_column="City")
+        assert outcome.integration_set  # query always present
+
+
+class TestFig6UserDefinedIntegration:
+    def test_outer_join_operator_plugged_in(self, pipeline, covid_tables):
+        # The demo registers outer join as the alternative operator and
+        # compares it with ALITE over the same aligned set.
+        aligned = pipeline.align(covid_tables).apply(covid_tables)
+        fd = pipeline.integrate(aligned, align=False)
+        oj = pipeline.integrate(aligned, integrator="outer_join", align=False)
+        assert fd.num_rows == 7
+        assert oj.num_rows >= 7  # outer join cannot connect more than FD
+        assert oj.algorithm == "outer_join"
+
+    def test_custom_operator_class(self, pipeline, covid_tables):
+        class KeepFirstRows(Integrator):
+            """A deliberately lossy operator: first row of each table."""
+
+            name = "keep_first"
+
+            def _integrate(self, tables, name):
+                heads = [t.head(1) for t in tables]
+                return OuterJoinIntegrator().integrate(heads, name=name)
+
+        pipeline.add_integrator(KeepFirstRows())
+        result = pipeline.integrate(covid_tables, integrator="keep_first")
+        assert result.algorithm == "outer_join"  # delegates internally
+        assert result.num_rows <= 3
+
+
+class TestCustomAnalysisApp:
+    def test_user_app_registered_and_run(self, pipeline, covid_query):
+        class NullShare(AnalysisApp):
+            name = "null_share"
+
+            def run(self, table, **options):
+                return table.null_count() / max(1, table.num_rows * table.num_columns)
+
+        pipeline.add_app(NullShare())
+        assert pipeline.analyze(covid_query, "null_share") == 0.0

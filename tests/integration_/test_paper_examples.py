@@ -1,0 +1,187 @@
+"""Exactness tests against the paper's figures (experiments E1-E4).
+
+These are the reproduction's anchor: every figure in the DIALITE paper whose
+content is checkable is checked cell-by-cell here, including null kinds
+(missing ``±`` vs produced ``⊥``) and tuple provenance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alignment import HolisticAligner
+from repro.analysis import column_correlation, extreme
+from repro.er import EntityResolver
+from repro.integration import AliteFD, OuterJoinIntegrator
+from repro.table.values import MISSING, PRODUCED
+
+
+@pytest.fixture
+def covid_fd(covid_tables):
+    alignment = HolisticAligner().align(covid_tables)
+    aligned = alignment.apply(covid_tables)
+    return AliteFD().integrate(aligned)
+
+
+class TestFigure3CovidIntegration:
+    """FD(T1, T2, T3) must equal Figure 3 exactly: 7 facts f1-f7."""
+
+    def test_alignment_produces_five_integration_ids(self, covid_tables):
+        alignment = HolisticAligner().align(covid_tables)
+        assert alignment.num_ids == 5
+        # City columns of all three tables align.
+        assert (
+            alignment.integration_id("T1", "City")
+            == alignment.integration_id("T2", "City")
+            == alignment.integration_id("T3", "City")
+        )
+        # Country and rate align across T1/T2 only.
+        assert alignment.integration_id("T1", "Country") == alignment.integration_id(
+            "T2", "Country"
+        )
+        assert alignment.integration_id("T1", "Vaccination Rate") == alignment.integration_id(
+            "T2", "Vaccination Rate"
+        )
+
+    def test_seven_output_facts(self, covid_fd):
+        assert covid_fd.num_rows == 7
+
+    def test_merged_facts_and_provenance(self, covid_fd):
+        # f1 = {t1, t7}: Berlin row joined across T1 and T3.
+        assert covid_fd.find_fact(City="Berlin") == frozenset({"t1", "t7"})
+        assert covid_fd.find_fact(City="Barcelona") == frozenset({"t3", "t8"})
+        assert covid_fd.find_fact(City="Boston") == frozenset({"t6", "t9"})
+
+    def test_unmerged_facts_keep_single_provenance(self, covid_fd):
+        assert covid_fd.find_fact(City="Manchester") == frozenset({"t2"})
+        assert covid_fd.find_fact(City="Toronto") == frozenset({"t4"})
+        assert covid_fd.find_fact(City="Mexico City") == frozenset({"t5"})
+        assert covid_fd.find_fact(City="New Delhi") == frozenset({"t10"})
+
+    def test_berlin_fact_values(self, covid_fd):
+        row = dict(zip(covid_fd.columns, covid_fd.rows[0]))
+        assert row["Country"] == "Germany"
+        assert row["City"] == "Berlin"
+        assert row["Vaccination Rate"] == "63%"
+        assert row["Total Cases"] == "1.4M"
+        assert row["Death Rate"] == 147
+
+    def test_null_kinds_match_figure(self, covid_fd):
+        # f5 (Mexico City): vaccination rate was missing in the INPUT (±),
+        # cases/death were produced by integration (⊥).
+        i = next(
+            i for i, r in enumerate(covid_fd.rows) if r[covid_fd.column_index("City")] == "Mexico City"
+        )
+        row = dict(zip(covid_fd.columns, covid_fd.rows[i]))
+        assert row["Vaccination Rate"] is MISSING
+        assert row["Total Cases"] is PRODUCED
+        assert row["Death Rate"] is PRODUCED
+        # f7 (New Delhi): country and rate never existed in T3 -> produced.
+        j = next(
+            i for i, r in enumerate(covid_fd.rows) if r[covid_fd.column_index("City")] == "New Delhi"
+        )
+        row = dict(zip(covid_fd.columns, covid_fd.rows[j]))
+        assert row["Country"] is PRODUCED
+        assert row["Vaccination Rate"] is PRODUCED
+
+
+class TestExample3Analysis:
+    """The aggregation/correlation insights of Example 3."""
+
+    def test_boston_lowest_toronto_highest(self, covid_fd):
+        assert extreme(covid_fd, "Vaccination Rate", "City", "min") == ("Boston", 62.0)
+        assert extreme(covid_fd, "Vaccination Rate", "City", "max") == ("Toronto", 83.0)
+
+    def test_vaccination_death_correlation_is_0_16(self, covid_fd):
+        coefficient, support = column_correlation(covid_fd, "Vaccination Rate", "Death Rate")
+        assert support == 3
+        assert coefficient == pytest.approx(0.16, abs=0.005)
+
+    def test_cases_vaccination_correlation_is_0_9(self, covid_fd):
+        coefficient, support = column_correlation(covid_fd, "Total Cases", "Vaccination Rate")
+        assert support == 3
+        assert coefficient == pytest.approx(0.9, abs=0.005)
+
+
+class TestFigure8VaccineIntegration:
+    """Outer join vs FD over T4, T5, T6 (Figures 8(a) and 8(b))."""
+
+    def test_outer_join_five_tuples(self, vaccine_tables):
+        result = OuterJoinIntegrator().integrate(vaccine_tables)
+        assert result.num_rows == 5
+        # f8 = {t11, t13} -- the only join that happens.
+        assert result.find_fact(Vaccine="Pfizer") == frozenset({"t1", "t3"})
+
+    def test_outer_join_loses_jnj_approver(self, vaccine_tables):
+        result = OuterJoinIntegrator().integrate(vaccine_tables)
+        approver = result.column_index("Approver")
+        vaccine = result.column_index("Vaccine")
+        for row in result.rows:
+            if row[vaccine] in ("JnJ", "J&J"):
+                assert row[approver] in (MISSING, PRODUCED)
+
+    def test_fd_three_tuples(self, vaccine_tables):
+        result = AliteFD().integrate(vaccine_tables)
+        assert result.num_rows == 3
+
+    def test_fd_recovers_jnj_approver_f13(self, vaccine_tables):
+        # f13 = {t13, t15}: J&J's approver (FDA) is recovered through the
+        # country connection -- the paper's headline FD win.
+        result = AliteFD().integrate(vaccine_tables)
+        assert result.find_fact(Vaccine="J&J", Approver="FDA") == frozenset({"t3", "t5"})
+
+    def test_fd_f12_keeps_minimal_provenance(self, vaccine_tables):
+        # f12 = {t16} only: t12 and t14 are subsumed away.
+        result = AliteFD().integrate(vaccine_tables)
+        assert result.find_fact(Vaccine="JnJ") == frozenset({"t6"})
+
+    def test_fd_f12_approver_is_produced_null(self, vaccine_tables):
+        result = AliteFD().integrate(vaccine_tables)
+        i = next(
+            i
+            for i, r in enumerate(result.rows)
+            if r[result.column_index("Vaccine")] == "JnJ"
+        )
+        assert result.rows[i][result.column_index("Approver")] is PRODUCED
+
+
+class TestFigure8EntityResolution:
+    """ER over both integration results (Figures 8(c) and 8(d))."""
+
+    def test_er_over_fd_resolves_to_two_entities(self, vaccine_tables):
+        fd = AliteFD().integrate(vaccine_tables)
+        result = EntityResolver().resolve_table(fd)
+        assert result.num_entities == 2
+        vaccines = set(result.entities.column("Vaccine"))
+        assert "Pfizer" in vaccines
+
+    def test_er_over_fd_knows_jnj_approver(self, vaccine_tables):
+        fd = AliteFD().integrate(vaccine_tables)
+        entities = EntityResolver().resolve_table(fd).entities
+        approver = entities.column_index("Approver")
+        vaccine = entities.column_index("Vaccine")
+        jnj_rows = [r for r in entities.rows if r[vaccine] in ("J&J", "JnJ", "Johnson & Johnson")]
+        assert jnj_rows and all(r[approver] == "FDA" for r in jnj_rows)
+
+    def test_er_over_outer_join_four_entities(self, vaccine_tables):
+        oj = OuterJoinIntegrator().integrate(vaccine_tables)
+        result = EntityResolver().resolve_table(oj)
+        assert result.num_entities == 4
+
+    def test_er_over_outer_join_cannot_resolve_fragments(self, vaccine_tables):
+        # f9 = (JnJ, ±, ⊥) and f10 = (⊥, ±, USA) share no comparable
+        # attribute -- ER must keep them apart (the paper's point).
+        oj = OuterJoinIntegrator().integrate(vaccine_tables)
+        result = EntityResolver().resolve_table(oj)
+        f9 = next(f"f{i+1}" for i, r in enumerate(oj.rows) if oj.provenance[i] == frozenset({"t2"}))
+        f10 = next(f"f{i+1}" for i, r in enumerate(oj.rows) if oj.provenance[i] == frozenset({"t4"}))
+        assert not result.same_entity(f9, f10)
+
+    def test_er_over_outer_join_never_learns_jnj_approver(self, vaccine_tables):
+        oj = OuterJoinIntegrator().integrate(vaccine_tables)
+        entities = EntityResolver().resolve_table(oj).entities
+        approver = entities.column_index("Approver")
+        vaccine = entities.column_index("Vaccine")
+        for row in entities.rows:
+            if row[vaccine] in ("J&J", "JnJ", "Johnson & Johnson"):
+                assert row[approver] != "FDA"

@@ -1,0 +1,151 @@
+"""Property-based tests for the kernels: text similarity, MinHash, table ops."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import MinHasher, containment_from_jaccard
+from repro.table import MISSING, Table, ops
+from repro.text import (
+    containment,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    name_similarity,
+)
+
+token_sets = st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4), max_size=30)
+short_text = st.text(alphabet="abcdef ", max_size=12)
+
+
+class TestSetSimilarityProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(token_sets, token_sets)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(b, a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(token_sets)
+    def test_jaccard_identity(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(token_sets, token_sets)
+    def test_containment_bounds(self, a, b):
+        assert 0.0 <= containment(a, b) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(token_sets, token_sets)
+    def test_subset_containment_is_one(self, a, b):
+        if a and a <= b:
+            assert containment(a, b) == 1.0
+
+
+class TestStringDistanceProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(short_text, short_text)
+    def test_levenshtein_symmetry_and_identity(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+        assert levenshtein(a, a) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(short_text, short_text, short_text)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @settings(max_examples=100, deadline=None)
+    @given(short_text, short_text)
+    def test_jaro_bounds(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(short_text, short_text)
+    def test_name_similarity_bounds_and_symmetry(self, a, b):
+        value = name_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == name_similarity(b, a)
+
+
+class TestMinHashProperties:
+    hasher = MinHasher(128, seed=9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(token_sets, token_sets)
+    def test_estimate_bounded(self, a, b):
+        if not a or not b:
+            return
+        estimate = self.hasher.signature(a).jaccard(self.hasher.signature(b))
+        assert 0.0 <= estimate <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(token_sets)
+    def test_self_similarity_one(self, a):
+        if not a:
+            return
+        sig = self.hasher.signature(a)
+        assert sig.jaccard(self.hasher.signature(set(a))) == 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(1, 100),
+        st.integers(0, 100),
+    )
+    def test_containment_conversion_bounded(self, j, query, candidate):
+        assert 0.0 <= containment_from_jaccard(j, query, candidate) <= 1.0
+
+
+cells = st.one_of(
+    st.integers(-5, 5),
+    st.sampled_from(["p", "q"]),
+    st.just(MISSING),
+)
+
+
+def small_tables(columns=("k", "v")):
+    return st.lists(
+        st.tuples(*[cells for _ in columns]), min_size=0, max_size=6
+    ).map(lambda rows: Table(list(columns), rows, name="t"))
+
+
+class TestTableOpsProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_tables())
+    def test_distinct_idempotent(self, table):
+        once = ops.distinct(table)
+        assert ops.distinct(once).equals(once)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_tables())
+    def test_project_preserves_height(self, table):
+        assert ops.project(table, ["v"]).num_rows == table.num_rows
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_tables(), small_tables(columns=("k", "w")))
+    def test_inner_join_subset_of_left_outer(self, left, right):
+        right = right.with_name("r")
+        inner = ops.inner_join(left, right)
+        louter = ops.left_outer_join(left, right)
+        assert inner.num_rows <= louter.num_rows
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_tables(), small_tables(columns=("k", "w")))
+    def test_full_outer_covers_both_sides(self, left, right):
+        right = right.with_name("r")
+        full = ops.full_outer_join(left, right)
+        assert full.num_rows >= max(
+            ops.left_outer_join(left, right).num_rows,
+            ops.inner_join(left, right).num_rows,
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_tables())
+    def test_outer_union_with_self_doubles_rows(self, table):
+        doubled = ops.outer_union([table, table.with_name("copy")])
+        assert doubled.num_rows == 2 * table.num_rows
+        assert doubled.columns == table.columns

@@ -1,0 +1,91 @@
+"""End-to-end fuzzing: the pipeline must behave on arbitrary small lakes.
+
+These properties don't check cleverness, they check *contracts*: no crash,
+query always first in the integration set, FD output covers the query's
+tuples, analyze apps run on whatever integration produced.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dialite, DataLake
+from repro.genquery import TEMPLATES, generate_query_table
+from repro.integration import subsumes
+
+topics = st.sampled_from([template.topic for template in TEMPLATES])
+
+
+@st.composite
+def random_lakes(draw):
+    """A lake of 1-4 generated tables plus a query table."""
+    num_tables = draw(st.integers(1, 4))
+    tables = []
+    for i in range(num_tables):
+        topic = draw(topics)
+        rows = draw(st.integers(1, 6))
+        tables.append(
+            generate_query_table(
+                f"a table about {topic}", rows=rows, seed=draw(st.integers(0, 50)),
+                name=f"lake_{i}",
+            )
+        )
+    query_topic = draw(topics)
+    query = generate_query_table(
+        f"a table about {query_topic}", rows=draw(st.integers(1, 6)),
+        seed=draw(st.integers(0, 50)), name="fuzz_query",
+    )
+    return DataLake(tables), query
+
+
+class TestPipelineContracts:
+    @settings(max_examples=20, deadline=None)
+    @given(random_lakes(), st.integers(1, 5))
+    def test_discover_contract(self, lake_and_query, k):
+        lake, query = lake_and_query
+        pipeline = Dialite(lake).fit()
+        outcome = pipeline.discover(query, k=k)
+        assert outcome.integration_set[0].name == "fuzz_query"
+        assert len(outcome.merged) <= k * len(pipeline.discoverers)
+        for result in outcome.merged:
+            assert result.table_name in lake
+            assert result.score >= 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(random_lakes())
+    def test_integrate_covers_query(self, lake_and_query):
+        lake, query = lake_and_query
+        pipeline = Dialite(lake).fit()
+        outcome = pipeline.discover(query, k=3)
+        integrated = pipeline.integrate(outcome)
+        # Every query tuple must be subsumed by some integrated fact once
+        # mapped through the alignment -- FD never loses input facts.  We
+        # check coverage via provenance: each query row's TID appears in
+        # some output fact OR its content is subsumed by another fact.
+        query_tids = {
+            tid
+            for tid, (table, _) in integrated.tid_sources.items()
+            if table == "fuzz_query"
+        }
+        assert len(query_tids) == query.num_rows
+        covered = set().union(*integrated.provenance) if integrated.provenance else set()
+        for tid in query_tids:
+            if tid in covered:
+                continue
+            # Subsumed away: its values must be dominated by some fact.
+            source = next(
+                w for w in integrated.input_tuples if tid in w.tids
+            )
+            assert any(subsumes(row, source.cells) for row in integrated.rows)
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_lakes())
+    def test_describe_runs_on_any_result(self, lake_and_query):
+        lake, query = lake_and_query
+        pipeline = Dialite(lake).fit()
+        outcome = pipeline.discover(query, k=2)
+        integrated = pipeline.integrate(outcome)
+        described = pipeline.analyze(integrated, "describe")
+        assert described["rows"] == integrated.num_rows
+        assert 0.0 <= described["completeness"] <= 1.0

@@ -1,0 +1,136 @@
+"""Property-based tests on system-level invariants: ER clustering,
+alignment, generation, aggregation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.er import EntityResolver, Record, cluster_matches
+from repro.genquery import generate_query_table
+from repro.table import MISSING, Table, ops
+
+names = st.sampled_from(["Pfizer", "JnJ", "J&J", "Moderna", "USA", "Germany"])
+cells = st.one_of(names, st.just(MISSING), st.integers(0, 3))
+
+
+class TestERProperties:
+    records_strategy = st.lists(
+        st.tuples(cells, cells), min_size=1, max_size=8
+    ).map(
+        lambda rows: [
+            Record.from_mapping(f"r{i}", {"x": a, "y": b}) for i, (a, b) in enumerate(rows)
+        ]
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(records_strategy)
+    def test_clusters_partition_records(self, records):
+        result = EntityResolver().resolve_records(records)
+        flattened = [m for cluster in result.clusters for m in cluster]
+        assert sorted(flattened) == sorted(r.record_id for r in records)
+
+    @settings(max_examples=50, deadline=None)
+    @given(records_strategy)
+    def test_same_entity_is_equivalence_relation(self, records):
+        result = EntityResolver().resolve_records(records)
+        ids = [r.record_id for r in records]
+        for a in ids:
+            assert result.same_entity(a, a)
+        if len(ids) >= 2:
+            a, b = ids[0], ids[1]
+            assert result.same_entity(a, b) == result.same_entity(b, a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=10))
+    def test_transitive_closure_idempotent(self, edges):
+        ids = [f"n{i}" for i in range(7)]
+        pairs = [(f"n{a}", f"n{b}") for a, b in edges]
+        once = cluster_matches(ids, pairs)
+        derived_pairs = [
+            (cluster[0], member) for cluster in once for member in cluster[1:]
+        ]
+        twice = cluster_matches(ids, derived_pairs)
+        assert once == twice
+
+
+class TestAlignmentProperties:
+    tables_strategy = st.lists(
+        st.tuples(
+            st.sampled_from(["City", "Country", "Rate", "Name"]),
+            st.lists(names, min_size=1, max_size=4),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(
+        lambda specs: [
+            Table([f"{header}"], [(v,) for v in values], name=f"T{i}")
+            for i, (header, values) in enumerate(specs)
+        ]
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tables_strategy)
+    def test_alignment_never_collides_within_table(self, tables):
+        from repro.alignment import HolisticAligner
+
+        alignment = HolisticAligner().align(tables)
+        for table in tables:
+            ids = [alignment.integration_id(table.name, c) for c in table.columns]
+            assert len(ids) == len(set(ids))
+
+    @settings(max_examples=20, deadline=None)
+    @given(tables_strategy)
+    def test_alignment_deterministic(self, tables):
+        from repro.alignment import HolisticAligner
+
+        first = HolisticAligner().align(tables)
+        second = HolisticAligner().align(tables)
+        assert first.assignments == second.assignments
+
+
+class TestGenqueryProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(["covid", "vaccine", "people", "weather", "energy", "zzz"]),
+        st.integers(1, 12),
+        st.integers(1, 8),
+        st.integers(0, 5),
+    )
+    def test_shape_always_honored(self, topic, rows, columns, seed):
+        table = generate_query_table(f"a table about {topic}", rows=rows,
+                                     columns=columns, seed=seed)
+        assert table.shape == (rows, columns)
+        assert len(set(table.columns)) == columns  # headers unique
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100))
+    def test_seed_determinism(self, seed):
+        a = generate_query_table("housing market", rows=4, seed=seed)
+        b = generate_query_table("housing market", rows=4, seed=seed)
+        assert a.equals(b)
+
+
+class TestAggregationProperties:
+    sales = st.lists(
+        st.tuples(st.sampled_from(["e", "w"]), st.one_of(st.integers(-50, 50), st.just(MISSING))),
+        min_size=1,
+        max_size=20,
+    ).map(lambda rows: Table(["g", "v"], rows, name="s"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(sales)
+    def test_group_sums_add_up_to_global_sum(self, table):
+        grouped = ops.aggregate(table, ["g"], {"s": ("v", "sum")})
+        total = ops.aggregate(table, [], {"s": ("v", "sum")})
+        group_total = sum(v for v in grouped.column("s") if isinstance(v, (int, float)))
+        global_total = total.rows[0][0]
+        if isinstance(global_total, (int, float)):
+            assert group_total == global_total
+
+    @settings(max_examples=50, deadline=None)
+    @given(sales)
+    def test_group_counts_add_up(self, table):
+        grouped = ops.aggregate(table, ["g"], {"n": ("v", "count")})
+        non_null = sum(1 for v in table.column("v") if v is not MISSING)
+        assert sum(grouped.column("n")) == non_null

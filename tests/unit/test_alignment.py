@@ -1,0 +1,144 @@
+"""Unit tests for holistic schema matching (repro.alignment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alignment import (
+    ColumnRef,
+    HolisticAligner,
+    MatcherWeights,
+    cluster_columns,
+    column_pair_score,
+    featurize_tables,
+)
+from repro.discovery.kb import seed_knowledge_base
+from repro.table import MISSING, Table
+
+
+@pytest.fixture
+def kb():
+    return seed_knowledge_base()
+
+
+class TestFeaturize:
+    def test_unique_table_names_required(self, covid_query):
+        with pytest.raises(ValueError, match="unique"):
+            featurize_tables([covid_query, covid_query])
+
+    def test_profiles_capture_statistics(self, covid_query, kb):
+        columns = featurize_tables([covid_query], kb=kb)
+        by_name = {c.ref.column: c for c in columns}
+        rate = by_name["Vaccination Rate"]
+        assert rate.profile.numeric_fraction == 1.0  # "63%" parses
+        city = by_name["City"]
+        assert "city" in city.type_weights
+        assert city.values == frozenset({"berlin", "manchester", "barcelona"})
+
+
+class TestPairScore:
+    def test_same_values_same_header_high(self, kb):
+        a = Table(["City"], [("Berlin",), ("Boston",)], name="a")
+        b = Table(["City"], [("Berlin",), ("Toronto",)], name="b")
+        columns = featurize_tables([a, b], kb=kb)
+        assert column_pair_score(columns[0], columns[1]) > 0.7
+
+    def test_semantic_match_with_disjoint_values(self, kb):
+        # Country columns with zero value overlap still align via KB types.
+        a = Table(["Country"], [("Germany",), ("Spain",)], name="a")
+        b = Table(["Nation"], [("Canada",), ("Mexico",)], name="b")
+        columns = featurize_tables([a, b], kb=kb)
+        assert column_pair_score(columns[0], columns[1]) >= 0.2
+
+    def test_numeric_text_gate(self, kb):
+        a = Table(["x"], [(1.5,), (2.5,), (3.5,)], name="a")
+        b = Table(["x"], [("Berlin",), ("Boston",), ("Barcelona",)], name="b")
+        columns = featurize_tables([a, b], kb=kb)
+        gated = column_pair_score(columns[0], columns[1])
+        ungated = column_pair_score(
+            columns[0], columns[1], MatcherWeights(numeric_gate=1.0)
+        )
+        assert gated < ungated
+
+    def test_unrelated_columns_score_low(self, kb):
+        a = Table(["Vaccine"], [("Pfizer",), ("Moderna",)], name="a")
+        b = Table(["Sport"], [("Tennis",), ("Golf",)], name="b")
+        columns = featurize_tables([a, b], kb=kb)
+        assert column_pair_score(columns[0], columns[1]) < 0.3
+
+
+class TestClustering:
+    def test_same_table_constraint(self, kb):
+        # Two near-identical columns inside ONE table must not merge, even
+        # though their pairwise score is high.
+        t = Table(["a", "b"], [("x", "x"), ("y", "y")], name="t")
+        u = Table(["c"], [("x",), ("y",)], name="u")
+        columns = featurize_tables([t, u], kb=kb)
+        clusters = cluster_columns(columns, threshold=0.2)
+        for cluster in clusters:
+            tables = [ref.table for ref in cluster]
+            assert len(tables) == len(set(tables))
+
+    def test_deterministic(self, covid_tables):
+        columns = featurize_tables(covid_tables, kb=seed_knowledge_base())
+        assert cluster_columns(columns) == cluster_columns(columns)
+
+
+class TestAligner:
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            HolisticAligner().align([])
+
+    def test_apply_renames_to_shared_ids(self, covid_tables):
+        alignment = HolisticAligner().align(covid_tables)
+        renamed = alignment.apply(covid_tables)
+        t1, t2, t3 = renamed
+        shared_12 = set(t1.columns) & set(t2.columns)
+        assert len(shared_12) == 3
+        shared_13 = set(t1.columns) & set(t3.columns)
+        assert len(shared_13) == 1  # City only
+
+    def test_apply_unknown_table_rejected(self, covid_tables, covid_query):
+        alignment = HolisticAligner().align(covid_tables)
+        stranger = covid_query.with_name("stranger")
+        with pytest.raises(KeyError):
+            alignment.apply([stranger])
+
+    def test_ids_unique_per_cluster(self, covid_tables):
+        alignment = HolisticAligner().align(covid_tables)
+        ids = [alignment.integration_id(r.table, r.column) for c in alignment.clusters for r in c]
+        # Every member of one cluster shares one ID; distinct clusters differ.
+        assert alignment.num_ids == len(alignment.clusters)
+        assert set(ids) == set(alignment.assignments.values())
+
+    def test_id_name_collision_gets_suffix(self):
+        # Two semantically different "Name" clusters must get distinct IDs.
+        a = Table(["Name"], [("Pfizer",), ("Moderna",), ("Novavax",)], name="a")
+        b = Table(["Name"], [("pfizer",), ("moderna",), ("novavax",)], name="b")
+        c = Table(["Name"], [(1.25,), (2.5,), (9.75,)], name="c")
+        alignment = HolisticAligner().align([a, b, c])
+        ids = set(alignment.assignments.values())
+        assert len(ids) == alignment.num_ids
+        assert alignment.integration_id("a", "Name") == alignment.integration_id("b", "Name")
+        assert alignment.integration_id("c", "Name") != alignment.integration_id("a", "Name")
+
+    def test_matched_pairs_helper(self, covid_tables):
+        alignment = HolisticAligner().align(covid_tables)
+        pairs = alignment.matched_pairs()
+        assert (
+            ColumnRef("T1", "City"),
+            ColumnRef("T2", "City"),
+        ) in pairs or (
+            ColumnRef("T2", "City"),
+            ColumnRef("T1", "City"),
+        ) in pairs
+
+    def test_kb_ablation_still_aligns_by_header(self, covid_tables):
+        alignment = HolisticAligner(kb=None).align(covid_tables)
+        assert alignment.integration_id("T1", "City") == alignment.integration_id("T3", "City")
+
+    def test_handles_all_null_columns(self):
+        a = Table(["x", "y"], [("v", MISSING), ("w", MISSING)], name="a")
+        b = Table(["x"], [("v",), ("w",)], name="b")
+        alignment = HolisticAligner().align([a, b])
+        assert alignment.integration_id("a", "x") == alignment.integration_id("b", "x")

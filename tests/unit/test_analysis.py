@@ -1,0 +1,222 @@
+"""Unit tests for the analysis layer (repro.analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.analysis import (
+    AggregationApp,
+    CorrelationApp,
+    DescribeApp,
+    EntityResolutionApp,
+    IntegrationReport,
+    column_correlation,
+    compare_integrations,
+    correlation_matrix,
+    describe,
+    extreme,
+    fact_coverage,
+    group_summary,
+    information_dominates,
+    null_profile,
+    order_variability,
+    pearson,
+    spearman,
+    top_k,
+)
+from repro.integration import AliteFD, OuterJoinIntegrator, order_sensitivity
+from repro.table import MISSING, PRODUCED, Table
+
+
+class TestCorrelationKernels:
+    def test_pearson_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=50).tolist()
+        ys = (np.array(xs) * 2 + rng.normal(size=50) * 0.5).tolist()
+        ours = pearson(xs, ys)
+        theirs = scipy.stats.pearsonr(xs, ys).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_spearman_matches_scipy_with_ties(self):
+        xs = [1.0, 2.0, 2.0, 3.0, 5.0, 5.0, 7.0]
+        ys = [2.0, 1.0, 4.0, 3.0, 6.0, 6.0, 7.0]
+        ours = spearman(xs, ys)
+        theirs = scipy.stats.spearmanr(xs, ys).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_degenerate_variance_returns_zero(self):
+        assert pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            pearson([1.0], [1.0])
+        with pytest.raises(ValueError):
+            pearson([1.0, 2.0], [1.0])
+
+
+class TestColumnCorrelation:
+    @pytest.fixture
+    def table(self):
+        return Table(
+            ["rate", "deaths"],
+            [("63%", 147), ("82%", 275), ("62%", 335), (MISSING, 500), ("90%", PRODUCED)],
+            name="t",
+        )
+
+    def test_pairwise_complete_parsing(self, table):
+        coefficient, support = column_correlation(table, "rate", "deaths")
+        assert support == 3  # null rows dropped pairwise
+
+    def test_spearman_method(self, table):
+        coefficient, support = column_correlation(table, "rate", "deaths", "spearman")
+        assert -1.0 <= coefficient <= 1.0 and support == 3
+
+    def test_unknown_method(self, table):
+        with pytest.raises(ValueError, match="method"):
+            column_correlation(table, "rate", "deaths", "kendall")
+
+    def test_matrix_shape_and_diagonal(self, table):
+        matrix = correlation_matrix(table)
+        assert matrix.columns == ("column", "rate", "deaths")
+        assert matrix.rows[0][1] == 1.0
+
+
+class TestAggregates:
+    @pytest.fixture
+    def table(self):
+        return Table(
+            ["city", "rate"],
+            [("Boston", "62%"), ("Toronto", "83%"), ("Berlin", "63%"), ("Oslo", MISSING)],
+            name="t",
+        )
+
+    def test_extreme(self, table):
+        assert extreme(table, "rate", "city", "min") == ("Boston", 62.0)
+        assert extreme(table, "rate", "city", "max") == ("Toronto", 83.0)
+
+    def test_extreme_validations(self, table):
+        with pytest.raises(ValueError, match="mode"):
+            extreme(table, "rate", "city", "median")
+        empty = Table(["city", "rate"], [("X", "text")])
+        with pytest.raises(ValueError, match="numeric"):
+            extreme(empty, "rate", "city", "min")
+
+    def test_top_k(self, table):
+        best = top_k(table, "rate", k=2)
+        assert best.column("city") == ["Toronto", "Berlin"]
+
+    def test_group_summary_parses_quantities(self):
+        t = Table(["g", "v"], [("a", "1k"), ("a", "3k"), ("b", "2k")])
+        summary = group_summary(t, ["g"], "v")
+        rows = {r[0]: r for r in summary.rows}
+        assert rows["a"][summary.column_index("mean")] == 2000.0
+
+
+class TestStats:
+    def test_null_profile_by_kind(self):
+        t = Table(["a", "b"], [(MISSING, PRODUCED), (1, PRODUCED)])
+        profile = null_profile(t)
+        assert profile.missing == 1
+        assert profile.produced == 2
+        assert profile.completeness == pytest.approx(0.25)
+
+    def test_describe_columns(self):
+        t = Table(["n", "s"], [(1, "x"), (3, "y"), (MISSING, "x")])
+        summary = describe(t)
+        row = dict(zip(summary.columns, summary.rows[0]))
+        assert row["non_null"] == 2
+        assert row["min"] == 1.0 and row["max"] == 3.0
+
+    def test_fact_coverage(self):
+        coverage = fact_coverage([frozenset({"t1"}), frozenset({"t1", "t2", "t3"})])
+        assert coverage["merged_tuples"] == 1
+        assert coverage["max_sources"] == 3
+        assert coverage["mean_sources"] == 2.0
+        assert fact_coverage([])["tuples"] == 0
+
+
+class TestQuality:
+    def test_fd_dominates_outer_join(self, vaccine_tables):
+        fd = AliteFD().integrate(vaccine_tables)
+        oj = OuterJoinIntegrator().integrate(vaccine_tables)
+        assert information_dominates(fd, oj)
+        assert not information_dominates(oj, fd)
+
+    def test_compare_integrations_table(self, vaccine_tables):
+        fd = AliteFD().integrate(vaccine_tables)
+        oj = OuterJoinIntegrator().integrate(vaccine_tables)
+        report = compare_integrations([fd, oj])
+        by_algo = {r[0]: dict(zip(report.columns, r)) for r in report.rows}
+        assert by_algo["alite_fd"]["tuples"] == 3
+        assert by_algo["outer_join"]["tuples"] == 5
+        assert by_algo["alite_fd"]["completeness"] > by_algo["outer_join"]["completeness"]
+
+    def test_integration_report_fields(self, vaccine_tables):
+        fd = AliteFD().integrate(vaccine_tables)
+        report = IntegrationReport.from_integrated(fd)
+        assert report.algorithm == "alite_fd"
+        assert report.merged_tuples == 2  # f8 and f13
+
+    def test_order_variability_fd_vs_outer_join(self, vaccine_tables):
+        oj_results = [t for _, t in order_sensitivity(vaccine_tables, max_orders=6)]
+        report = order_variability(oj_results)
+        assert report["orders_tried"] == 6
+        assert report["distinct_outputs"] > 1
+        from itertools import permutations
+
+        fd_results = [AliteFD().integrate(list(p)) for p in permutations(vaccine_tables)]
+        fd_report = order_variability(fd_results)
+        assert fd_report["distinct_outputs"] == 1
+
+
+class TestApps:
+    def test_describe_app(self, covid_query):
+        result = DescribeApp().run(covid_query)
+        assert result["rows"] == 3
+        assert result["completeness"] == 1.0
+
+    def test_aggregation_app(self, covid_query):
+        result = AggregationApp().run(
+            covid_query, value_column="Vaccination Rate", label_column="City"
+        )
+        assert result["lowest"][0] == "Berlin"
+
+    def test_correlation_app_pair(self, covid_query):
+        t = Table(["a", "b"], [(1, 2), (2, 4), (3, 6)])
+        result = CorrelationApp().run(t, columns=["a", "b"])
+        assert result["correlation"] == pytest.approx(1.0)
+
+    def test_correlation_app_matrix(self):
+        t = Table(["a", "b"], [(1, 2), (2, 4), (3, 7)])
+        matrix = CorrelationApp().run(t)
+        assert matrix.num_rows == 2
+
+    def test_er_app(self, vaccine_tables):
+        fd = AliteFD().integrate(vaccine_tables)
+        result = EntityResolutionApp().run(fd)
+        assert result.num_entities == 2
+
+
+class TestNewApps:
+    def test_histogram_app(self):
+        from repro.analysis import HistogramApp
+
+        t = Table(["v"], [(i,) for i in range(20)])
+        result = HistogramApp().run(t, column="v", bins=4)
+        assert result.num_rows == 4
+        assert sum(result.column("count")) == 20
+
+    def test_pivot_app(self):
+        from repro.analysis import PivotApp
+
+        t = Table(["g", "m", "v"], [("a", "x", 1), ("a", "y", 2), ("b", "x", 3)])
+        wide = PivotApp().run(t, index="g", columns="m", values="v")
+        assert wide.columns == ("g", "x", "y")
+
+    def test_apps_registered_in_pipeline(self):
+        from repro import Dialite
+
+        pipeline = Dialite()
+        assert "histogram" in pipeline.apps and "pivot" in pipeline.apps

@@ -1,0 +1,192 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.datalake import DataLake
+from repro.datalake.fixtures import (
+    covid_joinable_table,
+    covid_query_table,
+    covid_unionable_table,
+)
+from repro.table import read_csv, write_csv
+
+
+@pytest.fixture
+def lake_dir(tmp_path):
+    DataLake([covid_unionable_table(), covid_joinable_table()]).save_to(tmp_path / "lake")
+    return tmp_path / "lake"
+
+
+@pytest.fixture
+def query_csv(tmp_path):
+    path = tmp_path / "query.csv"
+    write_csv(covid_query_table(), path)
+    return path
+
+
+class TestLakeInfo:
+    def test_lists_tables(self, lake_dir, capsys):
+        assert main(["lake-info", "--lake", str(lake_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "T3" in out and "7 rows total" in out
+
+
+class TestProfile:
+    def test_profiles_every_column(self, lake_dir, capsys):
+        assert main(["profile", "--lake", str(lake_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "distinct_est" in out
+        assert "Vaccination Rate" in out and "Death Rate" in out
+
+    def test_single_table(self, lake_dir, capsys):
+        assert main(["profile", "--lake", str(lake_dir), "--table", "T3"]) == 0
+        out = capsys.readouterr().out
+        assert "T3" in out and "T2" not in out
+
+
+class TestGenerate:
+    def test_prints_and_writes(self, tmp_path, capsys):
+        out_file = tmp_path / "generated.csv"
+        code = main(
+            [
+                "generate",
+                "--prompt", "covid cases",
+                "--rows", "4",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "City" in capsys.readouterr().out
+        assert read_csv(out_file).num_rows == 4
+
+
+class TestDiscover:
+    def test_discovers_both_tables(self, lake_dir, query_csv, capsys):
+        code = main(
+            [
+                "discover",
+                "--lake", str(lake_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+                "-k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "T3" in out
+
+    def test_discoverer_subset(self, lake_dir, query_csv, capsys):
+        code = main(
+            [
+                "discover",
+                "--lake", str(lake_dir),
+                "--query", str(query_csv),
+                "--discoverers", "josie",
+            ]
+        )
+        assert code == 0
+        assert "josie" in capsys.readouterr().out
+
+    def test_missing_lake_rejected(self, query_csv):
+        with pytest.raises(SystemExit):
+            main(["discover", "--query", str(query_csv)])
+
+
+class TestIntegrate:
+    def test_pipeline_integration_writes_csv(self, lake_dir, query_csv, tmp_path, capsys):
+        out_file = tmp_path / "integrated.csv"
+        code = main(
+            [
+                "integrate",
+                "--lake", str(lake_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "integration set: query, T2, T3" in out
+        written = read_csv(out_file)
+        assert written.num_rows == 7  # Figure 3
+        assert "OID" in written.columns
+
+    def test_given_integration_set(self, tmp_path, capsys):
+        from repro.datalake.fixtures import vaccine_integration_set
+
+        paths = []
+        for table in vaccine_integration_set():
+            path = tmp_path / f"{table.name}.csv"
+            write_csv(table, path)
+            paths.append(str(path))
+        code = main(["integrate", "--tables", *paths, "--integrator", "alite_fd"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "J&J" in out and "FDA" in out
+
+    def test_unknown_integrator_fails(self, tmp_path, lake_dir, query_csv):
+        with pytest.raises(KeyError):
+            main(
+                [
+                    "integrate",
+                    "--lake", str(lake_dir),
+                    "--query", str(query_csv),
+                    "--integrator", "bogus",
+                ]
+            )
+
+
+class TestAnalyze:
+    @pytest.fixture
+    def table_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(covid_query_table(), path)
+        return path
+
+    def test_describe(self, table_csv, capsys):
+        assert main(["analyze", "--table", str(table_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "rows: 3" in out
+
+    def test_correlation_with_options(self, tmp_path, capsys):
+        from repro.table import Table
+
+        path = tmp_path / "nums.csv"
+        write_csv(Table(["a", "b"], [(1, 2), (2, 4), (3, 6)]), path)
+        code = main(
+            [
+                "analyze",
+                "--table", str(path),
+                "--app", "correlation",
+                "--option", "columns=a,b",
+            ]
+        )
+        assert code == 0
+        assert "correlation: 1.0" in capsys.readouterr().out
+
+    def test_bad_option_syntax(self, table_csv):
+        with pytest.raises(SystemExit, match="key=value"):
+            main(["analyze", "--table", str(table_csv), "--option", "oops"])
+
+
+class TestReport:
+    def test_report_written(self, lake_dir, query_csv, tmp_path, capsys):
+        out_file = tmp_path / "run.md"
+        code = main(
+            [
+                "report",
+                "--lake", str(lake_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+                "-k", "3",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        content = out_file.read_text(encoding="utf-8")
+        assert content.startswith("# DIALITE run: query")
+        assert "## Integration" in content
+        assert "### describe" in content

@@ -1,0 +1,174 @@
+"""Unit tests for the discovery layer (base API, SANTOS, LSH Ensemble,
+JOSIE, user-defined)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import (
+    DiscoveryResult,
+    FunctionDiscoverer,
+    JosieJoinSearch,
+    LSHEnsembleJoinSearch,
+    SantosUnionSearch,
+    exact_topk_overlap,
+    inner_join_similarity,
+    merge_result_sets,
+    value_overlap_similarity,
+)
+from repro.discovery.josie import build_token_postings
+from repro.table import MISSING, Table
+
+
+@pytest.fixture
+def tiny_lake(covid_unionable, covid_joinable):
+    people = Table(
+        ["First Name", "Last Name"],
+        [("Alice", "Smith"), ("Bob", "Chen"), ("Maria", "Garcia")],
+        name="people",
+    )
+    return {"T2": covid_unionable, "T3": covid_joinable, "people": people}
+
+
+class TestDiscovererContract:
+    def test_search_before_fit_raises(self, covid_query):
+        with pytest.raises(RuntimeError, match="before fit"):
+            SantosUnionSearch().search(covid_query)
+
+    def test_k_must_be_positive(self, covid_query, tiny_lake):
+        discoverer = SantosUnionSearch().fit(tiny_lake)
+        with pytest.raises(ValueError):
+            discoverer.search(covid_query, k=0)
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryResult(table_name="x", score=-1.0, discoverer="d")
+
+    def test_results_sorted_and_truncated(self, covid_query, tiny_lake):
+        discoverer = SantosUnionSearch().fit(tiny_lake)
+        results = discoverer.search(covid_query, k=1)
+        assert len(results) <= 1
+
+
+class TestSantos:
+    def test_finds_unionable_table_first(self, covid_query, tiny_lake):
+        discoverer = SantosUnionSearch().fit(tiny_lake)
+        results = discoverer.search(covid_query, k=3, query_column="City")
+        assert results
+        assert results[0].table_name == "T2"
+
+    def test_people_table_scores_lower(self, covid_query, tiny_lake):
+        discoverer = SantosUnionSearch().fit(tiny_lake)
+        scores = {r.table_name: r.score for r in discoverer.search(covid_query, k=5)}
+        assert scores.get("people", 0.0) < scores["T2"]
+
+    def test_annotation_has_located_in_relationship(self, covid_query, tiny_lake):
+        discoverer = SantosUnionSearch().fit(tiny_lake)
+        annotation = discoverer.annotate(covid_query)
+        assert "located_in" in annotation.relationships
+        assert "city" in annotation.column_types["City"]
+        assert "country" in annotation.column_types["Country"]
+
+    def test_reason_mentions_evidence(self, covid_query, tiny_lake):
+        discoverer = SantosUnionSearch().fit(tiny_lake)
+        top = discoverer.search(covid_query, k=1, query_column="City")[0]
+        assert top.reason
+
+
+class TestLSHEnsembleSearch:
+    def test_finds_joinable_table(self, covid_query, tiny_lake):
+        discoverer = LSHEnsembleJoinSearch().fit(tiny_lake)
+        results = discoverer.search(covid_query, k=3, query_column="City")
+        names = [r.table_name for r in results]
+        assert "T3" in names
+
+    def test_unknown_query_column_rejected(self, covid_query, tiny_lake):
+        discoverer = LSHEnsembleJoinSearch().fit(tiny_lake)
+        with pytest.raises(KeyError):
+            discoverer.search(covid_query, query_column="Nope")
+
+    def test_no_query_column_probes_all(self, covid_query, tiny_lake):
+        discoverer = LSHEnsembleJoinSearch().fit(tiny_lake)
+        results = discoverer.search(covid_query, k=5)
+        assert results  # City column still drives matches
+
+
+class TestJosie:
+    def test_exact_overlap_ranking(self, covid_query, tiny_lake):
+        discoverer = JosieJoinSearch().fit(tiny_lake)
+        results = discoverer.search(covid_query, k=3, query_column="City")
+        assert results[0].table_name in ("T2", "T3")
+        # Scores are exact intersection sizes (integers).
+        assert all(float(r.score).is_integer() for r in results)
+
+    def test_exact_topk_overlap_function(self):
+        index, sizes = build_token_postings(
+            [("a", {"x", "y", "z"}), ("b", {"x"}), ("c", {"q"})]
+        )
+        top = exact_topk_overlap({"x", "y"}, index, sizes, k=2)
+        assert top[0] == ("a", 2)
+        assert top[1] == ("b", 1)
+
+    def test_exact_topk_respects_min_overlap(self):
+        index, sizes = build_token_postings([("a", {"x"}), ("b", {"y"})])
+        top = exact_topk_overlap({"x", "y"}, index, sizes, k=5, min_overlap=2)
+        assert top == []
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            exact_topk_overlap({"x"}, {}, {}, k=0)
+
+    def test_early_termination_matches_naive(self):
+        # Adversarial: many small sets, one big winner; early termination
+        # must still produce the exact ranking.
+        sets = [(f"s{i}", {f"tok{i}"}) for i in range(50)]
+        sets.append(("win", {f"q{i}" for i in range(20)}))
+        index, sizes = build_token_postings(sets)
+        query = {f"q{i}" for i in range(20)} | {"tok0"}
+        top = exact_topk_overlap(query, index, sizes, k=2)
+        assert top[0] == ("win", 20)
+        assert top[1] == ("s0", 1)
+
+
+class TestUserDefined:
+    def test_function_discoverer_wraps_similarity(self, covid_query, tiny_lake):
+        discoverer = FunctionDiscoverer(value_overlap_similarity, name="overlap").fit(tiny_lake)
+        results = discoverer.search(covid_query, k=3)
+        assert results
+        assert all(r.discoverer == "overlap" for r in results)
+
+    def test_inner_join_similarity_fig4(self, covid_query, covid_joinable):
+        score = inner_join_similarity(covid_query, covid_joinable)
+        assert score == pytest.approx(2 / 3)  # Berlin + Barcelona join
+
+    def test_inner_join_similarity_no_shared_columns(self, covid_query):
+        other = Table(["Z"], [("1",)], name="z")
+        assert inner_join_similarity(covid_query, other) == 0.0
+
+    def test_value_overlap_empty(self):
+        a = Table(["x"], [(1,)], name="a")
+        b = Table(["y"], [(2,)], name="b")
+        assert value_overlap_similarity(a, b) == 0.0
+
+
+class TestMergeResultSets:
+    def test_union_keeps_best_raw_score_and_reports_finders(self):
+        a = [DiscoveryResult("t", 0.5, "d1"), DiscoveryResult("u", 0.9, "d1")]
+        b = [DiscoveryResult("t", 0.8, "d2")]
+        merged = merge_result_sets([a, b], normalize=False)
+        by_name = {r.table_name: r for r in merged}
+        assert by_name["t"].score == 0.8
+        assert "d1" in by_name["t"].reason and "d2" in by_name["t"].reason
+        assert merged[0].table_name == "u"  # sorted by score
+
+    def test_normalization_makes_scales_comparable(self):
+        # JOSIE-style raw counts must not drown [0, 1] semantic scores.
+        josie = [DiscoveryResult("j", 9.0, "josie"), DiscoveryResult("d", 3.0, "josie")]
+        santos = [DiscoveryResult("s", 0.9, "santos"), DiscoveryResult("d2", 0.3, "santos")]
+        merged = merge_result_sets([josie, santos])
+        by_name = {r.table_name: r.score for r in merged}
+        assert by_name["j"] == 1.0 and by_name["s"] == 1.0
+        assert by_name["d"] == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert merge_result_sets([]) == []

@@ -1,0 +1,106 @@
+"""Unit tests for the hashed embedding substrate (repro.embeddings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    ColumnEmbedder,
+    ColumnEmbedderConfig,
+    HashedVectorSpace,
+    signed_slot,
+    stable_hash,
+    token_vector,
+)
+from repro.table.values import MISSING
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("berlin") == stable_hash("berlin")
+
+    def test_salt_changes_hash(self):
+        assert stable_hash("berlin", salt="a") != stable_hash("berlin", salt="b")
+
+    def test_distinct_tokens_rarely_collide(self):
+        hashes = {stable_hash(f"token{i}") for i in range(10_000)}
+        assert len(hashes) == 10_000
+
+    def test_signed_slot_in_range(self):
+        for token in ("a", "b", "c", "long token here"):
+            index, sign = signed_slot(token, dim=64)
+            assert 0 <= index < 64
+            assert sign in (1.0, -1.0)
+
+
+class TestHashedVectorSpace:
+    def test_token_vector_one_hot(self):
+        vector = token_vector("x", dim=32)
+        assert np.count_nonzero(vector) == 1
+
+    def test_embeddings_normalized(self):
+        space = HashedVectorSpace(dim=64)
+        vector = space.embed_tokens(["a", "b", "c"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_tokens_zero_vector(self):
+        space = HashedVectorSpace(dim=64)
+        assert np.linalg.norm(space.embed_tokens([])) == 0.0
+        assert HashedVectorSpace.cosine(space.embed_tokens([]), space.embed_tokens(["a"])) == 0.0
+
+    def test_weighted_map_equivalent_to_repeats(self):
+        space = HashedVectorSpace(dim=64)
+        weighted = space.embed_tokens({"a": 2.0, "b": 1.0})
+        repeated = space.embed_tokens(["a", "a", "b"])
+        assert np.allclose(weighted, repeated)
+
+    def test_similar_sets_embed_nearby(self):
+        space = HashedVectorSpace(dim=256)
+        base = [f"t{i}" for i in range(50)]
+        near = space.embed_tokens(base[:45] + ["x1", "x2", "x3", "x4", "x5"])
+        far = space.embed_tokens([f"u{i}" for i in range(50)])
+        anchor = space.embed_tokens(base)
+        assert HashedVectorSpace.cosine(anchor, near) > 0.7
+        assert abs(HashedVectorSpace.cosine(anchor, far)) < 0.3
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            HashedVectorSpace(dim=0)
+
+
+class TestColumnEmbedder:
+    def test_profile_statistics(self):
+        embedder = ColumnEmbedder()
+        profile = embedder.profile("Rate", ["63%", "78%", MISSING, "82%"])
+        assert profile.non_null == 3  # the null is excluded
+        profile = embedder.profile("Rate", ["63%", "78%", "82%"])
+        assert profile.numeric_fraction == 1.0
+        assert profile.distinct_ratio == 1.0
+        assert profile.header_tokens == ("rate",)
+
+    def test_header_weight_config(self):
+        light = ColumnEmbedder(ColumnEmbedderConfig(header_weight=0.0))
+        heavy = ColumnEmbedder(ColumnEmbedderConfig(header_weight=1.0))
+        values_a = ["Toronto", "Boston"]
+        values_b = ["Berlin", "Barcelona"]
+        cosine_light = HashedVectorSpace.cosine(
+            light.embed("City", values_a), light.embed("City", values_b)
+        )
+        cosine_heavy = HashedVectorSpace.cosine(
+            heavy.embed("City", values_a), heavy.embed("City", values_b)
+        )
+        assert cosine_heavy > cosine_light  # shared header dominates
+
+    def test_similarity_helper(self):
+        embedder = ColumnEmbedder()
+        a = embedder.profile("c", ["x", "y"])
+        b = embedder.profile("c", ["x", "y"])
+        assert ColumnEmbedder.similarity(a, b) == pytest.approx(1.0)
+
+    def test_sampling_cap_stabilizes(self):
+        embedder = ColumnEmbedder(ColumnEmbedderConfig(max_values=10))
+        small = embedder.embed("c", [f"v{i}" for i in range(10)])
+        big = embedder.embed("c", [f"v{i}" for i in range(10)] + ["ignored"] * 5)
+        # The cap means extra values beyond the sample do not perturb much.
+        assert HashedVectorSpace.cosine(small, big) == pytest.approx(1.0)

@@ -1,0 +1,73 @@
+"""Unit tests for ER evaluation metrics and the synthetic ER workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.er import (
+    cluster_metrics,
+    gold_pairs_from_clusters,
+    make_er_workload,
+    pair_metrics,
+)
+from repro.integration import prepare_integration_input
+
+
+class TestPairMetrics:
+    def test_perfect(self):
+        metrics = pair_metrics([("a", "b")], [("b", "a")])  # order-insensitive
+        assert metrics.precision == 1.0 and metrics.recall == 1.0 and metrics.f1 == 1.0
+
+    def test_mixed(self):
+        metrics = pair_metrics([("a", "b"), ("c", "d")], [("a", "b"), ("e", "f")])
+        assert metrics.true_positive == 1
+        assert metrics.precision == 0.5
+        assert metrics.recall == 0.5
+        assert metrics.f1 == 0.5
+
+    def test_empty_both_sides(self):
+        # Vacuously perfect: predicting no pairs when there are none.
+        metrics = pair_metrics([], [])
+        assert metrics.precision == 1.0 and metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_gold_pairs_from_clusters(self):
+        pairs = gold_pairs_from_clusters([["a", "b", "c"], ["d"]])
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_cluster_metrics(self):
+        metrics = cluster_metrics([["a", "b"], ["c"]], [["a", "b", "c"]])
+        assert metrics.recall == pytest.approx(1 / 3)
+        assert metrics.precision == 1.0
+
+
+class TestWorkload:
+    def test_shape_and_determinism(self):
+        a = make_er_workload(num_entities=5, seed=3)
+        b = make_er_workload(num_entities=5, seed=3)
+        assert len(a.tables) == 3
+        assert len(a.gold_clusters) == 5
+        for x, y in zip(a.tables, b.tables):
+            assert x.equals(y)
+
+    def test_gold_tids_match_integration_numbering(self):
+        workload = make_er_workload(num_entities=4, seed=1)
+        _, work, sources = prepare_integration_input(workload.tables)
+        all_tids = {tid for cluster in workload.gold_clusters for tid in cluster}
+        assert all_tids == set(sources)
+        # Each gold cluster has one row per table.
+        for cluster in workload.gold_clusters:
+            tables = {sources[tid][0] for tid in cluster}
+            assert tables == {"approvals", "agencies", "origins"}
+
+    def test_entity_count_bounded_by_vocabulary(self):
+        with pytest.raises(ValueError, match="vocabulary"):
+            make_er_workload(num_entities=100)
+
+    def test_null_rate_zero_has_no_nulls(self):
+        workload = make_er_workload(num_entities=4, seed=0, null_rate=0.0)
+        assert all(t.null_count() == 0 for t in workload.tables)
+
+    def test_null_rate_injects_nulls(self):
+        workload = make_er_workload(num_entities=8, seed=0, null_rate=0.9)
+        assert sum(t.null_count() for t in workload.tables) > 0

@@ -1,0 +1,75 @@
+"""Unit tests for prompt-driven query-table generation (repro.genquery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.genquery import (
+    available_topics,
+    generate_query_table,
+    match_template,
+    parse_shape_from_prompt,
+    template_for,
+)
+
+
+class TestRouting:
+    def test_covid_prompt(self):
+        assert match_template("generate a table about covid-19 cases").topic == "covid"
+
+    def test_vaccine_prompt(self):
+        assert match_template("vaccine approval data").topic == "vaccines"
+
+    def test_people_prompt(self):
+        assert match_template("an employee directory").topic == "people"
+
+    def test_unknown_prompt_falls_back_to_first(self):
+        assert match_template("xyzzy").topic == "covid"
+
+    def test_template_for_alias(self):
+        assert template_for("restaurant ratings").topic == "restaurants"
+
+
+class TestShapeParsing:
+    def test_rows_and_columns_extracted(self):
+        assert parse_shape_from_prompt("5 rows and 4 columns") == (5, 4)
+        assert parse_shape_from_prompt("3 cols") == (None, 3)
+        assert parse_shape_from_prompt("just covid") == (None, None)
+
+
+class TestGeneration:
+    def test_fig5_shape(self):
+        # The paper's Fig. 5: covid query table, 5 columns, 5 rows.
+        table = generate_query_table(
+            "generate a table about covid-19 cases with 5 rows and 5 columns"
+        )
+        assert table.shape == (5, 5)
+        assert "City" in table.columns
+
+    def test_deterministic_for_seed(self):
+        a = generate_query_table("covid", rows=4, seed=11)
+        b = generate_query_table("covid", rows=4, seed=11)
+        assert a.equals(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_query_table("covid", rows=6, seed=1)
+        b = generate_query_table("covid", rows=6, seed=2)
+        assert not a.equals(b)
+
+    def test_extra_columns_padded(self):
+        table = generate_query_table("covid", rows=2, columns=7)
+        assert table.num_columns == 7
+        assert "Attribute 1" in table.columns
+
+    def test_keyed_column_no_duplicates(self):
+        table = generate_query_table("covid", rows=8, seed=3)
+        cities = table.column("City")
+        assert len(set(cities)) == len(cities)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            generate_query_table("covid", rows=0)
+
+    def test_topics_listed(self):
+        topics = available_topics()
+        assert "covid" in topics and len(topics) >= 5

@@ -1,0 +1,56 @@
+"""Unit tests for offline index persistence (LakeIndex.save / load)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalake import DataLake, LakeIndex
+from repro.discovery import (
+    JosieJoinSearch,
+    LSHEnsembleJoinSearch,
+    SantosUnionSearch,
+)
+
+
+@pytest.fixture
+def lake(covid_unionable, covid_joinable):
+    return DataLake([covid_unionable, covid_joinable])
+
+
+class TestPersistence:
+    def test_round_trip_preserves_results(self, lake, covid_query, tmp_path):
+        index = LakeIndex(
+            lake, [SantosUnionSearch(), LSHEnsembleJoinSearch(), JosieJoinSearch()]
+        ).build()
+        before = index.search_merged(covid_query, k=3, query_column="City")
+
+        path = tmp_path / "indexes" / "lake.idx"
+        index.save(path)
+        loaded = LakeIndex.load(path)
+
+        assert loaded.is_built
+        after = loaded.search_merged(covid_query, k=3, query_column="City")
+        assert [(r.table_name, r.score) for r in after] == [
+            (r.table_name, r.score) for r in before
+        ]
+
+    def test_save_builds_if_needed(self, lake, tmp_path):
+        index = LakeIndex(lake, [JosieJoinSearch()])
+        assert not index.is_built
+        index.save(tmp_path / "auto.idx")
+        assert index.is_built
+
+    def test_load_rejects_foreign_pickle(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.idx"
+        with path.open("wb") as handle:
+            pickle.dump({"not": "an index"}, handle)
+        with pytest.raises(TypeError, match="LakeIndex"):
+            LakeIndex.load(path)
+
+    def test_loaded_index_timings_preserved(self, lake, tmp_path):
+        index = LakeIndex(lake, [JosieJoinSearch()]).build()
+        index.save(tmp_path / "t.idx")
+        loaded = LakeIndex.load(tmp_path / "t.idx")
+        assert set(loaded.build_seconds) == {"josie"}

@@ -1,0 +1,98 @@
+"""Unit tests for CSV I/O (repro.table.io)."""
+
+from __future__ import annotations
+
+from repro.table import MISSING, PRODUCED, Table, read_csv, read_lake_dir, write_csv
+
+
+class TestReadCsv:
+    def test_round_trip_types(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("city,pop,open\nBerlin,3.6,true\nBoston,,false\n", encoding="utf-8")
+        t = read_csv(path)
+        assert t.name == "t"
+        assert t.columns == ("city", "pop", "open")
+        assert t.rows[0] == ("Berlin", 3.6, True)
+        assert t.rows[1][1] is MISSING
+
+    def test_missing_tokens(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\nNA\nnull\n-\n±\n", encoding="utf-8")
+        t = read_csv(path)
+        assert all(cell is MISSING for cell in t.column("a"))
+
+    def test_ragged_rows_padded_and_truncated(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n1,2,3\n", encoding="utf-8")
+        t = read_csv(path)
+        assert t.rows[0] == (1, MISSING)
+        assert t.rows[1] == (1, 2)
+
+    def test_duplicate_headers_deduped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,a,\n1,2,3\n", encoding="utf-8")
+        t = read_csv(path)
+        assert t.columns == ("a", "a_2", "column")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("", encoding="utf-8")
+        t = read_csv(path)
+        assert t.num_rows == 0 and t.num_columns == 0
+
+    def test_no_type_inference_mode(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n42\n", encoding="utf-8")
+        t = read_csv(path, infer_types=False)
+        assert t.rows[0][0] == "42"
+
+
+class TestWriteCsv:
+    def test_null_markers_round_trip(self, tmp_path):
+        t = Table(["a", "b"], [(MISSING, PRODUCED), (1, "x")], name="t")
+        path = tmp_path / "out" / "t.csv"
+        write_csv(t, path)
+        back = read_csv(path)
+        # Both markers parse back as nulls; ± is a default missing token.
+        assert back.rows[0][0] is MISSING
+        text = path.read_text(encoding="utf-8")
+        assert "±" in text and "⊥" in text
+
+    def test_floats_rendered_compactly(self, tmp_path):
+        t = Table(["x"], [(1.5,)])
+        path = tmp_path / "t.csv"
+        write_csv(t, path)
+        assert "1.5" in path.read_text(encoding="utf-8")
+
+
+class TestReadLakeDir:
+    def test_sorted_load(self, tmp_path):
+        (tmp_path / "b.csv").write_text("x\n1\n", encoding="utf-8")
+        (tmp_path / "a.csv").write_text("y\n2\n", encoding="utf-8")
+        tables = read_lake_dir(tmp_path)
+        assert [t.name for t in tables] == ["a", "b"]
+
+
+class TestDelimiterSniffing:
+    def test_semicolon_sniffed(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a;b\n1;2\n", encoding="utf-8")
+        t = read_csv(path)
+        assert t.columns == ("a", "b")
+        assert t.rows[0] == (1, 2)
+
+    def test_tab_sniffed(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\tb\n1\t2\n", encoding="utf-8")
+        assert read_csv(path).columns == ("a", "b")
+
+    def test_explicit_delimiter_wins(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a;b\n1;2\n", encoding="utf-8")
+        t = read_csv(path, delimiter=",")
+        assert t.num_columns == 1  # the line is one comma-field
+
+    def test_comma_default_preserved(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n", encoding="utf-8")
+        assert read_csv(path).columns == ("a", "b")

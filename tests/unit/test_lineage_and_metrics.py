@@ -1,0 +1,204 @@
+"""Unit tests for fact lineage, discovery ranking metrics, sorted-
+neighborhood blocking, and histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import (
+    JosieJoinSearch,
+    average_precision,
+    evaluate_discoverer,
+    evaluate_ranking,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.er import Record, SortedNeighborhoodBlocker, blocking_quality
+from repro.integration import AliteFD, UnionIntegrator, explain_fact, fact_lineage
+from repro.analysis import histogram
+from repro.table import MISSING, Table
+
+
+class TestFactLineage:
+    @pytest.fixture
+    def integrated(self, vaccine_tables):
+        return AliteFD().integrate(vaccine_tables)
+
+    def test_merged_fact_attributes_attributed(self, integrated):
+        # f2 = {t3, t5} = (J&J, FDA, United States): Vaccine from t5 (T6),
+        # Approver from t3 (T5), Country from both.
+        lineage = {entry["attribute"]: entry for entry in fact_lineage(integrated, "f2")}
+        assert lineage["Vaccine"]["tids"] == ["t5"]
+        assert lineage["Approver"]["tids"] == ["t3"]
+        assert lineage["Country"]["tids"] == ["t3", "t5"]
+        assert lineage["Vaccine"]["sources"] == [("T6", 0)]
+
+    def test_null_attribute_has_no_supporters(self, integrated):
+        lineage = {entry["attribute"]: entry for entry in fact_lineage(integrated, "f3")}
+        assert lineage["Approver"]["tids"] == []
+
+    def test_explain_renders_origins(self, integrated):
+        explanation = explain_fact(integrated, "f2")
+        assert explanation.columns == ("attribute", "value", "origin")
+        text = explanation.to_pretty()
+        assert "T5[0]" in text and "T6[0]" in text
+
+    def test_bad_oid_rejected(self, integrated):
+        with pytest.raises(KeyError):
+            fact_lineage(integrated, "f99")
+        with pytest.raises(ValueError):
+            fact_lineage(integrated, "x1")
+
+    def test_requires_input_tuples(self, vaccine_tables):
+        union = UnionIntegrator().integrate(vaccine_tables)
+        with pytest.raises(ValueError, match="input tuples"):
+            fact_lineage(union, "f1")
+
+
+class TestRankingMetrics:
+    def test_precision_recall_at_k(self):
+        ranked = ["a", "x", "b", "y"]
+        relevant = ["a", "b", "c"]
+        assert precision_at_k(ranked, relevant, 2) == 0.5
+        assert recall_at_k(ranked, relevant, 3) == pytest.approx(2 / 3)
+        assert recall_at_k([], relevant, 5) == 0.0
+        assert precision_at_k([], relevant, 5) == 1.0
+
+    def test_average_precision_perfect_and_worst(self):
+        assert average_precision(["a", "b", "z"], ["a", "b"]) == 1.0
+        assert average_precision(["z", "y"], ["a"]) == 0.0
+        assert average_precision(["z", "a"], ["a"]) == 0.5
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], ["a"], 0)
+
+    def test_evaluate_ranking_report_table(self):
+        report = evaluate_ranking(["a", "b"], ["a"], ks=(1, 2), name="mine")
+        table = report.to_table()
+        assert table.column("k") == [1, 2]
+        assert report.precision[1] == 1.0
+
+    def test_evaluate_discoverer_end_to_end(self, covid_query, covid_joinable, covid_unionable):
+        lake = {"T2": covid_unionable, "T3": covid_joinable}
+        report = evaluate_discoverer(
+            JosieJoinSearch(), lake, covid_query, relevant=["T3"], ks=(1,),
+            query_column="City",
+        )
+        assert report.discoverer == "josie"
+        assert report.recall[1] in (0.0, 1.0)
+
+
+class TestSortedNeighborhood:
+    @pytest.fixture
+    def records(self):
+        return [
+            Record.from_mapping("r1", {"name": "Anna"}),
+            Record.from_mapping("r2", {"name": "Annaa"}),
+            Record.from_mapping("r3", {"name": "Zeke"}),
+            Record.from_mapping("r4", {"name": "Zekee"}),
+        ]
+
+    def test_window_pairs_neighbors(self, records):
+        pairs = SortedNeighborhoodBlocker(window=2).candidate_pairs(records)
+        assert ("r1", "r2") in pairs
+        assert ("r3", "r4") in pairs
+        assert ("r1", "r3") not in pairs
+
+    def test_larger_window_supersets_smaller(self, records):
+        small = SortedNeighborhoodBlocker(window=2).candidate_pairs(records)
+        large = SortedNeighborhoodBlocker(window=4).candidate_pairs(records)
+        assert small <= large
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SortedNeighborhoodBlocker(window=1)
+
+    def test_blocking_quality_metrics(self, records):
+        candidates = SortedNeighborhoodBlocker(window=2).candidate_pairs(records)
+        gold = {("r1", "r2"), ("r3", "r4")}
+        quality = blocking_quality(candidates, gold, num_records=4)
+        assert quality["pair_completeness"] == 1.0
+        assert quality["reduction_ratio"] == 0.5  # 3 of 6 pairs emitted
+
+
+class TestHistogram:
+    def test_bins_cover_and_count(self):
+        table = Table(["v"], [(i,) for i in range(100)])
+        result = histogram(table, "v", bins=10)
+        assert result.num_rows == 10
+        assert sum(result.column("count")) == 100
+
+    def test_quantity_strings_binned(self):
+        table = Table(["v"], [("10%",), ("20%",), ("90%",), (MISSING,)])
+        result = histogram(table, "v", bins=2)
+        assert sum(result.column("count")) == 3
+
+    def test_constant_column_single_bin(self):
+        table = Table(["v"], [(5,), (5,)])
+        result = histogram(table, "v")
+        assert result.num_rows == 1
+        assert result.rows[0] == (5, 5, 2)
+
+    def test_validations(self):
+        table = Table(["v"], [("text",)])
+        with pytest.raises(ValueError, match="numeric"):
+            histogram(table, "v")
+        with pytest.raises(ValueError, match="bins"):
+            histogram(Table(["v"], [(1,)]), "v", bins=0)
+
+
+class TestLinkTables:
+    def test_cross_table_linkage(self):
+        from repro.er import EntityResolver
+        from repro.table import Table
+
+        left = Table(["Vaccine", "Country"], [("J&J", "USA"), ("Pfizer", "Germany")], name="L")
+        right = Table(["Vaccine", "Country"], [("JnJ", "United States"), ("Moderna", "France")], name="R")
+        links = EntityResolver().link_tables(left, right)
+        assert ("L1", "R1", 1.0) in [(a, b, round(s, 2)) for a, b, s in links]
+        assert all(a.startswith("L") and b.startswith("R") for a, b, _ in links)
+
+    def test_within_table_pairs_excluded(self):
+        from repro.er import EntityResolver
+        from repro.table import Table
+
+        left = Table(["Name"], [("Acme", ), ("Acme Corp",)], name="L")
+        right = Table(["Name"], [("Globex",)], name="R")
+        links = EntityResolver().link_tables(left, right)
+        assert not any({a[0], b[0]} == {"L"} for a, b, _ in links)
+
+
+class TestOutliers:
+    def test_detects_extreme_value(self):
+        from repro.analysis import outliers
+        from repro.table import Table
+
+        rows = [(float(i),) for i in range(20)] + [(1e6,)]
+        result = outliers(Table(["v"], rows), "v", z_threshold=3.0)
+        assert result.num_rows == 1
+        assert result.rows[0][0] == 1e6
+
+    def test_constant_column_no_outliers(self):
+        from repro.analysis import outliers
+        from repro.table import Table
+
+        result = outliers(Table(["v"], [(5,)] * 10), "v")
+        assert result.num_rows == 0
+
+    def test_too_few_values(self):
+        from repro.analysis import outliers
+        from repro.table import Table
+
+        result = outliers(Table(["v"], [(1,), (2,)]), "v")
+        assert result.num_rows == 0
+
+
+class TestPipelineExplain:
+    def test_explain_via_pipeline(self, vaccine_tables):
+        from repro import Dialite
+
+        pipeline = Dialite()
+        integrated = pipeline.integrate(vaccine_tables, align=False)
+        explanation = pipeline.explain(integrated, "f2")
+        assert "T5[0]" in explanation.to_pretty()

@@ -1,0 +1,134 @@
+"""Unit tests for the Starmie/TUS/COCOA-style discoverers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery import (
+    CocoaConfig,
+    CocoaJoinSearch,
+    StarmieUnionSearch,
+    TusUnionSearch,
+)
+from repro.table import MISSING, Table
+
+
+@pytest.fixture
+def lake(covid_unionable, covid_joinable):
+    people = Table(
+        ["First Name", "Last Name"],
+        [("Alice", "Smith"), ("Bob", "Chen"), ("Maria", "Garcia")],
+        name="people",
+    )
+    return {"T2": covid_unionable, "T3": covid_joinable, "people": people}
+
+
+class TestStarmie:
+    def test_ranks_unionable_over_unrelated(self, covid_query, lake):
+        discoverer = StarmieUnionSearch().fit(lake)
+        results = discoverer.search(covid_query, k=3)
+        scores = {r.table_name: r.score for r in results}
+        assert scores.get("T2", 0) > scores.get("people", 0)
+
+    def test_reason_names_column_matches(self, covid_query, lake):
+        discoverer = StarmieUnionSearch().fit(lake)
+        top = discoverer.search(covid_query, k=1)[0]
+        assert "~" in top.reason
+
+    def test_one_to_one_matching(self):
+        # Two identical query columns cannot both claim one candidate column
+        # at full weight: score is bounded by the candidate's column count.
+        query = Table(["a", "b"], [("x", "x"), ("y", "y")], name="q")
+        candidate = Table(["c"], [("x",), ("y",)], name="cand")
+        discoverer = StarmieUnionSearch().fit({"cand": candidate})
+        results = discoverer.search(query, k=1)
+        assert results and results[0].score <= 0.55  # 1 of 2 columns matched
+
+    def test_empty_table_skipped(self, covid_query):
+        empty = Table(["x"], [(MISSING,)], name="empty")
+        discoverer = StarmieUnionSearch().fit({"empty": empty})
+        assert discoverer.search(covid_query, k=3) == []
+
+
+class TestTus:
+    def test_ranks_unionable_first(self, covid_query, lake):
+        discoverer = TusUnionSearch().fit(lake)
+        results = discoverer.search(covid_query, k=3)
+        assert results[0].table_name == "T2"
+
+    def test_numeric_text_gate(self):
+        numbers = Table(["v"], [(1.5,), (2.5,), (3.5,)], name="numbers")
+        words = Table(["v"], [("Berlin",), ("Boston",), ("Rome",)], name="words")
+        discoverer = TusUnionSearch().fit({"numbers": numbers})
+        results = discoverer.search(words, k=1)
+        assert not results or results[0].score < 0.15
+
+    def test_alignment_reported(self, covid_query, lake):
+        discoverer = TusUnionSearch().fit(lake)
+        top = discoverer.search(covid_query, k=1)[0]
+        assert "aligned:" in top.reason
+
+    def test_type_channel_bridges_disjoint_values(self):
+        # Disjoint country values still union through the KB types.
+        a = Table(["Country"], [("Germany",), ("Spain",), ("France",)], name="a")
+        b = Table(["Nation"], [("Canada",), ("Mexico",), ("Japan",)], name="b")
+        discoverer = TusUnionSearch().fit({"b": b})
+        results = discoverer.search(a, k=1)
+        assert results and results[0].score >= 0.5
+
+
+class TestCocoa:
+    @pytest.fixture
+    def numeric_lake(self):
+        # Candidate whose attribute correlates perfectly with the query's
+        # target, and one whose attribute is anti-ordered noise.
+        cities = ["Berlin", "Boston", "Rome", "Paris", "Tokyo", "Oslo"]
+        correlated = Table(
+            ["City", "Cases"],
+            [(city, (i + 1) * 100) for i, city in enumerate(cities)],
+            name="correlated",
+        )
+        flat = Table(
+            ["City", "Zip"],
+            [(city, 99999) for city in cities],
+            name="flat",
+        )
+        return {"correlated": correlated, "flat": flat}
+
+    @pytest.fixture
+    def numeric_query(self):
+        cities = ["Berlin", "Boston", "Rome", "Paris", "Tokyo", "Oslo"]
+        return Table(
+            ["City", "Rate"],
+            [(city, (i + 1) * 2.5) for i, city in enumerate(cities)],
+            name="q",
+        )
+
+    def test_correlated_table_wins(self, numeric_query, numeric_lake):
+        discoverer = CocoaJoinSearch().fit(numeric_lake)
+        results = discoverer.search(numeric_query, k=2, query_column="City")
+        assert results[0].table_name == "correlated"
+        assert results[0].score > 0.9
+        assert "spearman" in results[0].reason
+
+    def test_no_numeric_target_returns_nothing(self, numeric_lake):
+        text_only = Table(["City", "Note"], [("Berlin", "x"), ("Boston", "y")], name="q")
+        discoverer = CocoaJoinSearch().fit(numeric_lake)
+        assert discoverer.search(text_only, k=2, query_column="City") == []
+
+    def test_explicit_target_column(self, numeric_query, numeric_lake):
+        discoverer = CocoaJoinSearch(target_column="Rate").fit(numeric_lake)
+        results = discoverer.search(numeric_query, k=1, query_column="City")
+        assert results
+
+    def test_min_overlap_filter(self, numeric_query, numeric_lake):
+        config = CocoaConfig(min_key_overlap=100)
+        discoverer = CocoaJoinSearch(config=config).fit(numeric_lake)
+        assert discoverer.search(numeric_query, k=2, query_column="City") == []
+
+    def test_registered_in_pipeline(self, numeric_query, numeric_lake):
+        from repro import Dialite
+
+        pipeline = Dialite(numeric_lake, discoverers=[CocoaJoinSearch()]).fit()
+        outcome = pipeline.discover(numeric_query, k=2, query_column="City")
+        assert "correlated" in outcome.discovered_names

@@ -1,0 +1,156 @@
+"""Unit tests for relational operators (repro.table.ops)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.table import MISSING, PRODUCED, Table, ops
+
+
+@pytest.fixture
+def left():
+    return Table(["k", "a"], [("x", 1), ("y", 2), ("z", 3), (MISSING, 4)], name="L")
+
+
+@pytest.fixture
+def right():
+    return Table(["k", "b"], [("x", 10), ("x", 11), ("w", 12)], name="R")
+
+
+class TestUnaryOps:
+    def test_project_reorders(self, left):
+        t = ops.project(left, ["a", "k"])
+        assert t.columns == ("a", "k")
+        assert t.rows[0] == (1, "x")
+
+    def test_select(self, left):
+        t = ops.select(left, lambda row: isinstance(row["a"], int) and row["a"] > 1)
+        assert t.num_rows == 3
+
+    def test_distinct_respects_null_kind(self):
+        t = Table(["x"], [(MISSING,), (PRODUCED,), (MISSING,)])
+        assert ops.distinct(t).num_rows == 2
+
+    def test_sort_nulls_last(self):
+        t = Table(["x"], [(MISSING,), (2,), (1,)])
+        sorted_t = ops.sort_by(t, ["x"])
+        assert sorted_t.column("x")[-1] is MISSING
+        assert sorted_t.column("x")[:2] == [1, 2]
+
+    def test_limit(self, left):
+        assert ops.limit(left, 2).num_rows == 2
+
+
+class TestUnions:
+    def test_union_all_requires_same_header(self, left, right):
+        with pytest.raises(ValueError, match="header mismatch"):
+            ops.union_all([left, right])
+
+    def test_union_all_concatenates(self, left):
+        assert ops.union_all([left, left]).num_rows == 8
+
+    def test_union_all_empty_input(self):
+        with pytest.raises(ValueError):
+            ops.union_all([])
+
+    def test_outer_union_pads_with_produced(self, left, right):
+        t = ops.outer_union([left, right])
+        assert t.columns == ("k", "a", "b")
+        assert t.rows[0] == ("x", 1, PRODUCED)
+        assert t.rows[4] == ("x", PRODUCED, 10)
+
+    def test_outer_union_column_order_first_appearance(self):
+        a = Table(["x", "y"], [], name="a")
+        b = Table(["z", "x"], [], name="b")
+        assert ops.outer_union([a, b]).columns == ("x", "y", "z")
+
+
+class TestJoins:
+    def test_inner_join_basic(self, left, right):
+        t = ops.inner_join(left, right)
+        assert t.columns == ("k", "a", "b")
+        assert t.num_rows == 2  # x matches twice
+
+    def test_null_keys_never_match(self, left):
+        other = Table(["k", "c"], [(MISSING, 9)], name="O")
+        assert ops.inner_join(left, other).num_rows == 0
+
+    def test_left_outer_join_pads(self, left, right):
+        t = ops.left_outer_join(left, right)
+        assert t.num_rows == 5  # x twice + y, z, null-key row
+        padded = [r for r in t.rows if r[2] is PRODUCED]
+        assert len(padded) == 3
+
+    def test_full_outer_join_keeps_right(self, left, right):
+        t = ops.full_outer_join(left, right)
+        w_rows = [r for r in t.rows if r[0] == "w"]
+        assert w_rows == [("w", PRODUCED, 12)]
+
+    def test_join_without_shared_columns_raises(self):
+        a = Table(["x"], [], name="a")
+        b = Table(["y"], [], name="b")
+        with pytest.raises(ValueError, match="no shared columns"):
+            ops.inner_join(a, b)
+
+    def test_explicit_on_validated(self, left, right):
+        with pytest.raises(KeyError):
+            ops.inner_join(left, right, on=["nope"])
+
+    def test_numeric_cross_type_join(self):
+        a = Table(["k", "v"], [(1, "a")], name="a")
+        b = Table(["k", "w"], [(1.0, "b")], name="b")
+        assert ops.inner_join(a, b).num_rows == 1
+
+    def test_outer_join_not_associative(self):
+        # The motivating deficiency: changing fold order changes the result.
+        t4 = Table(["Vaccine", "Approver"], [("Pfizer", "FDA"), ("JnJ", MISSING)], name="T4")
+        t5 = Table(["Country", "Approver"], [("US", "FDA"), ("USA", MISSING)], name="T5")
+        t6 = Table(["Vaccine", "Country"], [("J&J", "US"), ("JnJ", "USA")], name="T6")
+        order_a = ops.full_outer_join(ops.full_outer_join(t4, t5), t6)
+        order_b = ops.full_outer_join(ops.full_outer_join(t4, t6), t5)
+        rows_a = {tuple(map(repr, r)) for r in order_a.rows}
+        rows_b = {
+            tuple(map(repr, (row[order_b.column_index(c)] for c in order_a.columns)))
+            for row in order_b.rows
+        }
+        assert rows_a != rows_b
+
+
+class TestAggregate:
+    @pytest.fixture
+    def sales(self):
+        return Table(
+            ["region", "amount"],
+            [("east", 10), ("east", 20), ("west", 5), ("west", MISSING)],
+            name="sales",
+        )
+
+    def test_group_aggregate(self, sales):
+        t = ops.aggregate(
+            sales,
+            group_by=["region"],
+            aggregations={"total": ("amount", "sum"), "n": ("amount", "count")},
+        )
+        rows = {r[0]: (r[1], r[2]) for r in t.rows}
+        assert rows == {"east": (30, 2), "west": (5, 1)}
+
+    def test_global_aggregate(self, sales):
+        t = ops.aggregate(sales, group_by=[], aggregations={"m": ("amount", "mean")})
+        assert t.num_rows == 1
+        assert t.rows[0][0] == pytest.approx(35 / 3)
+
+    def test_custom_callable(self, sales):
+        t = ops.aggregate(
+            sales, group_by=["region"], aggregations={"r": ("amount", lambda vs: len(vs) * 100)}
+        )
+        assert t.column("r") == [200, 100]
+
+    def test_empty_group_aggregates_to_produced(self):
+        t = Table(["g", "v"], [("a", MISSING)])
+        agg = ops.aggregate(t, ["g"], {"s": ("v", "sum")})
+        assert agg.rows[0][1] is PRODUCED
+
+    def test_min_max_mixed_types_fall_back_to_string_order(self):
+        t = Table(["g", "v"], [("a", 1), ("a", "zz")])
+        agg = ops.aggregate(t, ["g"], {"lo": ("v", "min"), "hi": ("v", "max")})
+        assert agg.rows[0][1:] == (1, "zz")

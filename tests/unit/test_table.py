@@ -1,0 +1,163 @@
+"""Unit tests for the table engine (repro.table.table / schema / infer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.table import (
+    MISSING,
+    PRODUCED,
+    ColumnSpec,
+    Schema,
+    Table,
+    infer_dtype,
+    parse_cell,
+)
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        t = Table(["a", "b"], [(1, 2), (3, 4)], name="t")
+        assert t.shape == (2, 2)
+        assert t.columns == ("a", "b")
+        assert t.name == "t"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="row 1"):
+            Table(["a", "b"], [(1, 2), (3,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Table(["a", "a"], [])
+
+    def test_from_dict(self):
+        t = Table.from_dict({"x": [1, 2], "y": ["a", "b"]})
+        assert t.column("x") == [1, 2]
+        assert t.column("y") == ["a", "b"]
+
+    def test_from_dict_ragged_rejected(self):
+        with pytest.raises(ValueError, match="unequal"):
+            Table.from_dict({"x": [1], "y": [1, 2]})
+
+    def test_empty(self):
+        t = Table.empty(["a"])
+        assert t.num_rows == 0
+        assert t.num_columns == 1
+
+
+class TestAccessors:
+    @pytest.fixture
+    def table(self):
+        return Table(
+            ["city", "pop"],
+            [("Berlin", 3.6), ("Boston", MISSING), ("Berlin", 0.7)],
+            name="cities",
+        )
+
+    def test_column_index_error_lists_columns(self, table):
+        with pytest.raises(KeyError, match="city"):
+            table.column_index("nope")
+
+    def test_column_values_skips_nulls(self, table):
+        assert table.column_values("pop") == [3.6, 0.7]
+
+    def test_distinct_values(self, table):
+        assert table.distinct_values("city") == {"Berlin", "Boston"}
+
+    def test_cell(self, table):
+        assert table.cell(1, "city") == "Boston"
+
+    def test_iter_dicts(self, table):
+        first = next(table.iter_dicts())
+        assert first == {"city": "Berlin", "pop": 3.6}
+
+    def test_null_count_and_completeness(self, table):
+        assert table.null_count() == 1
+        assert table.completeness() == pytest.approx(5 / 6)
+
+
+class TestTransforms:
+    def test_renamed(self):
+        t = Table(["a", "b"], [(1, 2)]).renamed({"a": "x"})
+        assert t.columns == ("x", "b")
+
+    def test_renamed_unknown_column(self):
+        with pytest.raises(KeyError):
+            Table(["a"], []).renamed({"zz": "x"})
+
+    def test_map_column(self):
+        t = Table(["a"], [(1,), (2,)]).map_column("a", lambda v: v * 10)
+        assert t.column("a") == [10, 20]
+
+    def test_fill_missing_converts_produced(self):
+        t = Table(["a"], [(PRODUCED,)]).fill_missing()
+        assert t.rows[0][0] is MISSING
+
+    def test_head(self):
+        t = Table(["a"], [(i,) for i in range(10)]).head(3)
+        assert t.num_rows == 3
+
+
+class TestEquality:
+    def test_null_kind_matters(self):
+        a = Table(["x"], [(MISSING,)])
+        b = Table(["x"], [(PRODUCED,)])
+        assert not a.equals(b)
+
+    def test_ignore_row_order(self):
+        a = Table(["x"], [(1,), (2,)])
+        b = Table(["x"], [(2,), (1,)])
+        assert not a.equals(b)
+        assert a.equals(b, ignore_row_order=True)
+
+    def test_tables_are_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Table(["x"], []))
+
+
+class TestInference:
+    def test_parse_cell_types(self):
+        assert parse_cell("42") == 42
+        assert parse_cell("4.5") == 4.5
+        assert parse_cell("true") is True
+        assert parse_cell("No") is False
+        assert parse_cell(" text ") == "text"
+        assert parse_cell("") is MISSING
+        assert parse_cell("N/A") is MISSING
+        assert parse_cell("±") is MISSING
+
+    def test_infer_dtype(self):
+        assert infer_dtype([1, 2, MISSING]) == "int"
+        assert infer_dtype([1.0, 2]) == "float"
+        assert infer_dtype(["a", "b"]) == "string"
+        assert infer_dtype([True]) == "bool"
+        assert infer_dtype([1, "a"]) == "any"
+        assert infer_dtype([MISSING, PRODUCED]) == "empty"
+        assert infer_dtype([]) == "empty"
+
+    def test_schema_property_cached(self):
+        t = Table(["n", "s"], [(1, "x")])
+        assert t.schema["n"].dtype == "int"
+        assert t.schema is t.schema
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([ColumnSpec("a"), ColumnSpec("a")])
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            ColumnSpec("a", "whatever")
+
+    def test_renamed_and_project(self):
+        schema = Schema([ColumnSpec("a", "int"), ColumnSpec("b", "string")])
+        renamed = schema.renamed({"a": "x"})
+        assert renamed.names == ("x", "b")
+        assert renamed["x"].dtype == "int"
+        projected = schema.project(["b"])
+        assert projected.names == ("b",)
+
+    def test_is_numeric(self):
+        assert ColumnSpec("a", "float").is_numeric()
+        assert not ColumnSpec("a", "string").is_numeric()

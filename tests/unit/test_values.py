@@ -1,0 +1,98 @@
+"""Unit tests for the two-kind null model (repro.table.values)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.table.values import (
+    MISSING,
+    PRODUCED,
+    Null,
+    coalesce,
+    is_missing,
+    is_null,
+    is_produced,
+    merge_null_kind,
+    values_equal,
+)
+
+
+class TestNullSingletons:
+    def test_exactly_two_instances(self):
+        assert Null("missing") is MISSING
+        assert Null("produced") is PRODUCED
+        assert MISSING is not PRODUCED
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Null("unknown")
+
+    def test_nulls_are_falsy(self):
+        assert not MISSING
+        assert not PRODUCED
+
+    def test_reprs_match_paper_symbols(self):
+        assert repr(MISSING) == "±"
+        assert repr(PRODUCED) == "⊥"
+
+    def test_kind_property(self):
+        assert MISSING.kind == "missing"
+        assert PRODUCED.kind == "produced"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(MISSING)) is MISSING
+        assert pickle.loads(pickle.dumps(PRODUCED)) is PRODUCED
+
+
+class TestPredicates:
+    def test_is_null_covers_both_kinds(self):
+        assert is_null(MISSING)
+        assert is_null(PRODUCED)
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(None) is True or True  # None is not a table null
+
+    def test_none_is_not_a_table_null(self):
+        assert not is_null(None)
+
+    def test_kind_specific_predicates(self):
+        assert is_missing(MISSING) and not is_missing(PRODUCED)
+        assert is_produced(PRODUCED) and not is_produced(MISSING)
+
+
+class TestValuesEqual:
+    def test_nulls_never_equal_anything(self):
+        assert not values_equal(MISSING, MISSING)
+        assert not values_equal(PRODUCED, PRODUCED)
+        assert not values_equal(MISSING, "x")
+        assert not values_equal(5, PRODUCED)
+
+    def test_numeric_cross_type_equality(self):
+        assert values_equal(1, 1.0)
+
+    def test_bool_does_not_equal_int(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(False, 0)
+
+    def test_strings(self):
+        assert values_equal("a", "a")
+        assert not values_equal("a", "A")
+
+
+class TestMergeAndCoalesce:
+    def test_missing_dominates_produced(self):
+        assert merge_null_kind(MISSING, PRODUCED) is MISSING
+        assert merge_null_kind(PRODUCED, MISSING) is MISSING
+        assert merge_null_kind(PRODUCED, PRODUCED) is PRODUCED
+        assert merge_null_kind(MISSING, MISSING) is MISSING
+
+    def test_coalesce_prefers_values(self):
+        assert coalesce("x", PRODUCED) == "x"
+        assert coalesce(MISSING, 42) == 42
+        assert coalesce("a", "a") == "a"
+
+    def test_coalesce_combines_null_kinds(self):
+        assert coalesce(MISSING, PRODUCED) is MISSING
+        assert coalesce(PRODUCED, PRODUCED) is PRODUCED
