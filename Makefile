@@ -1,0 +1,22 @@
+# Developer/CI entry points for the DIALITE reproduction.
+#
+#   make test         tier-1 test suite (the driver's gate)
+#   make bench-smoke  table-engine micro-benchmark, smoke mode (fast, JSON out)
+#   make bench        full table-engine benchmark incl. the >= 2x acceptance check
+#   make ci           what CI runs: tier-1 tests + smoke benchmark
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke ci
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_table_engine.py --smoke --json .benchmarks/table_engine_smoke.json
+
+bench:
+	$(PYTHON) benchmarks/bench_table_engine.py --json .benchmarks/table_engine.json
+
+ci: test bench-smoke

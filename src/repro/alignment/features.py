@@ -22,7 +22,6 @@ from typing import Sequence
 from ..embeddings.column import ColumnEmbedder, ColumnProfile
 from ..discovery.kb import KnowledgeBase
 from ..table.table import Table
-from ..text.tokenize import normalize_token
 
 __all__ = ["ColumnRef", "AlignedColumn", "featurize_tables"]
 
@@ -63,11 +62,12 @@ def featurize_tables(
     featurized = []
     for table in tables:
         for column in table.columns:
-            non_null = table.column_values(column)
-            sample = non_null[:max_values]
-            value_set = frozenset(
-                normalize_token(str(v)) for v in sample if isinstance(v, str)
-            )
+            # Values and normalized text sets are read from the shared
+            # column-stats cache -- the same objects the discoverers use.
+            stats = table.stats.column(column)
+            non_null = stats.values
+            sample = non_null[:max_values] if len(non_null) > max_values else non_null
+            value_set = stats.text_values(max_values)
             type_weights: dict[str, float] = {}
             if kb is not None and sample:
                 distinct = list(dict.fromkeys(str(v) for v in sample))

@@ -7,6 +7,7 @@ equivalent headless surface::
     python -m repro profile    --lake lake/ [--table T3]
     python -m repro generate   --prompt "covid cases, 5 rows" --out query.csv
     python -m repro discover   --lake lake/ --query query.csv --column City -k 5
+    python -m repro discover   --lake lake/ --queries q1.csv q2.csv --column City
     python -m repro integrate  --lake lake/ --query query.csv --column City \
                                --integrator alite_fd --out integrated.csv
     python -m repro integrate  --tables a.csv b.csv c.csv --out integrated.csv
@@ -60,7 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", default=None, help="write the table as CSV")
 
     discover = commands.add_parser("discover", help="find tables related to a query")
-    _add_discovery_arguments(discover)
+    _add_discovery_arguments(discover, query_required=False)
+    discover.add_argument(
+        "--queries", nargs="+", default=None,
+        help="batch of query CSVs: the lake is indexed once and each query's "
+        "column sketches are computed once across all discoverers",
+    )
 
     integrate = commands.add_parser(
         "integrate", help="discover (or take) an integration set and integrate it"
@@ -163,9 +169,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_discover(args: argparse.Namespace) -> int:
     if args.lake is None:
         raise SystemExit("discover requires --lake")
+    if args.query is None and not args.queries:
+        raise SystemExit("discover requires --query or --queries")
+    if args.query is not None and args.queries:
+        raise SystemExit("pass either --query or --queries, not both")
     pipeline = _load_pipeline(args.lake)
-    query = read_csv(args.query)
     names = args.discoverers.split(",") if args.discoverers else None
+    if args.queries:
+        queries = [read_csv(path) for path in args.queries]
+        outcomes = pipeline.discover_many(
+            queries, k=args.k, query_column=args.column, discoverer_names=names
+        )
+        for outcome in outcomes:
+            print(f"query: {outcome.query.name}")
+            print(outcome.summary().to_pretty(50))
+            print()
+        return 0
+    query = read_csv(args.query)
     outcome = pipeline.discover(
         query, k=args.k, query_column=args.column, discoverer_names=names
     )

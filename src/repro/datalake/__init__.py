@@ -6,6 +6,7 @@ from . import fixtures, seeds
 from .catalog import DataLake
 from .indexer import LakeIndex
 from .profiler import profile_lake, profile_table
+from .stats import LakeStats
 from .synth import (
     GroundTruth,
     SyntheticLake,
@@ -17,6 +18,7 @@ from .synth import (
 __all__ = [
     "DataLake",
     "LakeIndex",
+    "LakeStats",
     "profile_lake",
     "profile_table",
     "SyntheticLakeBuilder",

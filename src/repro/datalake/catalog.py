@@ -75,6 +75,16 @@ class DataLake(Mapping[str, Table]):
     # Conveniences
     # ------------------------------------------------------------------
     @property
+    def stats(self) -> "LakeStats":
+        """The lake-wide column-statistics view (see
+        :mod:`repro.datalake.stats`): one shared, memoized set of per-column
+        stats that the profiler, every discoverer and the aligner consume
+        instead of re-scanning raw columns."""
+        from .stats import LakeStats
+
+        return LakeStats(self)
+
+    @property
     def names(self) -> list[str]:
         return list(self._tables)
 

@@ -15,12 +15,19 @@ from typing import Mapping, Sequence
 
 from ..discovery.base import Discoverer, DiscoveryResult, merge_result_sets
 from ..table.table import Table
+from .stats import LakeStats
 
 __all__ = ["LakeIndex"]
 
 
 class LakeIndex:
-    """A set of fitted discoverers over one lake."""
+    """A set of fitted discoverers over one lake.
+
+    The index owns the lake-wide :class:`~repro.datalake.stats.LakeStats`
+    view: ``build`` warms it once (one raw pass per column), after which
+    every discoverer's ``fit`` reads tokens / distinct sets / sketches from
+    the shared cache instead of re-scanning the lake per algorithm.
+    """
 
     def __init__(self, lake: Mapping[str, Table], discoverers: Sequence[Discoverer]):
         names = [d.name for d in discoverers]
@@ -36,6 +43,11 @@ class LakeIndex:
         return list(self._discoverers)
 
     @property
+    def stats(self) -> LakeStats:
+        """The shared per-column statistics of the indexed lake."""
+        return LakeStats(self._lake)
+
+    @property
     def build_seconds(self) -> dict[str, float]:
         """Per-discoverer offline index-build wall time."""
         return dict(self._build_seconds)
@@ -46,6 +58,7 @@ class LakeIndex:
 
     def build(self) -> "LakeIndex":
         """Fit every discoverer (idempotent); returns self."""
+        self.stats.warm()  # one raw pass per column, shared by all fits
         for discoverer in self._discoverers:
             start = time.perf_counter()
             discoverer.fit(self._lake)

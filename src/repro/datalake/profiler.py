@@ -5,55 +5,50 @@ inferred dtype, null share, estimated distinct count (HyperLogLog -- exact
 at this scale, but the sketch is what survives lake scale), numeric
 fraction and example values.  The CLI's ``profile`` command prints it; the
 synthetic-lake tests use it to sanity-check generated data.
+
+Everything reported here is read from the shared
+:class:`~repro.table.stats.ColumnStats` cache: the profiler performs no raw
+column scans of its own, and the HyperLogLog it reports is the very sketch
+the discovery indexes use -- profiling after (or before) index building is
+free of duplicate work.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-from ..sketch.hll import HyperLogLog
 from ..table.table import Table
-from ..table.values import is_null
-from ..text.normalize import numeric_fraction
 
 __all__ = ["profile_lake", "profile_table"]
 
+_PROFILE_HEADER = [
+    "table", "column", "dtype", "rows", "non_null", "distinct_est",
+    "numeric_frac", "examples",
+]
+
 
 def profile_table(table: Table, hll_precision: int = 12) -> Table:
-    """Per-column statistics for one table."""
+    """Per-column statistics for one table (served from the stats cache)."""
     rows = []
-    for spec in table.schema:
-        values = table.column(spec.name)
-        non_null = [v for v in values if not is_null(v)]
-        sketch = HyperLogLog(precision=hll_precision)
-        for value in non_null:
-            sketch.add(value)
-        distinct_examples = list(dict.fromkeys(str(v) for v in non_null))[:3]
+    for stats in table.stats:
         rows.append(
             (
                 table.name,
-                spec.name,
-                spec.dtype,
-                len(values),
-                len(non_null),
-                len(sketch),
-                round(numeric_fraction(non_null), 3),
-                ", ".join(distinct_examples),
+                stats.name,
+                stats.dtype,
+                stats.row_count,
+                stats.non_null_count,
+                len(stats.hll(hll_precision)),
+                round(stats.numeric_fraction, 3),
+                ", ".join(stats.example_values(3)),
             )
         )
-    return Table(
-        ["table", "column", "dtype", "rows", "non_null", "distinct_est",
-         "numeric_frac", "examples"],
-        rows,
-        name=f"{table.name}_profile",
-    )
+    return Table(_PROFILE_HEADER, rows, name=f"{table.name}_profile")
 
 
 def profile_lake(lake: Mapping[str, Table], hll_precision: int = 12) -> Table:
     """Per-column statistics for every table in *lake*, stacked."""
-    header = ["table", "column", "dtype", "rows", "non_null", "distinct_est",
-              "numeric_frac", "examples"]
     rows: list[tuple] = []
     for table in lake.values():
         rows.extend(profile_table(table, hll_precision).rows)
-    return Table(header, rows, name="lake_profile")
+    return Table(_PROFILE_HEADER, rows, name="lake_profile")

@@ -1,0 +1,76 @@
+"""The lake-wide column-statistics cache view.
+
+Per-column statistics are stored on each (immutable) :class:`Table` --
+see :mod:`repro.table.stats` for the cache and its invalidation contract.
+:class:`LakeStats` is the lake-level window onto those per-table caches: it
+is what the :class:`~repro.datalake.catalog.DataLake` and
+:class:`~repro.datalake.indexer.LakeIndex` own, what the profiler and every
+discoverer share, and what tests interrogate to assert that a whole
+discover -> integrate run scanned each column's raw data exactly once.
+
+Cache keys are effectively ``(id(table), column)`` scoped to the lake:
+because stats live on the table object, replacing a table (the only legal
+"mutation" -- tables are immutable by convention) automatically starts from
+a cold cache, and two lakes sharing table objects share their stats.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..table.stats import ColumnStats, TableStats
+from ..table.table import Table
+
+__all__ = ["LakeStats"]
+
+
+class LakeStats:
+    """All column stats of every table in one lake (a live view).
+
+    The view reads through to ``table.stats``; it performs no copies and
+    holds no state beyond the lake mapping itself, so any consumer touching
+    a table directly still shares the same memoized statistics.
+    """
+
+    def __init__(self, lake: Mapping[str, Table]):
+        self._lake = lake
+
+    def table(self, name: str) -> TableStats:
+        """Stats of one lake table."""
+        return self._lake[name].stats
+
+    def column(self, table_name: str, column: str) -> ColumnStats:
+        """Stats of one column of one lake table."""
+        return self._lake[table_name].stats.column(column)
+
+    def __iter__(self) -> Iterator[tuple[str, TableStats]]:
+        for name, table in self._lake.items():
+            yield name, table.stats
+
+    def warm(self) -> "LakeStats":
+        """Run every column's base scan now (one pass per column) so that
+        index building and profiling start from a fully shared cache."""
+        for table in self._lake.values():
+            table.stats.warm()
+        return self
+
+    def scan_counts(self) -> dict[tuple[str, str], int]:
+        """``(table name, column) -> raw base-scan passes`` for the lake.
+
+        After any sequence of profile / fit / search / integrate calls over
+        an unchanged lake, every count is at most 1 -- that is the shared-
+        substrate guarantee this PR introduces, and the scan-counter tests
+        pin it.
+        """
+        counts: dict[tuple[str, str], int] = {}
+        for name, table in self._lake.items():
+            for column, count in table.stats.scan_counts.items():
+                counts[(name, column)] = count
+        return counts
+
+    def total_scans(self) -> int:
+        """Total raw column passes performed across the lake so far."""
+        return sum(self.scan_counts().values())
+
+    def __repr__(self) -> str:
+        return f"LakeStats({len(self._lake)} tables)"

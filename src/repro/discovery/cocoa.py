@@ -88,11 +88,10 @@ class CocoaJoinSearch(Discoverer):
             return []
 
         # key -> target value map of the query (first occurrence wins).
-        key_position = query.column_index(join_column)
-        target_position = query.column_index(target)
+        key_array = query.column_array(join_column)
+        target_array = query.column_array(target)
         query_map: dict[str, float] = {}
-        for row in query.rows:
-            key_cell, target_cell = row[key_position], row[target_position]
+        for key_cell, target_cell in zip(key_array, target_array):
             if is_null(key_cell) or not isinstance(key_cell, str):
                 continue
             number = to_float(target_cell)
@@ -140,22 +139,25 @@ class CocoaJoinSearch(Discoverer):
     ) -> tuple[str, float, int] | None:
         from ..analysis.correlation import spearman
 
-        key_position = table.column_index(key_col)
+        key_array = table.column_array(key_col)
+        # Resolve each key row against the query once, shared by every
+        # candidate feature column of this table.
+        key_values: list[float | None] = [
+            query_map.get(normalize_token(cell))
+            if isinstance(cell, str) and not is_null(cell)
+            else None
+            for cell in key_array
+        ]
         best: tuple[str, float, int] | None = None
         for column in table.columns:
             if column == key_col:
                 continue
-            position = table.column_index(column)
             xs: list[float] = []
             ys: list[float] = []
-            for row in table.rows:
-                key_cell = row[key_position]
-                if is_null(key_cell) or not isinstance(key_cell, str):
-                    continue
-                query_value = query_map.get(normalize_token(key_cell))
+            for query_value, cell in zip(key_values, table.column_array(column)):
                 if query_value is None:
                     continue
-                number = to_float(row[position])
+                number = to_float(cell)
                 if number is None:
                     continue
                 xs.append(query_value)

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
 from ..table.table import Table
-from ..text.tokenize import column_token_set
 from .base import Discoverer, DiscoveryResult
 
 __all__ = ["JosieConfig", "JosieJoinSearch", "exact_topk_overlap"]
@@ -101,7 +100,9 @@ class JosieJoinSearch(Discoverer):
         self._column_of_key = {}
         for table_name, table in lake.items():
             for column in table.columns:
-                tokens = column_token_set(table.column_values(column))
+                # The domain token set comes from the shared column-stats
+                # cache; other discoverers reading the same column reuse it.
+                tokens = table.stats.column(column).tokens
                 if len(tokens) < self.config.min_domain_size:
                     continue
                 key = f"{table_name}\x1f{column}"
@@ -118,7 +119,7 @@ class JosieJoinSearch(Discoverer):
         )
         best_per_table: dict[str, tuple[int, str, str]] = {}
         for column in probe_columns:
-            tokens = column_token_set(query.column_values(column))
+            tokens = query.stats.column(column).tokens
             if len(tokens) < self.config.min_domain_size:
                 continue
             # Ask for generously more than k column hits: several top

@@ -14,7 +14,6 @@ from typing import Mapping
 
 from ..sketch.ensemble import LSHEnsemble
 from ..table.table import Table
-from ..text.tokenize import column_token_set
 from .base import Discoverer, DiscoveryResult
 
 __all__ = ["LSHEnsembleConfig", "LSHEnsembleJoinSearch"]
@@ -55,16 +54,19 @@ class LSHEnsembleJoinSearch(Discoverer):
             num_partitions=self.config.num_partitions,
             seed=self.config.seed,
         )
+        hasher = self._ensemble.hasher
         entries = []
         for table_name, table in lake.items():
             for column in table.columns:
-                tokens = column_token_set(table.column_values(column))
-                if len(tokens) < self.config.min_domain_size:
+                # Token sets and MinHash signatures come from the shared
+                # column-stats cache, keyed by the ensemble's (perm, seed).
+                stats = table.stats.column(column)
+                if len(stats.tokens) < self.config.min_domain_size:
                     continue
                 key = f"{table_name}\x1f{column}"
                 self._column_of_key[key] = (table_name, column)
-                entries.append((key, tokens))
-        self._ensemble.index(entries)
+                entries.append((key, stats.minhash(hasher)))
+        self._ensemble.index_signatures(entries)
 
     def _search(
         self, query: Table, k: int, query_column: str | None
@@ -81,11 +83,13 @@ class LSHEnsembleJoinSearch(Discoverer):
 
         best_per_table: dict[str, tuple[float, str, str]] = {}
         for column in probe_columns:
-            tokens = column_token_set(query.column_values(column))
-            if len(tokens) < self.config.min_domain_size:
+            stats = query.stats.column(column)
+            if len(stats.tokens) < self.config.min_domain_size:
                 continue
             matches = self._ensemble.query(
-                tokens, threshold=self.config.threshold, k=None
+                stats.minhash(self._ensemble.hasher),
+                threshold=self.config.threshold,
+                k=None,
             )
             for match in matches:
                 table_name, lake_column = self._column_of_key[str(match.key)]

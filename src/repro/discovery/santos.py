@@ -146,17 +146,16 @@ class SantosUnionSearch(Discoverer):
 
     @staticmethod
     def _co_occurrence(table: Table, column_a: str, column_b: str) -> float:
-        """Fraction of rows where both columns are non-null."""
+        """Fraction of rows where both columns are non-null (a zip of the
+        two column arrays; no row view is materialized)."""
         if table.num_rows == 0:
             return 0.0
-        position_a = table.column_index(column_a)
-        position_b = table.column_index(column_b)
         from ..table.values import is_null
 
+        array_a = table.column_array(column_a)
+        array_b = table.column_array(column_b)
         both = sum(
-            1
-            for row in table.rows
-            if not is_null(row[position_a]) and not is_null(row[position_b])
+            1 for a, b in zip(array_a, array_b) if not is_null(a) and not is_null(b)
         )
         return both / table.num_rows
 

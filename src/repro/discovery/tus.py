@@ -24,7 +24,6 @@ from ..table.table import Table
 from ..text.normalize import numeric_fraction
 from ..text.similarity import jaccard, weighted_jaccard
 from ..text.tfidf import TfIdfWeights
-from ..text.tokenize import normalize_token
 from .base import Discoverer, DiscoveryResult
 
 __all__ = ["TusConfig", "TusUnionSearch"]
@@ -63,11 +62,15 @@ class TusUnionSearch(Discoverer):
     # ------------------------------------------------------------------
     def _summarize(self, table: Table) -> list[_ColumnSummary]:
         summaries = []
+        max_values = self.config.max_values
         for column in table.columns:
-            sample = table.column_values(column)[: self.config.max_values]
-            values = frozenset(
-                normalize_token(str(v)) for v in sample if isinstance(v, str)
-            )
+            stats = table.stats.column(column)
+            truncated = len(stats.values) > max_values
+            sample = stats.values[:max_values] if truncated else stats.values
+            # Normalized text values come from the shared stats cache (the
+            # same sets the aligner consumes); a bound sample is memoized
+            # under its limit.
+            values = stats.text_values(max_values)
             types: dict[str, float] = {}
             distinct = list(dict.fromkeys(str(v) for v in sample))
             for value in distinct:
@@ -80,7 +83,11 @@ class TusUnionSearch(Discoverer):
                     name=column,
                     values=values,
                     types=types,
-                    numeric_fraction=numeric_fraction(list(sample)),
+                    numeric_fraction=(
+                        numeric_fraction(list(sample))
+                        if truncated
+                        else stats.numeric_fraction
+                    ),
                 )
             )
         return summaries

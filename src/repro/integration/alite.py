@@ -32,29 +32,32 @@ from .tuples import (
     WorkTuple,
     base_cells_map,
     canonicalize_null_kinds,
+    cell_key,
     combine_duplicate,
     joinable,
     merge_tuples,
-    normalized_key,
     prepare_integration_input,
 )
 
 __all__ = ["AliteFD", "complementation_closure"]
 
+#: The singleton key :func:`cell_key` returns for nulls of either kind.
+_NULL_CELL_KEY = cell_key(MISSING)
+
 
 def complementation_closure(tuples: list[WorkTuple]) -> list[WorkTuple]:
     """Close *tuples* under pairwise complementation (merge of joinable
     pairs).  Returns the full closure including intermediates; callers
-    typically follow with :func:`remove_subsumed`."""
-    store: dict[tuple, WorkTuple] = {}
-    postings: dict[tuple, set[tuple]] = {}
+    typically follow with :func:`remove_subsumed`.
 
-    def cell_keys(work: WorkTuple) -> list[tuple]:
-        return [
-            (position, normalized_key((cell,))[0])
-            for position, cell in enumerate(work.cells)
-            if not is_null(cell)
-        ]
+    The key vectors that drive the (attribute, value) inverted index are
+    computed **once per stored tuple** at insertion -- the tuple's normalized
+    key is built in the same pass -- and reused every time the tuple is
+    popped from the agenda, instead of being rebuilt per visit.
+    """
+    store: dict[tuple, WorkTuple] = {}
+    keys_of: dict[tuple, list[tuple[int, tuple]]] = {}
+    postings: dict[tuple[int, tuple], set[tuple]] = {}
 
     def insert(work: WorkTuple) -> tuple | None:
         """Add to the store; returns the key if the tuple is new.
@@ -64,14 +67,22 @@ def complementation_closure(tuples: list[WorkTuple]) -> list[WorkTuple]:
         Figure 8(b) keeps ``f12 = {t16}`` even though merging ``t12``
         derives the same values) and never re-enters the agenda.
         """
-        key = normalized_key(work.cells)
+        # One pass builds both the store key and the per-cell key vector.
+        tagged = [cell_key(cell) for cell in work.cells]
+        key = tuple(tagged)
         existing = store.get(key)
         if existing is not None:
             store[key] = combine_duplicate(existing, work)
             return None
         store[key] = work
-        for cell_key in cell_keys(work):
-            postings.setdefault(cell_key, set()).add(key)
+        cell_keys = [
+            (position, tag)
+            for position, tag in enumerate(tagged)
+            if tag is not _NULL_CELL_KEY
+        ]
+        keys_of[key] = cell_keys
+        for pair in cell_keys:
+            postings.setdefault(pair, set()).add(key)
         return key
 
     agenda: deque[tuple] = deque()
@@ -84,8 +95,8 @@ def complementation_closure(tuples: list[WorkTuple]) -> list[WorkTuple]:
         key = agenda.popleft()
         work = store[key]
         partner_keys: set[tuple] = set()
-        for cell_key in cell_keys(work):
-            partner_keys.update(postings.get(cell_key, ()))
+        for pair in keys_of[key]:
+            partner_keys.update(postings.get(pair, ()))
         partner_keys.discard(key)
         # Sorted iteration keeps the whole closure independent of Python's
         # per-process hash randomization (keys are tuples of tagged cells,

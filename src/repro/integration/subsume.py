@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..table.values import is_null
-from .tuples import WorkTuple, combine_duplicate, normalized_key, subsumes
+from .tuples import WorkTuple, cell_key, combine_duplicate, normalized_key, subsumes
 
 __all__ = ["dedupe_tuples", "remove_subsumed"]
 
@@ -49,7 +49,7 @@ def remove_subsumed(tuples: Sequence[WorkTuple]) -> list[WorkTuple]:
         for position, cell in enumerate(work.cells):
             if is_null(cell):
                 continue
-            key = (position, normalized_key((cell,))[0])
+            key = (position, cell_key(cell))
             postings.setdefault(key, []).append(i)
             keys.append(key)
         cell_keys.append(keys)

@@ -33,6 +33,7 @@ __all__ = [
     "joinable",
     "merge_tuples",
     "subsumes",
+    "cell_key",
     "normalized_key",
     "prepare_integration_input",
     "base_cells_map",
@@ -92,21 +93,30 @@ def subsumes(a: Sequence[Cell], b: Sequence[Cell]) -> bool:
     return True
 
 
+_NULL_KEY = ("null",)
+
+
+def cell_key(cell: Cell) -> tuple:
+    """The per-cell component of :func:`normalized_key` (null kind ignored).
+
+    Exposed separately because the FD hot paths (complementation closure,
+    subsumption) key their inverted indexes by single cells and must not pay
+    a per-cell tuple-of-one round trip through :func:`normalized_key`.
+    """
+    if is_null(cell):
+        return _NULL_KEY
+    if isinstance(cell, bool):
+        return ("bool", cell)
+    if isinstance(cell, (int, float)):
+        return ("num", float(cell))
+    return ("str", str(cell))
+
+
 def normalized_key(cells: Sequence[Cell]) -> tuple:
     """A dict key for cells that ignores null *kind* (± and ⊥ collapse) but
     keeps everything else exact -- two derivations of the same fact must
     land on one output tuple."""
-    key = []
-    for cell in cells:
-        if is_null(cell):
-            key.append(("null",))
-        elif isinstance(cell, bool):
-            key.append(("bool", cell))
-        elif isinstance(cell, (int, float)):
-            key.append(("num", float(cell)))
-        else:
-            key.append(("str", str(cell)))
-    return tuple(key)
+    return tuple(cell_key(cell) for cell in cells)
 
 
 def combine_duplicate(existing: WorkTuple, new: WorkTuple) -> WorkTuple:

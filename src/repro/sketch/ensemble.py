@@ -90,14 +90,29 @@ class LSHEnsemble:
     def __len__(self) -> int:
         return self._indexed
 
+    @property
+    def hasher(self) -> MinHasher:
+        """The ensemble's MinHasher -- callers holding a signature cache
+        (e.g. :class:`~repro.table.stats.ColumnStats`) key sketches by its
+        ``(num_perm, seed)`` so one signature serves every consumer."""
+        return self._hasher
+
     def signature_of(self, tokens: Iterable[Hashable]) -> MinHashSignature:
         """Expose the hasher so callers can cache query signatures."""
         return self._hasher.signature(tokens)
 
     def index(self, entries: Iterable[tuple[Hashable, Iterable[Hashable]]]) -> None:
         """Bulk-index ``(key, token set)`` pairs with equi-depth partitioning."""
-        signed = [(key, self._hasher.signature(tokens)) for key, tokens in entries]
-        signed = [(key, sig) for key, sig in signed if sig.size > 0]
+        self.index_signatures(
+            (key, self._hasher.signature(tokens)) for key, tokens in entries
+        )
+
+    def index_signatures(
+        self, entries: Iterable[tuple[Hashable, MinHashSignature]]
+    ) -> None:
+        """Bulk-index precomputed ``(key, signature)`` pairs (signatures must
+        come from a hasher matching :attr:`hasher`)."""
+        signed = [(key, sig) for key, sig in entries if sig.size > 0]
         if not signed:
             return
         signed.sort(key=lambda pair: pair[1].size)
@@ -127,15 +142,23 @@ class LSHEnsemble:
     # ------------------------------------------------------------------
     def query(
         self,
-        tokens: Iterable[Hashable],
+        tokens: Iterable[Hashable] | MinHashSignature,
         threshold: float = 0.5,
         k: int | None = None,
     ) -> list[EnsembleMatch]:
         """Indexed sets whose estimated containment of the query is >=
-        *threshold*, best first, optionally truncated to *k*."""
+        *threshold*, best first, optionally truncated to *k*.
+
+        *tokens* may be a raw token set or an already-computed
+        :class:`MinHashSignature` (from a matching hasher), so cached query
+        sketches are probed without re-hashing."""
         if not 0.0 <= threshold <= 1.0:
             raise ValueError("threshold must be in [0, 1]")
-        query_sig = self._hasher.signature(tokens)
+        query_sig = (
+            tokens
+            if isinstance(tokens, MinHashSignature)
+            else self._hasher.signature(tokens)
+        )
         if query_sig.size == 0:
             return []
         candidates: set[Hashable] = set()

@@ -6,6 +6,13 @@ union, distinct, sort and group-by aggregation.  All joins are *natural*
 (keyed on shared column names) unless an explicit ``on`` list is given,
 because after alignment the shared names are exactly the integration IDs.
 
+The hot operators (joins, outer union, distinct, sort, project) run
+**columnar**: join keys are precomputed as per-column key vectors, matches
+are collected as row-index gather lists, and output tables are assembled
+column-by-column with :meth:`Table.from_columns` -- no intermediate row
+tuples are ever materialized.  Projection and union are (near) zero-copy
+because derived tables share the parents' immutable column arrays.
+
 Null semantics follow SQL: a null (of either kind) never matches a join key
 and is skipped by aggregates.  Cells *introduced* by an operator (padding of
 non-matching rows, outer-union widening) are :data:`PRODUCED` (``⊥``) nulls,
@@ -14,10 +21,11 @@ which is precisely how the paper's Figure 8(a) outer join is rendered.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from operator import itemgetter
+from typing import Callable, Mapping, Sequence
 
 from .table import Table
-from .values import PRODUCED, Cell, is_null
+from .values import PRODUCED, Cell, Null, is_null
 
 __all__ = [
     "project",
@@ -42,14 +50,59 @@ __all__ = [
 ]
 
 
+def _gather(array: tuple[Cell, ...], indices: Sequence[int]) -> tuple[Cell, ...]:
+    """Column gather: ``tuple(array[i] for i in indices)`` at C speed."""
+    if not indices:
+        return ()
+    if len(indices) == 1:
+        return (array[indices[0]],)
+    return itemgetter(*indices)(array)
+
+
+def _tagged_column(array: tuple[Cell, ...]) -> list:
+    """Hashable, type-tagged stand-ins for one column's cells."""
+    return [_hashable(cell) for cell in array]
+
+
+def _tag_or_none(cell: Cell):
+    """``_hashable(cell)`` for concrete cells, ``None`` for nulls -- with an
+    exact-type fast path, because this runs once per key cell per join."""
+    kind = type(cell)
+    if kind is str:
+        return ("str", cell)
+    if kind is Null:
+        return None
+    if kind is bool:
+        return ("bool", str(cell))
+    if kind is int or kind is float:
+        return ("num", f"{float(cell):g}")
+    if is_null(cell):
+        return None
+    return _hashable(cell)
+
+
+def _key_vector(table: Table, positions: Sequence[int]) -> list:
+    """Per-row join keys from the key columns, ``None`` where any key cell
+    is null.  Single-column keys skip the tuple wrapper entirely."""
+    arrays = table.column_arrays
+    tag = _tag_or_none
+    if len(positions) == 1:
+        return [tag(cell) for cell in arrays[positions[0]]]
+    tagged = [[tag(cell) for cell in arrays[p]] for p in positions]
+    return [None if None in key else key for key in zip(*tagged)]
+
+
 # ----------------------------------------------------------------------
 # Unary operators
 # ----------------------------------------------------------------------
 def project(table: Table, columns: Sequence[str], name: str | None = None) -> Table:
-    """Keep only *columns*, in the given order."""
-    positions = [table.column_index(c) for c in columns]
-    rows = (tuple(row[p] for p in positions) for row in table.rows)
-    return Table(columns, rows, name=name or table.name)
+    """Keep only *columns*, in the given order (zero-copy: the projected
+    table shares the source's column arrays)."""
+    arrays = table.column_arrays
+    coldata = tuple(arrays[table.column_index(c)] for c in columns)
+    return Table._from_columns_unchecked(
+        list(columns), coldata, table.num_rows, name or table.name
+    )
 
 
 def select(
@@ -57,37 +110,55 @@ def select(
 ) -> Table:
     """Keep rows where ``predicate(row_as_dict)`` is true."""
     columns = table.columns
-    rows = (row for row in table.rows if predicate(dict(zip(columns, row))))
-    return Table(columns, rows, name=name or table.name)
+    keep = [
+        i
+        for i, row in enumerate(table.rows)
+        if predicate(dict(zip(columns, row)))
+    ]
+    result = table.take(keep)
+    return result if name is None else result.with_name(name)
 
 
 def distinct(table: Table) -> Table:
     """Remove duplicate rows, keeping first occurrences (null kind matters)."""
-    seen: set[tuple] = set()
-    rows = []
-    for row in table.rows:
-        key = tuple(_hashable(cell) for cell in row)
-        if key not in seen:
-            seen.add(key)
-            rows.append(row)
-    return Table(table.columns, rows, name=table.name)
+    arrays = table.column_arrays
+    if not arrays:
+        keep = [0] if table.num_rows else []
+        return table.take(keep)
+    seen: set = set()
+    seen_add = seen.add
+    keep = []
+    keep_append = keep.append
+    if len(arrays) == 1:
+        for i, key in enumerate(_tagged_column(arrays[0])):
+            if key not in seen:
+                seen_add(key)
+                keep_append(i)
+    else:
+        tagged = [_tagged_column(array) for array in arrays]
+        for i, key in enumerate(zip(*tagged)):
+            if key not in seen:
+                seen_add(key)
+                keep_append(i)
+    if len(keep) == table.num_rows:
+        return table  # already distinct; reuse the immutable table
+    return table.take(keep)
 
 
 def sort_by(table: Table, columns: Sequence[str], descending: bool = False) -> Table:
     """Stable sort by *columns*; nulls sort last regardless of direction."""
     positions = [table.column_index(c) for c in columns]
+    arrays = table.column_arrays
 
-    def key(row: tuple[Cell, ...]):
-        parts = []
-        for position in positions:
-            cell = row[position]
-            # (null flag, type name, value-as-string) is a total order over
-            # heterogeneous cells; the null flag pushes nulls to the end.
-            parts.append((is_null(cell), type(cell).__name__, str(cell)))
-        return tuple(parts)
-
-    rows = sorted(table.rows, key=key, reverse=descending)
-    return Table(table.columns, rows, name=table.name)
+    # (null flag, type name, value-as-string) is a total order over
+    # heterogeneous cells; the null flag pushes nulls to the end.
+    sort_columns = [
+        [(is_null(cell), type(cell).__name__, str(cell)) for cell in arrays[p]]
+        for p in positions
+    ]
+    keys = list(zip(*sort_columns)) if sort_columns else [()] * table.num_rows
+    order = sorted(range(table.num_rows), key=keys.__getitem__, reverse=descending)
+    return table.take(order)
 
 
 def limit(table: Table, n: int) -> Table:
@@ -108,10 +179,14 @@ def union_all(tables: Sequence[Table], name: str = "union") -> Table:
             raise ValueError(
                 f"union_all header mismatch: {header} vs {table.columns} ({table.name!r})"
             )
-    rows: list[tuple[Cell, ...]] = []
-    for table in tables:
-        rows.extend(table.rows)
-    return Table(header, rows, name=name)
+    coldata = []
+    for position in range(len(header)):
+        merged: list[Cell] = []
+        for table in tables:
+            merged.extend(table.column_arrays[position])
+        coldata.append(tuple(merged))
+    num_rows = sum(t.num_rows for t in tables)
+    return Table._from_columns_unchecked(header, tuple(coldata), num_rows, name)
 
 
 def outer_union(tables: Sequence[Table], name: str = "outer_union") -> Table:
@@ -120,6 +195,8 @@ def outer_union(tables: Sequence[Table], name: str = "outer_union") -> Table:
 
     This is the first step of every Full Disjunction algorithm in
     :mod:`repro.integration`.  Column order: first appearance wins.
+    Assembly is per output column: each source either contributes its
+    column array verbatim or a run of produced nulls.
     """
     if not tables:
         raise ValueError("outer_union of zero tables")
@@ -130,17 +207,17 @@ def outer_union(tables: Sequence[Table], name: str = "outer_union") -> Table:
             if column not in seen:
                 seen.add(column)
                 header.append(column)
-    rows = []
-    for table in tables:
-        positions = {column: i for i, column in enumerate(table.columns)}
-        for row in table.rows:
-            rows.append(
-                tuple(
-                    row[positions[column]] if column in positions else PRODUCED
-                    for column in header
-                )
-            )
-    return Table(header, rows, name=name)
+    num_rows = sum(t.num_rows for t in tables)
+    coldata = []
+    for column in header:
+        parts: list[Cell] = []
+        for table in tables:
+            if table.has_column(column):
+                parts.extend(table.column_array(column))
+            else:
+                parts.extend((PRODUCED,) * table.num_rows)
+        coldata.append(tuple(parts))
+    return Table._from_columns_unchecked(header, tuple(coldata), num_rows, name)
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +256,14 @@ def _hash_join(
     keep_right: bool,
     name: str | None,
 ) -> Table:
+    """Columnar hash join.
+
+    Phase 1 precomputes per-side key vectors (one pass per key column).
+    Phase 2 probes a right-side hash index and records the output as two
+    gather segments: ``seg_left[i]``/``seg_right[i]`` index the source row
+    of each output row (``-1`` = padded side), then unmatched right rows.
+    Phase 3 assembles every output column with one gather -- no row tuples.
+    """
     if on is None:
         on = [c for c in left.columns if right.has_column(c)]
     else:
@@ -192,42 +277,77 @@ def _hash_join(
         )
     left_key_pos = [left.column_index(c) for c in on]
     right_key_pos = [right.column_index(c) for c in on]
-    right_extra = [c for c in right.columns if c not in on]
+    on_set = set(on)
+    right_extra = [c for c in right.columns if c not in on_set]
     right_extra_pos = [right.column_index(c) for c in right_extra]
     header = list(left.columns) + right_extra
 
-    index: dict[tuple, list[int]] = {}
-    for i, row in enumerate(right.rows):
-        key = _key_of(row, right_key_pos)
-        if key is not None:
-            index.setdefault(key, []).append(i)
+    left_keys = _key_vector(left, left_key_pos)
+    right_keys = _key_vector(right, right_key_pos)
 
+    index: dict = {}
+    for j, key in enumerate(right_keys):
+        if key is not None:
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [j]
+            else:
+                bucket.append(j)
+
+    # Segment 1: one entry per output row derived from a left row, in left
+    # row order (matched expansions, then -- interleaved -- padded rows).
+    seg_left: list[int] = []
+    seg_right: list[int] = []
     matched_right: set[int] = set()
-    rows: list[tuple[Cell, ...]] = []
-    for row in left.rows:
-        key = _key_of(row, left_key_pos)
-        matches = index.get(key, []) if key is not None else []
+    index_get = index.get
+    for i, key in enumerate(left_keys):
+        matches = index_get(key) if key is not None else None
         if matches:
-            for j in matches:
-                matched_right.add(j)
-                right_row = right.rows[j]
-                rows.append(row + tuple(right_row[p] for p in right_extra_pos))
+            matched_right.update(matches)
+            seg_left.extend([i] * len(matches))
+            seg_right.extend(matches)
         elif keep_left:
-            rows.append(row + (PRODUCED,) * len(right_extra))
+            seg_left.append(i)
+            seg_right.append(-1)
+
+    # Segment 2: unmatched right rows (full outer join only), right order.
+    tail_right: list[int] = []
     if keep_right:
-        left_extra_width = len(left.columns) - len(on)
-        left_on_pos = {c: i for i, c in enumerate(left.columns)}
-        for j, right_row in enumerate(right.rows):
-            if j in matched_right:
-                continue
-            out: list[Cell] = [PRODUCED] * len(left.columns)
-            for column, right_pos in zip(on, right_key_pos):
-                out[left_on_pos[column]] = right_row[right_pos]
-            out.extend(right_row[p] for p in right_extra_pos)
-            rows.append(tuple(out))
-        del left_extra_width
+        tail_right = [j for j in range(right.num_rows) if j not in matched_right]
+
+    left_arrays = left.column_arrays
+    right_arrays = right.column_arrays
+    key_pos_of = dict(zip(left_key_pos, right_key_pos))
+    coldata: list[tuple[Cell, ...]] = []
+
+    pad_right = not all(j >= 0 for j in seg_right)
+    for p, _ in enumerate(left.columns):
+        array = left_arrays[p]
+        part1 = _gather(array, seg_left)
+        if not tail_right:
+            coldata.append(part1)
+        elif p in key_pos_of:
+            # Key columns take the right side's value for unmatched rights.
+            part2 = _gather(right_arrays[key_pos_of[p]], tail_right)
+            coldata.append(part1 + part2)
+        else:
+            coldata.append(part1 + (PRODUCED,) * len(tail_right))
+    for rp in right_extra_pos:
+        array = right_arrays[rp]
+        if pad_right:
+            part1 = tuple(
+                array[j] if j >= 0 else PRODUCED for j in seg_right
+            )
+        else:
+            part1 = _gather(array, seg_right)
+        if tail_right:
+            part1 += _gather(array, tail_right)
+        coldata.append(part1)
+
     join_name = name or f"{left.name}_join_{right.name}"
-    return Table(header, rows, name=join_name)
+    return Table._from_columns_unchecked(
+        header, tuple(coldata), len(seg_left) + len(tail_right), join_name
+    )
 
 
 def semi_join(
@@ -261,17 +381,15 @@ def _filter_join(
     left_positions = [left.column_index(c) for c in on]
     right_positions = [right.column_index(c) for c in on]
     right_keys = {
-        key
-        for key in (_key_of(row, right_positions) for row in right.rows)
-        if key is not None
+        key for key in _key_vector(right, right_positions) if key is not None
     }
-    rows = []
-    for row in left.rows:
-        key = _key_of(row, left_positions)
-        matched = key is not None and key in right_keys
-        if matched == keep_matching:
-            rows.append(row)
-    return Table(left.columns, rows, name=name or left.name)
+    keep = [
+        i
+        for i, key in enumerate(_key_vector(left, left_positions))
+        if (key is not None and key in right_keys) == keep_matching
+    ]
+    result = left.take(keep)
+    return result if name is None else result.with_name(name)
 
 
 def _key_of(row: tuple[Cell, ...], positions: Sequence[int]) -> tuple | None:
@@ -409,13 +527,14 @@ def add_column(
     insert_at = len(table.columns) if position is None else position
     columns = list(table.columns)
     columns.insert(insert_at, name)
-    rows = []
-    for row in table.rows:
-        value = func(dict(zip(table.columns, row)))
-        cells = list(row)
-        cells.insert(insert_at, value)
-        rows.append(tuple(cells))
-    return Table(columns, rows, name=table.name)
+    computed = tuple(
+        func(dict(zip(table.columns, row))) for row in table.rows
+    )
+    coldata = list(table.column_arrays)
+    coldata.insert(insert_at, computed)
+    return Table._from_columns_unchecked(
+        columns, tuple(coldata), table.num_rows, table.name
+    )
 
 
 def drop_columns(table: Table, names: Sequence[str]) -> Table:
@@ -431,10 +550,9 @@ def drop_columns(table: Table, names: Sequence[str]) -> Table:
 def value_counts(table: Table, column: str, descending: bool = True) -> Table:
     """Distinct values of *column* with their frequencies (nulls grouped by
     kind, rendered with the paper's markers)."""
-    position = table.column_index(column)
+    array = table.column_array(column)
     counts: dict[tuple, tuple[Cell, int]] = {}
-    for row in table.rows:
-        cell = row[position]
+    for cell in array:
         key = _hashable(cell)
         current = counts.get(key)
         counts[key] = (cell, (current[1] if current else 0) + 1)
@@ -453,10 +571,10 @@ def sample(table: Table, n: int, seed: int = 0) -> Table:
     if n < 0:
         raise ValueError("sample size must be non-negative")
     if n >= table.num_rows:
-        return Table(table.columns, table.rows, name=table.name)
+        return table
     rng = _random.Random(seed)
     indices = sorted(rng.sample(range(table.num_rows), n))
-    return Table(table.columns, [table.rows[i] for i in indices], name=table.name)
+    return table.take(indices)
 
 
 def pivot(
@@ -473,30 +591,31 @@ def pivot(
     ordered by first appearance for determinism.
     """
     func = AGGREGATES[agg] if isinstance(agg, str) else agg
-    index_position = table.column_index(index)
-    column_position = table.column_index(columns)
-    value_position = table.column_index(values)
+    index_array = table.column_array(index)
+    column_array = table.column_array(columns)
+    value_array = table.column_array(values)
 
     column_order: list[str] = []
     seen_columns: set[str] = set()
     groups: dict[tuple, dict[str, list[Cell]]] = {}
     row_order: list[tuple] = []
     labels: dict[tuple, Cell] = {}
-    for row in table.rows:
-        pivot_value = row[column_position]
+    for index_cell, pivot_value, value_cell in zip(
+        index_array, column_array, value_array
+    ):
         if is_null(pivot_value):
             continue
         pivot_label = str(pivot_value)
         if pivot_label not in seen_columns:
             seen_columns.add(pivot_label)
             column_order.append(pivot_label)
-        key = _hashable(row[index_position])
+        key = _hashable(index_cell)
         if key not in groups:
             groups[key] = {}
             row_order.append(key)
-            labels[key] = row[index_position]
-        if not is_null(row[value_position]):
-            groups[key].setdefault(pivot_label, []).append(row[value_position])
+            labels[key] = index_cell
+        if not is_null(value_cell):
+            groups[key].setdefault(pivot_label, []).append(value_cell)
 
     header = [index] + column_order
     out_rows = []

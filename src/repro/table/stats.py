@@ -1,0 +1,280 @@
+"""Per-column statistics, computed once and shared by every layer.
+
+Before this module existed, the profiler, every discoverer (SANTOS, JOSIE,
+LSH Ensemble, TUS, COCOA, Starmie), the aligner's featurization and ALITE's
+hot path each re-extracted columns, re-built distinct sets and re-hashed
+sketches from the same immutable tables -- an O(consumers x columns x rows)
+tax on every pipeline run.  :class:`TableStats` is the fix: one
+:class:`ColumnStats` per column, filled by a **single pass** over the raw
+column array and memoized on the owning :class:`~repro.table.table.Table`.
+
+Invalidation contract
+---------------------
+Tables are immutable by convention, so the cache never invalidates: stats
+are keyed by *object identity* -- ``(id(table), column)`` when viewed
+lake-wide -- and live exactly as long as the table object.  Deriving a new
+table (every operator returns a new ``Table``) starts from an empty cache;
+mutating ``table.rows`` in place is already outside the API contract and
+now additionally yields stale statistics.
+
+Every consumer-facing product is immutable: ``distinct`` and ``tokens``
+are frozensets, column arrays are tuples, and the shared ``values`` /
+column lists are :class:`ReadOnlyView` instances whose mutators raise.
+
+``scan_count`` records how many raw passes the base scan performed for a
+column -- it is the observable that lets tests assert the whole pipeline
+touches each column's raw data exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .infer import infer_dtype
+from .values import MISSING, Cell, is_null
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sketch.hll import HyperLogLog
+    from ..sketch.minhash import MinHasher, MinHashSignature
+    from .table import Table
+
+__all__ = ["ColumnStats", "TableStats", "ReadOnlyView"]
+
+
+class ReadOnlyView(list):
+    """A list whose mutators raise -- the type of every cached column view.
+
+    It *is* a list (so ``view == [1, 2]`` and slicing keep working for all
+    existing consumers), but ``sort``/``append``/item assignment fail
+    loudly instead of silently corrupting the shared stats cache.  Copy
+    with ``list(view)`` if a mutable list is needed.
+    """
+
+    __slots__ = ()
+
+    def _blocked(self, *args: Any, **kwargs: Any):
+        raise TypeError(
+            "cached column view is read-only; copy it with list(view) first"
+        )
+
+    append = extend = insert = remove = pop = clear = _blocked
+    sort = reverse = __setitem__ = __delitem__ = _blocked
+    __iadd__ = __imul__ = _blocked  # type: ignore[assignment]
+
+    def __reduce__(self):
+        # Default list-subclass pickling rebuilds via append/extend, which
+        # are blocked here; reconstruct through the constructor instead.
+        return (self.__class__, (list(self),))
+
+
+class ColumnStats:
+    """Memoized statistics of one column of one (immutable) table.
+
+    The base scan -- one pass over the raw column array -- fills the value
+    list, null counts, distinct set, dtype and numeric fraction together.
+    Sketches (MinHash, HyperLogLog) and token sets derive from the scanned
+    values and are memoized separately, so nothing is ever computed twice.
+    """
+
+    __slots__ = (
+        "table_name",
+        "name",
+        "_array",
+        "scan_count",
+        "_scanned",
+        "values",
+        "row_count",
+        "null_count",
+        "missing_count",
+        "distinct",
+        "dtype",
+        "numeric_fraction",
+        "_tokens",
+        "_text_values",
+        "_minhash",
+        "_hll",
+        "_column_list",
+    )
+
+    def __init__(self, table_name: str, name: str, array: tuple[Cell, ...]):
+        self.table_name = table_name
+        self.name = name
+        self._array = array
+        self.scan_count = 0
+        self._scanned = False
+        self._tokens: frozenset[str] | None = None
+        self._text_values: dict[int | None, frozenset[str]] = {}
+        self._minhash: dict[tuple[int, int], "MinHashSignature"] = {}
+        self._hll: dict[int, "HyperLogLog"] = {}
+        self._column_list: list[Cell] | None = None
+
+    # ------------------------------------------------------------------
+    # The one pass
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        """The single raw pass: values, nulls, distinct, dtype, numerics."""
+        from ..text.normalize import to_float
+
+        self.scan_count += 1
+        values: list[Cell] = []
+        null_count = missing_count = numeric = 0
+        for cell in self._array:
+            if is_null(cell):
+                null_count += 1
+                if cell is MISSING:
+                    missing_count += 1
+                continue
+            values.append(cell)
+            if to_float(cell) is not None:
+                numeric += 1
+        self.numeric_fraction = numeric / len(values) if values else 0.0
+        self.values = ReadOnlyView(values)
+        self.row_count = len(self._array)
+        self.null_count = null_count
+        self.missing_count = missing_count
+        self.distinct = frozenset(values)
+        # Delegated to the one canonical implementation so table.schema and
+        # the stats cache can never disagree on a column's dtype.
+        self.dtype = infer_dtype(values)
+        self._scanned = True
+
+    def _ensure(self) -> "ColumnStats":
+        if not self._scanned:
+            self._scan()
+        return self
+
+    def __getattr__(self, attribute: str) -> Any:
+        # Base stats materialize on first access; __getattr__ only fires for
+        # slots that were never assigned, i.e. before the scan ran.
+        if attribute in (
+            "values", "row_count", "null_count", "missing_count",
+            "distinct", "dtype", "numeric_fraction",
+        ):
+            self._scan()
+            return getattr(self, attribute)
+        raise AttributeError(attribute)
+
+    # ------------------------------------------------------------------
+    # Derived, individually memoized products
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> tuple[Cell, ...]:
+        """The raw column, nulls included, as an immutable tuple."""
+        return self._array
+
+    @property
+    def column_list(self) -> list[Cell]:
+        """The raw column as a cached :class:`ReadOnlyView` -- the object
+        :meth:`Table.column` hands out."""
+        if self._column_list is None:
+            self._column_list = ReadOnlyView(self._array)
+        return self._column_list
+
+    @property
+    def non_null_count(self) -> int:
+        return len(self._ensure().values)
+
+    @property
+    def tokens(self) -> frozenset[str]:
+        """The domain token set (what JOSIE / LSH Ensemble index and the
+        TF-IDF corpus counts)."""
+        if self._tokens is None:
+            from ..text.tokenize import cell_tokens
+
+            tokens: set[str] = set()
+            for value in self._ensure().distinct:
+                tokens.update(cell_tokens(value))
+            self._tokens = frozenset(tokens)
+        return self._tokens
+
+    def text_values(self, limit: int | None = None) -> frozenset[str]:
+        """Normalized string values (TUS / alignment evidence), optionally
+        computed over only the first *limit* non-null values."""
+        values = self._ensure().values
+        if limit is not None and limit >= len(values):
+            limit = None
+        cached = self._text_values.get(limit)
+        if cached is None:
+            from ..text.tokenize import normalize_token
+
+            sample = values if limit is None else values[:limit]
+            cached = frozenset(
+                normalize_token(str(v)) for v in sample if isinstance(v, str)
+            )
+            self._text_values[limit] = cached
+        return cached
+
+    def example_values(self, n: int = 3) -> list[str]:
+        """First *n* distinct values as strings, in row order."""
+        return list(dict.fromkeys(str(v) for v in self._ensure().values))[:n]
+
+    def minhash(self, hasher: "MinHasher") -> "MinHashSignature":
+        """The column's MinHash signature under *hasher* (memoized per
+        ``(num_perm, seed)``, so every discoverer shares one signature)."""
+        key = (hasher.num_perm, hasher.seed)
+        signature = self._minhash.get(key)
+        if signature is None:
+            signature = hasher.signature(self.tokens)
+            self._minhash[key] = signature
+        return signature
+
+    def hll(self, precision: int = 12) -> "HyperLogLog":
+        """A HyperLogLog over the non-null values (memoized per precision)."""
+        sketch = self._hll.get(precision)
+        if sketch is None:
+            from ..sketch.hll import HyperLogLog
+
+            sketch = HyperLogLog(precision=precision).update(
+                self._ensure().values
+            )
+            self._hll[precision] = sketch
+        return sketch
+
+    def __repr__(self) -> str:
+        state = "scanned" if self._scanned else "unscanned"
+        return f"ColumnStats({self.table_name}.{self.name}, {state})"
+
+
+class TableStats:
+    """All column stats of one table, plus the table-level scan ledger."""
+
+    __slots__ = ("_table_name", "_columns", "_by_name")
+
+    def __init__(self, table: "Table"):
+        self._table_name = table.name
+        self._columns = table.columns
+        arrays = table.column_arrays
+        self._by_name = {
+            name: ColumnStats(table.name, name, arrays[i])
+            for i, name in enumerate(self._columns)
+        }
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self._table_name!r} has no column {name!r}; "
+                f"columns: {list(self._columns)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[ColumnStats]:
+        return iter(self._by_name.values())
+
+    def warm(self) -> "TableStats":
+        """Run every column's base scan now (one pass each); returns self."""
+        for stats in self._by_name.values():
+            stats._ensure()
+        return self
+
+    @property
+    def scan_counts(self) -> dict[str, int]:
+        """Per-column count of raw base-scan passes performed so far."""
+        return {name: s.scan_count for name, s in self._by_name.items()}
+
+    @property
+    def total_scans(self) -> int:
+        return sum(s.scan_count for s in self._by_name.values())
+
+    def __repr__(self) -> str:
+        return f"TableStats({self._table_name!r}, {len(self._by_name)} columns)"

@@ -1,0 +1,173 @@
+"""The lake-wide column-stats cache: sharing, scan counting, invalidation.
+
+The PR-level guarantee under test: a full DIALITE run (profile + fit every
+discoverer + discover + align + integrate) performs each lake column's raw
+scan, sketch and distinct computation **exactly once**, observable through
+the scan counter on :class:`repro.datalake.stats.LakeStats`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import Dialite
+from repro.datalake import DataLake, LakeStats, profile_lake, profile_table
+from repro.datalake.fixtures import covid_joinable_table, covid_query_table, covid_unionable_table
+from repro.sketch.minhash import MinHasher
+from repro.table import MISSING, Table
+
+
+@pytest.fixture
+def lake():
+    return DataLake([covid_unionable_table(), covid_joinable_table()])
+
+
+class TestColumnStats:
+    def test_one_pass_fills_everything(self):
+        table = Table(
+            ["City", "Rate"],
+            [("Berlin", 63), ("Boston", MISSING), ("Berlin", 62)],
+            name="T",
+        )
+        stats = table.stats.column("Rate")
+        assert stats.scan_count == 0  # lazy until first use
+        assert stats.values == [63, 62]
+        assert stats.null_count == 1 and stats.missing_count == 1
+        assert stats.distinct == {63, 62}
+        assert stats.dtype == "int"
+        assert stats.numeric_fraction == 1.0
+        # All of that cost exactly one pass over the raw column.
+        assert stats.scan_count == 1
+        # Derived products don't re-scan.
+        assert "63" in stats.tokens
+        assert len(stats.hll(12)) == 2
+        assert stats.minhash(MinHasher(16, seed=3)).size == len(stats.tokens)
+        assert stats.scan_count == 1
+
+    def test_dtype_matches_schema_inference(self):
+        table = Table(
+            ["i", "f", "s", "b", "m", "e"],
+            [
+                (1, 1.5, "x", True, 1, MISSING),
+                (2, 2, "y", False, "z", MISSING),
+            ],
+            name="T",
+        )
+        for spec in table.schema:
+            assert table.stats.column(spec.name).dtype == spec.dtype
+
+    def test_sketches_memoized_per_parameters(self):
+        table = Table(["c"], [("a",), ("b",)], name="T")
+        stats = table.stats.column("c")
+        assert stats.hll(12) is stats.hll(12)
+        assert stats.hll(8) is not stats.hll(12)
+        hasher = MinHasher(32, seed=1)
+        assert stats.minhash(hasher) is stats.minhash(MinHasher(32, seed=1))
+
+    def test_cached_views_are_read_only_but_list_like(self):
+        table = Table(["c"], [(1,), (2,)], name="T")
+        view = table.column("c")
+        assert view == [1, 2] and view[1:] == [2]  # still list semantics
+        with pytest.raises(TypeError, match="read-only"):
+            view.sort()
+        with pytest.raises(TypeError, match="read-only"):
+            table.column_values("c").append(3)
+        assert list(view) == [1, 2]  # explicit copy stays mutable
+        import pickle
+
+        assert pickle.loads(pickle.dumps(view)) == [1, 2]
+
+    def test_new_table_starts_cold(self):
+        table = Table(["c"], [(1,), (2,)], name="T")
+        assert table.distinct_values("c") == {1, 2}
+        derived = table.with_name("T2")
+        # Identity-keyed invalidation: a derived table is a new cache.
+        assert derived.stats.column("c").scan_count == 0
+
+
+class TestLakeStats:
+    def test_scan_counts_cover_every_column(self, lake):
+        counts = lake.stats.warm().scan_counts()
+        expected = {
+            (name, column) for name, t in lake.items() for column in t.columns
+        }
+        assert set(counts) == expected
+        assert all(count == 1 for count in counts.values())
+
+    def test_warm_is_idempotent(self, lake):
+        stats = lake.stats
+        stats.warm()
+        stats.warm()
+        assert stats.total_scans() == sum(
+            t.num_columns for t in lake.values()
+        )
+
+    def test_view_reads_through(self, lake):
+        view = LakeStats(lake)
+        assert view.column("T2", "City").distinct == lake["T2"].distinct_values("City")
+        assert view.table("T3") is lake["T3"].stats
+
+
+class TestProfilerSharesTheCache:
+    def test_profile_does_not_rescan_after_warm(self, lake):
+        lake.stats.warm()
+        profile = profile_lake(lake)
+        assert profile.num_rows == sum(t.num_columns for t in lake.values())
+        assert all(count == 1 for count in lake.stats.scan_counts().values())
+
+    def test_profile_hll_is_the_indexed_sketch(self, lake):
+        table = lake["T2"]
+        profile_table(table)
+        stats = table.stats.column("City")
+        # The profiler's distinct estimate came from the cached sketch.
+        assert 12 in stats._hll
+        assert len(stats.hll(12)) == len(stats.distinct)
+
+
+class TestFullRunScansOnce:
+    def test_discover_integrate_scans_each_lake_column_exactly_once(self, lake):
+        pipeline = Dialite.with_all_discoverers(lake).fit()
+        query = covid_query_table()
+        outcome = pipeline.discover(query, k=5, query_column="City")
+        integrated = pipeline.integrate(outcome)
+        assert integrated.num_rows > 0
+        counts = pipeline.lake.stats.scan_counts()
+        assert counts, "scan ledger should not be empty"
+        over_scanned = {key: n for key, n in counts.items() if n != 1}
+        assert not over_scanned, f"columns scanned != once: {over_scanned}"
+        # The query's own columns are likewise scanned exactly once across
+        # all six discoverers and the aligner.
+        assert all(n == 1 for n in query.stats.scan_counts.values())
+
+    def test_discover_many_amortizes_query_stats(self, lake):
+        pipeline = Dialite.with_all_discoverers(lake).fit()
+        queries = [
+            covid_query_table().with_name("q1"),
+            covid_query_table().with_name("q2"),
+        ]
+        outcomes = pipeline.discover_many(queries, k=3, query_column="City")
+        assert [o.query.name for o in outcomes] == ["q1", "q2"]
+        for query in queries:
+            assert all(n == 1 for n in query.stats.scan_counts.values())
+        assert all(n == 1 for n in pipeline.lake.stats.scan_counts().values())
+
+    def test_discover_many_rejects_duplicate_names(self, lake):
+        pipeline = Dialite(lake).fit()
+        query = covid_query_table()
+        with pytest.raises(ValueError, match="unique names"):
+            pipeline.discover_many([query, query])
+
+    def test_synthetic_lake_full_run_scans_once(self, small_synth_lake):
+        """The ISSUE acceptance scenario: the synthetic lake end to end."""
+        pipeline = Dialite.with_all_discoverers(small_synth_lake.lake).fit()
+        outcome = pipeline.discover(
+            small_synth_lake.query, k=5, query_column="City"
+        )
+        integrated = pipeline.integrate(outcome)
+        assert integrated.num_rows > 0
+        counts = pipeline.lake.stats.scan_counts()
+        over_scanned = {key: n for key, n in counts.items() if n != 1}
+        assert not over_scanned, f"columns scanned != once: {over_scanned}"
+        assert all(
+            n == 1 for n in small_synth_lake.query.stats.scan_counts.values()
+        )
