@@ -1,17 +1,28 @@
 # Developer/CI entry points for the DIALITE reproduction.
 #
 #   make test         tier-1 test suite (the driver's gate)
+#   make lint         static checks (pyflakes if installed, else compileall)
 #   make bench-smoke  table-engine micro-benchmark, smoke mode (fast, JSON out)
 #   make bench        full table-engine benchmark incl. the >= 2x acceptance check
-#   make ci           what CI runs: tier-1 tests + smoke benchmark
+#   make bench-store  store warm-start benchmark @1k tables incl. the >= 5x check
+#   make ci           what CI runs: tier-1 tests + smoke benchmarks + lint
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Prefer pyflakes when it is installed; the fallback is chosen by
+# availability, not by exit status, so real pyflakes findings fail the run.
+lint:
+	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
+		$(PYTHON) -m pyflakes src/repro benchmarks tests; \
+	else \
+		$(PYTHON) -m compileall -q src/repro benchmarks tests; \
+	fi
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_table_engine.py --smoke --json .benchmarks/table_engine_smoke.json
@@ -19,4 +30,12 @@ bench-smoke:
 bench:
 	$(PYTHON) benchmarks/bench_table_engine.py --json .benchmarks/table_engine.json
 
-ci: test bench-smoke
+# Store round-trip smoke: warm results == cold results, zero warm scans,
+# timings recorded under .benchmarks/ (no speedup gate at smoke scale).
+store-smoke:
+	$(PYTHON) benchmarks/bench_store_warmstart.py --smoke --json .benchmarks/store_warmstart.json
+
+bench-store:
+	$(PYTHON) benchmarks/bench_store_warmstart.py --check --json .benchmarks/store_warmstart.json
+
+ci: test bench-smoke store-smoke lint

@@ -20,6 +20,8 @@ Subpackages (each usable standalone):
 - :mod:`repro.er` -- entity resolution
 - :mod:`repro.analysis` -- downstream apps and quality metrics
 - :mod:`repro.datalake` -- catalogs, indexing, synthetic benchmark lakes
+- :mod:`repro.store` -- persistent lake store (versioned columnar segments
+  + stats/sketch snapshots, incremental ingest, warm-start discovery)
 - :mod:`repro.genquery` -- prompt-to-table generation
 - :mod:`repro.core` -- the pipeline itself
 """
@@ -28,6 +30,7 @@ from .core.pipeline import Dialite
 from .core.results import DiscoveryOutcome, PipelineResult
 from .datalake.catalog import DataLake
 from .integration.tuples import IntegratedTable
+from .store.lakestore import LakeStore
 from .table.table import Table
 from .table.values import MISSING, PRODUCED
 
@@ -37,6 +40,7 @@ __all__ = [
     "Dialite",
     "Table",
     "DataLake",
+    "LakeStore",
     "IntegratedTable",
     "DiscoveryOutcome",
     "PipelineResult",

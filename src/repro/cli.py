@@ -6,6 +6,10 @@ equivalent headless surface::
     python -m repro lake-info  --lake lake/
     python -m repro profile    --lake lake/ [--table T3]
     python -m repro generate   --prompt "covid cases, 5 rows" --out query.csv
+    python -m repro index build  --lake lake/ --store lake.store
+    python -m repro index update --lake lake/ --store lake.store
+    python -m repro index info   --store lake.store
+    python -m repro discover   --store lake.store --query query.csv --column City
     python -m repro discover   --lake lake/ --query query.csv --column City -k 5
     python -m repro discover   --lake lake/ --queries q1.csv q2.csv --column City
     python -m repro integrate  --lake lake/ --query query.csv --column City \
@@ -60,6 +64,32 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", default=None, help="write the table as CSV")
 
+    index = commands.add_parser(
+        "index", help="build / update / inspect a persistent lake store"
+    )
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_commands.add_parser(
+        "build", help="ingest a CSV lake into a store and fit discoverer indexes"
+    )
+    index_update = index_commands.add_parser(
+        "update", help="incrementally re-ingest a CSV lake into an existing store"
+    )
+    for sub in (index_build, index_update):
+        sub.add_argument("--lake", required=True, help="directory of CSV files")
+        sub.add_argument("--store", required=True, help="lake store directory")
+        sub.add_argument(
+            "--discoverers", default=None,
+            help="comma-separated roster to fit (default: santos,lsh_ensemble,josie)",
+        )
+        sub.add_argument(
+            "--all-discoverers", action="store_true",
+            help="fit every built-in discoverer (adds starmie, tus, cocoa)",
+        )
+    index_info = index_commands.add_parser(
+        "info", help="summarize a store: version, tables, persisted indexes"
+    )
+    index_info.add_argument("--store", required=True, help="lake store directory")
+
     discover = commands.add_parser("discover", help="find tables related to a query")
     _add_discovery_arguments(discover, query_required=False)
     discover.add_argument(
@@ -100,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_discovery_arguments(parser: argparse.ArgumentParser, query_required: bool = True) -> None:
     parser.add_argument("--lake", default=None, help="directory of CSV files")
+    parser.add_argument(
+        "--store", default=None,
+        help="persistent lake store directory (warm start; alternative to --lake)",
+    )
     parser.add_argument("--query", required=query_required, default=None, help="query table CSV")
     parser.add_argument("--column", default=None, help="intent/join column of the query")
     parser.add_argument("-k", type=int, default=10, help="top-k per discoverer")
@@ -122,8 +156,23 @@ def _parse_options(raw_options: Sequence[str]) -> dict[str, Any]:
     return options
 
 
-def _load_pipeline(lake_dir: str) -> Dialite:
-    return Dialite(DataLake.from_dir(lake_dir)).fit()
+def _load_pipeline(args: argparse.Namespace) -> Dialite:
+    """The discovery pipeline behind discover/integrate/report: a warm
+    start from ``--store`` when given, else a cold fit over ``--lake``."""
+    if getattr(args, "store", None):
+        return Dialite.open(args.store).fit()
+    return Dialite(DataLake.from_dir(args.lake)).fit()
+
+
+def _resolve_roster(args: argparse.Namespace, lake) -> list:
+    """The discoverer instances an index build should fit."""
+    pipeline = (
+        Dialite.with_all_discoverers(lake) if args.all_discoverers else Dialite(lake)
+    )
+    if args.discoverers:
+        names = [n.strip() for n in args.discoverers.split(",") if n.strip()]
+        return [pipeline.discoverers.get(name) for name in names]
+    return pipeline.discoverers.components()
 
 
 def _emit(table: Table, out: str | None) -> None:
@@ -166,14 +215,70 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .datalake.indexer import LakeIndex
+    from .store import LakeStore
+
+    if args.index_command == "info":
+        info = LakeStore.open(args.store, check_sketch=False).info()
+        print(
+            f"lake store: {info['path']}\n"
+            f"format v{info['format_version']}, lake version {info['lake_version']}\n"
+            f"{info['num_tables']} tables, {info['total_rows']} rows total\n"
+            f"sketch config: {info['sketch']}"
+        )
+        if info["indexes"]:
+            staleness = (
+                "current"
+                if info["indexes_lake_version"] == info["lake_version"]
+                else f"stale (built at v{info['indexes_lake_version']})"
+            )
+            print(f"persisted indexes ({staleness}): {', '.join(info['indexes'])}")
+        else:
+            print("persisted indexes: none")
+        if info["tables"]:
+            rows = [
+                (name, entry["rows"], entry["columns"], entry["content_hash"])
+                for name, entry in sorted(info["tables"].items())
+            ]
+            print()
+            print(
+                Table(["table", "rows", "cols", "content_hash"], rows, name="store").to_pretty(200)
+            )
+        return 0
+
+    lake = DataLake.from_dir(args.lake)
+    if args.index_command == "build":
+        store = LakeStore.create(args.store, exist_ok=True)
+    else:  # update: incremental by design, so the store must already exist
+        store = LakeStore.open(args.store)
+    report = store.ingest(lake)
+    print(f"ingest {report.summary()}")
+    warm_lake = store.lake()
+    roster = _resolve_roster(args, warm_lake)
+    persisted = store.load_indexes()
+    if not report.changed and all(d.name in persisted for d in roster):
+        print("lake unchanged; persisted indexes are current")
+        return 0
+    # from_store reuses any still-current persisted index and fits only
+    # the missing roster members (everything, after a content change).
+    index = LakeIndex.from_store(store, roster, lake=warm_lake)
+    index.save_to_store(store)
+    timings = ", ".join(
+        f"{name}: {seconds:.2f}s" for name, seconds in index.build_seconds.items()
+    )
+    print(f"fitted indexes ({timings}) persisted to {store.path}")
+    return 0
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
-    if args.lake is None:
-        raise SystemExit("discover requires --lake")
+    if args.lake is None and args.store is None:
+        raise SystemExit("discover requires --lake or --store")
     if args.query is None and not args.queries:
         raise SystemExit("discover requires --query or --queries")
     if args.query is not None and args.queries:
         raise SystemExit("pass either --query or --queries, not both")
-    pipeline = _load_pipeline(args.lake)
+    pipeline = _load_pipeline(args)
     names = args.discoverers.split(",") if args.discoverers else None
     if args.queries:
         queries = [read_csv(path) for path in args.queries]
@@ -201,9 +306,11 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
             tables, integrator=args.integrator, align=not args.no_align
         )
     else:
-        if args.lake is None or args.query is None:
-            raise SystemExit("integrate requires --tables, or --lake with --query")
-        pipeline = _load_pipeline(args.lake)
+        if (args.lake is None and args.store is None) or args.query is None:
+            raise SystemExit(
+                "integrate requires --tables, or --lake/--store with --query"
+            )
+        pipeline = _load_pipeline(args)
         query = read_csv(args.query)
         names = args.discoverers.split(",") if args.discoverers else None
         outcome = pipeline.discover(
@@ -221,9 +328,9 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import pipeline_report
 
-    if args.lake is None:
-        raise SystemExit("report requires --lake")
-    pipeline = _load_pipeline(args.lake)
+    if args.lake is None and args.store is None:
+        raise SystemExit("report requires --lake or --store")
+    pipeline = _load_pipeline(args)
     query = read_csv(args.query)
     names = args.discoverers.split(",") if args.discoverers else None
     result = pipeline.run(
@@ -277,6 +384,7 @@ _COMMANDS = {
     "lake-info": _cmd_lake_info,
     "profile": _cmd_profile,
     "generate": _cmd_generate,
+    "index": _cmd_index,
     "discover": _cmd_discover,
     "integrate": _cmd_integrate,
     "report": _cmd_report,

@@ -26,7 +26,8 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..alignment.aligner import Alignment, HolisticAligner
 from ..analysis.apps import (
@@ -58,6 +59,9 @@ from ..table.table import Table
 from .registry import Registry
 from .results import DiscoveryOutcome, PipelineResult
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store.lakestore import LakeStore
+
 __all__ = ["Dialite"]
 
 
@@ -70,7 +74,16 @@ class Dialite:
         discoverers: Sequence[Discoverer] | None = None,
         aligner: HolisticAligner | None = None,
         default_integrator: str = "alite_fd",
+        store: "str | Path | LakeStore | None" = None,
     ):
+        if store is not None:
+            from ..store.lakestore import LakeStore
+
+            if not isinstance(store, LakeStore):
+                store = LakeStore.open(store)
+            if lake is None:
+                lake = store.lake()
+        self._store = store
         if lake is None:
             lake = DataLake()
         elif not isinstance(lake, DataLake):
@@ -112,6 +125,20 @@ class Dialite:
             self.apps.register(app.name, app)
 
         self._index: LakeIndex | None = None
+
+    @classmethod
+    def open(cls, store_path: "str | Path | LakeStore", **options: Any) -> "Dialite":
+        """A pipeline warm-started from a persistent lake store.
+
+        The lake is served lazily from the store's columnar segments with
+        all column statistics pre-hydrated, and :meth:`fit` reuses any
+        persisted fitted discoverer indexes -- so a process goes from zero
+        to serving discovery queries without re-scanning a single cell.
+        Build the store with ``repro index build`` or
+        :meth:`repro.store.LakeStore.ingest` +
+        :meth:`~repro.datalake.indexer.LakeIndex.save_to_store`.
+        """
+        return cls(store=store_path, **options)
 
     @classmethod
     def with_all_discoverers(
@@ -177,8 +204,23 @@ class Dialite:
     # Stage 1: discover
     # ------------------------------------------------------------------
     def fit(self) -> "Dialite":
-        """Build all discovery indexes offline (idempotent); returns self."""
-        self._index = LakeIndex(self.lake, self.discoverers.components()).build()
+        """Build all discovery indexes offline (idempotent); returns self.
+
+        With a backing store (:meth:`open`), fitting hydrates persisted
+        discoverer indexes instead of rebuilding them; discoverers without
+        a persisted index (e.g. newly registered ones) are fitted against
+        the hydrated lake, warm.
+        """
+        if self._store is not None:
+            self._index = LakeIndex.from_store(
+                self._store, self.discoverers.components(), lake=self.lake
+            )
+            for discoverer in self._index.discoverers:
+                # The hydrated instances replace the cold constructor
+                # defaults so the registry and the index agree.
+                self.discoverers.register(discoverer.name, discoverer, replace=True)
+        else:
+            self._index = LakeIndex(self.lake, self.discoverers.components()).build()
         return self
 
     @property

@@ -44,6 +44,21 @@ class DataLake(Mapping[str, Table]):
             lake.add(read_csv(path))
         return lake
 
+    @classmethod
+    def open(cls, store_path: str | Path, **open_options) -> "DataLake":
+        """Open a persistent lake store (:mod:`repro.store`) as a lazy lake.
+
+        The returned lake reads only the store manifest up front: a table's
+        cell data is paged in from its columnar segment on first access,
+        and every table arrives with its statistics snapshot (distinct
+        sets, tokens, sketches) pre-hydrated -- a warm start that performs
+        zero raw-cell scans.  Keyword options are forwarded to
+        :meth:`repro.store.LakeStore.open` (e.g. ``sketch_config``).
+        """
+        from ..store.lakestore import LakeStore
+
+        return LakeStore.open(store_path, **open_options).lake()
+
     def add(self, table: Table) -> None:
         """Register a table; duplicate names are an error (ambiguity in a
         lake catalog silently shadows data)."""

@@ -44,7 +44,14 @@ class LakeIndex:
 
     @property
     def stats(self) -> LakeStats:
-        """The shared per-column statistics of the indexed lake."""
+        """The shared per-column statistics of the indexed lake.
+
+        A lake that carries its own stats view (``DataLake.stats`` -- in
+        particular a stored lake's hydrated, non-materializing view) is
+        deferred to; a plain mapping gets the generic live view."""
+        own = getattr(self._lake, "stats", None)
+        if isinstance(own, LakeStats):
+            return own
         return LakeStats(self._lake)
 
     @property
@@ -100,6 +107,69 @@ class LakeIndex:
         return merge_result_sets(list(per_discoverer.values()))
 
     # ------------------------------------------------------------------
+    # Warm start from a persistent lake store (repro.store)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        discoverers: Sequence[Discoverer] | None = None,
+        lake: Mapping[str, Table] | None = None,
+    ) -> "LakeIndex":
+        """A ready-to-search index hydrated from a :class:`~repro.store.LakeStore`.
+
+        *store* may be a ``LakeStore`` or a path to one.  Persisted fitted
+        discoverer indexes (saved by ``LakeStore.save_indexes`` at the
+        store's current lake version) are unpickled and used as-is; any
+        requested discoverer without a persisted index is fitted against
+        the store's hydrated lake -- whose statistics snapshots make that
+        fit free of raw-cell re-scans.  With ``discoverers=None`` the
+        persisted roster is used verbatim (an error if none exist: nothing
+        was ever built to warm-start from).
+
+        *lake* lets a caller thread its own (already opened) stored lake
+        through, so the index and the caller share table objects and one
+        scan ledger; by default the store's lazy lake view is used.
+        """
+        from ..store.lakestore import LakeStore, StoreError
+
+        if not isinstance(store, LakeStore):
+            store = LakeStore.open(store)
+        if lake is None:
+            lake = store.lake()
+        persisted = store.load_indexes()
+        if discoverers is None:
+            if not persisted:
+                raise StoreError(
+                    f"store at {store.path} has no persisted discoverer indexes "
+                    f"for lake version {store.lake_version}; run an index build "
+                    f"first or pass explicit discoverers"
+                )
+            roster = list(persisted.values())
+        else:
+            roster = [persisted.get(d.name, d) for d in discoverers]
+        index = cls(lake, roster)
+        recorded = store.index_build_seconds()
+        for discoverer in roster:
+            if discoverer.is_fitted:
+                _rebind_lake(discoverer, lake)
+                index._build_seconds[discoverer.name] = recorded.get(discoverer.name, 0.0)
+            else:
+                start = time.perf_counter()
+                discoverer.fit(lake)
+                index._build_seconds[discoverer.name] = time.perf_counter() - start
+        index._built = True
+        return index
+
+    def save_to_store(self, store) -> None:
+        """Persist every fitted discoverer index into a
+        :class:`~repro.store.LakeStore` (building first if needed), pinned
+        to the store's current lake version for staleness detection."""
+        if not self._built:
+            self.build()
+        store.save_indexes(self._discoverers, self._build_seconds)
+
+    # ------------------------------------------------------------------
     # Persistence: the demo's "indexes are built offline" workflow
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
@@ -123,4 +193,14 @@ class LakeIndex:
             index = pickle.load(handle)
         if not isinstance(index, cls):
             raise TypeError(f"{path} does not contain a LakeIndex (got {type(index).__name__})")
+        for discoverer in index._discoverers:
+            _rebind_lake(discoverer, index._lake)
         return index
+
+
+def _rebind_lake(discoverer: Discoverer, lake: Mapping[str, Table]) -> None:
+    """Re-attach a lake to an unpickled discoverer that dropped it from its
+    pickle to avoid duplicating cell data (e.g. COCOA's ``rebind_lake``)."""
+    rebind = getattr(discoverer, "rebind_lake", None)
+    if rebind is not None:
+        rebind(lake)

@@ -8,10 +8,15 @@ is what the :class:`~repro.datalake.catalog.DataLake` and
 discoverer share, and what tests interrogate to assert that a whole
 discover -> integrate run scanned each column's raw data exactly once.
 
-Cache keys are effectively ``(id(table), column)`` scoped to the lake:
-because stats live on the table object, replacing a table (the only legal
-"mutation" -- tables are immutable by convention) automatically starts from
-a cold cache, and two lakes sharing table objects share their stats.
+Cache keys are effectively ``(table.uid, column)`` scoped to the lake --
+``uid`` being the process-unique monotonic identity every
+:class:`~repro.table.table.Table` receives at construction, never
+``id(table)`` (object ids are recycled after garbage collection; uids are
+not, so a dead table's stats can never be served for an unrelated
+successor).  Because stats live on the table object, replacing a table
+(the only legal "mutation" -- tables are immutable by convention)
+automatically starts from a cold cache under a fresh uid, and two lakes
+sharing table objects share their stats.
 """
 
 from __future__ import annotations

@@ -67,6 +67,26 @@ class CocoaJoinSearch(Discoverer):
                         self._key_index.setdefault(key, set()).add((table_name, column))
 
     # ------------------------------------------------------------------
+    # Pickling: COCOA scores correlations against raw lake cells, so it
+    # retains the lake mapping -- but serializing it would duplicate every
+    # cell of the lake into this index's pickle (and again into memory on
+    # load).  The lake is dropped from the pickle and re-attached by the
+    # loader (LakeIndex.load / LakeIndex.from_store call rebind_lake).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lake"] = {}
+        return state
+
+    def rebind_lake(self, lake: Mapping[str, Table]) -> None:
+        """Re-attach the (unpickled) index to its lake's tables.
+
+        Any mapping works and is held by reference without copying, so a
+        lazily materializing :class:`~repro.store.StoredDataLake` stays
+        lazy: search touches only candidate tables' cells.
+        """
+        self._lake = lake
+
+    # ------------------------------------------------------------------
     def _pick_target(self, query: Table, join_column: str) -> str | None:
         if self.target_column is not None and query.has_column(self.target_column):
             return self.target_column
@@ -82,6 +102,11 @@ class CocoaJoinSearch(Discoverer):
     def _search(
         self, query: Table, k: int, query_column: str | None
     ) -> list[DiscoveryResult]:
+        if self._key_index and not self._lake:
+            raise RuntimeError(
+                "cocoa index was unpickled without its lake; call "
+                "rebind_lake(lake) before searching"
+            )
         join_column = query_column if query_column in query.columns else query.columns[0]
         target = self._pick_target(query, join_column)
         if target is None:

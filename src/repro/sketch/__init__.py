@@ -7,12 +7,20 @@ These back the joinable-table discoverer
 from .ensemble import EnsembleMatch, LSHEnsemble
 from .hll import HyperLogLog
 from .lsh import BandedLSHIndex, collision_probability, optimal_param
-from .minhash import MinHasher, MinHashSignature, containment_from_jaccard
+from .minhash import (
+    DEFAULT_NUM_PERM,
+    DEFAULT_SEED,
+    MinHasher,
+    MinHashSignature,
+    containment_from_jaccard,
+)
 
 __all__ = [
     "MinHasher",
     "MinHashSignature",
     "containment_from_jaccard",
+    "DEFAULT_NUM_PERM",
+    "DEFAULT_SEED",
     "BandedLSHIndex",
     "collision_probability",
     "optimal_param",

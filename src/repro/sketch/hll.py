@@ -14,6 +14,7 @@ mean with the usual small-range (linear counting) and bias corrections.
 from __future__ import annotations
 
 import math
+import struct
 from typing import Hashable, Iterable
 
 import numpy as np
@@ -91,6 +92,31 @@ class HyperLogLog:
     def relative_error(self) -> float:
         """The sketch's expected standard error."""
         return 1.04 / math.sqrt(len(self._registers))
+
+    # ------------------------------------------------------------------
+    # Serialization (the persistent lake store's sketch snapshot format)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Precision byte followed by the raw register array; the encoding
+        is position-exact, so equal-content columns always serialize to
+        byte-identical payloads regardless of insertion order."""
+        return struct.pack("<B", self.precision) + self._registers.tobytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "HyperLogLog":
+        """Inverse of :meth:`to_bytes` (byte-identical round trip)."""
+        if not payload:
+            raise ValueError("empty HyperLogLog payload")
+        precision = struct.unpack_from("<B", payload)[0]
+        registers = payload[1:]
+        if len(registers) != 1 << precision:
+            raise ValueError(
+                f"HyperLogLog payload declares precision {precision} but "
+                f"carries {len(registers)} registers"
+            )
+        sketch = cls(precision)
+        sketch._registers = np.frombuffer(registers, dtype=np.uint8).copy()
+        return sketch
 
     # ------------------------------------------------------------------
     def merge(self, other: "HyperLogLog") -> "HyperLogLog":

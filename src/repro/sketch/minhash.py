@@ -10,13 +10,27 @@ joinability.
 
 from __future__ import annotations
 
+import struct
 from typing import Hashable, Iterable
 
 import numpy as np
 
 from ..embeddings.hashing import stable_hash
 
-__all__ = ["MinHasher", "MinHashSignature", "containment_from_jaccard"]
+__all__ = [
+    "MinHasher",
+    "MinHashSignature",
+    "containment_from_jaccard",
+    "DEFAULT_NUM_PERM",
+    "DEFAULT_SEED",
+]
+
+#: The library-wide default MinHash parameters.  Signatures are only
+#: comparable under identical ``(num_perm, seed)``, so anything that
+#: persists sketches (:mod:`repro.store`) records these in its manifest and
+#: refuses to mix snapshots built under different parameters.
+DEFAULT_NUM_PERM = 128
+DEFAULT_SEED = 1
 
 # The Mersenne prime 2**31 - 1.  Tokens are reduced modulo p and the
 # multipliers drawn from [1, p), so products reach ~2**62 (safely inside
@@ -48,6 +62,47 @@ class MinHashSignature:
         """Estimated containment of *this* set in *other*'s set."""
         return containment_from_jaccard(self.jaccard(other), self.size, other.size)
 
+    def merge(self, other: "MinHashSignature") -> "MinHashSignature":
+        """The signature of the *union* of the two underlying sets.
+
+        Elementwise minimum -- exactly the signature the hasher would have
+        produced for the union, so the operation is deterministic,
+        commutative and associative across processes (both inputs must come
+        from the same hasher).  The union cardinality is estimated from the
+        pairwise Jaccard via inclusion-exclusion and rounded, which keeps
+        the result reproducible bit-for-bit regardless of merge order.
+        """
+        if len(self.values) != len(other.values):
+            raise ValueError("cannot merge signatures from different MinHashers")
+        jaccard = self.jaccard(other)
+        union_size = int(round((self.size + other.size) / (1.0 + jaccard)))
+        return MinHashSignature(np.minimum(self.values, other.values), union_size)
+
+    # ------------------------------------------------------------------
+    # Serialization (the persistent lake store's sketch snapshot format)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """A compact, endianness-fixed encoding: ``num_perm``, exact set
+        size, then the permutation minima as little-endian uint64."""
+        values = np.ascontiguousarray(self.values, dtype="<u8")
+        return struct.pack("<IQ", len(values), self.size) + values.tobytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "MinHashSignature":
+        """Inverse of :meth:`to_bytes` (byte-identical round trip)."""
+        header = struct.calcsize("<IQ")
+        if len(payload) < header:
+            raise ValueError("truncated MinHash signature payload")
+        num_perm, size = struct.unpack_from("<IQ", payload)
+        body = payload[header:]
+        if len(body) != num_perm * 8:
+            raise ValueError(
+                f"MinHash payload declares {num_perm} permutations but carries "
+                f"{len(body)} value bytes"
+            )
+        values = np.frombuffer(body, dtype="<u8").astype(np.uint64)
+        return cls(values, size)
+
 
 def containment_from_jaccard(jaccard: float, query_size: int, candidate_size: int) -> float:
     """Convert a Jaccard estimate to containment given exact set sizes.
@@ -69,7 +124,7 @@ class MinHasher:
     the same ``num_perm`` and ``seed``.
     """
 
-    def __init__(self, num_perm: int = 128, seed: int = 1):
+    def __init__(self, num_perm: int = DEFAULT_NUM_PERM, seed: int = DEFAULT_SEED):
         if num_perm <= 0:
             raise ValueError("num_perm must be positive")
         self.num_perm = num_perm

@@ -1,0 +1,55 @@
+"""Persistent lake store: versioned columnar segments + stats snapshots.
+
+The discovery pipeline's cold-start cost -- scanning every column, building
+every token set, hashing every MinHash/HLL sketch -- should be paid once
+per *lake version*, not once per process.  This package is that durable
+layer:
+
+* :mod:`repro.store.codec` / :mod:`repro.store.segment` -- cell codec and
+  per-column segment files mirroring ``Table.column_arrays``;
+* :mod:`repro.store.snapshot` -- serialized
+  :class:`~repro.table.stats.ColumnStats` payloads (dtype, null counts,
+  distinct/token sets, normalized text, MinHash + HLL sketches) under a
+  pinned :class:`SketchConfig`;
+* :mod:`repro.store.lakestore` -- the :class:`LakeStore` itself: a
+  versioned manifest with per-table content hashes (incremental ingest
+  rewrites only changed tables), persisted fitted discoverer indexes, and
+  the lazy :class:`StoredDataLake` / :class:`StoredLakeStats` read path
+  that powers ``DataLake.open`` and ``LakeIndex.from_store`` warm starts.
+
+Typical use::
+
+    from repro.store import LakeStore
+
+    store = LakeStore.create("lake.store")
+    store.ingest(lake)                         # cold: scans each column once
+    ...
+    store = LakeStore.open("lake.store")       # later process
+    warm = store.lake()                        # lazy; no cell data read
+    warm.stats.scan_counts()                   # all zero, forever warm
+"""
+
+from .codec import table_content_hash
+from .lakestore import (
+    IngestReport,
+    LakeStore,
+    SketchConfigMismatch,
+    StoredDataLake,
+    StoredLakeStats,
+    StoreError,
+    StoreNotFound,
+)
+from .snapshot import DEFAULT_HLL_PRECISION, SketchConfig
+
+__all__ = [
+    "LakeStore",
+    "StoredDataLake",
+    "StoredLakeStats",
+    "IngestReport",
+    "SketchConfig",
+    "StoreError",
+    "StoreNotFound",
+    "SketchConfigMismatch",
+    "table_content_hash",
+    "DEFAULT_HLL_PRECISION",
+]

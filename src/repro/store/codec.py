@@ -1,0 +1,73 @@
+"""Cell-level codec and canonical content hashing for the lake store.
+
+Everything the store writes is line-oriented JSON over this codec: a cell
+is a JSON scalar (``str`` / ``int`` / ``float`` / ``bool``) except nulls,
+which become single-key objects carrying their provenance kind -- JSON
+objects can never be confused with scalar cells, so the encoding is
+unambiguous and the paper's two-kind null model (``±`` missing vs ``⊥``
+produced) survives a round trip bit-for-bit.
+
+The *content hash* is the store's change detector: a SHA-256 over a
+canonical serialization of a table's header and column arrays.  Two tables
+hash equal iff they hold the same cells (null kinds included) under the
+same column names in the same order -- the table's *name* is deliberately
+excluded, because the manifest already keys entries by name and a rename
+should read as remove+add, not as a content change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..table.table import Table
+from ..table.values import Cell, Null, is_null
+
+__all__ = ["encode_cell", "decode_cell", "encode_column", "decode_column", "table_content_hash"]
+
+_NULL_KEY = "__null__"
+
+
+def encode_cell(cell: Cell) -> Any:
+    """One cell as a JSON-serializable value."""
+    if is_null(cell):
+        return {_NULL_KEY: cell.kind}
+    if isinstance(cell, (str, int, float, bool)):
+        return cell
+    raise TypeError(
+        f"cell of type {type(cell).__name__} is not storable: {cell!r}"
+    )
+
+
+def decode_cell(value: Any) -> Cell:
+    """Inverse of :func:`encode_cell`; null singletons are restored by kind."""
+    if isinstance(value, dict):
+        return Null(value[_NULL_KEY])
+    return value
+
+
+def encode_column(array: tuple[Cell, ...]) -> str:
+    """One column array as a compact single-line JSON document."""
+    return json.dumps(
+        [encode_cell(cell) for cell in array],
+        ensure_ascii=False,
+        separators=(",", ":"),
+    )
+
+
+def decode_column(line: str) -> tuple[Cell, ...]:
+    """Inverse of :func:`encode_column`."""
+    return tuple(decode_cell(value) for value in json.loads(line))
+
+
+def table_content_hash(table: Table) -> str:
+    """Hex SHA-256 of the table's canonical content (header + cells)."""
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(list(table.columns), ensure_ascii=False, separators=(",", ":")).encode("utf-8")
+    )
+    for array in table.column_arrays:
+        digest.update(b"\x1f")
+        digest.update(encode_column(array).encode("utf-8"))
+    return digest.hexdigest()

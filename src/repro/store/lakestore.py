@@ -1,0 +1,611 @@
+"""The persistent lake store: versioned segments + stats snapshots.
+
+Layout of a store directory::
+
+    manifest.json            versioned catalog: per-table content hashes,
+                             segment/stats file names, column byte offsets,
+                             sketch configuration, persisted-index roster
+    segments/<t>.seg.jsonl   one table's cell data, one column per line
+    stats/<t>.stats.json     the table's ColumnStats snapshot payloads
+    indexes/<d>.pkl          one fitted discoverer index per file
+
+The design goals, in order:
+
+* **Incremental ingest.**  Every table entry carries a content hash;
+  :meth:`LakeStore.ingest` rewrites only the segments and stats of tables
+  whose hash changed (or that are new), and prunes removed ones.  Adding,
+  replacing or deleting one table of a 10k-table lake costs one table's
+  worth of I/O plus a manifest write -- never a lake rewrite.
+* **Warm starts.**  :meth:`LakeStore.lake` returns a
+  :class:`StoredDataLake`: a lazy mapping whose tables materialize from
+  segments on first access, each adopting a hydrated
+  :class:`~repro.table.stats.TableStats` snapshot -- so a warm process
+  serves discovery from persisted sketches with **zero** raw-cell scans
+  (``LakeStats.scan_counts()`` stays all-zero, the tested guarantee).
+* **Sketch compatibility.**  MinHash signatures only compare under one
+  ``(num_perm, seed)`` and HyperLogLogs only merge at one precision, so
+  the manifest records the :class:`~repro.store.snapshot.SketchConfig`
+  and :meth:`LakeStore.open` raises :class:`SketchConfigMismatch` rather
+  than hydrating incomparable sketches.
+
+Versioning: ``lake_version`` increments on every content-changing ingest;
+persisted discoverer indexes remember the version they were fitted against
+and are dropped (never silently served stale) when it moves on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..datalake.catalog import DataLake
+from ..datalake.stats import LakeStats
+from ..discovery.base import Discoverer
+from ..table.stats import TableStats
+from ..table.table import Table
+from ..table.values import Cell
+from .codec import table_content_hash
+from .segment import read_column, read_columns, write_segment
+from .snapshot import SketchConfig, column_stats_payload, hydrate_column_stats
+
+__all__ = [
+    "LakeStore",
+    "StoredDataLake",
+    "StoredLakeStats",
+    "IngestReport",
+    "StoreError",
+    "StoreNotFound",
+    "SketchConfigMismatch",
+]
+
+_FORMAT = "repro-lake-store"
+_FORMAT_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """Any structural problem with a lake store on disk."""
+
+
+class StoreNotFound(StoreError):
+    """The given path holds no store manifest."""
+
+
+class SketchConfigMismatch(StoreError):
+    """The snapshot's sketches were built under different parameters."""
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`LakeStore.ingest` call actually did."""
+
+    added: tuple[str, ...] = ()
+    updated: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    unchanged: tuple[str, ...] = ()
+    lake_version: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.updated or self.removed)
+
+    def summary(self) -> str:
+        return (
+            f"v{self.lake_version}: +{len(self.added)} ~{len(self.updated)} "
+            f"-{len(self.removed)} ={len(self.unchanged)}"
+        )
+
+
+class LakeStore:
+    """A directory-backed, versioned snapshot of a data lake."""
+
+    def __init__(self, path: Path, manifest: dict[str, Any]):
+        self._path = Path(path)
+        self._manifest = manifest
+        self._sketch = SketchConfig.from_json(manifest["sketch"])
+        # Hydrated per-table stats, shared between :meth:`table_stats` and
+        # the tables :meth:`load_table` materializes -- one object per
+        # table name, so the lake-wide scan ledger is coherent.
+        self._stats_cache: dict[str, TableStats] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        sketch_config: SketchConfig | None = None,
+        exist_ok: bool = False,
+    ) -> "LakeStore":
+        """Initialize an empty store at *path* (or open the existing one
+        when ``exist_ok`` and the sketch configuration is compatible)."""
+        path = Path(path)
+        if (path / "manifest.json").exists():
+            if not exist_ok:
+                raise StoreError(
+                    f"a lake store already exists at {path}; open() it or ingest into it"
+                )
+            return cls.open(path, sketch_config=sketch_config)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": _FORMAT,
+            "format_version": _FORMAT_VERSION,
+            "lake_version": 0,
+            "sketch": (sketch_config or SketchConfig()).to_json(),
+            "tables": {},
+            "indexes": None,
+        }
+        store = cls(path, manifest)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        sketch_config: SketchConfig | None = None,
+        check_sketch: bool = True,
+    ) -> "LakeStore":
+        """Open an existing store; validates format and sketch parameters.
+
+        *sketch_config* is what this process expects (library defaults when
+        omitted).  A snapshot built under a different MinHash seed /
+        permutation count or HLL precision raises
+        :class:`SketchConfigMismatch` -- hydrated sketches would silently
+        be incomparable with freshly computed ones otherwise.  Pass
+        ``check_sketch=False`` to adopt whatever the snapshot recorded.
+        """
+        path = Path(path)
+        manifest_path = path / "manifest.json"
+        if not manifest_path.exists():
+            raise StoreNotFound(f"no lake store manifest at {path}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != _FORMAT:
+            raise StoreError(f"{manifest_path} is not a {_FORMAT} manifest")
+        if manifest.get("format_version", 0) > _FORMAT_VERSION:
+            raise StoreError(
+                f"store at {path} uses format version {manifest['format_version']}, "
+                f"this library reads up to {_FORMAT_VERSION}"
+            )
+        store = cls(path, manifest)
+        if check_sketch:
+            expected = sketch_config or SketchConfig()
+            if store.sketch_config != expected:
+                raise SketchConfigMismatch(
+                    f"lake store at {path} was built with sketch config "
+                    f"{store.sketch_config}, but this process expects {expected}; "
+                    f"sketches from different seeds are not comparable -- rebuild "
+                    f"the store (index build) or open with the matching SketchConfig"
+                )
+        return store
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def sketch_config(self) -> SketchConfig:
+        return self._sketch
+
+    @property
+    def lake_version(self) -> int:
+        return self._manifest["lake_version"]
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._manifest["tables"])
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._manifest["tables"]
+
+    def __len__(self) -> int:
+        return len(self._manifest["tables"])
+
+    def __repr__(self) -> str:
+        return f"LakeStore({str(self._path)!r}, v{self.lake_version}, {len(self)} tables)"
+
+    def info(self) -> dict[str, Any]:
+        """A JSON-friendly summary (what ``repro index info`` prints)."""
+        tables = {
+            name: {
+                "rows": entry["num_rows"],
+                "columns": len(entry["columns"]),
+                "content_hash": entry["content_hash"][:12],
+            }
+            for name, entry in self._manifest["tables"].items()
+        }
+        indexes = self._manifest.get("indexes") or {}
+        return {
+            "path": str(self._path),
+            "format_version": self._manifest["format_version"],
+            "lake_version": self.lake_version,
+            "sketch": self._sketch.to_json(),
+            "num_tables": len(tables),
+            "total_rows": sum(t["rows"] for t in tables.values()),
+            "tables": tables,
+            "indexes": sorted((indexes.get("discoverers") or {})),
+            "indexes_lake_version": indexes.get("lake_version"),
+        }
+
+    # ------------------------------------------------------------------
+    # Ingest (incremental)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        lake: Mapping[str, Table],
+        prune: bool = True,
+        adopt_stats: bool = True,
+    ) -> IngestReport:
+        """Bring the store up to date with *lake*, rewriting only deltas.
+
+        Per table: content hash unchanged -> skip (and, with
+        ``adopt_stats``, warm the in-memory table by adopting the stored
+        stats snapshot, so a follow-up index build re-scans nothing);
+        new/changed -> write that table's segment + stats snapshot.  With
+        ``prune``, tables absent from *lake* are dropped.  Any change bumps
+        ``lake_version`` and invalidates persisted discoverer indexes.
+        """
+        tables = self._manifest["tables"]
+        added: list[str] = []
+        updated: list[str] = []
+        unchanged: list[str] = []
+        removed: list[str] = []
+        # Relative paths that become garbage once the new manifest commits.
+        # File stems are content-addressed (the stem embeds the content
+        # hash), so an update writes *new* segment/stats files and the
+        # manifest replace is the single atomic commit point: a crash at
+        # any moment leaves the old manifest describing the old, intact
+        # files.  Stale files are unlinked only after the commit.
+        stale: list[str] = []
+
+        for name, table in lake.items():
+            digest = table_content_hash(table)
+            entry = tables.get(name)
+            if entry is not None and entry["content_hash"] == digest:
+                unchanged.append(name)
+                if adopt_stats:
+                    table.adopt_stats(self.table_stats(name))
+                continue
+            new_entry = self._write_table(name, table, digest)
+            if entry is not None:
+                stale.extend(entry[key] for key in ("segment", "stats"))
+            tables[name] = new_entry
+            self._stats_cache.pop(name, None)
+            (updated if entry is not None else added).append(name)
+
+        if prune:
+            for name in [n for n in tables if n not in lake]:
+                removed.append(name)
+                entry = tables.pop(name)
+                stale.extend(entry[key] for key in ("segment", "stats"))
+                self._stats_cache.pop(name, None)
+
+        if added or updated or removed:
+            self._manifest["lake_version"] += 1
+            stale.extend(self._invalidate_indexes())
+        self._write_manifest()
+        self._unlink_all(stale)
+        return IngestReport(
+            added=tuple(added),
+            updated=tuple(updated),
+            removed=tuple(removed),
+            unchanged=tuple(unchanged),
+            lake_version=self.lake_version,
+        )
+
+    def remove(self, name: str) -> None:
+        """Drop one table (segment, stats and manifest entry)."""
+        entry = self._manifest["tables"].pop(name, None)
+        if entry is None:
+            raise KeyError(f"no table {name!r} in store {self._path}")
+        stale = [entry["segment"], entry["stats"]]
+        self._stats_cache.pop(name, None)
+        self._manifest["lake_version"] += 1
+        stale.extend(self._invalidate_indexes())
+        self._write_manifest()
+        self._unlink_all(stale)
+
+    def _write_table(self, name: str, table: Table, digest: str) -> dict[str, Any]:
+        stem = self._file_stem(name, digest)
+        segment_rel = f"segments/{stem}.seg.jsonl"
+        offsets = write_segment(self._path / segment_rel, table)
+        stats_rel = f"stats/{stem}.stats.json"
+        payload = {
+            "columns": {
+                column: column_stats_payload(table.stats.column(column), self._sketch)
+                for column in table.columns
+            }
+        }
+        self._write_json(self._path / stats_rel, payload)
+        return {
+            "content_hash": digest,
+            "segment": segment_rel,
+            "stats": stats_rel,
+            "columns": list(table.columns),
+            "num_rows": table.num_rows,
+            "column_offsets": offsets,
+        }
+
+    def _unlink_all(self, relative_paths: Sequence[str]) -> None:
+        for rel in relative_paths:
+            file = self._path / rel
+            if file.exists():
+                file.unlink()
+
+    # ------------------------------------------------------------------
+    # Hydration (the warm-start read path)
+    # ------------------------------------------------------------------
+    def lake(self) -> "StoredDataLake":
+        """The store's content as a lazy, read-only :class:`DataLake`."""
+        return StoredDataLake(self)
+
+    def load_table(self, name: str) -> Table:
+        """Materialize one table from its segment, with its hydrated stats
+        snapshot attached (so its columns never need a raw re-scan)."""
+        entry = self._entry(name)
+        arrays = read_columns(self._path / entry["segment"], len(entry["columns"]))
+        table = Table.from_columns(entry["columns"], arrays, name=name)
+        return table.adopt_stats(self.table_stats(name))
+
+    def load_column(self, name: str, column: str) -> tuple[Cell, ...]:
+        """One column's cells, read by byte offset (no full-table load)."""
+        entry = self._entry(name)
+        try:
+            position = entry["columns"].index(column)
+        except ValueError:
+            raise KeyError(
+                f"table {name!r} has no column {column!r}; columns: {entry['columns']}"
+            ) from None
+        return read_column(self._path / entry["segment"], entry["column_offsets"][position])
+
+    def table_stats(self, name: str) -> TableStats:
+        """The hydrated stats snapshot of one table (cached per name; the
+        same object a materialized table adopts, keeping one scan ledger)."""
+        cached = self._stats_cache.get(name)
+        if cached is None:
+            entry = self._entry(name)
+            payloads = json.loads(
+                (self._path / entry["stats"]).read_text(encoding="utf-8")
+            )["columns"]
+            by_name = {
+                column: hydrate_column_stats(
+                    name,
+                    column,
+                    payloads[column],
+                    self._sketch,
+                    self._column_loader(name, column),
+                )
+                for column in entry["columns"]
+            }
+            cached = TableStats.hydrated(name, entry["columns"], by_name)
+            self._stats_cache[name] = cached
+        return cached
+
+    def _column_loader(self, name: str, column: str):
+        def load() -> tuple[Cell, ...]:
+            return self.load_column(name, column)
+
+        return load
+
+    def _entry(self, name: str) -> dict[str, Any]:
+        try:
+            return self._manifest["tables"][name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r} in store {self._path}; "
+                f"{len(self._manifest['tables'])} tables available"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Persisted discoverer indexes
+    # ------------------------------------------------------------------
+    def save_indexes(
+        self,
+        discoverers: Sequence[Discoverer],
+        build_seconds: Mapping[str, float] | None = None,
+    ) -> None:
+        """Persist fitted discoverer indexes, pinned to the current
+        ``lake_version`` (a later ingest that changes content drops them)."""
+        entries: dict[str, Any] = {}
+        for discoverer in discoverers:
+            if not discoverer.is_fitted:
+                raise StoreError(
+                    f"discoverer {discoverer.name!r} is not fitted; build before saving"
+                )
+            rel = f"indexes/{self._file_stem(discoverer.name)}.pkl"
+            file = self._path / rel
+            file.parent.mkdir(parents=True, exist_ok=True)
+            temp = file.with_name(file.name + ".tmp")
+            with temp.open("wb") as handle:
+                pickle.dump(discoverer, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            temp.replace(file)
+            entries[discoverer.name] = {
+                "file": rel,
+                "build_seconds": float((build_seconds or {}).get(discoverer.name, 0.0)),
+            }
+        self._manifest["indexes"] = {
+            "lake_version": self.lake_version,
+            "discoverers": entries,
+        }
+        self._write_manifest()
+
+    def load_indexes(self) -> dict[str, Discoverer]:
+        """The persisted, *current* discoverer indexes (empty dict if none
+        were saved or the lake has changed since they were fitted)."""
+        info = self._manifest.get("indexes")
+        if not info or info.get("lake_version") != self.lake_version:
+            return {}
+        loaded: dict[str, Discoverer] = {}
+        for name, entry in info["discoverers"].items():
+            file = self._path / entry["file"]
+            if not file.exists():
+                # A crash window (or manual tampering) can orphan manifest
+                # index entries; treat the set as absent rather than dying.
+                return {}
+            with file.open("rb") as handle:
+                discoverer = pickle.load(handle)
+            if not isinstance(discoverer, Discoverer):
+                raise StoreError(
+                    f"{entry['file']} does not contain a Discoverer "
+                    f"(got {type(discoverer).__name__})"
+                )
+            loaded[name] = discoverer
+        return loaded
+
+    def index_build_seconds(self) -> dict[str, float]:
+        """Recorded offline build time per persisted discoverer."""
+        info = self._manifest.get("indexes") or {}
+        return {
+            name: entry.get("build_seconds", 0.0)
+            for name, entry in (info.get("discoverers") or {}).items()
+        }
+
+    def _invalidate_indexes(self) -> list[str]:
+        """Mark persisted indexes stale in the manifest; returns their file
+        paths for the caller to unlink *after* the manifest commits."""
+        info = self._manifest.get("indexes")
+        if not info:
+            return []
+        self._manifest["indexes"] = None
+        return [entry["file"] for entry in (info.get("discoverers") or {}).values()]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _file_stem(name: str, digest: str = "") -> str:
+        # Table names are arbitrary strings; files need a safe, collision-
+        # free stem: a readable slug plus a name-hash suffix.  Table data
+        # files additionally embed the content hash, which content-
+        # addresses them: an update writes to a *new* path, so the old
+        # manifest's files survive intact until the new manifest commits.
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)[:48].strip("._") or "table"
+        suffix = hashlib.sha1(name.encode("utf-8")).hexdigest()[:10]
+        return f"{slug}-{suffix}" + (f"-{digest[:10]}" if digest else "")
+
+    def _write_json(self, path: Path, payload: dict[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + ".tmp")
+        temp.write_text(
+            json.dumps(payload, ensure_ascii=False, separators=(",", ":")),
+            encoding="utf-8",
+        )
+        temp.replace(path)
+
+    def _write_manifest(self) -> None:
+        self._write_json(self._path / "manifest.json", self._manifest)
+
+
+class StoredDataLake(DataLake):
+    """A read-only :class:`DataLake` served from a :class:`LakeStore`.
+
+    Opening the lake reads only the manifest; a table's cells materialize
+    from its segment on first ``lake[name]`` access (and are then cached),
+    each adopting the store's hydrated stats snapshot.  ``stats`` serves
+    hydrated statistics *without* materializing any cell data, which is
+    what keeps warm discovery free of raw scans.
+    """
+
+    def __init__(self, store: LakeStore):
+        super().__init__(())
+        self._store = store
+
+    @property
+    def store(self) -> LakeStore:
+        return self._store
+
+    @property
+    def loaded_names(self) -> list[str]:
+        """Tables whose cell data has actually been materialized so far."""
+        return list(self._tables)
+
+    def add(self, table: Table) -> None:
+        raise TypeError(
+            "StoredDataLake is read-only; ingest tables into the LakeStore instead"
+        )
+
+    def __getitem__(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            if name not in self._store:
+                raise KeyError(
+                    f"no table {name!r} in lake; {len(self._store)} tables available"
+                )
+            table = self._store.load_table(name)
+            self._tables[name] = table
+        return table
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.table_names)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def names(self) -> list[str]:
+        return self._store.table_names
+
+    def tables(self) -> list[Table]:
+        """All tables, materializing any that were not loaded yet."""
+        return [self[name] for name in self._store.table_names]
+
+    def total_rows(self) -> int:
+        # Served from the manifest: counting rows must not page in cells.
+        return sum(
+            entry["num_rows"] for entry in self._store._manifest["tables"].values()
+        )
+
+    @property
+    def stats(self) -> "StoredLakeStats":
+        return StoredLakeStats(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"StoredDataLake({len(self)} tables, "
+            f"{len(self._tables)} materialized, v{self._store.lake_version})"
+        )
+
+
+class StoredLakeStats(LakeStats):
+    """Lake-wide stats over a stored lake, served from hydrated snapshots.
+
+    Unlike the base view, reading statistics here never materializes cell
+    data: every method goes through :meth:`LakeStore.table_stats`, which
+    returns the same objects materialized tables adopt -- one coherent
+    scan ledger either way.
+    """
+
+    def __init__(self, lake: StoredDataLake):
+        super().__init__(lake)
+        self._store = lake.store
+
+    def table(self, name: str) -> TableStats:
+        return self._store.table_stats(name)
+
+    def column(self, table_name: str, column: str):
+        return self._store.table_stats(table_name).column(column)
+
+    def __iter__(self) -> Iterator[tuple[str, TableStats]]:
+        for name in self._store.table_names:
+            yield name, self._store.table_stats(name)
+
+    def warm(self) -> "StoredLakeStats":
+        # Hydrated snapshots are already warm; ensure without scanning.
+        for _, stats in self:
+            stats.warm()
+        return self
+
+    def scan_counts(self) -> dict[tuple[str, str], int]:
+        counts: dict[tuple[str, str], int] = {}
+        for name, stats in self:
+            for column, count in stats.scan_counts.items():
+                counts[(name, column)] = count
+        return counts

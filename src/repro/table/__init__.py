@@ -30,12 +30,17 @@ once per (table object, column).  ``Table.column`` /
 read-only views** from that cache.
 
 The invalidation contract is deliberate and simple: tables are immutable
-by convention, so caches are keyed by object identity --
-``(id(table), column)`` when viewed lake-wide through
+by convention, so caches are keyed by table identity --
+``(table.uid, column)`` when viewed lake-wide through
 :class:`repro.datalake.stats.LakeStats` -- and are never invalidated.
-Every operator returns a *new* table, which starts cold.  Do not mutate a
-table's cells in place; beyond being outside the API contract, it now also
-yields stale cached statistics.
+``table.uid`` is a process-unique monotonic counter assigned at
+construction; it replaces ``id(table)`` as the cache key because CPython
+recycles object ids as soon as a table is garbage collected, so an
+id-keyed cache could silently serve a dead table's statistics for an
+unrelated new table at the same address.  Every operator returns a *new*
+table, which starts cold under a fresh uid.  Do not mutate a table's
+cells in place; beyond being outside the API contract, it now also yields
+stale cached statistics.
 """
 
 from . import ops

@@ -11,11 +11,24 @@ column array and memoized on the owning :class:`~repro.table.table.Table`.
 Invalidation contract
 ---------------------
 Tables are immutable by convention, so the cache never invalidates: stats
-are keyed by *object identity* -- ``(id(table), column)`` when viewed
-lake-wide -- and live exactly as long as the table object.  Deriving a new
-table (every operator returns a new ``Table``) starts from an empty cache;
-mutating ``table.rows`` in place is already outside the API contract and
-now additionally yields stale statistics.
+are keyed by *table identity* -- ``(table.uid, column)`` when viewed
+lake-wide -- and live exactly as long as the table object.  ``table.uid``
+is a process-unique monotonic counter, **not** ``id(table)``: object ids
+are recycled the moment a table is garbage collected, so an id-keyed
+external cache could serve a dead table's statistics for an unrelated
+successor at the same address; uids can never collide that way.  Deriving
+a new table (every operator returns a new ``Table``) starts from an empty
+cache under a fresh uid; mutating ``table.rows`` in place is already
+outside the API contract and additionally yields stale statistics.
+
+Hydration (the persistent lake store)
+-------------------------------------
+:mod:`repro.store` persists every :class:`ColumnStats` product to disk and
+restores it with :meth:`ColumnStats.from_snapshot`: a hydrated column is
+born ``scanned`` with all base statistics, token sets, normalized text and
+sketches pre-filled, and holds only a *loader* for its raw array -- cell
+data is paged in per column, on first raw access, and ``scan_count`` stays
+0 for the whole warm run (the observable warm-start guarantee).
 
 Every consumer-facing product is immutable: ``distinct`` and ``tokens``
 are frozensets, column arrays are tuples, and the shared ``values`` /
@@ -28,7 +41,7 @@ touches each column's raw data exactly once.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from .infer import infer_dtype
 from .values import MISSING, Cell, is_null
@@ -80,6 +93,7 @@ class ColumnStats:
         "table_name",
         "name",
         "_array",
+        "_array_loader",
         "scan_count",
         "_scanned",
         "values",
@@ -96,10 +110,19 @@ class ColumnStats:
         "_column_list",
     )
 
-    def __init__(self, table_name: str, name: str, array: tuple[Cell, ...]):
+    def __init__(
+        self,
+        table_name: str,
+        name: str,
+        array: tuple[Cell, ...] | None,
+        array_loader: "Callable[[], tuple[Cell, ...]] | None" = None,
+    ):
+        if array is None and array_loader is None:
+            raise ValueError("ColumnStats needs an array or an array loader")
         self.table_name = table_name
         self.name = name
         self._array = array
+        self._array_loader = array_loader
         self.scan_count = 0
         self._scanned = False
         self._tokens: frozenset[str] | None = None
@@ -107,6 +130,51 @@ class ColumnStats:
         self._minhash: dict[tuple[int, int], "MinHashSignature"] = {}
         self._hll: dict[int, "HyperLogLog"] = {}
         self._column_list: list[Cell] | None = None
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        table_name: str,
+        name: str,
+        *,
+        dtype: str,
+        row_count: int,
+        null_count: int,
+        missing_count: int,
+        numeric_fraction: float,
+        distinct: Iterable[Cell],
+        tokens: Iterable[str] | None = None,
+        text_values: Iterable[str] | None = None,
+        minhash: "Mapping[tuple[int, int], MinHashSignature] | None" = None,
+        hll: "Mapping[int, HyperLogLog] | None" = None,
+        array: tuple[Cell, ...] | None = None,
+        array_loader: "Callable[[], tuple[Cell, ...]] | None" = None,
+    ) -> "ColumnStats":
+        """Rebuild fully-scanned column statistics from a persisted snapshot.
+
+        The column is born with ``scan_count == 0`` and ``_scanned`` set:
+        every cached product (distinct set, tokens, sketches, normalized
+        text) is served from the snapshot, and the raw cell array -- the one
+        thing a snapshot deliberately does not duplicate -- is paged in
+        through *array_loader* only if a consumer actually asks for cells.
+        """
+        stats = cls(table_name, name, array, array_loader=array_loader)
+        stats.row_count = row_count
+        stats.null_count = null_count
+        stats.missing_count = missing_count
+        stats.numeric_fraction = numeric_fraction
+        stats.distinct = frozenset(distinct)
+        stats.dtype = dtype
+        if tokens is not None:
+            stats._tokens = frozenset(tokens)
+        if text_values is not None:
+            stats._text_values[None] = frozenset(text_values)
+        if minhash:
+            stats._minhash.update(minhash)
+        if hll:
+            stats._hll.update(hll)
+        stats._scanned = True
+        return stats
 
     # ------------------------------------------------------------------
     # The one pass
@@ -118,7 +186,7 @@ class ColumnStats:
         self.scan_count += 1
         values: list[Cell] = []
         null_count = missing_count = numeric = 0
-        for cell in self._array:
+        for cell in self.array:
             if is_null(cell):
                 null_count += 1
                 if cell is MISSING:
@@ -129,7 +197,7 @@ class ColumnStats:
                 numeric += 1
         self.numeric_fraction = numeric / len(values) if values else 0.0
         self.values = ReadOnlyView(values)
-        self.row_count = len(self._array)
+        self.row_count = len(self.array)
         self.null_count = null_count
         self.missing_count = missing_count
         self.distinct = frozenset(values)
@@ -145,11 +213,22 @@ class ColumnStats:
 
     def __getattr__(self, attribute: str) -> Any:
         # Base stats materialize on first access; __getattr__ only fires for
-        # slots that were never assigned, i.e. before the scan ran.
+        # slots that were never assigned -- before the scan ran, or (for the
+        # value list only) on a hydrated snapshot, which restores every base
+        # statistic except the raw cells.
         if attribute in (
             "values", "row_count", "null_count", "missing_count",
             "distinct", "dtype", "numeric_fraction",
         ):
+            if self._scanned:
+                if attribute == "values":
+                    # Hydrated column: derive the non-null value list from
+                    # the (lazily paged-in) array.  This is a filter over
+                    # already-loaded cells, not a counted statistics scan.
+                    view = ReadOnlyView(c for c in self.array if not is_null(c))
+                    self.values = view
+                    return view
+                raise AttributeError(attribute)
             self._scan()
             return getattr(self, attribute)
         raise AttributeError(attribute)
@@ -159,15 +238,29 @@ class ColumnStats:
     # ------------------------------------------------------------------
     @property
     def array(self) -> tuple[Cell, ...]:
-        """The raw column, nulls included, as an immutable tuple."""
+        """The raw column, nulls included, as an immutable tuple.
+
+        For a hydrated snapshot column the array is paged in from the
+        segment store on first access (and cached); every other consumer of
+        this property then shares the loaded tuple."""
+        if self._array is None:
+            assert self._array_loader is not None  # enforced at construction
+            self._array = tuple(self._array_loader())
         return self._array
+
+    def _bind_array(self, array: tuple[Cell, ...]) -> None:
+        """Wire an already-materialized cell array into a hydrated column
+        (used when a stored table and its stats snapshot meet in memory),
+        saving the segment read the lazy loader would otherwise perform."""
+        if self._array is None:
+            self._array = array
 
     @property
     def column_list(self) -> list[Cell]:
         """The raw column as a cached :class:`ReadOnlyView` -- the object
         :meth:`Table.column` hands out."""
         if self._column_list is None:
-            self._column_list = ReadOnlyView(self._array)
+            self._column_list = ReadOnlyView(self.array)
         return self._column_list
 
     @property
@@ -230,24 +323,85 @@ class ColumnStats:
             self._hll[precision] = sketch
         return sketch
 
+    # ------------------------------------------------------------------
+    # Pickling: a lazy array loader is a live handle into a store on disk;
+    # materialize the cells so pickles stay self-contained.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        state: dict[str, Any] = {}
+        for slot in self.__slots__:
+            try:
+                state[slot] = object.__getattribute__(self, slot)
+            except AttributeError:
+                continue  # never-assigned slot (base stats before the scan)
+        if state.get("_array") is None and self._array_loader is not None:
+            state["_array"] = self.array
+        state["_array_loader"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+
     def __repr__(self) -> str:
         state = "scanned" if self._scanned else "unscanned"
         return f"ColumnStats({self.table_name}.{self.name}, {state})"
 
 
 class TableStats:
-    """All column stats of one table, plus the table-level scan ledger."""
+    """All column stats of one table, plus the table-level scan ledger.
 
-    __slots__ = ("_table_name", "_columns", "_by_name")
+    Keyed by the owning table's :attr:`~repro.table.table.Table.uid` (see
+    :attr:`table_uid`), never by ``id(table)``.
+    """
+
+    __slots__ = ("_table_name", "_columns", "_by_name", "_table_uid")
 
     def __init__(self, table: "Table"):
         self._table_name = table.name
         self._columns = table.columns
+        self._table_uid: int | None = table.uid
         arrays = table.column_arrays
         self._by_name = {
             name: ColumnStats(table.name, name, arrays[i])
             for i, name in enumerate(self._columns)
         }
+
+    @classmethod
+    def hydrated(
+        cls,
+        table_name: str,
+        columns: Iterable[str],
+        stats_by_name: Mapping[str, ColumnStats],
+    ) -> "TableStats":
+        """Assemble table stats from already-hydrated per-column snapshots
+        (no owning table yet -- :meth:`Table.adopt_stats` re-keys these to a
+        concrete table's uid when the cell data materializes)."""
+        stats = cls.__new__(cls)
+        stats._table_name = table_name
+        stats._columns = tuple(columns)
+        stats._table_uid = None
+        missing = [c for c in stats._columns if c not in stats_by_name]
+        if missing:
+            raise ValueError(
+                f"hydrated stats for table {table_name!r} missing columns: {missing}"
+            )
+        stats._by_name = {name: stats_by_name[name] for name in stats._columns}
+        return stats
+
+    @property
+    def table_uid(self) -> int | None:
+        """The uid of the owning table (None for a hydrated snapshot that
+        has not been adopted by a materialized table yet)."""
+        return self._table_uid
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    def _rekey(self, table_uid: int) -> None:
+        """Bind these stats to a (new) owning table identity."""
+        self._table_uid = table_uid
 
     def column(self, name: str) -> ColumnStats:
         try:

@@ -14,6 +14,7 @@ integration provenance (tuple IDs / output IDs) in
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .schema import ColumnSpec, Schema
@@ -21,6 +22,13 @@ from .stats import TableStats
 from .values import MISSING, Cell, is_null
 
 __all__ = ["Table"]
+
+# Monotonic table identities.  Cache consumers key per-table state by
+# ``table.uid`` rather than ``id(table)``: CPython recycles object ids as
+# soon as a table is garbage collected, so an id-keyed external cache could
+# silently serve one table's statistics for an unrelated successor at the
+# same address.  uids are never reused within a process.
+_NEXT_UID = itertools.count(1)
 
 
 class Table:
@@ -43,6 +51,7 @@ class Table:
         "_schema",
         "_col_index",
         "_stats",
+        "_uid",
     )
 
     def __init__(
@@ -76,6 +85,7 @@ class Table:
         self._rows: list[tuple[Cell, ...]] | None = None
         self._schema: Schema | None = None
         self._stats: TableStats | None = None
+        self._uid: int = next(_NEXT_UID)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -135,6 +145,7 @@ class Table:
         self._rows = None
         self._schema = None
         self._stats = None
+        self._uid = next(_NEXT_UID)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Sequence[Cell]], name: str = "table") -> "Table":
@@ -206,12 +217,57 @@ class Table:
         return self._schema
 
     @property
+    def uid(self) -> int:
+        """A process-unique, monotonically increasing table identity.
+
+        This is the cache key every table-scoped cache uses (see the
+        invalidation contract in :mod:`repro.table.stats`): unlike
+        ``id(table)``, a uid is never recycled after garbage collection, so
+        an external cache keyed by ``(table.uid, column)`` can never serve
+        one table's statistics for an unrelated successor allocated at the
+        same address.  Unpickled tables receive a fresh uid -- identities
+        are process-scoped, never shipped across processes.
+        """
+        return self._uid
+
+    @property
     def stats(self) -> TableStats:
         """Per-column statistics (:mod:`repro.table.stats`), computed once
         per column and cached on this table for its lifetime."""
         if self._stats is None:
             self._stats = TableStats(self)
         return self._stats
+
+    def adopt_stats(self, stats: TableStats) -> "Table":
+        """Attach pre-computed statistics (a hydrated snapshot from
+        :mod:`repro.store`) as this table's stats cache; returns self.
+
+        The snapshot must describe exactly this table's columns.  Adoption
+        re-keys the stats to this table's :attr:`uid` and binds any
+        lazily-loading column arrays to the in-memory ones, so subsequent
+        consumers read cached statistics without a single raw scan.
+        """
+        if stats.columns != self._columns:
+            raise ValueError(
+                f"stats columns {list(stats.columns)} do not match table "
+                f"{self._name!r} columns {list(self._columns)}"
+            )
+        stats._rekey(self._uid)
+        for position, name in enumerate(self._columns):
+            stats.column(name)._bind_array(self._coldata[position])
+        self._stats = stats
+        return self
+
+    def __setstate__(self, state: tuple[Any, dict[str, Any]]) -> None:
+        # Default slots pickling, except uids are process-scoped: a table
+        # arriving from another process is a *new* object here and must not
+        # import an identity that may collide with locally issued uids.
+        _, slots = state
+        for key, value in slots.items():
+            setattr(self, key, value)
+        self._uid = next(_NEXT_UID)
+        if getattr(self, "_stats", None) is not None:
+            self._stats._rekey(self._uid)
 
     def column_index(self, name: str) -> int:
         """Position of column *name* (KeyError lists available columns)."""

@@ -190,3 +190,109 @@ class TestReport:
         assert content.startswith("# DIALITE run: query")
         assert "## Integration" in content
         assert "### describe" in content
+
+
+class TestDiscoverBatch:
+    """The --queries batch mode: one lake index build, many queries."""
+
+    def test_batch_discovers_per_query(self, lake_dir, tmp_path, capsys):
+        paths = []
+        for i in (1, 2):
+            path = tmp_path / f"q{i}.csv"
+            write_csv(covid_query_table().with_name(f"q{i}"), path)
+            paths.append(str(path))
+        code = main(
+            [
+                "discover",
+                "--lake", str(lake_dir),
+                "--queries", *paths,
+                "--column", "City",
+                "-k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query: q1" in out and "query: q2" in out
+        assert out.count("T2") >= 2 and out.count("T3") >= 2
+
+    def test_query_and_queries_mutually_exclusive(self, lake_dir, query_csv):
+        with pytest.raises(SystemExit, match="not both"):
+            main(
+                [
+                    "discover",
+                    "--lake", str(lake_dir),
+                    "--query", str(query_csv),
+                    "--queries", str(query_csv),
+                ]
+            )
+
+    def test_requires_some_query(self, lake_dir):
+        with pytest.raises(SystemExit, match="--query or --queries"):
+            main(["discover", "--lake", str(lake_dir)])
+
+
+class TestIndexCommands:
+    """index build -> info -> warm discover round trip on a tmpdir lake."""
+
+    def test_build_info_discover_round_trip(self, lake_dir, query_csv, tmp_path, capsys):
+        store_dir = tmp_path / "lake.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "+2" in out and "fitted indexes" in out
+
+        assert main(["index", "info", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "lake version 1" in out
+        assert "T2" in out and "T3" in out
+        assert "josie" in out and "lsh_ensemble" in out and "santos" in out
+        assert "current" in out
+
+        code = main(
+            [
+                "discover",
+                "--store", str(store_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+                "-k", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "T3" in out
+
+    def test_update_is_incremental(self, lake_dir, tmp_path, capsys):
+        store_dir = tmp_path / "lake.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        # Nothing changed: update re-ingests nothing and keeps the indexes.
+        assert main(["index", "update", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "=2" in out and "unchanged" in out
+        # Add one table: only the delta is ingested, indexes refit.
+        from repro.datalake.fixtures import covid_query_table as extra
+
+        write_csv(extra().with_name("T9"), lake_dir / "T9.csv")
+        assert main(["index", "update", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "+1" in out and "=2" in out and "fitted indexes" in out
+
+    def test_update_requires_existing_store(self, lake_dir, tmp_path):
+        from repro.store import StoreNotFound
+
+        with pytest.raises(StoreNotFound):
+            main(["index", "update", "--lake", str(lake_dir), "--store", str(tmp_path / "none")])
+
+    def test_integrate_from_store(self, lake_dir, query_csv, tmp_path, capsys):
+        store_dir = tmp_path / "lake.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "integrate",
+                "--store", str(store_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+            ]
+        )
+        assert code == 0
+        assert "integration set: query, T2, T3" in capsys.readouterr().out

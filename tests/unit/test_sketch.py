@@ -151,3 +151,71 @@ class TestLSHEnsemble:
         ensemble.insert("solo", {"a", "b", "c"})
         matches = ensemble.query({"a", "b", "c"}, threshold=0.9)
         assert [m.key for m in matches] == ["solo"]
+
+
+class TestSketchSerialization:
+    """to_bytes/from_bytes round trips and cross-process determinism --
+    the contract the persistent lake store's snapshots rely on."""
+
+    def test_minhash_round_trip_byte_identical(self):
+        hasher = MinHasher(64, seed=5)
+        signature = hasher.signature({"a", "b", "c", "dd"})
+        payload = signature.to_bytes()
+        restored = type(signature).from_bytes(payload)
+        assert restored.to_bytes() == payload
+        assert restored.size == signature.size
+        assert restored.jaccard(signature) == 1.0
+
+    def test_minhash_rejects_truncated_payload(self):
+        hasher = MinHasher(16)
+        payload = hasher.signature({"a"}).to_bytes()
+        with pytest.raises(ValueError):
+            type(hasher.signature({"a"})).from_bytes(payload[:-3])
+
+    def test_minhash_merge_is_union_signature(self):
+        hasher = MinHasher(128, seed=2)
+        left = hasher.signature({f"a{i}" for i in range(30)})
+        right = hasher.signature({f"b{i}" for i in range(30)})
+        union = hasher.signature({f"a{i}" for i in range(30)} | {f"b{i}" for i in range(30)})
+        merged = left.merge(right)
+        assert merged.jaccard(union) == 1.0  # identical minima
+
+    def test_minhash_merge_deterministic_and_commutative(self):
+        hasher = MinHasher(64, seed=9)
+        a = hasher.signature({"x", "y", "z"})
+        b = hasher.signature({"y", "q"})
+        assert a.merge(b).to_bytes() == b.merge(a).to_bytes()
+        # And stable across fresh hashers (i.e. across processes).
+        again = MinHasher(64, seed=9)
+        assert (
+            again.signature({"x", "y", "z"}).merge(again.signature({"y", "q"})).to_bytes()
+            == a.merge(b).to_bytes()
+        )
+
+    def test_minhash_merge_rejects_mismatched_width(self):
+        with pytest.raises(ValueError, match="different MinHashers"):
+            MinHasher(16).signature({"a"}).merge(MinHasher(32).signature({"a"}))
+
+    def test_hll_round_trip_byte_identical(self):
+        from repro.sketch import HyperLogLog
+
+        sketch = HyperLogLog(precision=10).update(f"v{i}" for i in range(500))
+        payload = sketch.to_bytes()
+        restored = HyperLogLog.from_bytes(payload)
+        assert restored.to_bytes() == payload
+        assert restored.cardinality() == sketch.cardinality()
+
+    def test_hll_rejects_corrupt_payload(self):
+        from repro.sketch import HyperLogLog
+
+        with pytest.raises(ValueError):
+            HyperLogLog.from_bytes(b"")
+        with pytest.raises(ValueError):
+            HyperLogLog.from_bytes(HyperLogLog(8).to_bytes()[:-1])
+
+    def test_hll_merge_order_independent(self):
+        from repro.sketch import HyperLogLog
+
+        a = HyperLogLog(8).update(f"a{i}" for i in range(100))
+        b = HyperLogLog(8).update(f"b{i}" for i in range(100))
+        assert a.merge(b).to_bytes() == b.merge(a).to_bytes()

@@ -1,0 +1,326 @@
+"""Unit tests for the persistent lake store (repro.store).
+
+Covers the segment codec, content hashing, incremental ingest semantics
+(only deltas are rewritten; versions bump; stale indexes drop), sketch-
+config compatibility enforcement, the lazy warm-start read path, and the
+zero-raw-scan guarantee of a warm discover run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.pipeline import Dialite
+from repro.datalake import DataLake, LakeIndex
+from repro.datalake.fixtures import (
+    covid_joinable_table,
+    covid_query_table,
+    covid_unionable_table,
+)
+from repro.store import (
+    IngestReport,
+    LakeStore,
+    SketchConfig,
+    SketchConfigMismatch,
+    StoreError,
+    StoreNotFound,
+    table_content_hash,
+)
+from repro.store.codec import decode_column, encode_column
+from repro.table import MISSING, PRODUCED, Table
+
+
+@pytest.fixture
+def lake():
+    return DataLake([covid_unionable_table(), covid_joinable_table()])
+
+
+@pytest.fixture
+def store(tmp_path, lake):
+    store = LakeStore.create(tmp_path / "lake.store")
+    store.ingest(lake)
+    return store
+
+
+class TestCodec:
+    def test_column_round_trip_preserves_null_kinds(self):
+        array = ("x", 1, 2.5, True, False, MISSING, PRODUCED, "", "±")
+        restored = decode_column(encode_column(array))
+        assert restored == array
+        assert restored[5] is MISSING and restored[6] is PRODUCED
+
+    def test_content_hash_ignores_name_but_not_data(self):
+        a = Table(["c"], [(1,), (2,)], name="a")
+        b = Table(["c"], [(1,), (2,)], name="b")
+        c = Table(["c"], [(1,), (3,)], name="a")
+        d = Table(["d"], [(1,), (2,)], name="a")
+        assert table_content_hash(a) == table_content_hash(b)
+        assert table_content_hash(a) != table_content_hash(c)
+        assert table_content_hash(a) != table_content_hash(d)
+
+    def test_content_hash_distinguishes_null_kinds(self):
+        a = Table(["c"], [(MISSING,)], name="t")
+        b = Table(["c"], [(PRODUCED,)], name="t")
+        assert table_content_hash(a) != table_content_hash(b)
+
+
+class TestCreateOpen:
+    def test_open_missing_raises(self, tmp_path):
+        with pytest.raises(StoreNotFound):
+            LakeStore.open(tmp_path / "nope")
+
+    def test_create_twice_requires_exist_ok(self, tmp_path):
+        LakeStore.create(tmp_path / "s")
+        with pytest.raises(StoreError, match="already exists"):
+            LakeStore.create(tmp_path / "s")
+        assert LakeStore.create(tmp_path / "s", exist_ok=True).lake_version == 0
+
+    def test_sketch_config_mismatch_raises_clear_error(self, tmp_path, lake):
+        custom = SketchConfig(minhash_seed=99)
+        store = LakeStore.create(tmp_path / "s", sketch_config=custom)
+        store.ingest(lake)
+        with pytest.raises(SketchConfigMismatch, match="seed"):
+            LakeStore.open(tmp_path / "s")
+        # Matching config (or an explicit opt-out) opens fine.
+        assert LakeStore.open(tmp_path / "s", sketch_config=custom).sketch_config == custom
+        assert LakeStore.open(tmp_path / "s", check_sketch=False).sketch_config == custom
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        target = tmp_path / "s"
+        target.mkdir()
+        (target / "manifest.json").write_text(json.dumps({"format": "other"}))
+        with pytest.raises(StoreError, match="manifest"):
+            LakeStore.open(target)
+
+
+class TestIncrementalIngest:
+    def test_first_ingest_adds_everything(self, tmp_path, lake):
+        store = LakeStore.create(tmp_path / "s")
+        report = store.ingest(lake)
+        assert isinstance(report, IngestReport)
+        assert sorted(report.added) == ["T2", "T3"]
+        assert report.lake_version == 1 and report.changed
+
+    def test_unchanged_reingest_rewrites_nothing(self, store, lake):
+        segment_files = {f: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        report = store.ingest(lake)
+        assert sorted(report.unchanged) == ["T2", "T3"]
+        assert not report.changed
+        assert store.lake_version == 1  # version only moves on content change
+        after = {f: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        assert after == segment_files  # byte-for-byte untouched files
+
+    def test_replacing_one_table_rewrites_only_that_table(self, store, lake):
+        mtimes = {f.name: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        replacement = Table(  # T3 with its last row dropped: real new content
+            lake["T3"].columns,
+            list(lake["T3"].rows[:-1]),
+            name="T3",
+        )
+        changed = DataLake([lake["T2"], replacement])
+        report = store.ingest(changed)
+        assert report.updated == ("T3",) and report.unchanged == ("T2",)
+        assert store.lake_version == 2
+        after = {f.name: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        unchanged_files = [n for n in after if after[n] == mtimes.get(n)]
+        assert len(unchanged_files) == 1  # T2's segment untouched
+
+    def test_removing_a_table_prunes_its_files(self, store, lake):
+        report = store.ingest(DataLake([lake["T2"]]))
+        assert report.removed == ("T3",)
+        assert store.table_names == ["T2"]
+        assert len(list(store.path.rglob("*.seg.jsonl"))) == 1
+
+    def test_ingest_warms_unchanged_inmemory_tables(self, store, lake):
+        fresh = DataLake(
+            [covid_unionable_table(), covid_joinable_table()]
+        )  # new objects, cold caches
+        store.ingest(fresh)
+        # Unchanged tables adopted the stored snapshot: fully warm, no scan.
+        stats = fresh["T2"].stats.column("City")
+        assert stats.scan_count == 0
+        assert stats.distinct  # served from the snapshot
+
+    def test_remove_api(self, store):
+        store.remove("T2")
+        assert "T2" not in store
+        with pytest.raises(KeyError):
+            store.remove("T2")
+
+
+class TestWarmReadPath:
+    def test_open_is_lazy(self, tmp_path, store):
+        warm = LakeStore.open(store.path).lake()
+        assert warm.names == ["T2", "T3"]
+        assert warm.total_rows() == 7  # manifest-served, no segment read
+        assert warm.loaded_names == []
+        _ = warm.stats.scan_counts()  # stats hydrate without cell data
+        assert warm.loaded_names == []
+        assert warm["T2"].num_rows == 3
+        assert warm.loaded_names == ["T2"]
+
+    def test_round_trip_preserves_arrays_and_stats(self, store, lake):
+        warm = LakeStore.open(store.path).lake()
+        for name, original in lake.items():
+            stored = warm[name]
+            assert stored.column_arrays == original.column_arrays
+            for column in original.columns:
+                ours, theirs = stored.stats.column(column), original.stats.column(column)
+                assert ours.distinct == theirs.distinct
+                assert ours.tokens == theirs.tokens
+                assert ours.dtype == theirs.dtype
+                assert ours.null_count == theirs.null_count
+                assert ours.numeric_fraction == theirs.numeric_fraction
+
+    def test_lazy_single_column_load(self, store, lake):
+        opened = LakeStore.open(store.path)
+        assert opened.load_column("T3", "City") == lake["T3"].column_array("City")
+        with pytest.raises(KeyError, match="no column"):
+            opened.load_column("T3", "nope")
+        with pytest.raises(KeyError, match="no table"):
+            opened.load_column("nope", "City")
+
+    def test_stored_lake_is_read_only(self, store):
+        warm = store.lake()
+        with pytest.raises(TypeError, match="read-only"):
+            warm.add(Table(["c"], [(1,)], name="new"))
+
+    def test_hydrated_values_derive_without_scan(self, store):
+        from repro.table import is_null
+
+        stats = store.table_stats("T3").column("Death Rate")
+        values = stats.values  # pages the column in, filters nulls
+        expected = [v for v in store.load_column("T3", "Death Rate") if not is_null(v)]
+        assert values == expected
+        assert stats.scan_count == 0
+
+
+class TestPersistedIndexes:
+    def test_from_store_serves_without_scans(self, store, lake):
+        LakeIndex(store.lake(), Dialite(DataLake()).discoverers.components()).build().save_to_store(store)
+
+        warm_store = LakeStore.open(store.path)
+        warm_lake = warm_store.lake()
+        index = LakeIndex.from_store(warm_store, lake=warm_lake)
+        assert index.is_built
+        results = index.search_merged(covid_query_table(), k=3, query_column="City")
+        assert {r.table_name for r in results} == {"T2", "T3"}
+        assert all(n == 0 for n in warm_lake.stats.scan_counts().values())
+
+    def test_from_store_without_indexes_raises(self, store):
+        with pytest.raises(StoreError, match="no persisted discoverer indexes"):
+            LakeIndex.from_store(store)
+
+    def test_ingest_invalidates_stale_indexes(self, store, lake):
+        LakeIndex(store.lake(), Dialite(DataLake()).discoverers.components()).build().save_to_store(store)
+        assert len(store.load_indexes()) == 3
+        smaller = DataLake([lake["T2"]])
+        store.ingest(smaller)
+        assert store.load_indexes() == {}  # version moved on; indexes dropped
+        assert not list(store.path.glob("indexes/*.pkl"))
+
+    def test_unfitted_discoverer_rejected(self, store):
+        from repro.discovery import JosieJoinSearch
+
+        with pytest.raises(StoreError, match="not fitted"):
+            store.save_indexes([JosieJoinSearch()])
+
+    def test_missing_roster_member_is_fitted_warm(self, store):
+        from repro.discovery import JosieJoinSearch
+
+        index = LakeIndex.from_store(store, discoverers=[JosieJoinSearch()])
+        assert index.is_built
+        results = index.search(covid_query_table(), k=3, query_column="City")
+        assert results["josie"]
+
+
+class TestDialiteWarmStart:
+    def test_open_fit_discover_zero_scans(self, store):
+        LakeIndex(store.lake(), Dialite(DataLake()).discoverers.components()).build().save_to_store(store)
+
+        pipeline = Dialite.open(store.path).fit()
+        outcome = pipeline.discover(covid_query_table(), k=5, query_column="City")
+        assert {r.table_name for r in outcome.merged} == {"T2", "T3"}
+        counts = pipeline.lake.stats.scan_counts()
+        assert counts and all(n == 0 for n in counts.values())
+        # Integration works off the lazily materialized tables.
+        integrated = pipeline.integrate(outcome)
+        assert integrated.num_rows == 7
+
+    def test_warm_results_match_cold_results(self, store, lake):
+        LakeIndex(store.lake(), Dialite(DataLake()).discoverers.components()).build().save_to_store(store)
+        warm = Dialite.open(store.path).fit()
+        cold = Dialite(DataLake([covid_unionable_table(), covid_joinable_table()])).fit()
+        query = covid_query_table()
+        warm_merged = warm.discover(query, k=5, query_column="City").merged
+        cold_merged = cold.discover(query.with_name("query"), k=5, query_column="City").merged
+        assert [(r.table_name, r.score) for r in warm_merged] == [
+            (r.table_name, r.score) for r in cold_merged
+        ]
+
+    def test_datalake_open_classmethod(self, store):
+        lake = DataLake.open(store.path)
+        assert sorted(lake) == ["T2", "T3"]
+        assert lake["T2"].stats.column("City").scan_count == 0
+
+
+class TestCrashSafety:
+    """Updates are content-addressed: new files first, manifest commit
+    second, stale-file cleanup last -- a crash never strands a manifest
+    pointing into rewritten bytes."""
+
+    def test_update_writes_new_segment_path(self, store, lake):
+        old_segment = store.path / store._manifest["tables"]["T3"]["segment"]
+        replacement = Table(lake["T3"].columns, list(lake["T3"].rows[:-1]), name="T3")
+        store.ingest(DataLake([lake["T2"], replacement]))
+        new_segment = store.path / store._manifest["tables"]["T3"]["segment"]
+        assert new_segment != old_segment  # content-addressed stem
+        assert new_segment.exists() and not old_segment.exists()
+
+    def test_load_indexes_tolerates_orphaned_entry(self, store):
+        LakeIndex(
+            store.lake(), Dialite(DataLake()).discoverers.components()
+        ).build().save_to_store(store)
+        for file in store.path.glob("indexes/*.pkl"):
+            file.unlink()  # simulate a crash window / manual tampering
+        assert store.load_indexes() == {}
+
+
+class TestCocoaRebind:
+    """COCOA's pickle drops the lake (it would duplicate every cell);
+    LakeIndex.load / from_store re-attach it."""
+
+    def test_pickle_excludes_cell_data_and_from_store_rebinds(self, store, lake):
+        from repro.discovery.cocoa import CocoaJoinSearch
+
+        LakeIndex(store.lake(), [CocoaJoinSearch()]).build().save_to_store(store)
+        import pickle as _pickle
+
+        with next(store.path.glob("indexes/cocoa-*.pkl")).open("rb") as handle:
+            raw = _pickle.load(handle)
+        assert raw._lake == {}  # no second copy of the lake's cells on disk
+
+        warm_lake = LakeStore.open(store.path).lake()
+        index = LakeIndex.from_store(store.path, lake=warm_lake)
+        query = Table(
+            ["City", "Rate"],
+            [(c, float(i)) for i, c in enumerate(lake["T3"].column_values("City"))],
+            name="cocoa_query",
+        )
+        results = index.search(query, k=3, query_column="City")
+        assert [r.table_name for r in results["cocoa"]] == ["T3"]
+
+    def test_unrebound_cocoa_fails_loudly(self, lake):
+        import pickle
+
+        from repro.discovery.cocoa import CocoaJoinSearch
+
+        fitted = CocoaJoinSearch().fit(lake)
+        clone = pickle.loads(pickle.dumps(fitted))
+        query = Table(["City", "x"], [("Berlin", 1.0)], name="q")
+        with pytest.raises(RuntimeError, match="rebind_lake"):
+            clone.search(query, k=3, query_column="City")
+        clone.rebind_lake(lake)
+        assert clone.search(query, k=3, query_column="City") is not None

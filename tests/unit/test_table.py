@@ -161,3 +161,44 @@ class TestSchema:
     def test_is_numeric(self):
         assert ColumnSpec("a", "float").is_numeric()
         assert not ColumnSpec("a", "string").is_numeric()
+
+
+class TestUid:
+    """Monotonic table identities: the stats-cache key that, unlike
+    ``id(table)``, can never be recycled by the garbage collector."""
+
+    def test_uids_are_unique_and_monotonic(self):
+        tables = [Table(["c"], [(i,)], name=f"t{i}") for i in range(5)]
+        uids = [t.uid for t in tables]
+        assert uids == sorted(uids)
+        assert len(set(uids)) == 5
+
+    def test_derived_tables_get_fresh_uids(self):
+        table = Table(["c"], [(1,)], name="t")
+        assert table.with_name("u").uid != table.uid
+        assert table.head(1).uid != table.uid
+
+    def test_gc_never_recycles_a_uid(self):
+        import gc
+
+        seen = set()
+        for i in range(50):  # old id()s get recycled here; uids must not
+            table = Table(["c"], [(i,)], name="t")
+            assert table.uid not in seen
+            seen.add(table.uid)
+            del table
+            gc.collect()
+
+    def test_stats_keyed_by_owner_uid(self):
+        table = Table(["c"], [(1,)], name="t")
+        assert table.stats.table_uid == table.uid
+
+    def test_unpickled_table_gets_local_uid(self):
+        import pickle
+
+        table = Table(["c"], [(1,), (2,)], name="t")
+        table.distinct_values("c")  # warm the stats cache before pickling
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.uid != table.uid
+        assert clone.stats.table_uid == clone.uid
+        assert clone.distinct_values("c") == {1, 2}
