@@ -2,27 +2,33 @@
 #
 #   make test         tier-1 test suite (the driver's gate)
 #   make lint         static checks (pyflakes if installed, else compileall)
+#                     + the no-full-lake-scan guard over discoverer query paths
 #   make bench-smoke  table-engine micro-benchmark, smoke mode (fast, JSON out)
 #   make bench        full table-engine benchmark incl. the >= 2x acceptance check
 #   make bench-store  store warm-start benchmark @1k tables incl. the >= 5x check
+#   make bench-candidates  candidate-engine fan-out @2k tables incl. the >= 4x check
+#   make candidates-smoke  same suite @300 tables, relaxed gate (runs in CI)
 #   make ci           what CI runs: tier-1 tests + smoke benchmarks + lint
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-store store-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Prefer pyflakes when it is installed; the fallback is chosen by
 # availability, not by exit status, so real pyflakes findings fail the run.
+# The full-scan guard fails the build if any discoverer's query path
+# iterates the raw lake mapping instead of retrieving through the engine.
 lint:
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
-		$(PYTHON) -m pyflakes src/repro benchmarks tests; \
+		$(PYTHON) -m pyflakes src/repro benchmarks tests tools; \
 	else \
-		$(PYTHON) -m compileall -q src/repro benchmarks tests; \
+		$(PYTHON) -m compileall -q src/repro benchmarks tests tools; \
 	fi
+	$(PYTHON) tools/check_no_full_scan.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_table_engine.py --smoke --json .benchmarks/table_engine_smoke.json
@@ -38,4 +44,15 @@ store-smoke:
 bench-store:
 	$(PYTHON) benchmarks/bench_store_warmstart.py --check --json .benchmarks/store_warmstart.json
 
-ci: test bench-smoke store-smoke lint
+# Candidate-engine smoke: engine fan-out == full-scan results, warm
+# postings load with zero rebuild.  Unlike the other smokes this one
+# keeps --check (ISSUE 3 requires the CI smoke to assert the speedup
+# gate); the gate is relaxed to 1.5x (measured ~2.5x) to absorb CI
+# timing jitter -- the correctness assertions run regardless.
+candidates-smoke:
+	$(PYTHON) benchmarks/bench_candidates.py --smoke --check --json .benchmarks/candidates.json
+
+bench-candidates:
+	$(PYTHON) benchmarks/bench_candidates.py --check --json .benchmarks/candidates.json
+
+ci: test bench-smoke store-smoke candidates-smoke lint

@@ -14,6 +14,8 @@ Subpackages (each usable standalone):
 
 - :mod:`repro.table` -- null-aware table engine + relational operators
 - :mod:`repro.text` / :mod:`repro.embeddings` / :mod:`repro.sketch` -- kernels
+- :mod:`repro.candidates` -- the shared candidate-generation engine
+  (inverted postings + sketch prefilter; the sublinear half of search)
 - :mod:`repro.discovery` -- SANTOS, LSH Ensemble, JOSIE, user-defined search
 - :mod:`repro.alignment` -- ALITE's holistic schema matching
 - :mod:`repro.integration` -- Full Disjunction (ALITE + baselines), joins
@@ -26,6 +28,7 @@ Subpackages (each usable standalone):
 - :mod:`repro.core` -- the pipeline itself
 """
 
+from .candidates import CandidateEngine, CandidateSpec
 from .core.pipeline import Dialite
 from .core.results import DiscoveryOutcome, PipelineResult
 from .datalake.catalog import DataLake
@@ -34,13 +37,15 @@ from .store.lakestore import LakeStore
 from .table.table import Table
 from .table.values import MISSING, PRODUCED
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Dialite",
     "Table",
     "DataLake",
     "LakeStore",
+    "CandidateEngine",
+    "CandidateSpec",
     "IntegratedTable",
     "DiscoveryOutcome",
     "PipelineResult",

@@ -1,0 +1,26 @@
+"""Shared candidate generation: the sublinear half of every search.
+
+DIALITE pre-builds indexes so users query a *ready* lake; this package is
+the query path those indexes feed.  Discovery is retrieve-then-rerank:
+each discoverer declares a :class:`CandidateSpec` (which lake-wide
+signals can surface its candidates, and how many it needs), the
+lake-wide :class:`CandidateEngine` retrieves a candidate set from
+inverted postings / sketch prefilters / published labels, and the
+discoverer's scoring phase touches only those candidates -- per-query
+cost follows the candidate count, not the lake size.
+"""
+
+from .engine import CandidateEngine, EngineError
+from .postings import ColumnRegistry, PostingIndex
+from .spec import CHANNELS, CandidateSet, CandidateSpec, RetrievalReport
+
+__all__ = [
+    "CandidateEngine",
+    "EngineError",
+    "ColumnRegistry",
+    "PostingIndex",
+    "CandidateSpec",
+    "CandidateSet",
+    "RetrievalReport",
+    "CHANNELS",
+]

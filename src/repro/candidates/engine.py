@@ -1,0 +1,645 @@
+"""The lake-wide candidate-generation engine.
+
+One :class:`CandidateEngine` is shared by every discoverer over a lake
+(:meth:`LakeIndex.build <repro.datalake.indexer.LakeIndex.build>` creates
+and threads it); it owns the sublinear retrieval structures the query
+path runs on:
+
+* an **inverted token posting index** (token -> columns containing it,
+  with document frequencies) built once from the shared column-stats
+  cache -- JOSIE's retrieval, and the generic ``tokens`` channel;
+* a **normalized-value posting index** over the columns' text values --
+  COCOA's join-key index and TUS's value-overlap pruning, unified;
+* a **MinHash LSH sketch prefilter** (banded ensembles memoized per
+  parameter set, reusing :mod:`repro.sketch`) with a cardinality gate --
+  LSH Ensemble's retrieval;
+* **label postings** namespaces that semantic discoverers publish into
+  (SANTOS's type / relationship maps), so even annotation-driven
+  retrieval runs through one accounted structure.
+
+Channels build lazily from :class:`~repro.datalake.stats.LakeStats` --
+derived products only, never raw cells -- and the whole structure
+persists through :meth:`repro.store.LakeStore.save_engine` as a
+``postings/`` artifact pinned to the lake version, so a warm process
+serves sublinear retrieval with **zero** posting-index rebuild
+(:attr:`build_count` stays 0, the tested observable).
+
+``force_exhaustive`` disables retrieval engine-wide: every discoverer
+scores the entire lake through its fallback path.  That is the
+pre-refactor full-scan baseline the equivalence property tests and
+``benchmarks/bench_candidates.py`` compare against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator, Mapping
+
+from ..sketch.ensemble import LSHEnsemble
+from ..sketch.minhash import MinHasher, MinHashSignature
+from .postings import ColumnRegistry, PostingIndex
+from .spec import CandidateSet, CandidateSpec, RetrievalReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..datalake.stats import LakeStats
+    from ..table.stats import ColumnStats
+    from ..table.table import Table
+
+__all__ = ["CandidateEngine", "EngineError"]
+
+
+class EngineError(RuntimeError):
+    """Misuse of the candidate engine (unknown channel, bad probe)."""
+
+
+class CandidateEngine:
+    """Shared retrieval structures + accounting for one lake."""
+
+    def __init__(
+        self,
+        lake: Mapping[str, "Table"],
+        stats: "LakeStats | None" = None,
+    ):
+        # Deferred import: repro.datalake imports the indexer, which
+        # imports the discovery base, which imports this package.
+        from ..datalake.stats import LakeStats
+
+        self._lake = lake
+        if stats is None:
+            own = getattr(lake, "stats", None)
+            stats = own if isinstance(own, LakeStats) else LakeStats(lake)
+        self._stats = stats
+        self._registry: ColumnRegistry | None = None
+        self._token_postings: PostingIndex | None = None
+        self._value_postings: PostingIndex | None = None
+        self._ensembles: dict[tuple[int, int, int, int], LSHEnsemble] = {}
+        self._hashers: dict[tuple[int, int], MinHasher] = {}
+        self._labels: dict[str, Mapping[str, Iterable[str]]] = {}
+        #: Query-time cap on candidate tables for specs without their own
+        #: budget (the CLI's ``--candidate-budget``).  None = unbudgeted.
+        self.default_budget: int | None = None
+        #: Engine-wide kill switch: answer every retrieval with the whole
+        #: lake (the full-scan baseline for benchmarks / equivalence tests).
+        self.force_exhaustive = False
+        #: True when the posting structures were hydrated from a store
+        #: artifact instead of built from stats.
+        self.loaded_from_store = False
+        #: How many channel structures were *built* from column stats in
+        #: this process -- a warm start from a persisted artifact keeps
+        #: this at 0 for the hydrated channels.
+        self.build_count = 0
+        self._reports: dict[str, RetrievalReport] = {}
+        self._query_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lazy channel construction (derived stats only, never raw cells)
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> ColumnRegistry:
+        if self._registry is None:
+            self._build_token_channel()
+        assert self._registry is not None
+        return self._registry
+
+    @property
+    def token_postings(self) -> PostingIndex:
+        if self._token_postings is None:
+            self._build_token_channel()
+        assert self._token_postings is not None
+        return self._token_postings
+
+    @property
+    def value_postings(self) -> PostingIndex:
+        if self._value_postings is None:
+            self.build_count += 1
+            registry = self.registry
+            self._value_postings = PostingIndex.build(
+                (key, self._column_stats(key).text_values())
+                for key in range(len(registry))
+            )
+        return self._value_postings
+
+    def _build_token_channel(self) -> None:
+        """One pass over the lake's cached token sets: registry + postings."""
+        self.build_count += 1
+        owners: list[tuple[str, str]] = []
+        sizes: list[int] = []
+        postings: dict[str, list[int]] = {}
+        for table_name, table_stats in self._stats:
+            for column in table_stats.columns:
+                tokens = table_stats.column(column).tokens
+                key = len(owners)
+                owners.append((table_name, column))
+                sizes.append(len(tokens))
+                for token in tokens:
+                    postings.setdefault(token, []).append(key)
+        # Registry may already be hydrated (store artifact) while postings
+        # are not; keep the hydrated identity space in that case.
+        if self._registry is None:
+            self._registry = ColumnRegistry(owners, sizes)
+        self._token_postings = PostingIndex(postings, sizes)
+
+    def hasher_for(self, num_perm: int, seed: int) -> MinHasher:
+        hasher = self._hashers.get((num_perm, seed))
+        if hasher is None:
+            hasher = MinHasher(num_perm=num_perm, seed=seed)
+            self._hashers[(num_perm, seed)] = hasher
+        return hasher
+
+    def ensemble_for(
+        self, num_perm: int, num_partitions: int, seed: int, min_size: int
+    ) -> LSHEnsemble:
+        """The banded sketch index under one parameter set (memoized, so
+        every discoverer with matching config shares the structure and
+        the column signatures behind it)."""
+        params = (num_perm, num_partitions, seed, min_size)
+        ensemble = self._ensembles.get(params)
+        if ensemble is None:
+            # Band insertion from (hydrated) signatures is cheap and is
+            # not counted as a posting-index rebuild: build_count tracks
+            # the registry / posting channels the store artifact replaces.
+            ensemble = LSHEnsemble(
+                num_perm=num_perm, num_partitions=num_partitions, seed=seed
+            )
+            hasher = ensemble.hasher
+            registry = self.registry
+            ensemble.index_signatures(
+                (key, self._column_stats(key).minhash(hasher))
+                for key in range(len(registry))
+                if registry.token_sizes[key] >= min_size
+            )
+            self._ensembles[params] = ensemble
+        return ensemble
+
+    def materialized_ensembles(self) -> dict[tuple[int, int, int, int], LSHEnsemble]:
+        """The sketch ensembles built so far, keyed by their parameters
+        (what the lake store pickles next to the postings artifact)."""
+        return dict(self._ensembles)
+
+    def adopt_ensembles(
+        self, ensembles: Mapping[tuple[int, int, int, int], LSHEnsemble]
+    ) -> None:
+        """Install persisted sketch ensembles (store hydration); matching
+        parameter sets will never rebuild from stats."""
+        for params, ensemble in ensembles.items():
+            self._ensembles[tuple(params)] = ensemble
+
+    def warm(self, channels: Iterable[str]) -> "CandidateEngine":
+        """Materialize the posting channels *channels* now (idempotent).
+
+        ``LakeIndex.build`` calls this with the union of the roster's
+        declared channels, so index building -- not the first query --
+        pays the one-time construction cost."""
+        wanted = set(channels)
+        if wanted & {"tokens", "sketch"}:
+            self.token_postings  # sketch indexes key into the same registry
+        if "values" in wanted:
+            self.value_postings
+        return self
+
+    # ------------------------------------------------------------------
+    # Column accessors (scoring-phase reads; all served from shared stats)
+    # ------------------------------------------------------------------
+    def _column_stats(self, key: int) -> "ColumnStats":
+        table, column = self.registry.owner(key)
+        return self._stats.column(table, column)
+
+    def column_owner(self, key: int) -> tuple[str, str]:
+        return self.registry.owner(key)
+
+    def column_token_size(self, key: int) -> int:
+        return self.registry.token_sizes[key]
+
+    def column_tokens(self, key: int) -> frozenset[str]:
+        return self._column_stats(key).tokens
+
+    def column_text_values(self, key: int) -> frozenset[str]:
+        return self._column_stats(key).text_values()
+
+    def column_minhash(self, key: int, hasher: MinHasher) -> MinHashSignature:
+        return self._column_stats(key).minhash(hasher)
+
+    def tables(self) -> tuple[str, ...]:
+        """Every lake table name, in lake order (no cell materialization)."""
+        return tuple(self._lake)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def retrieve(
+        self,
+        discoverer: str,
+        spec: CandidateSpec,
+        query: "Table",
+        k: int,
+        query_column: str | None = None,
+    ) -> CandidateSet:
+        """Generic retrieval for ``tokens`` / ``values`` / ``exhaustive``
+        specs, probing the query's cached column stats.  Discoverers on
+        the ``sketch`` / ``labels`` channels build their probes themselves
+        (signatures with thresholds, annotation labels) and assemble
+        through :meth:`assemble` / :meth:`label_candidates`."""
+        if self.force_exhaustive or spec.exhaustive:
+            return self.all_candidates(discoverer, spec)
+        if spec.intent_only and query_column in query.columns:
+            probe_columns = [query_column]
+        else:
+            # No (known) intent column: probe everything.  An unknown
+            # intent degrades to all-columns rather than raising, matching
+            # the scorers' own probe-column selection -- discoverers that
+            # want loud validation do it in their _candidates override
+            # (LSH Ensemble does).
+            probe_columns = list(query.columns)
+        evidence: dict[str, dict[int, float]] = {}
+        probes = 0
+        for channel in spec.channels:
+            if channel == "tokens":
+                index = self.token_postings
+                for column in probe_columns:
+                    tokens = query.stats.column(column).tokens
+                    if not tokens:
+                        continue
+                    probes += 1
+                    evidence[f"tokens:{column}"] = dict(index.probe(tokens))
+            elif channel == "values":
+                index = self.value_postings
+                for column in probe_columns:
+                    values = query.stats.column(column).text_values()
+                    if not values:
+                        continue
+                    probes += 1
+                    evidence[f"values:{column}"] = dict(index.probe(values))
+            else:
+                raise EngineError(
+                    f"channel {channel!r} needs discoverer-provided probes; "
+                    f"override _candidates() instead of using generic retrieve()"
+                )
+        return self.assemble(discoverer, spec, evidence, k, probes=probes)
+
+    def assemble(
+        self,
+        discoverer: str,
+        spec: CandidateSpec,
+        evidence: dict[str, dict[int, float]],
+        k: int,
+        probes: int | None = None,
+    ) -> CandidateSet:
+        """Rank evidenced tables, apply budget and fallback, record."""
+        if self.force_exhaustive:
+            return self.all_candidates(discoverer, spec)
+        table_of = self.registry.table_of
+        totals: dict[str, float] = {}
+        for hits in evidence.values():
+            for key, strength in hits.items():
+                table = table_of[key]
+                totals[table] = totals.get(table, 0.0) + strength
+        return self._finalize(
+            discoverer,
+            spec,
+            totals,
+            evidence,
+            k,
+            probes=probes if probes is not None else len(evidence),
+        )
+
+    def label_candidates(
+        self,
+        discoverer: str,
+        spec: CandidateSpec,
+        label_queries: Mapping[str, Iterable[str]],
+        k: int,
+    ) -> CandidateSet:
+        """Tables sharing published labels with the query, ranked by how
+        many labels matched (namespace -> query labels)."""
+        if self.force_exhaustive:
+            return self.all_candidates(discoverer, spec)
+        matched: dict[str, float] = {}
+        probes = 0
+        for namespace, labels in label_queries.items():
+            published = self._labels.get(namespace)
+            if not published:
+                continue
+            for label in labels:
+                probes += 1
+                for table in published.get(label, ()):
+                    matched[table] = matched.get(table, 0) + 1
+        return self._finalize(discoverer, spec, matched, {}, k, probes=probes)
+
+    def _finalize(
+        self,
+        discoverer: str,
+        spec: CandidateSpec,
+        totals: Mapping[str, float],
+        evidence: dict[str, dict[int, float]],
+        k: int,
+        probes: int,
+    ) -> CandidateSet:
+        """The one place budget / fallback-floor / reporting semantics
+        live: every evidence-producing channel funnels through here.
+
+        The floor is judged on the *pre-truncation* retrieved count: the
+        exhaustive fallback exists for sparse retrieval (recall-critical
+        discoverers must still see type-only matches), not to undo an
+        explicit budget -- a budget below the floor caps scoring at the
+        budget, it never inflates back to the whole lake."""
+        ordered = sorted(totals, key=lambda table: (-totals[table], table))
+        retrieved = len(ordered)
+        fallback = retrieved < spec.floor(k)
+        truncated = False
+        if fallback:
+            ordered = list(self.tables())
+        else:
+            budget = spec.budget if spec.budget is not None else self.default_budget
+            truncated = budget is not None and retrieved > budget
+            if truncated:
+                ordered = ordered[:budget]
+        report = RetrievalReport(
+            discoverer=discoverer,
+            channels=spec.channels,
+            probes=probes,
+            retrieved=retrieved,
+            scored=len(ordered),
+            lake_size=len(self._lake),
+            fallback=fallback,
+            truncated=truncated,
+        )
+        self._record(report)
+        return CandidateSet(
+            tables=tuple(ordered),
+            evidence=evidence,
+            fallback=fallback,
+            truncated=truncated,
+            report=report,
+        )
+
+    def sketch_probe(
+        self,
+        signature: MinHashSignature,
+        threshold: float,
+        *,
+        num_perm: int,
+        num_partitions: int,
+        seed: int,
+        min_size: int,
+    ) -> dict[int, float]:
+        """Column key -> estimated containment, via the banded prefilter."""
+        ensemble = self.ensemble_for(num_perm, num_partitions, seed, min_size)
+        return {
+            int(match.key): match.containment
+            for match in ensemble.query(signature, threshold=threshold, k=None)
+        }
+
+    def all_candidates(self, discoverer: str, spec: CandidateSpec) -> CandidateSet:
+        """The whole lake, evidence-free: the exhaustive-scan path."""
+        tables = self.tables()
+        report = RetrievalReport(
+            discoverer=discoverer,
+            channels=("exhaustive",),
+            probes=0,
+            retrieved=len(tables),
+            scored=len(tables),
+            lake_size=len(tables),
+            exhaustive=True,
+        )
+        self._record(report)
+        return CandidateSet(tables=tables, evidence=None, report=report)
+
+    def empty_candidates(self, discoverer: str, spec: CandidateSpec) -> CandidateSet:
+        """No candidates (the query can't be probed at all -- e.g. COCOA
+        without a numeric target); recorded, never falls back."""
+        report = RetrievalReport(
+            discoverer=discoverer,
+            channels=spec.channels,
+            probes=0,
+            retrieved=0,
+            scored=0,
+            lake_size=len(self._lake),
+        )
+        self._record(report)
+        return CandidateSet(tables=(), evidence={}, report=report)
+
+    # ------------------------------------------------------------------
+    # Exhaustive scoring helpers (the fallback / full-scan compute paths)
+    # ------------------------------------------------------------------
+    def overlap_scan(
+        self, tokens: frozenset[str], tables: Iterable[str] | None = None
+    ) -> dict[int, int]:
+        """Exact token overlap with every column of *tables* (all when
+        None) -- what the posting probe computes, without the index."""
+        hits: dict[int, int] = {}
+        for key in self.registry.keys_of(tables):
+            overlap = len(tokens & self.column_tokens(key))
+            if overlap:
+                hits[key] = overlap
+        return hits
+
+    def value_overlap_scan(
+        self, values: Iterable[Hashable], tables: Iterable[str] | None = None
+    ) -> dict[int, int]:
+        """Exact normalized-value overlap with every column of *tables*."""
+        probe = {str(v) for v in values}
+        hits: dict[int, int] = {}
+        for key in self.registry.keys_of(tables):
+            overlap = len(probe & self.column_text_values(key))
+            if overlap:
+                hits[key] = overlap
+        return hits
+
+    def containment_scan(
+        self,
+        signature: MinHashSignature,
+        threshold: float,
+        hasher: MinHasher,
+        min_size: int,
+        tables: Iterable[str] | None = None,
+    ) -> dict[int, float]:
+        """Estimated containment against every column's signature -- the
+        sketch channel without LSH banding (a superset of what the bands
+        retrieve).  The cardinality gate skips columns whose size bounds
+        the containment estimate below *threshold* (see
+        :meth:`LSHEnsemble.query <repro.sketch.ensemble.LSHEnsemble.query>`)."""
+        if signature.size == 0:
+            return {}
+        hits: dict[int, float] = {}
+        registry = self.registry
+        for key in registry.keys_of(tables):
+            if registry.token_sizes[key] < min_size:
+                continue
+            candidate = self.column_minhash(key, hasher)
+            if candidate.size == 0:
+                continue
+            upper = (signature.size + candidate.size) / (2.0 * signature.size)
+            if upper < threshold:
+                continue
+            estimate = signature.containment_in(candidate)
+            if estimate >= threshold:
+                hits[key] = estimate
+        return hits
+
+    # ------------------------------------------------------------------
+    # Label namespaces (semantic discoverers publish their fit products)
+    # ------------------------------------------------------------------
+    def publish_labels(
+        self, namespace: str, table_sets: Mapping[str, Iterable[str]]
+    ) -> None:
+        """Register ``label -> table names`` under *namespace* (held by
+        reference: the publisher may keep mutating during its fit)."""
+        self._labels[namespace] = table_sets
+
+    def labels(self, namespace: str) -> Mapping[str, Iterable[str]]:
+        return self._labels.get(namespace, {})
+
+    @property
+    def label_namespaces(self) -> list[str]:
+        return sorted(self._labels)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _record(self, report: RetrievalReport) -> None:
+        self._reports[report.discoverer] = report
+        self._query_counts[report.discoverer] = (
+            self._query_counts.get(report.discoverer, 0) + 1
+        )
+
+    @property
+    def reports(self) -> dict[str, RetrievalReport]:
+        """Most recent retrieval report per discoverer."""
+        return dict(self._reports)
+
+    def explain(self) -> dict[str, dict[str, Any]]:
+        """JSON-friendly last-retrieval summary (``discover --explain``)."""
+        return {name: report.to_json() for name, report in self._reports.items()}
+
+    def stats(self) -> dict[str, Any]:
+        """Size/shape summary of every materialized structure."""
+        ensembles = [
+            {
+                "num_perm": num_perm,
+                "num_partitions": partitions,
+                "seed": seed,
+                "min_size": min_size,
+                "indexed_columns": len(ensemble),
+                "bands": sum(
+                    index.b
+                    for partition in ensemble._partitions
+                    for index in partition.indexes.values()
+                ),
+            }
+            for (num_perm, partitions, seed, min_size), ensemble in sorted(
+                self._ensembles.items()
+            )
+        ]
+        return {
+            "tables": len(self._lake),
+            "columns": len(self._registry) if self._registry is not None else None,
+            "token_postings": {
+                "tokens": self._token_postings.num_tokens,
+                "entries": self._token_postings.num_entries,
+            }
+            if self._token_postings is not None
+            else None,
+            "value_postings": {
+                "values": self._value_postings.num_tokens,
+                "entries": self._value_postings.num_entries,
+            }
+            if self._value_postings is not None
+            else None,
+            "ensembles": ensembles,
+            "label_namespaces": self.label_namespaces,
+            "default_budget": self.default_budget,
+            "loaded_from_store": self.loaded_from_store,
+            "build_count": self.build_count,
+            "queries": dict(self._query_counts),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence payload (the lake store's postings artifact)
+    # ------------------------------------------------------------------
+    def to_records(self, channels: Iterable[str] = ("tokens",)) -> Iterator[dict[str, Any]]:
+        """JSONL records describing the posting channels *channels* use
+        (token postings for ``tokens``/``sketch``, value postings for
+        ``values``; channels nobody declared are neither built nor
+        written).
+
+        Sketch ensembles serialize separately (the store pickles them
+        next to this artifact): their band structures are not
+        JSONL-friendly, and rebuilding them would page in every stats
+        snapshot on a warm process's first sketch query.
+        """
+        wanted = set(channels)
+        persisted = []
+        if wanted & {"tokens", "sketch"}:
+            self.token_postings  # materialize before describing
+            persisted.append("tokens")
+        if "values" in wanted:
+            self.value_postings
+            persisted.append("values")
+        yield {
+            "kind": "meta",
+            "channels": sorted(persisted),
+            "columns": self.registry.to_json(),
+        }
+        if "tokens" in persisted:
+            yield from self.token_postings.to_records("token")
+        if "values" in persisted:
+            yield from self.value_postings.to_records("value")
+
+    @classmethod
+    def from_records(
+        cls,
+        lake: Mapping[str, "Table"],
+        records: Iterable[Mapping[str, Any]],
+        stats: "LakeStats | None" = None,
+    ) -> "CandidateEngine":
+        """Hydrate an engine from :meth:`to_records` output; the restored
+        channels never rebuild (``build_count`` stays 0 for them)."""
+        engine = cls(lake, stats=stats)
+        token_records: list[Mapping[str, Any]] = []
+        value_records: list[Mapping[str, Any]] = []
+        token_sizes: list[int] = []
+        value_sizes: list[int] = []
+        channels: list[str] = []
+        saw_meta = False
+        for record in records:
+            kind = record.get("kind")
+            if kind == "meta":
+                engine._registry = ColumnRegistry.from_json(record["columns"])
+                channels = list(record.get("channels", ()))
+                saw_meta = True
+            elif kind == "token":
+                token_records.append(record)
+            elif kind == "token_sizes":
+                token_sizes = [int(s) for s in record["s"]]
+            elif kind == "value":
+                value_records.append(record)
+            elif kind == "value_sizes":
+                value_sizes = [int(s) for s in record["s"]]
+            else:
+                raise EngineError(f"unknown postings record kind {kind!r}")
+        if not saw_meta:
+            raise EngineError("postings artifact has no meta record")
+        # Only channels the artifact actually carries hydrate (the meta
+        # record is authoritative -- an empty lake legitimately persists
+        # empty posting lists); anything else stays lazy, never empty.
+        if "tokens" in channels:
+            engine._token_postings = PostingIndex.from_records(
+                token_sizes, token_records
+            )
+        if "values" in channels:
+            engine._value_postings = PostingIndex.from_records(
+                value_sizes, value_records
+            )
+        engine.loaded_from_store = True
+        return engine
+
+    def __repr__(self) -> str:
+        built = []
+        if self._token_postings is not None:
+            built.append("tokens")
+        if self._value_postings is not None:
+            built.append("values")
+        built.extend(f"sketch{params}" for params in self._ensembles)
+        return (
+            f"CandidateEngine({len(self._lake)} tables, "
+            f"channels={built or ['<lazy>']}, budget={self.default_budget})"
+        )

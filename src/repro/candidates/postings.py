@@ -1,0 +1,145 @@
+"""Inverted posting lists over the lake's column domains.
+
+The core sublinear structure of the query path: a token (or normalized
+text value) maps to the list of column keys containing it, so probing a
+query's token set touches only the columns that share something with it
+-- sum-of-document-frequency work instead of one pass over every column
+of the lake.  Built once per lake from the shared
+:class:`~repro.table.stats.ColumnStats` products (never from raw cells),
+and persisted by the lake store as a version-pinned artifact so warm
+processes skip the build entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+__all__ = ["ColumnRegistry", "PostingIndex"]
+
+
+class ColumnRegistry:
+    """Compact identity space for the lake's columns.
+
+    Posting lists and sketch indexes refer to columns by dense integer
+    key; the registry resolves a key back to ``(table, column)`` and
+    keeps the per-column domain sizes retrieval ranking and scoring
+    tie-breaks consume.
+    """
+
+    __slots__ = ("owners", "token_sizes", "table_of", "by_table", "tables")
+
+    def __init__(self, owners: list[tuple[str, str]], token_sizes: list[int]):
+        if len(owners) != len(token_sizes):
+            raise ValueError("owners and token_sizes must align")
+        self.owners = owners
+        self.token_sizes = token_sizes
+        self.table_of = [table for table, _ in owners]
+        self.by_table: dict[str, list[int]] = {}
+        for key, table in enumerate(self.table_of):
+            self.by_table.setdefault(table, []).append(key)
+        self.tables = tuple(self.by_table)
+
+    def __len__(self) -> int:
+        return len(self.owners)
+
+    def owner(self, key: int) -> tuple[str, str]:
+        return self.owners[key]
+
+    def keys_of(self, tables: Iterable[str] | None = None) -> Iterator[int]:
+        """Column keys of *tables* (all columns when None), in key order."""
+        if tables is None:
+            yield from range(len(self.owners))
+            return
+        for table in tables:
+            yield from self.by_table.get(table, ())
+
+    def to_json(self) -> list[list[Any]]:
+        return [
+            [table, column, size]
+            for (table, column), size in zip(self.owners, self.token_sizes)
+        ]
+
+    @classmethod
+    def from_json(cls, payload: Iterable[Iterable[Any]]) -> "ColumnRegistry":
+        owners: list[tuple[str, str]] = []
+        sizes: list[int] = []
+        for table, column, size in payload:
+            owners.append((str(table), str(column)))
+            sizes.append(int(size))
+        return cls(owners, sizes)
+
+
+class PostingIndex:
+    """token -> sorted list of column keys containing it."""
+
+    __slots__ = ("postings", "sizes")
+
+    def __init__(self, postings: dict[str, list[int]], sizes: list[int]):
+        self.postings = postings
+        #: Per-column domain size under *this* channel's vocabulary (token
+        #: count for the token channel, normalized-value count for the
+        #: value channel) -- distinct from the registry's token sizes.
+        self.sizes = sizes
+
+    @classmethod
+    def build(cls, domains: Iterable[tuple[int, Iterable[Hashable]]]) -> "PostingIndex":
+        """Index ``(column key, domain)`` pairs; keys must be dense ints."""
+        postings: dict[str, list[int]] = {}
+        sizes: list[int] = []
+        for key, domain in domains:
+            if key != len(sizes):
+                raise ValueError("PostingIndex.build expects dense keys in order")
+            count = 0
+            for token in domain:
+                postings.setdefault(str(token), []).append(key)
+                count += 1
+            sizes.append(count)
+        return cls(postings, sizes)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tokens(self) -> int:
+        return len(self.postings)
+
+    @property
+    def num_entries(self) -> int:
+        """Total posting-list entries (the index's footprint metric)."""
+        return sum(len(keys) for keys in self.postings.values())
+
+    def document_frequency(self, token: Hashable) -> int:
+        return len(self.postings.get(str(token), ()))
+
+    def probe(self, probe_tokens: Iterable[Hashable]) -> dict[int, int]:
+        """Column key -> number of probe tokens it contains.
+
+        One posting-list walk per probe token: the per-key counts are
+        *exact* overlap sizes with the probe set, so a scorer ranking by
+        overlap (JOSIE, COCOA's key index) consumes them directly --
+        retrieval and exact scoring are the same pass.
+        """
+        hits: dict[int, int] = {}
+        postings = self.postings
+        for token in probe_tokens:
+            keys = postings.get(str(token))
+            if not keys:
+                continue
+            for key in keys:
+                hits[key] = hits.get(key, 0) + 1
+        return hits
+
+    # ------------------------------------------------------------------
+    def to_records(self, kind: str) -> Iterator[dict[str, Any]]:
+        """JSONL-friendly records (one per token) for the store artifact."""
+        yield {"kind": f"{kind}_sizes", "s": list(self.sizes)}
+        for token, keys in self.postings.items():
+            yield {"kind": kind, "t": token, "p": keys}
+
+    @classmethod
+    def from_records(
+        cls, sizes: Iterable[int], records: Iterable[Mapping[str, Any]]
+    ) -> "PostingIndex":
+        postings = {str(r["t"]): [int(k) for k in r["p"]] for r in records}
+        return cls(postings, [int(s) for s in sizes])
+
+    def __repr__(self) -> str:
+        return f"PostingIndex({self.num_tokens} tokens, {self.num_entries} entries)"

@@ -1,0 +1,174 @@
+"""The retrieval contract between discoverers and the candidate engine.
+
+Every discoverer declares a :class:`CandidateSpec` -- *which* lake-wide
+signals can surface its candidates (token overlap, normalized-value
+overlap, MinHash sketch containment, published semantic labels, or an
+honest "exhaustive": nothing sublinear is sound for this scoring) and
+*how many* candidates it needs (budget cap, exhaustive fallback floor).
+The engine answers with a :class:`CandidateSet`: the tables the scoring
+phase is allowed to touch, plus per-column evidence the scorer may reuse
+so retrieval work is never repeated.
+
+Budget semantics
+----------------
+``budget`` caps how many candidate *tables* reach the scoring phase
+(ranked by retrieval evidence, name-tiebroken); ``None`` means unbudgeted
+-- every retrieved candidate is scored, which is what keeps the
+channel-soundness guarantee ("retrieval is a superset of every table the
+scorer could rank") an *identical top-k* guarantee.  A budget is an
+explicit recall trade-off; the engine-wide ``default_budget`` (the CLI's
+``--candidate-budget``) applies to any spec that doesn't pin its own.
+
+``min_candidates`` is the exhaustive-fallback floor: when retrieval
+surfaces fewer tables, the scorer gets the whole lake instead (evidence
+retained).  ``min_candidates_is_k`` ties the floor to the query's ``k``
+-- TUS's "type-only matches still need consideration" rule.  The floor
+is judged on what retrieval *surfaced*, before any budget: a budget
+below the floor caps scoring at the budget rather than snapping back to
+a full-lake scan (budget and fallback never combine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["CandidateSpec", "CandidateSet", "RetrievalReport", "CHANNELS"]
+
+#: The retrieval channels the engine understands.  ``labels`` and
+#: ``sketch`` need query-side state only the discoverer can produce
+#: (annotations, signatures + thresholds), so discoverers using them
+#: override ``Discoverer._candidates``; ``tokens`` / ``values`` /
+#: ``exhaustive`` are served generically from the query's cached stats.
+CHANNELS = ("tokens", "values", "sketch", "labels", "exhaustive")
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One discoverer's declared retrieval contract."""
+
+    channels: tuple[str, ...] = ("exhaustive",)
+    #: Probe only the user's intent/join column when one is given (JOSIE,
+    #: LSH Ensemble); ``False`` probes every query column regardless (TUS).
+    intent_only: bool = True
+    #: Exhaustive-fallback floor: fewer retrieved tables than this and the
+    #: scorer receives the whole lake.
+    min_candidates: int = 0
+    #: Tie the fallback floor to the query's ``k`` instead.
+    min_candidates_is_k: bool = False
+    #: Cap on candidate tables handed to scoring (None = unbudgeted; the
+    #: engine-wide default_budget fills in when unset).
+    budget: int | None = None
+    #: Human-readable soundness note (shown by ``discover --explain``).
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        unknown = [c for c in self.channels if c not in CHANNELS]
+        if unknown:
+            raise ValueError(f"unknown candidate channels {unknown}; known: {CHANNELS}")
+        if not self.channels:
+            raise ValueError("a CandidateSpec needs at least one channel")
+        if self.min_candidates < 0:
+            raise ValueError("min_candidates must be >= 0")
+        if self.budget is not None and self.budget <= 0:
+            raise ValueError("budget must be positive (or None for unbudgeted)")
+
+    @property
+    def exhaustive(self) -> bool:
+        return "exhaustive" in self.channels
+
+    def floor(self, k: int) -> int:
+        """The effective exhaustive-fallback floor for a top-*k* query."""
+        return k if self.min_candidates_is_k else self.min_candidates
+
+
+@dataclass(frozen=True)
+class RetrievalReport:
+    """What one retrieval did -- the ``discover --explain`` record."""
+
+    discoverer: str
+    channels: tuple[str, ...]
+    probes: int            # channel probes executed (columns x channels)
+    retrieved: int         # distinct tables with retrieval evidence
+    scored: int            # tables handed to the scoring phase
+    lake_size: int
+    fallback: bool = False
+    truncated: bool = False
+    exhaustive: bool = False
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "discoverer": self.discoverer,
+            "channels": list(self.channels),
+            "probes": self.probes,
+            "retrieved": self.retrieved,
+            "scored": self.scored,
+            "lake_size": self.lake_size,
+            "fallback": self.fallback,
+            "truncated": self.truncated,
+            "exhaustive": self.exhaustive,
+        }
+
+    def summary(self) -> str:
+        shape = "exhaustive" if self.exhaustive else "+".join(self.channels)
+        extra = ""
+        if self.fallback:
+            extra = ", exhaustive fallback"
+        elif self.truncated:
+            extra = ", budget-truncated"
+        return (
+            f"{shape}: scored {self.scored}/{self.lake_size} tables "
+            f"({self.retrieved} retrieved, {self.probes} probes{extra})"
+        )
+
+
+@dataclass
+class CandidateSet:
+    """The retrieval phase's answer: tables to score, evidence to reuse.
+
+    ``evidence`` maps a probe label (``"tokens:City"``) to per-column-key
+    match strengths (key ids resolve through the engine's column
+    registry).  ``evidence is None`` means *no retrieval ran at all* (the
+    engine was forced exhaustive): scorers that normally consume evidence
+    must recompute it from the shared stats -- that recompute path is the
+    full-scan baseline the equivalence tests and benchmarks compare
+    against.  ``context`` carries retrieval-phase scratch (a query
+    annotation, a join-key map) to the scoring phase so nothing is
+    derived twice per query.
+    """
+
+    tables: tuple[str, ...]
+    evidence: dict[str, dict[int, float]] | None
+    fallback: bool = False
+    truncated: bool = False
+    report: RetrievalReport | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._table_set = frozenset(self.tables)
+
+    def __contains__(self, table: object) -> bool:
+        return table in self._table_set
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    @property
+    def table_set(self) -> frozenset[str]:
+        return self._table_set
+
+    def evidence_for(self, label: str) -> dict[int, float]:
+        """Evidence of one probe (empty when the probe found nothing)."""
+        if self.evidence is None:
+            raise KeyError(
+                "candidate set carries no retrieval evidence (exhaustive "
+                "scan); scorers must recompute from shared stats"
+            )
+        return self.evidence.get(label, {})
+
+    def __repr__(self) -> str:
+        mode = "exhaustive" if self.evidence is None else f"{len(self.tables)} tables"
+        return f"CandidateSet({mode}, fallback={self.fallback})"

@@ -97,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch of query CSVs: the lake is indexed once and each query's "
         "column sketches are computed once across all discoverers",
     )
+    discover.add_argument(
+        "--explain", action="store_true",
+        help="also print per-discoverer retrieval accounting: candidates "
+        "retrieved before scoring, channels used, fallbacks",
+    )
 
     integrate = commands.add_parser(
         "integrate", help="discover (or take) an integration set and integrate it"
@@ -141,6 +146,11 @@ def _add_discovery_arguments(parser: argparse.ArgumentParser, query_required: bo
         "--discoverers", default=None,
         help="comma-separated subset (santos,lsh_ensemble,josie)",
     )
+    parser.add_argument(
+        "--candidate-budget", type=int, default=None,
+        help="cap candidate tables retrieved per discoverer before scoring "
+        "(default: unbudgeted, which guarantees full-scan-identical top-k)",
+    )
 
 
 def _parse_options(raw_options: Sequence[str]) -> dict[str, Any]:
@@ -159,9 +169,10 @@ def _parse_options(raw_options: Sequence[str]) -> dict[str, Any]:
 def _load_pipeline(args: argparse.Namespace) -> Dialite:
     """The discovery pipeline behind discover/integrate/report: a warm
     start from ``--store`` when given, else a cold fit over ``--lake``."""
+    budget = getattr(args, "candidate_budget", None)
     if getattr(args, "store", None):
-        return Dialite.open(args.store).fit()
-    return Dialite(DataLake.from_dir(args.lake)).fit()
+        return Dialite.open(args.store, candidate_budget=budget).fit()
+    return Dialite(DataLake.from_dir(args.lake), candidate_budget=budget).fit()
 
 
 def _resolve_roster(args: argparse.Namespace, lake) -> list:
@@ -236,6 +247,37 @@ def _cmd_index(args: argparse.Namespace) -> int:
             print(f"persisted indexes ({staleness}): {', '.join(info['indexes'])}")
         else:
             print("persisted indexes: none")
+        postings = info.get("postings")
+        if postings:
+            staleness = (
+                "current"
+                if postings.get("lake_version") == info["lake_version"]
+                else f"stale (built at v{postings.get('lake_version')})"
+            )
+            values = (
+                f", {postings['values']} values / {postings['value_entries']} entries"
+                if postings.get("values") is not None
+                else ""
+            )
+            print(
+                f"persisted postings ({staleness}): {postings['columns']} columns, "
+                f"{postings['tokens']} tokens / {postings['token_entries']} entries"
+                f"{values}"
+            )
+            for ensemble in postings.get("ensembles") or []:
+                print(
+                    f"  sketch prefilter: {ensemble['indexed_columns']} columns, "
+                    f"{ensemble['bands']} LSH bands (num_perm={ensemble['num_perm']}, "
+                    f"{ensemble['num_partitions']} partitions)"
+                )
+        else:
+            print("persisted postings: none")
+        for name, spec in sorted((info.get("candidate_specs") or {}).items()):
+            budget = spec["budget"] if spec["budget"] is not None else "unbudgeted"
+            print(
+                f"  {name}: channels={'+'.join(spec['channels'])}, "
+                f"budget={budget}, fallback floor={spec['min_candidates']}"
+            )
         if info["tables"]:
             rows = [
                 (name, entry["rows"], entry["columns"], entry["content_hash"])
@@ -288,6 +330,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         for outcome in outcomes:
             print(f"query: {outcome.query.name}")
             print(outcome.summary().to_pretty(50))
+            if args.explain:
+                _print_retrieval(outcome.retrieval)
             print()
         return 0
     query = read_csv(args.query)
@@ -295,7 +339,34 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         query, k=args.k, query_column=args.column, discoverer_names=names
     )
     print(outcome.summary().to_pretty(50))
+    if args.explain:
+        _print_retrieval(outcome.retrieval)
+        engine_stats = pipeline.index.engine.stats()
+        budget = engine_stats["default_budget"]
+        print(
+            f"\nengine: {engine_stats['tables']} tables, "
+            f"budget={'unbudgeted' if budget is None else budget}, "
+            f"postings loaded from store: {engine_stats['loaded_from_store']}"
+        )
     return 0
+
+
+def _print_retrieval(retrieval: dict) -> None:
+    """The candidates-before-scoring accounting of one discover call."""
+    print("\nretrieval (candidates before scoring):")
+    for name, report in sorted(retrieval.items()):
+        shape = "exhaustive" if report["exhaustive"] else "+".join(report["channels"])
+        notes = []
+        if report["fallback"]:
+            notes.append("exhaustive fallback")
+        if report["truncated"]:
+            notes.append("budget-truncated")
+        suffix = f" [{', '.join(notes)}]" if notes else ""
+        print(
+            f"  {name}: {report['scored']}/{report['lake_size']} tables scored "
+            f"({report['retrieved']} retrieved via {shape}, "
+            f"{report['probes']} probes){suffix}"
+        )
 
 
 def _cmd_integrate(args: argparse.Namespace) -> int:

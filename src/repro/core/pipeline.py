@@ -75,6 +75,7 @@ class Dialite:
         aligner: HolisticAligner | None = None,
         default_integrator: str = "alite_fd",
         store: "str | Path | LakeStore | None" = None,
+        candidate_budget: int | None = None,
     ):
         if store is not None:
             from ..store.lakestore import LakeStore
@@ -93,6 +94,9 @@ class Dialite:
                 lake = DataLake.from_tables(lake)
         self.lake = lake
         self.aligner = aligner or HolisticAligner()
+        #: Engine-wide candidate budget (the CLI's ``--candidate-budget``);
+        #: None = unbudgeted retrieval, the identical-top-k default.
+        self.candidate_budget = candidate_budget
 
         self.discoverers: Registry[Discoverer] = Registry("discoverer")
         for discoverer in discoverers if discoverers is not None else (
@@ -181,7 +185,7 @@ class Dialite:
             discoverer.name = name
         self.discoverers.register(discoverer.name, discoverer, replace=replace)
         if self._index is not None:
-            discoverer.fit(self.lake)
+            discoverer.fit(self.lake, engine=self._index.engine)
             self._index = None  # rebuild lazily with the new roster
         return discoverer
 
@@ -221,6 +225,7 @@ class Dialite:
                 self.discoverers.register(discoverer.name, discoverer, replace=True)
         else:
             self._index = LakeIndex(self.lake, self.discoverers.components()).build()
+        self._index.set_candidate_budget(self.candidate_budget)
         return self
 
     @property
@@ -252,11 +257,13 @@ class Dialite:
         )
         merged = merge_result_sets(list(per_discoverer.values()))
         integration_set = [query] + [self.lake[r.table_name] for r in merged]
+        reports = self.index.retrieval_reports()
         return DiscoveryOutcome(
             query=query,
             per_discoverer=per_discoverer,
             merged=merged,
             integration_set=integration_set,
+            retrieval={name: reports[name] for name in per_discoverer if name in reports},
         )
 
     def discover_many(

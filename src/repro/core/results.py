@@ -27,6 +27,10 @@ class DiscoveryOutcome:
     per_discoverer: dict[str, list[DiscoveryResult]]
     merged: list[DiscoveryResult]
     integration_set: list[Table]
+    #: Per-discoverer retrieval accounting for this query: candidate
+    #: counts before scoring, channels used, fallback/truncation flags
+    #: (what ``discover --explain`` prints).
+    retrieval: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
     def discovered_names(self) -> list[str]:

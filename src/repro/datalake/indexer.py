@@ -4,6 +4,16 @@ The demo pre-builds the SANTOS and LSH Ensemble indexes so users query a
 ready lake; :class:`LakeIndex` is that offline step: it fits every
 configured discoverer against the lake, records per-discoverer build times,
 and then serves fan-out searches.
+
+The index owns two shared substrates.  The lake-wide
+:class:`~repro.datalake.stats.LakeStats` cache gives every fit the same
+memoized tokens / distinct sets / sketches (one raw pass per column), and
+the :class:`~repro.candidates.CandidateEngine` gives every *search* the
+same sublinear retrieval structures (inverted postings, sketch bands,
+label namespaces) -- ``build`` constructs one engine and threads it
+through all fits, and ``search`` profiles the query table once before
+fanning out, so a fan-out over D discoverers performs one query-stat
+pass and D candidate retrievals instead of D full-lake scans.
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Mapping, Sequence
 
+from ..candidates.engine import CandidateEngine
 from ..discovery.base import Discoverer, DiscoveryResult, merge_result_sets
 from ..table.table import Table
 from .stats import LakeStats
@@ -21,13 +32,8 @@ __all__ = ["LakeIndex"]
 
 
 class LakeIndex:
-    """A set of fitted discoverers over one lake.
-
-    The index owns the lake-wide :class:`~repro.datalake.stats.LakeStats`
-    view: ``build`` warms it once (one raw pass per column), after which
-    every discoverer's ``fit`` reads tokens / distinct sets / sketches from
-    the shared cache instead of re-scanning the lake per algorithm.
-    """
+    """A set of fitted discoverers over one lake, sharing one stats cache
+    and one candidate engine."""
 
     def __init__(self, lake: Mapping[str, Table], discoverers: Sequence[Discoverer]):
         names = [d.name for d in discoverers]
@@ -37,6 +43,7 @@ class LakeIndex:
         self._discoverers = list(discoverers)
         self._build_seconds: dict[str, float] = {}
         self._built = False
+        self._engine: CandidateEngine | None = None
 
     @property
     def discoverers(self) -> list[Discoverer]:
@@ -55,6 +62,22 @@ class LakeIndex:
         return LakeStats(self._lake)
 
     @property
+    def engine(self) -> CandidateEngine:
+        """The shared candidate engine (created by :meth:`build`)."""
+        if self._engine is None:
+            self._engine = CandidateEngine(self._lake, stats=self.stats)
+        return self._engine
+
+    def set_candidate_budget(self, budget: int | None) -> "LakeIndex":
+        """Engine-wide candidate-budget default (the CLI's
+        ``--candidate-budget``); None restores unbudgeted retrieval."""
+        self.engine.default_budget = budget
+        return self
+
+    def _roster_channels(self) -> set[str]:
+        return {c for d in self._discoverers for c in d.candidate_spec().channels}
+
+    @property
     def build_seconds(self) -> dict[str, float]:
         """Per-discoverer offline index-build wall time."""
         return dict(self._build_seconds)
@@ -66,9 +89,11 @@ class LakeIndex:
     def build(self) -> "LakeIndex":
         """Fit every discoverer (idempotent); returns self."""
         self.stats.warm()  # one raw pass per column, shared by all fits
+        engine = self.engine
+        engine.warm(self._roster_channels())  # postings built once, offline
         for discoverer in self._discoverers:
             start = time.perf_counter()
-            discoverer.fit(self._lake)
+            discoverer.fit(self._lake, engine=engine)
             self._build_seconds[discoverer.name] = time.perf_counter() - start
         self._built = True
         return self
@@ -80,7 +105,12 @@ class LakeIndex:
         query_column: str | None = None,
         discoverer_names: Sequence[str] | None = None,
     ) -> dict[str, list[DiscoveryResult]]:
-        """Top-k per discoverer (build first if needed)."""
+        """Top-k per discoverer (build first if needed).
+
+        The query table is profiled exactly once per fan-out: its column
+        stats warm here, and every discoverer's retrieval and scoring
+        phases read the same memoized tokens / values / signatures.
+        """
         if not self._built:
             self.build()
         chosen = self._discoverers
@@ -90,6 +120,7 @@ class LakeIndex:
             if missing:
                 raise KeyError(f"unknown discoverers: {missing}; have {sorted(by_name)}")
             chosen = [by_name[name] for name in discoverer_names]
+        query.stats.warm()  # one scoped profiling pass, shared by the fan-out
         return {
             discoverer.name: discoverer.search(query, k=k, query_column=query_column)
             for discoverer in chosen
@@ -105,6 +136,12 @@ class LakeIndex:
         construction of Sec. 3.1)."""
         per_discoverer = self.search(query, k=k, query_column=query_column)
         return merge_result_sets(list(per_discoverer.values()))
+
+    def retrieval_reports(self) -> dict[str, dict]:
+        """Per-discoverer last-retrieval summaries (``discover --explain``)."""
+        if self._engine is None:
+            return {}
+        return self._engine.explain()
 
     # ------------------------------------------------------------------
     # Warm start from a persistent lake store (repro.store)
@@ -126,6 +163,11 @@ class LakeIndex:
         fit free of raw-cell re-scans.  With ``discoverers=None`` the
         persisted roster is used verbatim (an error if none exist: nothing
         was ever built to warm-start from).
+
+        The candidate engine hydrates from the store's version-pinned
+        postings artifact when one exists, so a warm start performs zero
+        posting-index rebuild; otherwise a fresh engine builds lazily
+        from the hydrated stats snapshots (still zero raw-cell scans).
 
         *lake* lets a caller thread its own (already opened) stored lake
         through, so the index and the caller share table objects and one
@@ -149,25 +191,30 @@ class LakeIndex:
         else:
             roster = [persisted.get(d.name, d) for d in discoverers]
         index = cls(lake, roster)
+        index._engine = store.load_engine(lake=lake, stats=index.stats)
+        engine = index.engine  # builds a cold engine when no artifact exists
         recorded = store.index_build_seconds()
         for discoverer in roster:
             if discoverer.is_fitted:
                 _rebind_lake(discoverer, lake)
+                discoverer.bind_engine(engine)
                 index._build_seconds[discoverer.name] = recorded.get(discoverer.name, 0.0)
             else:
                 start = time.perf_counter()
-                discoverer.fit(lake)
+                discoverer.fit(lake, engine=engine)
                 index._build_seconds[discoverer.name] = time.perf_counter() - start
         index._built = True
         return index
 
     def save_to_store(self, store) -> None:
-        """Persist every fitted discoverer index into a
-        :class:`~repro.store.LakeStore` (building first if needed), pinned
-        to the store's current lake version for staleness detection."""
+        """Persist every fitted discoverer index *and* the engine's posting
+        structures into a :class:`~repro.store.LakeStore` (building first
+        if needed), pinned to the store's current lake version for
+        staleness detection."""
         if not self._built:
             self.build()
         store.save_indexes(self._discoverers, self._build_seconds)
+        store.save_engine(self.engine, channels=self._roster_channels())
 
     # ------------------------------------------------------------------
     # Persistence: the demo's "indexes are built offline" workflow
@@ -193,8 +240,10 @@ class LakeIndex:
             index = pickle.load(handle)
         if not isinstance(index, cls):
             raise TypeError(f"{path} does not contain a LakeIndex (got {type(index).__name__})")
+        engine = index.engine
         for discoverer in index._discoverers:
             _rebind_lake(discoverer, index._lake)
+            discoverer.bind_engine(engine)
         return index
 
 

@@ -5,15 +5,40 @@ discoverer is anything that can be fitted to a lake (``{name: Table}``) and
 answer top-k searches for a query table.  The pipeline persists the union of
 the result sets of *all* configured discoverers to form the integration set
 (Sec. 3.1: "we persist the set of tables found by all techniques").
+
+Two-phase search contract
+-------------------------
+``search`` runs in two phases.  **Retrieval** asks the shared
+:class:`~repro.candidates.CandidateEngine` for a candidate set under the
+discoverer's declared :class:`~repro.candidates.CandidateSpec` (inverted
+token/value postings, the sketch prefilter, published labels -- or an
+honest ``exhaustive`` for scorers with no sound sublinear signal).
+**Scoring** (``_search``) ranks *only the retrieved candidates*; it must
+never iterate the raw lake mapping (``make lint`` enforces this with an
+AST guard).  When the engine is forced exhaustive -- the equivalence
+tests' and benchmarks' full-scan baseline -- the candidate set is the
+whole lake with no retrieval evidence, and scorers recompute what they
+need from the shared column-stats cache.
+
+The engine is *shared state*: ``LakeIndex.build`` threads one engine
+through every fit; a standalone ``fit(lake)`` creates a private one.
+Pickles drop the engine (it would duplicate the lake-wide structures per
+discoverer); loaders (:meth:`LakeIndex.load
+<repro.datalake.indexer.LakeIndex.load>` / ``from_store``) re-attach it
+with :meth:`Discoverer.bind_engine`.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..table.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..candidates.engine import CandidateEngine
 
 __all__ = ["DiscoveryResult", "Discoverer", "merge_result_sets"]
 
@@ -43,18 +68,66 @@ class Discoverer(abc.ABC):
     #: Short identifier used in results and the pipeline registry.
     name: str = "discoverer"
 
+    #: The declared retrieval contract.  The safe default is exhaustive
+    #: (score everything); sublinear discoverers override with their
+    #: channels.  See :class:`~repro.candidates.CandidateSpec`.
+    spec: CandidateSpec = CandidateSpec(channels=("exhaustive",))
+
     def __init__(self) -> None:
         self._fitted = False
+        self._engine: "CandidateEngine | None" = None
 
     @property
     def is_fitted(self) -> bool:
         return self._fitted
 
-    def fit(self, lake: Mapping[str, Table]) -> "Discoverer":
-        """Build this discoverer's index over *lake*; returns self."""
+    @property
+    def engine(self) -> "CandidateEngine | None":
+        """The candidate engine this discoverer retrieves through."""
+        return self._engine
+
+    def candidate_spec(self) -> CandidateSpec:
+        """The spec ``search`` retrieves under (class default; override
+        for instance-dependent contracts)."""
+        return self.spec
+
+    def fit(
+        self, lake: Mapping[str, Table], engine: "CandidateEngine | None" = None
+    ) -> "Discoverer":
+        """Build this discoverer's index over *lake*; returns self.
+
+        *engine* is the shared candidate engine (``LakeIndex.build``
+        passes one so all discoverers retrieve from the same postings /
+        sketches); a standalone fit creates a private engine whose
+        channels build lazily on first search.
+        """
+        if engine is None:
+            from ..candidates.engine import CandidateEngine
+
+            engine = CandidateEngine(dict(lake))
+        self._engine = engine
         self._build_index(dict(lake))
         self._fitted = True
         return self
+
+    def bind_engine(self, engine: "CandidateEngine") -> None:
+        """Attach a (new) shared engine -- what loaders call after
+        unpickling, since pickles deliberately drop the engine."""
+        self._engine = engine
+        self._engine_bound()
+
+    def _engine_bound(self) -> None:
+        """Hook for re-publishing fit products into a freshly bound
+        engine (SANTOS re-registers its label namespaces here)."""
+
+    def _require_engine(self) -> "CandidateEngine":
+        if self._engine is None:
+            raise RuntimeError(
+                f"discoverer {self.name!r} has no candidate engine (it was "
+                f"unpickled standalone); call bind_engine(engine) or load it "
+                f"through LakeIndex.load / LakeIndex.from_store"
+            )
+        return self._engine
 
     @abc.abstractmethod
     def _build_index(self, lake: Mapping[str, Table]) -> None:
@@ -73,15 +146,44 @@ class Discoverer(abc.ABC):
             raise RuntimeError(f"discoverer {self.name!r} used before fit()")
         if k <= 0:
             raise ValueError("k must be positive")
-        results = self._search(query, k, query_column)
+        candidates = self._candidates(query, k, query_column)
+        results = self._search(query, k, query_column, candidates)
         results.sort(key=lambda r: (-r.score, r.table_name))
         return results[:k]
 
+    def _candidates(
+        self, query: Table, k: int, query_column: str | None
+    ) -> CandidateSet:
+        """Phase 1: retrieve the candidate set for this query.
+
+        The default drives the engine's generic channels from the query's
+        cached stats; discoverers whose probes need algorithm-specific
+        state (annotations, signatures + thresholds, join-key maps)
+        override this."""
+        return self._require_engine().retrieve(
+            self.name, self.candidate_spec(), query, k=k, query_column=query_column
+        )
+
     @abc.abstractmethod
     def _search(
-        self, query: Table, k: int, query_column: str | None
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
     ) -> list[DiscoveryResult]:
-        """Search hook; may return more than *k* results (caller truncates)."""
+        """Phase 2: score *only* the retrieved candidates; may return more
+        than *k* results (caller truncates)."""
+
+    # ------------------------------------------------------------------
+    # Pickling: the engine is lake-wide shared state -- serializing it
+    # per discoverer would duplicate the posting structures (and, through
+    # the stats they reference, the lake) into every index pickle.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
 
 
 def merge_result_sets(
@@ -97,6 +199,12 @@ def merge_result_sets(
     result set is max-normalized before merging -- order within a discoverer
     is preserved, and the merged ranking becomes scale-free.  Pass
     ``normalize=False`` to merge raw scores.
+
+    Ordering is fully deterministic: results sort by (score desc,
+    table name asc, discoverer asc), and when two discoverers tie on a
+    table's normalized score the alphabetically first discoverer is
+    credited -- so persisted integration sets are byte-reproducible
+    across runs regardless of roster iteration order.
     """
     best: dict[str, DiscoveryResult] = {}
     found_by: dict[str, list[str]] = {}
@@ -107,7 +215,11 @@ def merge_result_sets(
             found_by.setdefault(result.table_name, []).append(result.discoverer)
             scored = result.score / scale
             current = best.get(result.table_name)
-            if current is None or scored > current.score:
+            if (
+                current is None
+                or scored > current.score
+                or (scored == current.score and result.discoverer < current.discoverer)
+            ):
                 best[result.table_name] = DiscoveryResult(
                     table_name=result.table_name,
                     score=scored,
@@ -125,5 +237,5 @@ def merge_result_sets(
                 reason=f"found by: {', '.join(names)}",
             )
         )
-    merged.sort(key=lambda r: (-r.score, r.table_name))
+    merged.sort(key=lambda r: (-r.score, r.table_name, r.discoverer))
     return merged

@@ -5,14 +5,17 @@ joinable with the query *and* whose numeric attributes correlate with a
 target column of the query -- the data-augmentation flavor of discovery
 (new features for an ML model, not just new rows).
 
-Reproduction: candidates are detected through an inverted value index on
-the join key (exact overlap, as COCOA's index does), then each candidate's
-numeric columns are scored by |Spearman correlation| against the query's
-target column over the actually-joined rows, weighted by join coverage.
-COCOA's contribution of computing rank correlations *index-only* (without
-materializing the join) is replaced by an explicit merge-on-key -- same
-ranking, simpler machinery, fine at in-memory scale (the substitution is
-recorded in DESIGN.md).
+Reproduction: candidates come from the shared engine's normalized-value
+posting index probed with the query's join keys (exact overlap, as
+COCOA's inverted index does -- the per-column hit counts *are* the key
+overlaps), then each candidate's numeric columns are scored by |Spearman
+correlation| against the query's target column over the actually-joined
+rows, weighted by join coverage.  COCOA's contribution of computing rank
+correlations *index-only* (without materializing the join) is replaced
+by an explicit merge-on-key -- same ranking, simpler machinery, fine at
+in-memory scale (the substitution is recorded in DESIGN.md).  Retrieval
+is sound: a scorable candidate needs key overlap >= min_key_overlap >= 1,
+so the value probe is a superset of everything the scorer can rank.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..table.table import Table
 from ..table.values import is_null
 from ..text.normalize import to_float
@@ -47,24 +51,24 @@ class CocoaJoinSearch(Discoverer):
     """
 
     name = "cocoa"
+    spec = CandidateSpec(
+        channels=("values",),
+        note="sound: scoring requires key overlap >= min_key_overlap, and "
+        "every shared key appears in the value postings",
+    )
 
     def __init__(self, target_column: str | None = None, config: CocoaConfig | None = None):
         super().__init__()
         self.target_column = target_column
         self.config = config or CocoaConfig()
         self._lake: dict[str, Table] = {}
-        self._key_index: dict[str, set[tuple[str, str]]] = {}
 
     # ------------------------------------------------------------------
     def _build_index(self, lake: Mapping[str, Table]) -> None:
         self._lake = dict(lake)
-        self._key_index = {}
-        for table_name, table in lake.items():
-            for column in table.columns:
-                for value in table.distinct_values(column):
-                    if isinstance(value, str):
-                        key = normalize_token(value)
-                        self._key_index.setdefault(key, set()).add((table_name, column))
+        # The join-key inverted index is the engine's normalized-value
+        # posting channel, shared with TUS's pruning; build it offline.
+        self._require_engine().warm(("values",))
 
     # ------------------------------------------------------------------
     # Pickling: COCOA scores correlations against raw lake cells, so it
@@ -73,7 +77,7 @@ class CocoaJoinSearch(Discoverer):
     # load).  The lake is dropped from the pickle and re-attached by the
     # loader (LakeIndex.load / LakeIndex.from_store call rebind_lake).
     def __getstate__(self) -> dict:
-        state = self.__dict__.copy()
+        state = super().__getstate__()
         state["_lake"] = {}
         return state
 
@@ -82,9 +86,15 @@ class CocoaJoinSearch(Discoverer):
 
         Any mapping works and is held by reference without copying, so a
         lazily materializing :class:`~repro.store.StoredDataLake` stays
-        lazy: search touches only candidate tables' cells.
+        lazy: search touches only candidate tables' cells.  When no
+        shared engine was bound yet, a private one over *lake* is created
+        (its value postings rebuild lazily on first search).
         """
         self._lake = lake
+        if self._engine is None:
+            from ..candidates.engine import CandidateEngine
+
+            self._engine = CandidateEngine(lake)
 
     # ------------------------------------------------------------------
     def _pick_target(self, query: Table, join_column: str) -> str | None:
@@ -99,18 +109,24 @@ class CocoaJoinSearch(Discoverer):
                 return column
         return None
 
-    def _search(
+    def _candidates(
         self, query: Table, k: int, query_column: str | None
-    ) -> list[DiscoveryResult]:
-        if self._key_index and not self._lake:
+    ) -> CandidateSet:
+        """Build the query's key -> target-value map once, probe the value
+        postings with its keys, and stash the map for the scoring phase."""
+        if self._fitted and not self._lake:
             raise RuntimeError(
                 "cocoa index was unpickled without its lake; call "
                 "rebind_lake(lake) before searching"
             )
+        engine = self._require_engine()
+        spec = self.candidate_spec()
         join_column = query_column if query_column in query.columns else query.columns[0]
         target = self._pick_target(query, join_column)
         if target is None:
-            return []
+            candidates = engine.empty_candidates(self.name, spec)
+            candidates.context["target"] = None
+            return candidates
 
         # key -> target value map of the query (first occurrence wins).
         key_array = query.column_array(join_column)
@@ -123,18 +139,49 @@ class CocoaJoinSearch(Discoverer):
             if number is None:
                 continue
             query_map.setdefault(normalize_token(key_cell), number)
-        if len(query_map) < self.config.min_correlation_pairs:
-            return []
 
-        # Candidate (table, column) pairs by exact key overlap.
-        overlap_count: dict[tuple[str, str], int] = {}
-        for key in query_map:
-            for owner in self._key_index.get(key, ()):
-                overlap_count[owner] = overlap_count.get(owner, 0) + 1
+        if len(query_map) < self.config.min_correlation_pairs:
+            candidates = engine.empty_candidates(self.name, spec)
+        elif engine.force_exhaustive:
+            candidates = engine.all_candidates(self.name, spec)
+        else:
+            evidence = {
+                f"values:{join_column}": engine.value_postings.probe(query_map)
+            }
+            candidates = engine.assemble(self.name, spec, evidence, k, probes=1)
+        candidates.context.update(
+            {"join_column": join_column, "target": target, "query_map": query_map}
+        )
+        return candidates
+
+    def _search(
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
+    ) -> list[DiscoveryResult]:
+        target = candidates.context.get("target")
+        query_map: dict[str, float] = candidates.context.get("query_map", {})
+        if target is None or len(query_map) < self.config.min_correlation_pairs:
+            return []
+        engine = self._require_engine()
+        join_column = candidates.context["join_column"]
+        if candidates.evidence is not None:
+            # The value-posting probe counts are the exact key overlaps.
+            hits = candidates.evidence_for(f"values:{join_column}")
+        else:
+            hits = engine.value_overlap_scan(query_map, candidates.tables)
+        allowed = candidates.table_set
 
         results: dict[str, DiscoveryResult] = {}
-        for (table_name, key_col), overlap in overlap_count.items():
+        for key, overlap in sorted(
+            hits.items(), key=lambda kv: (-kv[1], engine.column_owner(kv[0]))
+        ):
             if overlap < self.config.min_key_overlap:
+                continue
+            table_name, key_col = engine.column_owner(key)
+            if table_name not in allowed:
                 continue
             table = self._lake[table_name]
             best = self._best_correlated_column(table, key_col, query_map)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..table import ops
 from ..table.table import Table
 from .base import Discoverer, DiscoveryResult
@@ -22,7 +23,19 @@ __all__ = ["FunctionDiscoverer", "inner_join_similarity", "value_overlap_similar
 
 
 class FunctionDiscoverer(Discoverer):
-    """Wrap a pairwise table-similarity function as a discoverer."""
+    """Wrap a pairwise table-similarity function as a discoverer.
+
+    A bare similarity function declares nothing about *where* its signal
+    lives, so its spec is honestly exhaustive: every candidate the engine
+    hands over (the whole lake) is scored.  Users wanting sublinear
+    retrieval subclass :class:`~repro.discovery.base.Discoverer` and
+    declare a real :class:`~repro.candidates.CandidateSpec`.
+    """
+
+    spec = CandidateSpec(
+        channels=("exhaustive",),
+        note="a black-box similarity function has no declared retrieval signal",
+    )
 
     def __init__(
         self,
@@ -38,10 +51,17 @@ class FunctionDiscoverer(Discoverer):
         self._lake = dict(lake)
 
     def _search(
-        self, query: Table, k: int, query_column: str | None
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
     ) -> list[DiscoveryResult]:
         results = []
-        for table_name, table in self._lake.items():
+        for table_name in candidates:
+            table = self._lake.get(table_name)
+            if table is None:
+                continue
             score = float(self._similarity(query, table))
             if score > 0.0:
                 results.append(

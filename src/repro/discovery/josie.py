@@ -1,20 +1,25 @@
 """JOSIE-style exact top-k overlap set similarity search (SIGMOD 2019).
 
 Where LSH Ensemble trades accuracy for speed, JOSIE answers *exact* top-k
-overlap queries over an inverted index.  The reproduction keeps JOSIE's two
-structural ideas at library scale:
+overlap queries over an inverted index.  The reproduction keeps JOSIE's
+structural idea at library scale: retrieval walks the posting lists of the
+query's tokens, and the per-column hit counts that walk accumulates *are*
+the exact overlaps -- retrieve-then-rerank with a shared index instead of
+a per-discoverer one.
 
-* an **inverted index** from token to the columns containing it, with
-  posting lists visited in increasing document-frequency order (rare tokens
-  first, the cheapest evidence);
-* **early termination**: after processing a prefix of the query's tokens,
-  any candidate's final overlap is bounded by ``current + remaining``; once
-  the running top-k's k-th overlap exceeds every unseen candidate's bound,
-  the scan stops.
+The posting index itself lives in the lake-wide
+:class:`~repro.candidates.CandidateEngine` (every discoverer on the
+``tokens`` channel shares it); this class contributes only its scoring
+policy: domain-size and overlap floors, best-column-per-table
+aggregation, exact integer scores.  Retrieval is provably a superset of
+scoring -- any column with overlap >= 1 shares a token with the query,
+so engine-backed search returns *identical* top-k to the exhaustive scan
+(pinned by ``tests/property/test_candidate_equivalence.py``).
 
 Cost-model-driven switching between index probes and candidate reads (the
-full JOSIE optimizer) is out of scope at in-memory scale; exactness and the
-prefix-bound pruning are preserved.
+full JOSIE optimizer) is out of scope at in-memory scale; exactness is
+preserved.  :func:`exact_topk_overlap` remains as the standalone
+early-terminating algorithm for users composing their own search.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..table.table import Table
 from .base import Discoverer, DiscoveryResult
 
@@ -86,49 +92,64 @@ class JosieJoinSearch(Discoverer):
     """Exact top-k joinable table search by token overlap."""
 
     name = "josie"
+    spec = CandidateSpec(
+        channels=("tokens",),
+        note="sound: overlap >= 1 implies a shared token, so the posting "
+        "probe retrieves a superset of every scorable table",
+    )
 
     def __init__(self, config: JosieConfig | None = None):
         super().__init__()
         self.config = config or JosieConfig()
-        self._index: dict[Hashable, list[str]] = {}
-        self._sizes: dict[str, int] = {}
-        self._column_of_key: dict[str, tuple[str, str]] = {}
 
     def _build_index(self, lake: Mapping[str, Table]) -> None:
-        self._index = {}
-        self._sizes = {}
-        self._column_of_key = {}
-        for table_name, table in lake.items():
-            for column in table.columns:
-                # The domain token set comes from the shared column-stats
-                # cache; other discoverers reading the same column reuse it.
-                tokens = table.stats.column(column).tokens
-                if len(tokens) < self.config.min_domain_size:
-                    continue
-                key = f"{table_name}\x1f{column}"
-                self._column_of_key[key] = (table_name, column)
-                self._sizes[key] = len(tokens)
-                for token in tokens:
-                    self._index.setdefault(token, []).append(key)
+        # The inverted token postings are the shared engine's; JOSIE's
+        # offline step is making sure they exist before queries arrive.
+        self._require_engine().warm(("tokens",))
 
     def _search(
-        self, query: Table, k: int, query_column: str | None
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
     ) -> list[DiscoveryResult]:
+        engine = self._require_engine()
         probe_columns = (
             [query_column] if query_column in query.columns else list(query.columns)
         )
+        allowed = candidates.table_set
         best_per_table: dict[str, tuple[int, str, str]] = {}
         for column in probe_columns:
             tokens = query.stats.column(column).tokens
             if len(tokens) < self.config.min_domain_size:
                 continue
-            # Ask for generously more than k column hits: several top
-            # columns may belong to the same table.
-            hits = exact_topk_overlap(
-                tokens, self._index, self._sizes, k * 4, self.config.min_overlap
+            if candidates.evidence is not None:
+                # The posting probe's per-column hit counts are the exact
+                # overlaps -- retrieval already scored this channel.
+                hits = candidates.evidence_for(f"tokens:{column}")
+            else:
+                hits = engine.overlap_scan(tokens, candidates.tables)
+            scored = [
+                (key, int(overlap))
+                for key, overlap in hits.items()
+                if overlap >= self.config.min_overlap
+                and engine.column_token_size(key) >= self.config.min_domain_size
+            ]
+            # Deterministic aggregation order: overlap desc, then smaller
+            # domains first, then owner -- ties resolve identically on the
+            # engine-backed and exhaustive paths.
+            scored.sort(
+                key=lambda pair: (
+                    -pair[1],
+                    engine.column_token_size(pair[0]),
+                    engine.column_owner(pair[0]),
+                )
             )
-            for key, overlap in hits:
-                table_name, lake_column = self._column_of_key[key]
+            for key, overlap in scored:
+                table_name, lake_column = engine.column_owner(key)
+                if table_name not in allowed:
+                    continue
                 current = best_per_table.get(table_name)
                 if current is None or overlap > current[0]:
                     best_per_table[table_name] = (overlap, column, lake_column)

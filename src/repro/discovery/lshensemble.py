@@ -1,18 +1,27 @@
 """Joinable-table search backed by LSH Ensemble (Zhu et al., VLDB 2016).
 
-Every lake column's domain token set is indexed in a
-:class:`repro.sketch.LSHEnsemble`; a query asks: which lake tables have a
-column whose domain *contains* (a large fraction of) the query column's
-domain?  High containment means the lake column can serve as a join key
-against the query column -- the paper's joinable search.
+Every lake column's domain token set is indexed in a banded MinHash
+structure; a query asks: which lake tables have a column whose domain
+*contains* (a large fraction of) the query column's domain?  High
+containment means the lake column can serve as a join key against the
+query column -- the paper's joinable search.
+
+The banded sketch index lives in the shared
+:class:`~repro.candidates.CandidateEngine` (memoized per parameter set,
+over the same cached MinHash signatures every other consumer reads), so
+this class contributes its retrieval parameters and scoring policy only.
+LSH retrieval is inherently lossy: the exhaustive path (verify every
+column's signature) is a *superset* of the banded one with identical
+containment estimates -- the equivalence property test asserts exactly
+that containment relation, not byte equality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Mapping
 
-from ..sketch.ensemble import LSHEnsemble
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..table.table import Table
 from .base import Discoverer, DiscoveryResult
 
@@ -41,61 +50,105 @@ class LSHEnsembleJoinSearch(Discoverer):
     """Top-k joinable table search by estimated domain containment."""
 
     name = "lsh_ensemble"
+    spec = CandidateSpec(
+        channels=("sketch",),
+        note="approximate: banded LSH retrieval can miss near-threshold "
+        "containments; the exhaustive scan is a recall-improving superset",
+    )
 
     def __init__(self, config: LSHEnsembleConfig | None = None):
         super().__init__()
         self.config = config or LSHEnsembleConfig()
-        self._ensemble: LSHEnsemble | None = None
-        self._column_of_key: dict[str, tuple[str, str]] = {}
+
+    def _ensemble_params(self) -> dict[str, Any]:
+        return {
+            "num_perm": self.config.num_perm,
+            "num_partitions": self.config.num_partitions,
+            "seed": self.config.seed,
+            "min_size": self.config.min_domain_size,
+        }
 
     def _build_index(self, lake: Mapping[str, Table]) -> None:
-        self._ensemble = LSHEnsemble(
-            num_perm=self.config.num_perm,
-            num_partitions=self.config.num_partitions,
-            seed=self.config.seed,
-        )
-        hasher = self._ensemble.hasher
-        entries = []
-        for table_name, table in lake.items():
-            for column in table.columns:
-                # Token sets and MinHash signatures come from the shared
-                # column-stats cache, keyed by the ensemble's (perm, seed).
-                stats = table.stats.column(column)
-                if len(stats.tokens) < self.config.min_domain_size:
-                    continue
-                key = f"{table_name}\x1f{column}"
-                self._column_of_key[key] = (table_name, column)
-                entries.append((key, stats.minhash(hasher)))
-        self._ensemble.index_signatures(entries)
+        # Materialize the shared banded index now: band insertion is the
+        # offline step, queries only probe.
+        self._require_engine().ensemble_for(**self._ensemble_params())
 
-    def _search(
-        self, query: Table, k: int, query_column: str | None
-    ) -> list[DiscoveryResult]:
-        assert self._ensemble is not None
+    # ------------------------------------------------------------------
+    def _probe_columns(self, query: Table, query_column: str | None) -> list[str]:
         if query_column is None:
             # Without a marked query column, probe every query column and
             # keep each table's best containment (the demo UI always marks
             # one, but the API shouldn't force it).
-            probe_columns = list(query.columns)
-        else:
-            query.column_index(query_column)  # validate early
-            probe_columns = [query_column]
+            return list(query.columns)
+        query.column_index(query_column)  # validate early
+        return [query_column]
 
+    def _candidates(
+        self, query: Table, k: int, query_column: str | None
+    ) -> CandidateSet:
+        engine = self._require_engine()
+        probe_columns = self._probe_columns(query, query_column)
+        if engine.force_exhaustive:
+            candidates = engine.all_candidates(self.name, self.candidate_spec())
+            candidates.context["probe_columns"] = probe_columns
+            return candidates
+        hasher = engine.hasher_for(self.config.num_perm, self.config.seed)
+        evidence: dict[str, dict[int, float]] = {}
+        probes = 0
+        for column in probe_columns:
+            stats = query.stats.column(column)
+            if len(stats.tokens) < self.config.min_domain_size:
+                continue
+            probes += 1
+            evidence[f"sketch:{column}"] = engine.sketch_probe(
+                stats.minhash(hasher),
+                self.config.threshold,
+                **self._ensemble_params(),
+            )
+        candidates = engine.assemble(
+            self.name, self.candidate_spec(), evidence, k, probes=probes
+        )
+        candidates.context["probe_columns"] = probe_columns
+        return candidates
+
+    def _search(
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
+    ) -> list[DiscoveryResult]:
+        engine = self._require_engine()
+        probe_columns = candidates.context.get(
+            "probe_columns"
+        ) or self._probe_columns(query, query_column)
+        hasher = engine.hasher_for(self.config.num_perm, self.config.seed)
+        allowed = candidates.table_set
         best_per_table: dict[str, tuple[float, str, str]] = {}
         for column in probe_columns:
             stats = query.stats.column(column)
             if len(stats.tokens) < self.config.min_domain_size:
                 continue
-            matches = self._ensemble.query(
-                stats.minhash(self._ensemble.hasher),
-                threshold=self.config.threshold,
-                k=None,
-            )
-            for match in matches:
-                table_name, lake_column = self._column_of_key[str(match.key)]
+            if candidates.evidence is not None:
+                matches = candidates.evidence_for(f"sketch:{column}")
+            else:
+                matches = engine.containment_scan(
+                    stats.minhash(hasher),
+                    self.config.threshold,
+                    hasher,
+                    self.config.min_domain_size,
+                    candidates.tables,
+                )
+            for key, containment in sorted(
+                matches.items(),
+                key=lambda kv: (-kv[1], engine.column_owner(kv[0])),
+            ):
+                table_name, lake_column = engine.column_owner(key)
+                if table_name not in allowed:
+                    continue
                 current = best_per_table.get(table_name)
-                if current is None or match.containment > current[0]:
-                    best_per_table[table_name] = (match.containment, column, lake_column)
+                if current is None or containment > current[0]:
+                    best_per_table[table_name] = (containment, column, lake_column)
 
         results = []
         for table_name, (containment, query_col, lake_col) in best_per_table.items():

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..table.table import Table
 from .base import Discoverer, DiscoveryResult
 from .kb import KnowledgeBase, seed_knowledge_base
@@ -63,6 +64,11 @@ class SantosUnionSearch(Discoverer):
     """Top-k semantically unionable table search."""
 
     name = "santos"
+    spec = CandidateSpec(
+        channels=("labels",),
+        note="sound: a positive score requires a shared type or relationship "
+        "label, and all labels are published to the engine at fit time",
+    )
 
     def __init__(self, kb: KnowledgeBase | None = None, config: SantosConfig | None = None):
         super().__init__()
@@ -94,6 +100,22 @@ class SantosUnionSearch(Discoverer):
                 self._tables_by_type.setdefault(type_name, set()).add(table_name)
             for relationship in annotation.relationships:
                 self._tables_by_relationship.setdefault(relationship, set()).add(table_name)
+        self._publish_labels()
+
+    def _publish_labels(self) -> None:
+        """Register the type / relationship maps as engine label
+        namespaces (held by reference, so the engine always sees the
+        current fit products)."""
+        if self._engine is not None:
+            self._engine.publish_labels(f"{self.name}:type", self._tables_by_type)
+            self._engine.publish_labels(
+                f"{self.name}:rel", self._tables_by_relationship
+            )
+
+    def _engine_bound(self) -> None:
+        # A freshly bound engine (warm start, LakeIndex.load) has no label
+        # namespaces yet; the maps ride in this discoverer's pickle.
+        self._publish_labels()
 
     def annotate(self, table: Table) -> TableAnnotation:
         """Annotate one table with column types and pair relationships."""
@@ -162,9 +184,14 @@ class SantosUnionSearch(Discoverer):
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def _search(
+    def _candidates(
         self, query: Table, k: int, query_column: str | None
-    ) -> list[DiscoveryResult]:
+    ) -> CandidateSet:
+        """Annotate the query once, then retrieve every table sharing one
+        of its relationship / intent-type labels from the engine's label
+        postings; the annotation rides in the candidate-set context so the
+        scoring phase never re-derives it."""
+        engine = self._require_engine()
         query_annotation = self.annotate(query)
         intent = query_column if query_column in query.columns else None
         query_relationships = self._intent_relationships(query, query_annotation, intent)
@@ -173,16 +200,33 @@ class SantosUnionSearch(Discoverer):
             if intent is not None
             else query_annotation.all_types()
         )
+        candidates = engine.label_candidates(
+            self.name,
+            self.candidate_spec(),
+            {
+                f"{self.name}:rel": list(query_relationships),
+                f"{self.name}:type": list(intent_types),
+            },
+            k,
+        )
+        candidates.context["relationships"] = query_relationships
+        candidates.context["intent_types"] = intent_types
+        return candidates
 
-        candidates: set[str] = set()
-        for relationship in query_relationships:
-            candidates.update(self._tables_by_relationship.get(relationship, ()))
-        for type_name in intent_types:
-            candidates.update(self._tables_by_type.get(type_name, ()))
-
+    def _search(
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
+    ) -> list[DiscoveryResult]:
+        query_relationships = candidates.context["relationships"]
+        intent_types = candidates.context["intent_types"]
         results = []
         for table_name in candidates:
-            annotation = self._annotations[table_name]
+            annotation = self._annotations.get(table_name)
+            if annotation is None:
+                continue
             score, reason = self._score(
                 query_relationships, intent_types, annotation
             )

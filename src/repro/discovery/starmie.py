@@ -26,6 +26,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..embeddings.column import ColumnEmbedder
 from ..embeddings.hashing import HashedVectorSpace
 from ..table.table import Table
@@ -55,6 +56,15 @@ class StarmieUnionSearch(Discoverer):
     """Top-k unionable table search by contextualized column embeddings."""
 
     name = "starmie"
+    #: Honest exhaustive declaration: hashed embeddings can match columns
+    #: with disjoint values through the header/context channel, so no
+    #: posting or sketch signal soundly bounds the scorable set (a real
+    #: deployment would add an ANN index over the column vectors).
+    spec = CandidateSpec(
+        channels=("exhaustive",),
+        note="embedding scores have no sound sublinear retrieval signal "
+        "at this fidelity; every candidate matrix is scored",
+    )
 
     def __init__(self, config: StarmieConfig | None = None, embedder: ColumnEmbedder | None = None):
         super().__init__()
@@ -107,14 +117,21 @@ class StarmieUnionSearch(Discoverer):
 
     # ------------------------------------------------------------------
     def _search(
-        self, query: Table, k: int, query_column: str | None
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
     ) -> list[DiscoveryResult]:
         embedded = self._embed_table(query)
         if embedded is None:
             return []
         query_matrix, query_names = embedded
         results = []
-        for table_name, candidate_matrix in self._table_columns.items():
+        for table_name in candidates:
+            candidate_matrix = self._table_columns.get(table_name)
+            if candidate_matrix is None:
+                continue
             score, matched = self._match_score(query_matrix, candidate_matrix)
             if score >= self.config.min_table_score:
                 pairs = ", ".join(

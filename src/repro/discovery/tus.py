@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from ..candidates.spec import CandidateSet, CandidateSpec
 from ..discovery.kb import KnowledgeBase, seed_knowledge_base
 from ..table.table import Table
 from ..text.normalize import numeric_fraction
@@ -50,6 +51,13 @@ class TusUnionSearch(Discoverer):
     """Top-k unionable table search by ensemble attribute unionability."""
 
     name = "tus"
+    spec = CandidateSpec(
+        channels=("values",),
+        intent_only=False,
+        min_candidates_is_k=True,
+        note="value-overlap pruning with an exhaustive fallback below k "
+        "candidates, so type-only matches (disjoint values) still surface",
+    )
 
     def __init__(self, config: TusConfig | None = None, kb: KnowledgeBase | None = None):
         super().__init__()
@@ -57,7 +65,6 @@ class TusUnionSearch(Discoverer):
         self._kb = kb if kb is not None else seed_knowledge_base()
         self._tables: dict[str, list[_ColumnSummary]] = {}
         self._idf = TfIdfWeights()
-        self._value_index: dict[str, set[str]] = {}
 
     # ------------------------------------------------------------------
     def _summarize(self, table: Table) -> list[_ColumnSummary]:
@@ -95,14 +102,14 @@ class TusUnionSearch(Discoverer):
     def _build_index(self, lake: Mapping[str, Table]) -> None:
         self._tables = {}
         self._idf = TfIdfWeights()
-        self._value_index = {}
         for table_name, table in lake.items():
             summaries = self._summarize(table)
             self._tables[table_name] = summaries
             for summary in summaries:
                 self._idf.add_document(summary.values)
-                for value in summary.values:
-                    self._value_index.setdefault(value, set()).add(table_name)
+        # Candidate pruning by shared values runs on the engine's
+        # normalized-value postings; make sure they exist offline.
+        self._require_engine().warm(("values",))
 
     # ------------------------------------------------------------------
     def _attribute_unionability(self, a: _ColumnSummary, b: _ColumnSummary) -> float:
@@ -124,22 +131,23 @@ class TusUnionSearch(Discoverer):
         return max(scores)
 
     def _search(
-        self, query: Table, k: int, query_column: str | None
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        candidates: CandidateSet,
     ) -> list[DiscoveryResult]:
+        """Score the retrieved candidates only.  The spec's value channel
+        prunes to tables sharing a normalized value with the query, and
+        its ``min_candidates_is_k`` floor falls back to the whole lake
+        when pruning leaves fewer than *k* tables -- type-only matches
+        (disjoint values) still need consideration."""
         query_summaries = self._summarize(query)
-        # Candidate pruning: tables sharing at least one value with the query.
-        candidates: set[str] = set()
-        for summary in query_summaries:
-            for value in summary.values:
-                candidates.update(self._value_index.get(value, ()))
-        # Type-only matches (disjoint values) still need consideration:
-        # fall back to scanning everything when pruning leaves too little.
-        if len(candidates) < k:
-            candidates = set(self._tables)
-
         results = []
         for table_name in candidates:
-            summaries = self._tables[table_name]
+            summaries = self._tables.get(table_name)
+            if summaries is None:
+                continue
             score, aligned = self._table_unionability(query_summaries, summaries)
             if score >= self.config.min_table_score:
                 pairs = ", ".join(f"{qa}~{ca}" for qa, ca in aligned[:3])

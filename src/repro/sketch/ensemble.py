@@ -176,7 +176,17 @@ class LSHEnsemble:
                 signature_of[key] = partition.signatures[key]
         matches = []
         for key in candidates:
-            estimate = query_sig.containment_in(signature_of[key])
+            candidate_sig = signature_of[key]
+            # Cardinality gate: containment_from_jaccard is increasing in
+            # the Jaccard estimate, so its value at j = 1 -- (|Q| + |C|) /
+            # 2|Q| -- bounds every possible estimate for this candidate.
+            # A candidate whose (sketched) cardinality puts that bound
+            # below the threshold can never verify; skip the signature
+            # comparison entirely.  Pure pruning: never changes results.
+            upper = (query_sig.size + candidate_sig.size) / (2.0 * query_sig.size)
+            if upper < threshold:
+                continue
+            estimate = query_sig.containment_in(candidate_sig)
             if estimate >= threshold:
                 matches.append(EnsembleMatch(key=key, containment=estimate))
         matches.sort(key=lambda m: (-m.containment, str(m.key)))

@@ -8,6 +8,9 @@ Layout of a store directory::
     segments/<t>.seg.jsonl   one table's cell data, one column per line
     stats/<t>.stats.json     the table's ColumnStats snapshot payloads
     indexes/<d>.pkl          one fitted discoverer index per file
+    postings/engine.post.jsonl  the candidate engine's inverted posting
+                             structures (column registry, token and
+                             normalized-value posting lists)
 
 The design goals, in order:
 
@@ -29,8 +32,9 @@ The design goals, in order:
   than hydrating incomparable sketches.
 
 Versioning: ``lake_version`` increments on every content-changing ingest;
-persisted discoverer indexes remember the version they were fitted against
-and are dropped (never silently served stale) when it moves on.
+persisted discoverer indexes *and* the persisted posting artifact
+remember the version they were fitted/built against and are dropped
+(never silently served stale) when it moves on.
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ import pickle
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..datalake.catalog import DataLake
 from ..datalake.stats import LakeStats
@@ -139,6 +143,7 @@ class LakeStore:
             "sketch": (sketch_config or SketchConfig()).to_json(),
             "tables": {},
             "indexes": None,
+            "postings": None,
         }
         store = cls(path, manifest)
         store._write_manifest()
@@ -223,6 +228,7 @@ class LakeStore:
             for name, entry in self._manifest["tables"].items()
         }
         indexes = self._manifest.get("indexes") or {}
+        discoverers = indexes.get("discoverers") or {}
         return {
             "path": str(self._path),
             "format_version": self._manifest["format_version"],
@@ -231,8 +237,14 @@ class LakeStore:
             "num_tables": len(tables),
             "total_rows": sum(t["rows"] for t in tables.values()),
             "tables": tables,
-            "indexes": sorted((indexes.get("discoverers") or {})),
+            "indexes": sorted(discoverers),
             "indexes_lake_version": indexes.get("lake_version"),
+            "candidate_specs": {
+                name: entry.get("spec")
+                for name, entry in discoverers.items()
+                if entry.get("spec")
+            },
+            "postings": self._manifest.get("postings"),
         }
 
     # ------------------------------------------------------------------
@@ -291,6 +303,7 @@ class LakeStore:
         if added or updated or removed:
             self._manifest["lake_version"] += 1
             stale.extend(self._invalidate_indexes())
+            stale.extend(self._invalidate_postings())
         self._write_manifest()
         self._unlink_all(stale)
         return IngestReport(
@@ -310,6 +323,7 @@ class LakeStore:
         self._stats_cache.pop(name, None)
         self._manifest["lake_version"] += 1
         stale.extend(self._invalidate_indexes())
+        stale.extend(self._invalidate_postings())
         self._write_manifest()
         self._unlink_all(stale)
 
@@ -427,9 +441,17 @@ class LakeStore:
             with temp.open("wb") as handle:
                 pickle.dump(discoverer, handle, protocol=pickle.HIGHEST_PROTOCOL)
             temp.replace(file)
+            spec = discoverer.candidate_spec()
             entries[discoverer.name] = {
                 "file": rel,
                 "build_seconds": float((build_seconds or {}).get(discoverer.name, 0.0)),
+                "spec": {
+                    "channels": list(spec.channels),
+                    "budget": spec.budget,
+                    "min_candidates": (
+                        "k" if spec.min_candidates_is_k else spec.min_candidates
+                    ),
+                },
             }
         self._manifest["indexes"] = {
             "lake_version": self.lake_version,
@@ -476,6 +498,94 @@ class LakeStore:
             return []
         self._manifest["indexes"] = None
         return [entry["file"] for entry in (info.get("discoverers") or {}).values()]
+
+    # ------------------------------------------------------------------
+    # Persisted candidate-engine postings (the sublinear query path's
+    # offline artifact; see repro.candidates)
+    # ------------------------------------------------------------------
+    def save_engine(self, engine, channels: Iterable[str] = ("tokens",)) -> None:
+        """Persist the candidate engine's posting structures, pinned to the
+        current ``lake_version`` (a later content-changing ingest drops
+        them, exactly like discoverer index pickles).
+
+        *channels* is the roster's declared channel union; posting
+        channels (``tokens``, ``values``) serialize as JSONL, materialized
+        sketch ensembles (banded LSH structures + their signatures) as a
+        sibling pickle -- rebuilding bands would otherwise force a warm
+        process to page in every table's stats snapshot on its first
+        sketch query.  Label namespaces ride inside their publishers'
+        index pickles.
+        """
+        rel = "postings/engine.post.jsonl"
+        file = self._path / rel
+        file.parent.mkdir(parents=True, exist_ok=True)
+        temp = file.with_name(file.name + ".tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            for record in engine.to_records(channels):
+                handle.write(json.dumps(record, ensure_ascii=False, separators=(",", ":")))
+                handle.write("\n")
+        temp.replace(file)
+        sketches_rel = None
+        ensembles = engine.materialized_ensembles()
+        if ensembles:
+            sketches_rel = "postings/engine.sketches.pkl"
+            sketch_file = self._path / sketches_rel
+            temp = sketch_file.with_name(sketch_file.name + ".tmp")
+            with temp.open("wb") as handle:
+                pickle.dump(ensembles, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            temp.replace(sketch_file)
+        stats = engine.stats()
+        self._manifest["postings"] = {
+            "file": rel,
+            "sketches": sketches_rel,
+            "lake_version": self.lake_version,
+            "columns": stats["columns"],
+            "tokens": (stats["token_postings"] or {}).get("tokens"),
+            "token_entries": (stats["token_postings"] or {}).get("entries"),
+            "values": (stats["value_postings"] or {}).get("values"),
+            "value_entries": (stats["value_postings"] or {}).get("entries"),
+            # Band shapes recorded for `index info`; the structures
+            # themselves live in the sketches pickle above.
+            "ensembles": stats["ensembles"],
+        }
+        self._write_manifest()
+
+    def load_engine(self, lake: Mapping[str, Table] | None = None, stats=None):
+        """The persisted, *current* candidate engine, hydrated over *lake*
+        (the store's lazy lake view by default); None when no artifact was
+        saved or the lake has changed since it was built.  A hydrated
+        engine's posting channels never rebuild (``build_count`` stays 0)."""
+        from ..candidates.engine import CandidateEngine
+
+        info = self._manifest.get("postings")
+        if not info or info.get("lake_version") != self.lake_version:
+            return None
+        file = self._path / info["file"]
+        if not file.exists():
+            # Same crash window as orphaned index entries: treat as absent.
+            return None
+        if lake is None:
+            lake = self.lake()
+        with file.open("r", encoding="utf-8") as handle:
+            records = (json.loads(line) for line in handle if line.strip())
+            engine = CandidateEngine.from_records(lake, records, stats=stats)
+        sketches_rel = info.get("sketches")
+        if sketches_rel and (self._path / sketches_rel).exists():
+            with (self._path / sketches_rel).open("rb") as handle:
+                engine.adopt_ensembles(pickle.load(handle))
+        return engine
+
+    def _invalidate_postings(self) -> list[str]:
+        """Mark the persisted posting artifacts stale; returns their paths
+        for unlinking after the manifest commits."""
+        info = self._manifest.get("postings")
+        if not info:
+            return []
+        self._manifest["postings"] = None
+        stale = [info["file"]]
+        if info.get("sketches"):
+            stale.append(info["sketches"])
+        return stale
 
     # ------------------------------------------------------------------
     # Plumbing

@@ -1,0 +1,209 @@
+"""Full-scan vs candidate-engine equivalence, per discoverer.
+
+The refactor's central guarantee, split by each spec's declared soundness:
+
+* **Identical top-k** -- JOSIE (token postings are a superset of
+  overlap >= 1), SANTOS (a positive score needs a shared published
+  label), COCOA (scoring needs key overlap, every key is posted),
+  Starmie and FunctionDiscoverer (honest exhaustive): engine-backed
+  search == forcing the engine exhaustive, result for result.
+* **Subset with equal scores** -- TUS: its value pruning is part of the
+  original design (type-only matches with disjoint values are only
+  reconsidered through the below-k exhaustive fallback), so the full
+  scan may *add* tables; every table the engine path returns scores
+  identically.
+* **Subset with bounded scores** -- LSH Ensemble: banded retrieval can
+  miss a table's best column while a lesser one collides, so per-table
+  scores are bounded by the exhaustive scan's.
+
+Randomized lakes come from seeded generators driven by Hypothesis, plus
+explicit edge cases: empty queries (columns but no rows) and all-null
+columns.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalake import DataLake
+from repro.discovery import (
+    CocoaJoinSearch,
+    FunctionDiscoverer,
+    JosieJoinSearch,
+    LSHEnsembleJoinSearch,
+    SantosUnionSearch,
+    StarmieUnionSearch,
+    TusUnionSearch,
+    value_overlap_similarity,
+)
+from repro.table import MISSING, Table
+
+VOCAB = [
+    "berlin", "boston", "rome", "paris", "tokyo", "oslo", "lima", "cairo",
+    "delhi", "quito", "accra", "hanoi",
+]
+
+
+def make_lake(seed: int) -> DataLake:
+    rng = random.Random(seed)
+    tables = []
+    for t in range(rng.randint(3, 7)):
+        num_rows = rng.randint(2, 8)
+        columns = ["Key"] + [f"c{i}" for i in range(rng.randint(1, 3))]
+        rows = []
+        for _ in range(num_rows):
+            cells = [rng.choice(VOCAB)]
+            for i in range(len(columns) - 1):
+                roll = rng.random()
+                if roll < 0.15:
+                    cells.append(MISSING)
+                elif roll < 0.6:
+                    cells.append(rng.choice(VOCAB))
+                else:
+                    cells.append(rng.randint(0, 50))
+            rows.append(tuple(cells))
+        tables.append(Table(columns, rows, name=f"t{t}"))
+    return DataLake(tables)
+
+
+def make_query(seed: int) -> Table:
+    rng = random.Random(seed + 1)
+    rows = [
+        (rng.choice(VOCAB), rng.randint(0, 50), rng.choice(VOCAB))
+        for _ in range(rng.randint(2, 8))
+    ]
+    return Table(["Key", "Metric", "Other"], rows, name="query")
+
+
+def roster():
+    return [
+        JosieJoinSearch(),
+        LSHEnsembleJoinSearch(),
+        SantosUnionSearch(),
+        TusUnionSearch(),
+        StarmieUnionSearch(),
+        CocoaJoinSearch(),
+        FunctionDiscoverer(value_overlap_similarity, name="user_defined"),
+    ]
+
+
+def comparable(results):
+    return [(r.table_name, round(r.score, 9)) for r in results]
+
+
+def both_paths(discoverer, lake, query, k=50, query_column=None):
+    """(engine-backed, forced-exhaustive) results of one fitted discoverer.
+
+    The default k exceeds every generated lake's size, so the comparison
+    covers *complete* result sets: subset contracts are then exact
+    (truncating both sides at any smaller k preserves identity for the
+    identical group, whose full sets match result for result)."""
+    discoverer.fit(lake)
+    engine = discoverer.engine
+    engine.force_exhaustive = False
+    fast = comparable(discoverer.search(query, k=k, query_column=query_column))
+    engine.force_exhaustive = True
+    full = comparable(discoverer.search(query, k=k, query_column=query_column))
+    engine.force_exhaustive = False
+    return fast, full
+
+
+#: Discoverers whose retrieval is a provable superset of their scorable set.
+IDENTICAL = {"josie", "santos", "starmie", "cocoa", "user_defined"}
+
+
+def check_contract(discoverer, fast, full):
+    """Assert the equivalence level the discoverer's spec promises."""
+    if discoverer.name in IDENTICAL:
+        assert fast == full, f"{discoverer.name}: engine {fast} != full scan {full}"
+        return
+    full_scores = dict(full)
+    for table, score in fast:
+        assert table in full_scores, (
+            f"{discoverer.name} retrieved {table} the full scan missed"
+        )
+        if discoverer.name == "tus":
+            assert score == full_scores[table], f"{discoverer.name}: {table}"
+        else:  # lsh_ensemble: best-column selection may degrade under bands
+            assert score <= full_scores[table], f"{discoverer.name}: {table}"
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_engine_matches_declared_contract(seed):
+    lake = make_lake(seed)
+    query = make_query(seed)
+    for discoverer in roster():
+        fast, full = both_paths(discoverer, lake, query, query_column="Key")
+        check_contract(discoverer, fast, full)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_lsh_engine_results_contained_in_full_scan(seed):
+    lake = make_lake(seed)
+    query = make_query(seed)
+    fast, full = both_paths(
+        LSHEnsembleJoinSearch(), lake, query, k=50, query_column="Key"
+    )
+    full_scores = dict(full)
+    for table, score in fast:
+        assert table in full_scores, f"LSH retrieved {table} the full scan missed"
+        # The banded path may miss a table's *best* column while a lesser
+        # column still collides, so its best-per-table score is bounded by
+        # the exhaustive one (both read the same signatures).
+        assert score <= full_scores[table]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_no_intent_column_matches_contract(seed):
+    lake = make_lake(seed)
+    query = make_query(seed)
+    for discoverer in roster():
+        fast, full = both_paths(discoverer, lake, query)
+        check_contract(discoverer, fast, full)
+
+
+class TestEdgeCases:
+    @pytest.fixture
+    def lake(self):
+        return make_lake(seed=42)
+
+    def test_empty_query_table(self, lake):
+        empty = Table(["Key", "Metric"], [], name="query")
+        for discoverer in roster():
+            fast, full = both_paths(discoverer, lake, empty, query_column="Key")
+            check_contract(discoverer, fast, full)
+
+    def test_all_null_query_column(self, lake):
+        query = Table(
+            ["Key", "Metric"],
+            [(MISSING, 1), (MISSING, 2), (MISSING, 3)],
+            name="query",
+        )
+        for discoverer in roster():
+            fast, full = both_paths(discoverer, lake, query, query_column="Key")
+            check_contract(discoverer, fast, full)
+
+    def test_all_null_lake_column(self):
+        lake = DataLake(
+            [
+                Table(["Key", "Empty"], [("berlin", MISSING), ("rome", MISSING)], name="t0"),
+                Table(["Key"], [("berlin",), ("oslo",)], name="t1"),
+            ]
+        )
+        query = Table(["Key", "Metric"], [("berlin", 1.0), ("rome", 2.0)], name="query")
+        for discoverer in roster():
+            fast, full = both_paths(discoverer, lake, query, query_column="Key")
+            check_contract(discoverer, fast, full)
+
+    def test_query_disjoint_from_lake(self, lake):
+        query = Table(["Key"], [("zzz",), ("yyy",)], name="query")
+        for discoverer in roster():
+            fast, full = both_paths(discoverer, lake, query, query_column="Key")
+            check_contract(discoverer, fast, full)

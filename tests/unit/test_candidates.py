@@ -1,0 +1,247 @@
+"""Unit tests for the shared candidate-generation engine (repro.candidates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.candidates import (
+    CandidateEngine,
+    CandidateSet,
+    CandidateSpec,
+    ColumnRegistry,
+    EngineError,
+    PostingIndex,
+)
+from repro.datalake import DataLake
+from repro.store import LakeStore
+from repro.table import Table
+
+
+@pytest.fixture
+def lake():
+    return DataLake(
+        [
+            Table(["City", "Rate"], [("Berlin", 1), ("Boston", 2)], name="T1"),
+            Table(["City", "Pop"], [("Berlin", 3), ("Rome", 4)], name="T2"),
+            Table(["Name"], [("Alice",), ("Bob",)], name="T3"),
+        ]
+    )
+
+
+@pytest.fixture
+def engine(lake):
+    return CandidateEngine(lake)
+
+
+@pytest.fixture
+def query():
+    return Table(["City", "Score"], [("Berlin", 0.5), ("Rome", 0.7)], name="q")
+
+
+class TestCandidateSpec:
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ValueError, match="unknown candidate channels"):
+            CandidateSpec(channels=("telepathy",))
+
+    def test_needs_a_channel(self):
+        with pytest.raises(ValueError, match="at least one channel"):
+            CandidateSpec(channels=())
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="budget"):
+            CandidateSpec(channels=("tokens",), budget=0)
+
+    def test_floor_semantics(self):
+        assert CandidateSpec(channels=("tokens",), min_candidates=3).floor(k=7) == 3
+        assert CandidateSpec(channels=("tokens",), min_candidates_is_k=True).floor(k=7) == 7
+
+    def test_exhaustive_flag(self):
+        assert CandidateSpec(channels=("exhaustive",)).exhaustive
+        assert not CandidateSpec(channels=("tokens",)).exhaustive
+
+
+class TestPostingIndex:
+    def test_probe_counts_are_exact_overlaps(self):
+        index = PostingIndex.build([(0, {"a", "b"}), (1, {"b", "c"}), (2, {"x"})])
+        hits = index.probe({"a", "b", "c"})
+        assert hits == {0: 2, 1: 2}
+        assert index.document_frequency("b") == 2
+        assert index.num_tokens == 4 and index.num_entries == 5
+
+    def test_build_requires_dense_keys(self):
+        with pytest.raises(ValueError, match="dense keys"):
+            PostingIndex.build([(1, {"a"})])
+
+    def test_records_round_trip(self):
+        index = PostingIndex.build([(0, {"a"}), (1, {"a", "b"})])
+        records = list(index.to_records("token"))
+        sizes = next(r for r in records if r["kind"] == "token_sizes")["s"]
+        tokens = [r for r in records if r["kind"] == "token"]
+        restored = PostingIndex.from_records(sizes, tokens)
+        assert restored.postings == index.postings
+        assert restored.sizes == index.sizes
+
+
+class TestRegistry:
+    def test_owner_resolution_and_table_grouping(self, engine):
+        registry = engine.registry
+        owners = {registry.owner(key) for key in range(len(registry))}
+        assert ("T1", "City") in owners and ("T3", "Name") in owners
+        assert set(registry.tables) == {"T1", "T2", "T3"}
+        t2_keys = list(registry.keys_of(["T2"]))
+        assert all(registry.owner(k)[0] == "T2" for k in t2_keys)
+
+    def test_json_round_trip(self, engine):
+        registry = engine.registry
+        restored = ColumnRegistry.from_json(registry.to_json())
+        assert restored.owners == registry.owners
+        assert restored.token_sizes == registry.token_sizes
+
+
+class TestGenericRetrieval:
+    def test_token_channel_retrieves_sharing_tables(self, engine, query):
+        spec = CandidateSpec(channels=("tokens",))
+        candidates = engine.retrieve("d", spec, query, k=5, query_column="City")
+        assert set(candidates) == {"T1", "T2"}  # share Berlin / Rome tokens
+        assert "T3" not in candidates
+        assert candidates.evidence_for("tokens:City")
+
+    def test_intent_only_respected(self, engine, query):
+        spec = CandidateSpec(channels=("tokens",), intent_only=False)
+        both = engine.retrieve("d", spec, query, k=5, query_column="City")
+        assert set(both.report.channels) == {"tokens"}
+        assert both.report.probes >= 2  # City and Score both probed
+
+    def test_budget_truncates_by_evidence(self, engine):
+        query = Table(["City"], [("Berlin",), ("Boston",)], name="q")
+        spec = CandidateSpec(channels=("tokens",), budget=1)
+        candidates = engine.retrieve("d", spec, query, k=5)
+        assert candidates.truncated
+        assert list(candidates) == ["T1"]  # 2 shared tokens beats T2's 1
+
+    def test_engine_default_budget_applies(self, engine):
+        query = Table(["City"], [("Berlin",), ("Boston",)], name="q")
+        engine.default_budget = 1
+        candidates = engine.retrieve("d", CandidateSpec(channels=("tokens",)), query, k=5)
+        assert candidates.truncated and len(candidates) == 1
+
+    def test_budget_below_floor_does_not_fall_back(self, engine, query):
+        """A budget smaller than the fallback floor must cap scoring at
+        the budget -- never invert into a whole-lake scan.  The floor is
+        judged on the pre-truncation retrieved count."""
+        spec = CandidateSpec(channels=("tokens",), min_candidates=2, budget=1)
+        candidates = engine.retrieve("d", spec, query, k=5, query_column="City")
+        assert not candidates.fallback
+        assert candidates.truncated
+        assert len(candidates) == 1  # budget honored, lake is 3 tables
+        report = candidates.report
+        assert report.retrieved == 2 and report.scored == 1
+
+    def test_min_candidates_falls_back_to_whole_lake(self, engine, query):
+        spec = CandidateSpec(channels=("tokens",), min_candidates=3)
+        candidates = engine.retrieve("d", spec, query, k=5, query_column="City")
+        assert candidates.fallback
+        assert set(candidates) == {"T1", "T2", "T3"}
+        # Retrieval evidence survives the fallback.
+        assert candidates.evidence_for("tokens:City")
+
+    def test_exhaustive_spec_returns_all_without_evidence(self, engine, query):
+        candidates = engine.retrieve("d", CandidateSpec(), query, k=5)
+        assert set(candidates) == {"T1", "T2", "T3"}
+        assert candidates.evidence is None
+        with pytest.raises(KeyError, match="no retrieval evidence"):
+            candidates.evidence_for("tokens:City")
+
+    def test_force_exhaustive_overrides_any_spec(self, engine, query):
+        engine.force_exhaustive = True
+        candidates = engine.retrieve(
+            "d", CandidateSpec(channels=("tokens",)), query, k=5
+        )
+        assert candidates.evidence is None
+        assert candidates.report.exhaustive
+
+    def test_sketch_channel_needs_custom_probes(self, engine, query):
+        with pytest.raises(EngineError, match="discoverer-provided probes"):
+            engine.retrieve("d", CandidateSpec(channels=("sketch",)), query, k=5)
+
+    def test_empty_query_retrieves_nothing(self, engine):
+        empty = Table(["City"], [], name="empty")
+        candidates = engine.retrieve(
+            "d", CandidateSpec(channels=("tokens",)), empty, k=0 + 1
+        )
+        assert len(candidates) == 0 and not candidates.fallback
+
+
+class TestLabelChannel:
+    def test_publish_and_retrieve(self, engine):
+        engine.publish_labels("d:type", {"city": {"T1", "T2"}, "name": {"T3"}})
+        spec = CandidateSpec(channels=("labels",))
+        candidates = engine.label_candidates("d", spec, {"d:type": ["city"]}, k=5)
+        assert set(candidates) == {"T1", "T2"}
+        assert engine.label_namespaces == ["d:type"]
+
+    def test_unpublished_namespace_is_empty(self, engine):
+        spec = CandidateSpec(channels=("labels",))
+        candidates = engine.label_candidates("d", spec, {"nope": ["x"]}, k=0 + 1)
+        assert len(candidates) == 0
+
+
+class TestAccounting:
+    def test_reports_and_explain(self, engine, query):
+        engine.retrieve("d1", CandidateSpec(channels=("tokens",)), query, k=5)
+        engine.retrieve("d2", CandidateSpec(), query, k=5)
+        explain = engine.explain()
+        assert explain["d1"]["retrieved"] == 2 and not explain["d1"]["exhaustive"]
+        assert explain["d2"]["exhaustive"] and explain["d2"]["scored"] == 3
+        assert engine.stats()["queries"] == {"d1": 1, "d2": 1}
+
+    def test_stats_reflect_materialized_channels(self, engine, query):
+        stats = engine.stats()
+        assert stats["token_postings"] is None  # lazy until first probe
+        engine.retrieve("d", CandidateSpec(channels=("tokens",)), query, k=5)
+        stats = engine.stats()
+        assert stats["token_postings"]["tokens"] > 0
+        assert stats["columns"] == 5
+        assert stats["build_count"] == 1
+
+
+class TestCandidateSet:
+    def test_container_protocol(self):
+        cs = CandidateSet(tables=("a", "b"), evidence={})
+        assert "a" in cs and "c" not in cs
+        assert list(cs) == ["a", "b"] and len(cs) == 2
+
+
+class TestEnginePersistence:
+    def test_records_round_trip(self, lake, engine, query):
+        engine.warm(("tokens", "values"))
+        records = [dict(r) for r in engine.to_records(("tokens", "values"))]
+        restored = CandidateEngine.from_records(lake, records)
+        assert restored.loaded_from_store and restored.build_count == 0
+        assert restored.token_postings.postings == engine.token_postings.postings
+        assert restored.value_postings.postings == engine.value_postings.postings
+        assert restored.registry.owners == engine.registry.owners
+        spec = CandidateSpec(channels=("tokens",))
+        a = engine.retrieve("d", spec, query, k=5, query_column="City")
+        b = restored.retrieve("d", spec, query, k=5, query_column="City")
+        assert a.tables == b.tables and a.evidence == b.evidence
+        assert restored.build_count == 0  # probing hydrated channels rebuilds nothing
+
+    def test_store_save_load_and_version_pinning(self, lake, engine, tmp_path):
+        store = LakeStore.create(tmp_path / "lake.store")
+        store.ingest(lake)
+        engine.warm(("tokens",))
+        store.save_engine(engine, channels=("tokens",))
+        loaded = store.load_engine(lake=lake)
+        assert loaded is not None and loaded.loaded_from_store
+        assert loaded.token_postings.postings == engine.token_postings.postings
+        # A content-changing ingest invalidates the artifact (never stale).
+        smaller = {name: lake[name] for name in ["T1", "T2"]}
+        store.ingest(smaller)
+        assert store.load_engine(lake=smaller) is None
+        assert not (tmp_path / "lake.store" / "postings" / "engine.post.jsonl").exists()
+
+    def test_missing_artifact_returns_none(self, lake, tmp_path):
+        store = LakeStore.create(tmp_path / "lake.store")
+        store.ingest(lake)
+        assert store.load_engine(lake=lake) is None

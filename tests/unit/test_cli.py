@@ -296,3 +296,70 @@ class TestIndexCommands:
         )
         assert code == 0
         assert "integration set: query, T2, T3" in capsys.readouterr().out
+
+
+class TestCandidateEngineCli:
+    """ISSUE 3 surface: --candidate-budget, discover --explain, and the
+    posting/band/budget lines of ``index info``."""
+
+    def test_discover_explain_reports_retrieval(self, lake_dir, query_csv, capsys):
+        code = main(
+            [
+                "discover",
+                "--lake", str(lake_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retrieval (candidates before scoring):" in out
+        assert "josie:" in out and "tables scored" in out
+        assert "via tokens" in out and "via sketch" in out and "via labels" in out
+        assert "engine:" in out and "budget=unbudgeted" in out
+
+    def test_candidate_budget_threads_to_engine(self, lake_dir, query_csv, capsys):
+        code = main(
+            [
+                "discover",
+                "--lake", str(lake_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+                "--candidate-budget", "1",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget=1" in out
+
+    def test_index_info_reports_postings_and_specs(self, lake_dir, tmp_path, capsys):
+        store_dir = tmp_path / "lake.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert main(["index", "info", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "persisted postings (current):" in out
+        assert "tokens" in out and "entries" in out
+        assert "LSH bands" in out
+        assert "josie: channels=tokens, budget=unbudgeted" in out
+        assert "lsh_ensemble: channels=sketch" in out
+        assert "santos: channels=labels" in out
+
+    def test_warm_discover_uses_persisted_postings(self, lake_dir, query_csv, tmp_path, capsys):
+        store_dir = tmp_path / "lake.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "discover",
+                "--store", str(store_dir),
+                "--query", str(query_csv),
+                "--column", "City",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "postings loaded from store: True" in out

@@ -172,3 +172,19 @@ class TestMergeResultSets:
 
     def test_empty(self):
         assert merge_result_sets([]) == []
+
+    def test_deterministic_tie_breaking(self):
+        """ISSUE 3 satellite pin: merged order is (score desc, table asc,
+        discoverer asc), and on a score tie the alphabetically first
+        discoverer is credited -- independent of input order, so persisted
+        integration sets are byte-reproducible across runs."""
+        a = [DiscoveryResult("t", 1.0, "zeta"), DiscoveryResult("b", 1.0, "zeta")]
+        b = [DiscoveryResult("t", 1.0, "alpha"), DiscoveryResult("a", 1.0, "alpha")]
+        forward = merge_result_sets([a, b], normalize=False)
+        backward = merge_result_sets([b, a], normalize=False)
+        assert [(r.table_name, r.score, r.discoverer) for r in forward] == [
+            (r.table_name, r.score, r.discoverer) for r in backward
+        ]
+        assert [r.table_name for r in forward] == ["a", "b", "t"]
+        by_name = {r.table_name: r for r in forward}
+        assert by_name["t"].discoverer == "alpha"  # tie -> lexicographic winner

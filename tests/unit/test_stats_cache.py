@@ -157,6 +157,28 @@ class TestFullRunScansOnce:
         with pytest.raises(ValueError, match="unique names"):
             pipeline.discover_many([query, query])
 
+    def test_fanout_search_profiles_query_once(self, lake):
+        """ISSUE 3 satellite pin: a direct ``LakeIndex.search`` fan-out over
+        all six discoverers profiles the query table exactly once -- the
+        scoped warm-up in ``search`` -- and every discoverer's retrieval
+        and scoring phases read that one pass's products."""
+        from repro.datalake import LakeIndex
+
+        pipeline = Dialite.with_all_discoverers(lake)
+        index = LakeIndex(pipeline.lake, pipeline.discoverers.components()).build()
+        query = covid_query_table()
+        per_discoverer = index.search(query, k=5, query_column="City")
+        assert len(per_discoverer) == 6
+        assert all(n == 1 for n in query.stats.scan_counts.values()), (
+            query.stats.scan_counts
+        )
+        # A second fan-out re-reads the same cache: still exactly one pass.
+        index.search(query, k=5, query_column="City")
+        assert all(n == 1 for n in query.stats.scan_counts.values())
+        # And the shared engine's retrieval structures never re-scan the
+        # lake either: one pass per lake column, total.
+        assert all(n == 1 for n in pipeline.lake.stats.scan_counts().values())
+
     def test_synthetic_lake_full_run_scans_once(self, small_synth_lake):
         """The ISSUE acceptance scenario: the synthetic lake end to end."""
         pipeline = Dialite.with_all_discoverers(small_synth_lake.lake).fit()
