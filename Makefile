@@ -8,12 +8,14 @@
 #   make bench-store  store warm-start benchmark @1k tables incl. the >= 5x check
 #   make bench-candidates  candidate-engine fan-out @2k tables incl. the >= 4x check
 #   make candidates-smoke  same suite @300 tables, relaxed gate (runs in CI)
+#   make bench-fd     interned FD kernel vs legacy object kernel @8x500 incl. the >= 3x check
+#   make fd-smoke     same suite, small scale: identity asserts + JSON, no speed gate (runs in CI)
 #   make ci           what CI runs: tier-1 tests + smoke benchmarks + lint
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,7 +23,9 @@ test:
 # Prefer pyflakes when it is installed; the fallback is chosen by
 # availability, not by exit status, so real pyflakes findings fail the run.
 # The full-scan guard fails the build if any discoverer's query path
-# iterates the raw lake mapping instead of retrieving through the engine.
+# iterates the raw lake mapping instead of retrieving through the engine;
+# the FD hot-path guard fails it if integration hot paths regress to
+# per-cell normalized_key round trips instead of cell_key / interned codes.
 lint:
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
 		$(PYTHON) -m pyflakes src/repro benchmarks tests tools; \
@@ -29,6 +33,7 @@ lint:
 		$(PYTHON) -m compileall -q src/repro benchmarks tests tools; \
 	fi
 	$(PYTHON) tools/check_no_full_scan.py
+	$(PYTHON) tools/check_fd_hot_paths.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_table_engine.py --smoke --json .benchmarks/table_engine_smoke.json
@@ -55,4 +60,14 @@ candidates-smoke:
 bench-candidates:
 	$(PYTHON) benchmarks/bench_candidates.py --check --json .benchmarks/candidates.json
 
-ci: test bench-smoke store-smoke candidates-smoke lint
+# FD kernel smoke: interned kernel output is asserted cell/provenance/
+# null-kind/row-order identical to the legacy object kernel; timings land
+# in .benchmarks/ but the >= 3x gate only runs at full scale (bench-fd),
+# where the measurement is not jitter-dominated.
+fd-smoke:
+	$(PYTHON) benchmarks/bench_fd_kernel.py --smoke --json .benchmarks/fd_kernel.json
+
+bench-fd:
+	$(PYTHON) benchmarks/bench_fd_kernel.py --check --json .benchmarks/fd_kernel.json
+
+ci: test bench-smoke store-smoke candidates-smoke fd-smoke lint

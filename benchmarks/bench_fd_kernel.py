@@ -1,0 +1,167 @@
+"""Interned FD kernel vs the legacy object kernel (ISSUE 4 acceptance).
+
+The claim under test: on an ~8 tables x 500 rows integration set, the
+interned partition-first :class:`AliteFD` (integer-coded tuples, masked
+int-vector predicates, packed-int postings, per-component closure) is
+**>= 3x faster** than :class:`LegacyAliteFD` -- the pre-PR-4 object-level
+kernel kept verbatim as the baseline -- while producing **identical**
+output: same cells, same null kinds (``±``/``⊥``), same provenance sets,
+same row order.
+
+Two entry points:
+
+* ``python benchmarks/bench_fd_kernel.py [--check] [--json out.json]``
+  runs the full-scale gate (best-of-``--repeats`` timings);
+* ``python benchmarks/bench_fd_kernel.py --smoke --json out.json`` runs a
+  small workload: every correctness assertion, timings recorded to JSON,
+  but no hard speed gate (at smoke scale the measurement is dominated by
+  jitter) -- this is what ``make ci`` exercises via ``make fd-smoke``.
+
+The same identity assertions are pinned distribution-free (randomized
+inputs, incremental prefixes, process-pool dispatch) by
+``tests/property/test_fd_kernel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datalake.synth import build_integration_set  # noqa: E402
+from repro.integration import AliteFD, LegacyAliteFD, ParallelFD, normalized_key  # noqa: E402
+from repro.table.values import is_missing, is_null  # noqa: E402
+
+#: The acceptance gate: interned partition-first kernel over object kernel.
+SPEEDUP_GATE = 3.0
+
+FULL = dict(num_tables=8, rows_per_table=500, num_attributes=10,
+            attributes_per_table=4, key_pool_size=1000, null_rate=0.08, seed=7)
+SMOKE = dict(num_tables=4, rows_per_table=80, num_attributes=8,
+             attributes_per_table=3, key_pool_size=160, null_rate=0.08, seed=7)
+
+
+def null_kind_grid(result) -> list[tuple]:
+    """Per-cell (is-null, is-missing) so ``±`` vs ``⊥`` differences count."""
+    return [tuple((is_null(c), is_missing(c)) for c in row) for row in result.rows]
+
+
+def assert_identical(reference, candidate, label: str) -> None:
+    """Cell-, provenance-, null-kind- and row-order-identical outputs.
+
+    Cells are compared by ``==`` *and* by normalized key: Python's
+    ``True == 1`` / ``1 == 1.0`` would otherwise let exactly the class of
+    bool/int confusion the kernel's discipline guards against slip through
+    an ``==``-only gate."""
+    assert tuple(candidate.columns) == tuple(reference.columns), f"{label}: header differs"
+    assert list(candidate.rows) == list(reference.rows), f"{label}: cells/row order differ"
+    assert [normalized_key(r) for r in candidate.rows] == [
+        normalized_key(r) for r in reference.rows
+    ], f"{label}: cell keys differ (bool/int or num/str confusion)"
+    assert null_kind_grid(candidate) == null_kind_grid(reference), f"{label}: null kinds differ"
+    assert candidate.provenance == reference.provenance, f"{label}: provenance differs"
+
+
+def timed(make_integrator, tables, repeats: int):
+    """Best-of-*repeats* wall time; a fresh integrator per run so no run
+    warms the next one's interner."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        integrator = make_integrator()
+        start = time.perf_counter()
+        result = integrator.integrate(tables)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(smoke: bool, check: bool, repeats: int, json_path: str | None) -> int:
+    scale = SMOKE if smoke else FULL
+    tables = build_integration_set(**scale)
+    total_rows = sum(t.num_rows for t in tables)
+    print(
+        f"FD kernel benchmark ({'smoke' if smoke else 'full'}): "
+        f"{scale['num_tables']} tables x {scale['rows_per_table']} rows "
+        f"({total_rows} input tuples)"
+    )
+
+    legacy_seconds, legacy = timed(LegacyAliteFD, tables, repeats)
+    interned_instances: list[AliteFD] = []
+
+    def fresh_interned() -> AliteFD:
+        interned_instances.append(AliteFD())
+        return interned_instances[-1]
+
+    interned_seconds, interned = timed(fresh_interned, tables, repeats)
+    stats = interned_instances[-1].last_stats or {}
+    parallel_seconds, parallel = timed(
+        lambda: ParallelFD(max_workers=2, min_parallel_components=4), tables, repeats
+    )
+
+    assert_identical(legacy, interned, "interned AliteFD vs legacy")
+    assert_identical(legacy, parallel, "ParallelFD vs legacy")
+    print(
+        f"  output identical across kernels: {interned.num_rows} facts, "
+        f"{stats.get('components', '?')} components, "
+        f"domain {stats.get('domain', '?')} values"
+    )
+
+    speedup = legacy_seconds / max(interned_seconds, 1e-9)
+    print(f"  legacy object kernel : {legacy_seconds:9.3f}s")
+    print(f"  interned AliteFD     : {interned_seconds:9.3f}s  ({speedup:.2f}x)")
+    print(
+        f"  ParallelFD(workers=2): {parallel_seconds:9.3f}s  "
+        f"({legacy_seconds / max(parallel_seconds, 1e-9):.2f}x)"
+    )
+
+    document = {
+        "benchmark": "fd_kernel",
+        "mode": "smoke" if smoke else "full",
+        "scale": scale,
+        "input_tuples": total_rows,
+        "output_facts": interned.num_rows,
+        "kernel_stats": stats,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "interned_seconds": round(interned_seconds, 6),
+        "parallel2_seconds": round(parallel_seconds, 6),
+        "speedup": round(speedup, 3),
+        "gate": SPEEDUP_GATE if not smoke else None,
+        "identical_output": True,  # the asserts above would have raised
+    }
+    if json_path:
+        path = Path(json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+        print(f"  json: {path}")
+
+    if check and not smoke:
+        if speedup < SPEEDUP_GATE:
+            print(
+                f"GATE FAILED: interned kernel {speedup:.2f}x < {SPEEDUP_GATE}x "
+                f"over the legacy object kernel"
+            )
+            return 1
+        print(f"gate ok: {speedup:.2f}x >= {SPEEDUP_GATE}x")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload: correctness + JSON, no speed gate")
+    parser.add_argument("--check", action="store_true",
+                        help=f"fail unless interned >= {SPEEDUP_GATE}x over legacy")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N timing (default: 2 full, 1 smoke)")
+    parser.add_argument("--json", default=None, help="write the JSON document here")
+    args = parser.parse_args()
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 2)
+    return run(args.smoke, args.check, repeats, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ equivalent headless surface::
     python -m repro integrate  --lake lake/ --query query.csv --column City \
                                --integrator alite_fd --out integrated.csv
     python -m repro integrate  --tables a.csv b.csv c.csv --out integrated.csv
+    python -m repro integrate  --tables a.csv b.csv c.csv --workers 4 --explain
     python -m repro analyze    --table integrated.csv --app correlation \
                                --option "columns=Vaccination Rate,Death Rate"
     python -m repro report     --lake lake/ --query query.csv --column City \
@@ -111,9 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--tables", nargs="+", default=None,
         help="explicit integration set (CSV files); skips discovery",
     )
-    integrate.add_argument("--integrator", default="alite_fd")
+    integrate.add_argument("--integrator", default=None)
     integrate.add_argument("--no-align", action="store_true", help="inputs are pre-aligned")
     integrate.add_argument("--out", default=None, help="write the integrated table as CSV")
+    integrate.add_argument(
+        "--workers", type=int, default=1,
+        help="FD worker processes: >1 integrates with the component-parallel "
+        "kernel (identical results; pays off on many-component inputs)",
+    )
+    integrate.add_argument(
+        "--explain", action="store_true",
+        help="print kernel accounting: connected components, interned "
+        "domain size, intern/partition/closure/subsume timings",
+    )
 
     report = commands.add_parser(
         "report", help="run the full pipeline and write a markdown report"
@@ -170,9 +181,14 @@ def _load_pipeline(args: argparse.Namespace) -> Dialite:
     """The discovery pipeline behind discover/integrate/report: a warm
     start from ``--store`` when given, else a cold fit over ``--lake``."""
     budget = getattr(args, "candidate_budget", None)
+    workers = getattr(args, "workers", 1)
     if getattr(args, "store", None):
-        return Dialite.open(args.store, candidate_budget=budget).fit()
-    return Dialite(DataLake.from_dir(args.lake), candidate_budget=budget).fit()
+        return Dialite.open(
+            args.store, candidate_budget=budget, fd_workers=workers
+        ).fit()
+    return Dialite(
+        DataLake.from_dir(args.lake), candidate_budget=budget, fd_workers=workers
+    ).fit()
 
 
 def _resolve_roster(args: argparse.Namespace, lake) -> list:
@@ -372,7 +388,7 @@ def _print_retrieval(retrieval: dict) -> None:
 def _cmd_integrate(args: argparse.Namespace) -> int:
     if args.tables:
         tables = [read_csv(path) for path in args.tables]
-        pipeline = Dialite(DataLake())
+        pipeline = Dialite(DataLake(), fd_workers=args.workers)
         result = pipeline.integrate(
             tables, integrator=args.integrator, align=not args.no_align
         )
@@ -391,9 +407,41 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
         result = pipeline.integrate(
             outcome, integrator=args.integrator, align=not args.no_align
         )
+    if args.explain:
+        chosen = pipeline.integrators.get(
+            args.integrator or pipeline.default_integrator
+        )
+        _print_kernel_stats(getattr(chosen, "last_stats", None))
     display = result.to_display_table() if isinstance(result, IntegratedTable) else result
     _emit(display, args.out)
     return 0
+
+
+def _print_kernel_stats(stats: dict | None) -> None:
+    """The FD kernel accounting of one integrate call (``--explain``)."""
+    if not stats:
+        print("kernel accounting: not available for this integrator\n")
+        return
+    print(
+        f"FD kernel: {stats['input_tuples']} input tuples -> "
+        f"{stats['output_tuples']} facts in {stats['components']} components "
+        f"(largest {stats['largest_component']}, "
+        f"{stats['all_null_tuples']} all-null), "
+        f"interned domain {stats['domain']} values"
+    )
+    timings = [
+        f"{phase} {stats[key]:.3f}s"
+        for phase, key in (
+            ("intern", "intern_seconds"),
+            ("partition", "partition_seconds"),
+            ("closure", "closure_seconds"),
+            ("subsume", "subsume_seconds"),
+        )
+        if key in stats
+    ]
+    if "workers" in stats:
+        timings.append(f"workers {stats['workers']} ({stats['stripes']} stripes)")
+    print("  " + " | ".join(timings) + "\n")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

@@ -8,8 +8,10 @@ registries:
 * ``discoverers`` -- defaults: SANTOS union search + LSH Ensemble join
   search (+ JOSIE available by name); add your own with
   :meth:`add_discoverer`, including bare similarity functions (Fig. 4);
-* ``integrators`` -- default ALITE Full Disjunction; outer/inner join and
-  union pre-registered for comparison (Fig. 6);
+* ``integrators`` -- default ALITE Full Disjunction on the interned
+  partition-first kernel (``Dialite(fd_workers=N)`` switches the default
+  to the pool-backed ``parallel_fd``, identical results); outer/inner
+  join and union pre-registered for comparison (Fig. 6);
 * ``apps`` -- describe / aggregation / correlation / entity resolution.
 
 Typical use::
@@ -54,6 +56,7 @@ from ..integration.outerjoin import (
     OuterJoinIntegrator,
     UnionIntegrator,
 )
+from ..integration.parallel import ParallelFD
 from ..integration.tuples import IntegratedTable
 from ..table.table import Table
 from .registry import Registry
@@ -73,9 +76,10 @@ class Dialite:
         lake: DataLake | Mapping[str, Table] | Sequence[Table] | None = None,
         discoverers: Sequence[Discoverer] | None = None,
         aligner: HolisticAligner | None = None,
-        default_integrator: str = "alite_fd",
+        default_integrator: str | None = None,
         store: "str | Path | LakeStore | None" = None,
         candidate_budget: int | None = None,
+        fd_workers: int = 1,
     ):
         if store is not None:
             from ..store.lakestore import LakeStore
@@ -106,14 +110,24 @@ class Dialite:
         ):
             self.discoverers.register(discoverer.name, discoverer)
 
+        #: Worker-process count for the component-parallel FD integrator.
+        #: ``fd_workers > 1`` registers a pool-backed ``parallel_fd`` and
+        #: makes it the default integrator (unless one was named
+        #: explicitly); ``1`` keeps the sequential partition-first
+        #: ``alite_fd``.  Both run the interned integer kernel and produce
+        #: identical results.
+        self.fd_workers = max(1, fd_workers)
         self.integrators: Registry[Integrator] = Registry("integrator")
         for integrator in (
             AliteFD(),
+            ParallelFD(max_workers=self.fd_workers),
             OuterJoinIntegrator(),
             InnerJoinIntegrator(),
             UnionIntegrator(),
         ):
             self.integrators.register(integrator.name, integrator)
+        if default_integrator is None:
+            default_integrator = "parallel_fd" if self.fd_workers > 1 else "alite_fd"
         self.default_integrator = default_integrator
         self.integrators.get(default_integrator)  # validate eagerly
 

@@ -6,10 +6,11 @@ see :mod:`repro.alignment`) and produce provenance-carrying
 :class:`IntegratedTable` results.
 """
 
-from .alite import AliteFD, complementation_closure
+from .alite import AliteFD, LegacyAliteFD, complementation_closure
 from .base import Integrator
 from .definition import OracleFD, enumerate_merges
 from .explain import explain_fact, fact_lineage
+from .intern import IntTuple, ValueInterner, solve_interned
 from .iterator import fd_preview, iter_fd
 from .nested_loop import NestedLoopFD
 from .outerjoin import (
@@ -19,7 +20,7 @@ from .outerjoin import (
     order_sensitivity,
 )
 from .parallel import ParallelFD, connected_components
-from .subsume import dedupe_tuples, remove_subsumed
+from .subsume import dedupe_tuples, interned_remove_subsumed, remove_subsumed
 from .tuples import (
     IntegratedTable,
     WorkTuple,
@@ -33,9 +34,14 @@ from .tuples import (
 __all__ = [
     "Integrator",
     "AliteFD",
+    "LegacyAliteFD",
     "NestedLoopFD",
     "ParallelFD",
     "OracleFD",
+    "ValueInterner",
+    "IntTuple",
+    "solve_interned",
+    "interned_remove_subsumed",
     "OuterJoinIntegrator",
     "InnerJoinIntegrator",
     "UnionIntegrator",

@@ -1,16 +1,30 @@
-"""ALITE's Full Disjunction: complementation to fixpoint, then subsumption.
+"""ALITE's Full Disjunction: partition, complement to fixpoint, subsume.
 
 The algorithm (Khatiwada et al., VLDB 2023, adapted to in-memory scale):
 
 1. **Outer union** the aligned tables over the united header, labelling the
    tuples ``t1..tn`` (:func:`prepare_integration_input`).
-2. **Complementation closure**: repeatedly merge *joinable* tuple pairs
-   (agree wherever both non-null, overlap on at least one value) until no
-   new tuple appears.  The working set is keyed by value so re-derivations
-   collapse; an inverted index on (attribute, value) means each tuple only
-   ever meets tuples it shares a value with -- the same pruning ALITE gets
-   from its partitioning step, realized incrementally.
-3. **Subsumption removal** drops every tuple another tuple makes redundant.
+2. **Partition** the working set into connected components of the
+   shared-value graph (the paper's partitioning step; Paganelli et al.,
+   BDR 2019 prove closure and subsumption never cross a component).
+3. **Complementation closure**, per component: repeatedly merge *joinable*
+   tuple pairs (agree wherever both non-null, overlap on at least one
+   value) until no new tuple appears.  The working set is keyed by value so
+   re-derivations collapse; an inverted index on (attribute, value) means
+   each tuple only ever meets tuples it shares a value with.
+4. **Subsumption removal** drops every tuple another tuple makes redundant.
+
+Since PR 4 the default :class:`AliteFD` runs steps 2-4 on the **interned
+integer kernel** (:mod:`repro.integration.intern`): cells become small int
+codes, joinability/subsumption become masked int-vector loops, and postings
+become packed ints.  :class:`LegacyAliteFD` keeps the original object-level
+kernel (same algorithm and data layout as pre-PR-4; it shares the
+``joinable``/``subsumes`` predicates, which gained the bool-vs-int
+discipline of ``values_equal`` in the same PR, so both kernels see one
+semantics) as the benchmark baseline (``benchmarks/bench_fd_kernel.py``
+gates the interned kernel >= 3x over it) and as the equivalence oracle for
+``tests/property/test_fd_kernel_equivalence.py``: both kernels must produce
+identical cells, null kinds, provenance and row order.
 
 The result is exactly the set of maximal merges of connected,
 join-consistent subsets of the input tuples (see
@@ -26,6 +40,7 @@ from collections import deque
 from ..table.table import Table
 from ..table.values import MISSING, PRODUCED, is_null
 from .base import Integrator
+from .intern import ValueInterner, solve_interned
 from .subsume import dedupe_tuples, remove_subsumed
 from .tuples import (
     IntegratedTable,
@@ -39,7 +54,7 @@ from .tuples import (
     prepare_integration_input,
 )
 
-__all__ = ["AliteFD", "complementation_closure"]
+__all__ = ["AliteFD", "LegacyAliteFD", "complementation_closure"]
 
 #: The singleton key :func:`cell_key` returns for nulls of either kind.
 _NULL_CELL_KEY = cell_key(MISSING)
@@ -47,8 +62,13 @@ _NULL_CELL_KEY = cell_key(MISSING)
 
 def complementation_closure(tuples: list[WorkTuple]) -> list[WorkTuple]:
     """Close *tuples* under pairwise complementation (merge of joinable
-    pairs).  Returns the full closure including intermediates; callers
-    typically follow with :func:`remove_subsumed`.
+    pairs) -- the **object-level** kernel, kept as the
+    :class:`LegacyAliteFD` baseline.  Returns the full closure including
+    intermediates; callers typically follow with :func:`remove_subsumed`.
+
+    The interned kernel (:func:`repro.integration.intern.interned_closure`)
+    replicates this algorithm -- including its sorted partner iteration, so
+    provenance folding is identical -- on integer codes.
 
     The key vectors that drive the (attribute, value) inverted index are
     computed **once per stored tuple** at insertion -- the tuple's normalized
@@ -112,10 +132,135 @@ def complementation_closure(tuples: list[WorkTuple]) -> list[WorkTuple]:
     return list(store.values())
 
 
+def _prepare_incremental(
+    existing: IntegratedTable, table: Table
+) -> tuple[
+    list[str],
+    list[WorkTuple],
+    list[WorkTuple],
+    list[WorkTuple],
+    dict[str, tuple[str, int]],
+]:
+    """Shared preamble of both incremental integrators.
+
+    Widens the existing inputs and final facts to the united header, labels
+    the new table's rows with fresh TIDs, and returns ``(header, seeds,
+    new_inputs, all_inputs, tid_sources)``.  Seeding the closure with the
+    *original input tuples* (kept on :class:`IntegratedTable` precisely for
+    this) plus the previous final output is what makes
+    ``integrate_incremental`` equal the batch FD: a tuple subsumed away
+    earlier can still merge with a future table's rows, while
+    already-discovered merges are free.
+    """
+    if not existing.input_tuples:
+        raise ValueError(
+            "existing result carries no input tuples; it was not produced "
+            "by AliteFD (or was reconstructed) -- integrate from scratch"
+        )
+    header = list(existing.columns)
+    for column in table.columns:
+        if column not in existing.columns:
+            header.append(column)
+    width = len(header)
+    position_of = {c: i for i, c in enumerate(header)}
+
+    def widen(cells: tuple) -> tuple:
+        return cells + (PRODUCED,) * (width - len(cells))
+
+    widened_inputs = [
+        WorkTuple(widen(w.cells), w.tids) for w in existing.input_tuples
+    ]
+    seeds: list[WorkTuple] = list(widened_inputs)
+    seeds.extend(
+        WorkTuple(widen(tuple(row)), existing.provenance[i])
+        for i, row in enumerate(existing.rows)
+    )
+
+    next_tid = 1 + max((int(t[1:]) for t in existing.tid_sources), default=0)
+    tid_sources = dict(existing.tid_sources)
+    own_positions = [position_of[c] for c in table.columns]
+    new_inputs: list[WorkTuple] = []
+    for row_index, row in enumerate(table.rows):
+        tid = f"t{next_tid}"
+        next_tid += 1
+        tid_sources[tid] = (table.name, row_index)
+        cells: list = [PRODUCED] * width
+        for column_position, cell in zip(own_positions, row):
+            cells[column_position] = MISSING if is_null(cell) else cell
+        new_inputs.append(WorkTuple(tuple(cells), frozenset({tid})))
+
+    return header, seeds, new_inputs, widened_inputs + new_inputs, tid_sources
+
+
 class AliteFD(Integrator):
-    """The default DIALITE integrator: ALITE's Full Disjunction."""
+    """The default DIALITE integrator: ALITE's Full Disjunction on the
+    interned, partition-first kernel.
+
+    Each instance owns one append-only :class:`ValueInterner`, reused
+    across every ``integrate`` / ``integrate_incremental`` call -- share an
+    instance (or pass ``interner=``) to amortize interning over a lake;
+    results never depend on how the domain accreted (the kernel orders by
+    value rank, not code).  ``last_stats`` holds the most recent kernel
+    accounting (component counts, domain size, per-phase timings) -- the
+    payload behind ``repro integrate --explain``.
+    """
 
     name = "alite_fd"
+
+    def __init__(self, interner: ValueInterner | None = None):
+        self.interner = interner if interner is not None else ValueInterner()
+        self.last_stats: dict | None = None
+
+    def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
+        header, work, tid_sources = prepare_integration_input(tables)
+        base = base_cells_map(work)
+        stats: dict = {}
+        final = canonicalize_null_kinds(
+            solve_interned(work, self.interner, stats), base
+        )
+        self.last_stats = stats
+        return IntegratedTable.from_work_tuples(
+            header, final, tid_sources, name=name, algorithm=self.name,
+            input_tuples=work,
+        )
+
+    def integrate_incremental(
+        self, existing: IntegratedTable, table: Table, name: str = "integrated"
+    ) -> IntegratedTable:
+        """Fold one more table into an existing FD result.
+
+        Produces exactly ``FD(original tables + table)`` (asserted by tests
+        at every prefix).  New rows are re-interned against this instance's
+        stored domain, so values already seen in earlier increments resolve
+        to their existing codes without touching the intern dictionary's
+        growth path.
+        """
+        header, seeds, new_inputs, all_inputs, tid_sources = _prepare_incremental(
+            existing, table
+        )
+        stats: dict = {}
+        final = canonicalize_null_kinds(
+            solve_interned(seeds + new_inputs, self.interner, stats),
+            base_cells_map(all_inputs),
+        )
+        self.last_stats = stats
+        return IntegratedTable.from_work_tuples(
+            header, final, tid_sources, name=name, algorithm=self.name,
+            input_tuples=all_inputs,
+        )
+
+
+class LegacyAliteFD(Integrator):
+    """The object-level ALITE kernel: the pre-PR-4 implementation shape
+    (object cells, tagged-tuple keys, global closure), on the shared --
+    and since PR 4 bool/int-disciplined -- predicates.
+
+    Exists as the performance baseline of ``benchmarks/bench_fd_kernel.py``
+    and the equivalence oracle of the interned kernel's property suite; it
+    is *not* registered in the pipeline.
+    """
+
+    name = "legacy_alite_fd"
 
     def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
         header, work, tid_sources = prepare_integration_input(tables)
@@ -130,64 +275,16 @@ class AliteFD(Integrator):
     def integrate_incremental(
         self, existing: IntegratedTable, table: Table, name: str = "integrated"
     ) -> IntegratedTable:
-        """Fold one more table into an existing FD result.
-
-        Produces exactly ``FD(original tables + table)`` (asserted by tests
-        at every prefix): the closure is seeded with the *original input
-        tuples* (kept on :class:`IntegratedTable` precisely for this), the
-        previous final output (so already-discovered merges are free), and
-        the new table's rows under fresh TIDs.  Seeding only the previous
-        output would be unsound -- a tuple subsumed away earlier can still
-        merge with a future table's rows.
-        """
-        if not existing.input_tuples:
-            raise ValueError(
-                "existing result carries no input tuples; it was not produced "
-                "by AliteFD (or was reconstructed) -- integrate from scratch"
-            )
-        header = list(existing.columns)
-        for column in table.columns:
-            if column not in existing.columns:
-                header.append(column)
-        width = len(header)
-        position_of = {c: i for i, c in enumerate(header)}
-
-        def widen(cells: tuple) -> tuple:
-            return cells + (PRODUCED,) * (width - len(cells))
-
-        seeds: list[WorkTuple] = [
-            WorkTuple(widen(w.cells), w.tids) for w in existing.input_tuples
-        ]
-        seeds.extend(WorkTuple(widen(w.cells), w.tids) for _, w in _final_tuples(existing))
-
-        next_tid = 1 + max(
-            (int(t[1:]) for t in existing.tid_sources), default=0
+        """The object-kernel incremental fold (same contract as
+        :meth:`AliteFD.integrate_incremental`)."""
+        header, seeds, new_inputs, all_inputs, tid_sources = _prepare_incremental(
+            existing, table
         )
-        tid_sources = dict(existing.tid_sources)
-        own_positions = [position_of[c] for c in table.columns]
-        new_inputs: list[WorkTuple] = []
-        for row_index, row in enumerate(table.rows):
-            tid = f"t{next_tid}"
-            next_tid += 1
-            tid_sources[tid] = (table.name, row_index)
-            cells: list = [PRODUCED] * width
-            for column_position, cell in zip(own_positions, row):
-                cells[column_position] = MISSING if is_null(cell) else cell
-            new_inputs.append(WorkTuple(tuple(cells), frozenset({tid})))
-
-        all_inputs = [
-            WorkTuple(widen(w.cells), w.tids) for w in existing.input_tuples
-        ] + new_inputs
-        base = base_cells_map(all_inputs)
         closed = complementation_closure(seeds + new_inputs)
-        final = canonicalize_null_kinds(remove_subsumed(closed), base)
+        final = canonicalize_null_kinds(
+            remove_subsumed(closed), base_cells_map(all_inputs)
+        )
         return IntegratedTable.from_work_tuples(
             header, final, tid_sources, name=name, algorithm=self.name,
             input_tuples=all_inputs,
         )
-
-
-def _final_tuples(existing: IntegratedTable):
-    """(OID, WorkTuple) pairs of an integrated table's final rows."""
-    for i, row in enumerate(existing.rows):
-        yield f"f{i + 1}", WorkTuple(tuple(row), existing.provenance[i])

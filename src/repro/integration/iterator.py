@@ -18,13 +18,20 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from ..table.table import Table
-from .alite import complementation_closure
-from .parallel import connected_components
-from .subsume import dedupe_tuples, remove_subsumed
+from .intern import (
+    ValueInterner,
+    int_connected_components,
+    int_dedupe,
+    intern_call_input,
+    interned_closure,
+    interned_remove_subsumed,
+    unintern_tuple,
+)
 from .tuples import (
     WorkTuple,
     base_cells_map,
     canonicalize_null_kinds,
+    missing_positions_map,
     prepare_integration_input,
 )
 
@@ -40,16 +47,31 @@ def iter_fd(
     (asserted by tests); within a component, facts appear in deterministic
     (smallest-TID, value) order.  ``largest_first=False`` (default) solves
     small components first, so the first results arrive as early as
-    possible.
+    possible.  Each component is solved on the interned integer kernel,
+    so the stream pays interning once up front and int-vector work per
+    component.
     """
     header, work, _ = prepare_integration_input(tables)
     base = base_cells_map(work)
-    components, all_null = connected_components(dedupe_tuples(work))
+    # Computed once, shared by every component's canonicalization pass --
+    # the per-component cost stays proportional to the component.
+    missing_of = missing_positions_map(base)
+    interner = ValueInterner()
+    interned, cells_by_code = intern_call_input(work, interner)
+    ints = int_dedupe(interned)
+    domain = interner.domain
+    ranks = interner.sort_ranks()
+    components, all_null = int_connected_components(ints, domain)
     components.sort(key=len, reverse=largest_first)
     emitted = 0
     for component in components:
+        solved_int = interned_remove_subsumed(
+            interned_closure(component, domain, ranks), domain
+        )
         solved = canonicalize_null_kinds(
-            remove_subsumed(complementation_closure(component)), base
+            [unintern_tuple(t, interner, cells_by_code) for t in solved_int],
+            base,
+            missing_of,
         )
         solved.sort(
             key=lambda w: (min(int(t[1:]) for t in w.tids), tuple(map(repr, w.cells)))
@@ -58,7 +80,9 @@ def iter_fd(
             emitted += 1
             yield tuple(header), fact
     if emitted == 0 and all_null:
-        yield tuple(header), dedupe_tuples(all_null)[0]
+        yield tuple(header), canonicalize_null_kinds(
+            [unintern_tuple(all_null[0], interner, cells_by_code)], base, missing_of
+        )[0]
 
 
 def fd_preview(tables: Sequence[Table], n: int = 10) -> Table:

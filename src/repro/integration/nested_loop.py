@@ -9,6 +9,14 @@ No value index, no agenda -- every pass re-examines every pair.
 It exists as the performance baseline for experiment E8 (the demo's claim
 that ALITE "was shown to be correct and faster than the existing FD
 algorithms"); tests assert it computes exactly the same result as AliteFD.
+
+Deliberately *not* ported to the interned integer kernel: this class
+demonstrates the algorithmic gap (indexed, partition-first closure vs
+quadratic passes), while ``LegacyAliteFD`` isolates the representation gap
+(object cells vs interned int vectors) -- the two baselines of
+``benchmarks/bench_fd_kernel.py``.  Its per-tuple ``normalized_key`` calls
+are whole-vector keys, not the per-cell round trips the FD hot-path lint
+guard (``tools/check_fd_hot_paths.py``) forbids.
 """
 
 from __future__ import annotations

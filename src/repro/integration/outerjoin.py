@@ -21,7 +21,7 @@ from ..table.table import Table
 from ..table.values import PRODUCED, Cell, is_null
 from .base import Integrator
 from .subsume import dedupe_tuples
-from .tuples import IntegratedTable, WorkTuple, normalized_key
+from .tuples import IntegratedTable, WorkTuple, cell_key
 
 __all__ = [
     "OuterJoinIntegrator",
@@ -92,7 +92,7 @@ def _fold_join(
             cell = cells[position]
             if is_null(cell):
                 return None
-            parts.append(normalized_key((cell,))[0])
+            parts.append(cell_key(cell))
         return tuple(parts)
 
     shared_left = [left_pos[c] for c in shared]

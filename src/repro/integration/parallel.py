@@ -5,10 +5,21 @@ they are *connected* to through shared attribute values, so the input
 decomposes into connected components of the value-sharing graph, and the
 closure + subsumption of each component is an independent subproblem.
 
+Since PR 4 the component decomposition is the *default* preamble of the
+sequential integrator too (:class:`~repro.integration.alite.AliteFD` is
+partition-first); this module keeps the decomposition's public object-level
+form (:func:`connected_components`) and the process-pool dispatcher.
+``ParallelFD`` ships **interned integer tuples**
+(:class:`~repro.integration.intern.IntTuple`: code vectors + tid sets) to
+its workers instead of object cell tuples -- they pickle to a fraction of
+the bytes -- and dispatches components as **round-robin stripes** over the
+largest-first order: pool overhead is paid per stripe, not per component,
+and the heavy head of the distribution spreads across workers instead of
+landing consecutively in one worker's chunk.
+
 ``ParallelFD(max_workers=1)`` runs the components sequentially (useful on
 its own -- decomposition already prunes the quadratic work); with
-``max_workers > 1`` components are dispatched to a process pool, components
-first sorted largest-first for load balance.
+``max_workers > 1`` components are dispatched to a process pool.
 
 Correctness of the decomposition: merging requires a shared value (the
 joinability overlap condition) and subsumption requires the subsumer to
@@ -20,18 +31,24 @@ no component and are handled at the end: they are subsumed by any tuple.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 
 from ..table.table import Table
 from ..table.values import is_null
-from .alite import complementation_closure
 from .base import Integrator
-from .subsume import dedupe_tuples, remove_subsumed
+from .intern import (
+    IntTuple,
+    ValueInterner,
+    interned_closure,
+    interned_remove_subsumed,
+    solve_interned,
+)
 from .tuples import (
     IntegratedTable,
     WorkTuple,
     base_cells_map,
     canonicalize_null_kinds,
-    normalized_key,
+    cell_key,
     prepare_integration_input,
 )
 
@@ -39,9 +56,15 @@ __all__ = ["ParallelFD", "connected_components"]
 
 
 def connected_components(tuples: list[WorkTuple]) -> tuple[list[list[WorkTuple]], list[WorkTuple]]:
-    """Split tuples into connected components of the shared-value graph.
+    """Split object-level tuples into connected components of the
+    shared-value graph.  Returns ``(components, all_null_tuples)``.
 
-    Returns ``(components, all_null_tuples)``.
+    The interned twin is
+    :func:`repro.integration.intern.int_connected_components`; this form
+    stays public for callers holding object tuples.  Values key directly by
+    :func:`cell_key` -- never the tuple-of-one round trip through
+    ``normalized_key`` that :mod:`repro.integration.tuples` forbids on hot
+    paths -- and all-null membership is a set probe, not a list scan.
     """
     parent = list(range(len(tuples)))
 
@@ -52,31 +75,47 @@ def connected_components(tuples: list[WorkTuple]) -> tuple[list[list[WorkTuple]]
         return i
 
     by_value: dict[tuple, int] = {}
-    all_null: list[int] = []
+    all_null: set[int] = set()
     for i, work in enumerate(tuples):
         any_value = False
         for position, cell in enumerate(work.cells):
             if is_null(cell):
                 continue
             any_value = True
-            key = (position, normalized_key((cell,))[0])
+            key = (position, cell_key(cell))
             owner = by_value.setdefault(key, i)
             if owner != i:
                 parent[find(i)] = find(owner)
         if not any_value:
-            all_null.append(i)
+            all_null.add(i)
 
     groups: dict[int, list[WorkTuple]] = {}
     for i, work in enumerate(tuples):
         if i in all_null:
             continue
         groups.setdefault(find(i), []).append(work)
-    return list(groups.values()), [tuples[i] for i in all_null]
+    return list(groups.values()), [tuples[i] for i in sorted(all_null)]
 
 
-def _solve_component(component: list[WorkTuple]) -> list[WorkTuple]:
-    """Closure + subsumption for one independent component."""
-    return remove_subsumed(complementation_closure(component))
+def _solve_interned_component(
+    domain: int, ranks: tuple[int, ...], component: list[IntTuple]
+) -> list[IntTuple]:
+    """Closure + subsumption for one independent component, entirely in the
+    interned domain (top-level so the process pool can pickle it)."""
+    return interned_remove_subsumed(
+        interned_closure(component, domain, ranks), domain
+    )
+
+
+def _solve_interned_stripe(
+    domain: int, ranks: tuple[int, ...], stripe: list[list[IntTuple]]
+) -> list[IntTuple]:
+    """Solve a stripe of components in one pool task (one pickle/IPC
+    round trip per stripe, not per component)."""
+    solved: list[IntTuple] = []
+    for component in stripe:
+        solved.extend(_solve_interned_component(domain, ranks, component))
+    return solved
 
 
 class ParallelFD(Integrator):
@@ -84,26 +123,57 @@ class ParallelFD(Integrator):
 
     name = "parallel_fd"
 
-    def __init__(self, max_workers: int = 1, min_parallel_components: int = 4):
+    def __init__(
+        self,
+        max_workers: int = 1,
+        min_parallel_components: int = 4,
+        interner: ValueInterner | None = None,
+    ):
         self.max_workers = max_workers
         self.min_parallel_components = min_parallel_components
+        self.interner = interner if interner is not None else ValueInterner()
+        self.last_stats: dict | None = None
 
     def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
         header, work, tid_sources = prepare_integration_input(tables)
-        components, all_null = connected_components(dedupe_tuples(work))
-        components.sort(key=len, reverse=True)
+        stats: dict = {}
 
-        if self.max_workers > 1 and len(components) >= self.min_parallel_components:
+        def pool_solver(components, domain, ranks):
+            parallel = (
+                self.max_workers > 1
+                and len(components) >= self.min_parallel_components
+            )
+            if not parallel:
+                stats["workers"] = 1
+                stats["stripes"] = len(components)
+                solve = partial(_solve_interned_component, domain, ranks)
+                return [t for c in components for t in solve(c)]
+            # Stripe round-robin over largest-first components:
+            # pool.map splits its iterable into *consecutive* chunks, so
+            # chunking the sorted list directly would hand every big
+            # component to one worker.  Striding spreads the heavy head
+            # across stripes while keeping one pickle/IPC round trip per
+            # stripe, not per component.
+            components = sorted(components, key=len, reverse=True)
+            num_stripes = min(len(components), self.max_workers * 4)
+            stripes = [components[i::num_stripes] for i in range(num_stripes)]
+            stats["workers"] = self.max_workers
+            stats["stripes"] = num_stripes
+            solve = partial(_solve_interned_stripe, domain, ranks)
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                solved = list(pool.map(_solve_component, components))
-        else:
-            solved = [_solve_component(component) for component in components]
+                solved_stripes = list(pool.map(solve, stripes))
+            return [t for stripe in solved_stripes for t in stripe]
 
-        final: list[WorkTuple] = [w for chunk in solved for w in chunk]
-        if not final and all_null:
-            # Degenerate input: only all-null tuples exist; keep one.
-            final = dedupe_tuples(all_null)[:1]
-        final = canonicalize_null_kinds(final, base_cells_map(work))
+        final = canonicalize_null_kinds(
+            solve_interned(work, self.interner, stats, pool_solver),
+            base_cells_map(work),
+        )
+        self.last_stats = stats
+        # input_tuples make the result explainable (fact lineage) and
+        # incrementally extensible, exactly like an AliteFD result --
+        # parallel_fd is the pipeline default when fd_workers > 1, so it
+        # must not produce a less capable table.
         return IntegratedTable.from_work_tuples(
-            header, final, tid_sources, name=name, algorithm=self.name
+            header, final, tid_sources, name=name, algorithm=self.name,
+            input_tuples=work,
         )

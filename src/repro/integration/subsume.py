@@ -9,6 +9,12 @@ Provenance of a subsumed tuple is dropped with it -- the paper reports the
 The implementation first collapses duplicates (same values up to null kind,
 provenance unioned), then uses an inverted index on (position, value) so
 each tuple is only checked against candidates sharing its rarest value.
+
+This object-level form is the :class:`~repro.integration.alite.LegacyAliteFD`
+baseline; the default integrators run the interned twin,
+:func:`~repro.integration.intern.interned_remove_subsumed` (re-exported
+here), whose candidate check is one non-null-bitmask ``AND`` before any
+cell loop.
 """
 
 from __future__ import annotations
@@ -16,9 +22,10 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..table.values import is_null
+from .intern import interned_remove_subsumed
 from .tuples import WorkTuple, cell_key, combine_duplicate, normalized_key, subsumes
 
-__all__ = ["dedupe_tuples", "remove_subsumed"]
+__all__ = ["dedupe_tuples", "remove_subsumed", "interned_remove_subsumed"]
 
 
 def dedupe_tuples(tuples: Iterable[WorkTuple]) -> list[WorkTuple]:

@@ -38,6 +38,7 @@ __all__ = [
     "prepare_integration_input",
     "base_cells_map",
     "canonicalize_null_kinds",
+    "missing_positions_map",
     "IntegratedTable",
 ]
 
@@ -59,13 +60,19 @@ class WorkTuple:
 
 
 def joinable(a: Sequence[Cell], b: Sequence[Cell]) -> bool:
-    """ALITE's complementation condition (see module docstring)."""
+    """ALITE's complementation condition (see module docstring).
+
+    Value equality follows :func:`repro.table.values.values_equal` and
+    :func:`cell_key`: ``1`` joins ``1.0``, but ``True`` never joins ``1``
+    (bool is kept distinct from int in data context, so the predicate
+    agrees with the keys the working-set stores and postings use).
+    """
     share = False
     for cell_a, cell_b in zip(a, b):
         null_a, null_b = is_null(cell_a), is_null(cell_b)
         if null_a or null_b:
             continue
-        if cell_a != cell_b:
+        if cell_a != cell_b or isinstance(cell_a, bool) != isinstance(cell_b, bool):
             return False
         share = True
     return share
@@ -88,7 +95,11 @@ def subsumes(a: Sequence[Cell], b: Sequence[Cell]) -> bool:
     for cell_a, cell_b in zip(a, b):
         if is_null(cell_b):
             continue
-        if is_null(cell_a) or cell_a != cell_b:
+        if (
+            is_null(cell_a)
+            or cell_a != cell_b
+            or isinstance(cell_a, bool) != isinstance(cell_b, bool)
+        ):
             return False
     return True
 
@@ -182,8 +193,27 @@ def base_cells_map(tuples: Sequence[WorkTuple]) -> dict[str, tuple[Cell, ...]]:
     return mapping
 
 
+def missing_positions_map(
+    base: dict[str, tuple[Cell, ...]]
+) -> dict[str, frozenset[int]]:
+    """tid -> positions where that input tuple carries an explicit missing
+    null.  The precomputation behind :func:`canonicalize_null_kinds`;
+    callers canonicalizing many tuple batches over one input set (e.g. the
+    component-at-a-time iterator) build it once and pass it through."""
+    missing_of: dict[str, frozenset[int]] = {}
+    for tid, source in base.items():
+        positions = frozenset(
+            i for i, cell in enumerate(source) if cell is MISSING
+        )
+        if positions:
+            missing_of[tid] = positions
+    return missing_of
+
+
 def canonicalize_null_kinds(
-    tuples: Sequence[WorkTuple], base: dict[str, tuple[Cell, ...]]
+    tuples: Sequence[WorkTuple],
+    base: dict[str, tuple[Cell, ...]],
+    missing_of: dict[str, frozenset[int]] | None = None,
 ) -> list[WorkTuple]:
     """Make output null kinds a pure function of provenance.
 
@@ -193,7 +223,15 @@ def canonicalize_null_kinds(
     nulls, and -- because it depends only on (provenance, attribute) -- it
     makes every FD algorithm's output deterministic regardless of the order
     in which merges were discovered.
+
+    *missing_of* is the per-TID missing-position index of
+    :func:`missing_positions_map`; it is derived from *base* when not
+    supplied, so the inner question per output null is a set-membership
+    test instead of a rescan of the supporting input tuple's cell vector.
     """
+    if missing_of is None:
+        missing_of = missing_positions_map(base)
+
     canonical = []
     for work in tuples:
         cells = list(work.cells)
@@ -202,8 +240,8 @@ def canonicalize_null_kinds(
                 continue
             kind: Cell = PRODUCED
             for tid in work.tids:
-                source = base.get(tid)
-                if source is not None and source[position] is MISSING:
+                positions = missing_of.get(tid)
+                if positions is not None and position in positions:
                     kind = MISSING
                     break
             cells[position] = kind
@@ -254,8 +292,15 @@ class IntegratedTable(Table):
         """Build the final table, ordering rows by their smallest TID (the
         paper's presentation order) and then by value for determinism."""
 
+        # TIDs repeat across many output tuples' provenance sets; parse
+        # each one once per call instead of once per (tuple, tid) pair.
+        numbers: dict[str, int] = {}
+
         def tid_number(tid: str) -> int:
-            return int(tid[1:])
+            number = numbers.get(tid)
+            if number is None:
+                number = numbers[tid] = int(tid[1:])
+            return number
 
         def sort_key(work: WorkTuple):
             smallest = min((tid_number(t) for t in work.tids), default=1 << 30)

@@ -1,0 +1,242 @@
+"""Unit tests for the interned FD kernel primitives (repro.integration.intern)."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.integration import joinable, merge_tuples, subsumes
+from repro.integration.intern import (
+    NULL_CODE,
+    IntTuple,
+    ValueInterner,
+    int_connected_components,
+    int_dedupe,
+    int_joinable,
+    int_merge,
+    int_subsumes,
+    intern_call_input,
+    intern_tuples,
+    mask_of,
+    solve_interned,
+    unintern_tuple,
+)
+from repro.integration.parallel import connected_components
+from repro.integration.tuples import WorkTuple, cell_key
+from repro.table import MISSING, PRODUCED
+
+
+def wt(*cells, tids=("t1",)):
+    return WorkTuple(cells=tuple(cells), tids=frozenset(tids))
+
+
+def interned(*cells, tids=("t1",), interner=None):
+    interner = interner if interner is not None else ValueInterner()
+    return intern_tuples([wt(*cells, tids=tids)], interner)[0], interner
+
+
+class TestValueInterner:
+    def test_nulls_of_both_kinds_collapse_to_zero(self):
+        interner = ValueInterner()
+        assert interner.code(MISSING) == NULL_CODE
+        assert interner.code(PRODUCED) == NULL_CODE
+
+    def test_codes_are_stable_and_value_keyed(self):
+        interner = ValueInterner()
+        a = interner.code("a")
+        assert interner.code("a") == a
+        assert interner.code("b") != a
+
+    def test_int_and_equal_float_share_a_code_bool_does_not(self):
+        interner = ValueInterner()
+        one = interner.code(1)
+        assert interner.code(1.0) == one
+        assert interner.code(True) != one
+
+    def test_representative_cell_is_first_interned(self):
+        interner = ValueInterner()
+        code = interner.code(1)
+        interner.code(1.0)
+        assert interner.cell(code) == 1
+        assert isinstance(interner.cell(code), int)
+
+    def test_sort_ranks_are_order_isomorphic_to_cell_keys(self):
+        interner = ValueInterner()
+        cells = ["z", "a", 3, 1.5, True, "m"]
+        codes = [interner.code(c) for c in cells]
+        ranks = interner.sort_ranks()
+        for i, code_i in enumerate(codes):
+            for j, code_j in enumerate(codes):
+                assert (ranks[code_i] < ranks[code_j]) == (
+                    cell_key(cells[i]) < cell_key(cells[j])
+                )
+
+    def test_sort_ranks_cache_tracks_domain_growth(self):
+        interner = ValueInterner()
+        interner.code("a")
+        first = interner.sort_ranks()
+        assert interner.sort_ranks() is first  # cached
+        interner.code("b")
+        assert len(interner.sort_ranks()) == interner.domain
+
+
+class TestIntTuple:
+    def test_mask_marks_non_null_positions(self):
+        work, _ = interned("a", MISSING, "b", PRODUCED)
+        assert work.mask == 0b101
+        assert mask_of(work.codes) == work.mask
+
+    def test_pickle_round_trip(self):
+        work, _ = interned("a", MISSING, tids=("t3", "t7"))
+        clone = pickle.loads(pickle.dumps(work))
+        assert clone.codes == work.codes
+        assert clone.mask == work.mask
+        assert clone.tids == work.tids
+
+    def test_unintern_restores_representative_cells(self):
+        interner = ValueInterner()
+        [work] = intern_tuples([wt("a", MISSING, 1)], interner)
+        restored = unintern_tuple(work, interner)
+        assert restored.cells == ("a", PRODUCED, 1)  # kinds re-derived later
+        assert restored.tids == work.tids
+
+
+class TestPredicateParity:
+    """int_* predicates agree with the object-level predicates."""
+
+    CASES = [
+        (("a", "b", PRODUCED), ("a", PRODUCED, "c")),
+        (("a", "b"), ("a", "x")),
+        (("a", PRODUCED), (PRODUCED, "b")),
+        ((MISSING,), (MISSING,)),
+        ((1,), (1.0,)),
+        ((True,), (1,)),
+        ((True, "x"), (True, "x")),
+        (("a", "b", "c"), ("a", "b", MISSING)),
+    ]
+
+    def test_joinable_parity(self):
+        for cells_a, cells_b in self.CASES:
+            interner = ValueInterner()
+            a, b = intern_tuples(
+                [wt(*cells_a, tids=("t1",)), wt(*cells_b, tids=("t2",))], interner
+            )
+            assert int_joinable(a, b) == joinable(cells_a, cells_b), (cells_a, cells_b)
+
+    def test_subsumes_parity(self):
+        for cells_a, cells_b in self.CASES:
+            interner = ValueInterner()
+            a, b = intern_tuples(
+                [wt(*cells_a, tids=("t1",)), wt(*cells_b, tids=("t2",))], interner
+            )
+            assert int_subsumes(a, b) == subsumes(cells_a, cells_b), (cells_a, cells_b)
+
+    def test_merge_parity(self):
+        interner = ValueInterner()
+        a, b = intern_tuples(
+            [wt("a", PRODUCED, tids=("t1",)), wt("a", "b", tids=("t2",))], interner
+        )
+        merged = int_merge(a, b)
+        object_merged = merge_tuples(wt("a", PRODUCED), wt("a", "b", tids=("t2",)))
+        assert merged.codes == interner.codes(object_merged.cells)
+        assert merged.tids == frozenset({"t1", "t2"})
+        assert merged.mask == 0b11
+
+    def test_bool_no_longer_joins_equal_int(self):
+        # The object predicates now agree with values_equal/cell_key:
+        # bool stays distinct from int in data context.
+        assert not joinable((True,), (1,))
+        assert not subsumes((True,), (1,))
+        assert joinable((1,), (1.0,))
+
+
+class TestComponentsAndSolve:
+    def test_int_components_match_object_components(self):
+        tuples = [
+            wt("a", PRODUCED, tids=("t1",)),
+            wt("a", "b", tids=("t2",)),
+            wt(PRODUCED, "z", tids=("t3",)),
+            wt(PRODUCED, PRODUCED, tids=("t4",)),
+        ]
+        object_components, object_null = connected_components(tuples)
+        interner = ValueInterner()
+        ints = intern_tuples(tuples, interner)
+        components, all_null = int_connected_components(ints, interner.domain)
+        assert sorted(len(c) for c in components) == sorted(
+            len(c) for c in object_components
+        )
+        assert len(all_null) == len(object_null) == 1
+        assert all_null[0].tids == frozenset({"t4"})
+
+    def test_dedupe_folds_to_minimal_witness(self):
+        interner = ValueInterner()
+        ints = intern_tuples(
+            [
+                wt("a", "b", tids=("t2", "t3")),
+                wt("a", "b", tids=("t1",)),
+            ],
+            interner,
+        )
+        [unique] = int_dedupe(ints)
+        assert unique.tids == frozenset({"t1"})
+
+    def test_solve_interned_records_stats(self):
+        tuples = [
+            wt("k1", "x", PRODUCED, tids=("t1",)),
+            wt("k1", PRODUCED, "y", tids=("t2",)),
+            wt("k2", "z", PRODUCED, tids=("t3",)),
+        ]
+        stats: dict = {}
+        final = solve_interned(tuples, ValueInterner(), stats)
+        assert {tuple(w.cells) for w in final} == {
+            ("k1", "x", "y"),
+            ("k2", "z", PRODUCED),
+        }
+        assert stats["components"] == 2
+        assert stats["input_tuples"] == 3
+        assert stats["output_tuples"] == 2
+        assert stats["domain"] >= 6
+        for key in ("intern_seconds", "partition_seconds", "closure_seconds",
+                    "subsume_seconds"):
+            assert stats[key] >= 0.0
+
+    def test_solve_interned_degenerate_all_null(self):
+        tuples = [wt(MISSING, MISSING, tids=("t1",)), wt(MISSING, MISSING, tids=("t2",))]
+        final = solve_interned(tuples, ValueInterner())
+        assert len(final) == 1
+        assert final[0].tids == frozenset({"t1"})
+
+
+class TestPerCallRepresentatives:
+    def test_shared_interner_spellings_do_not_leak_across_calls(self):
+        # One long-lived AliteFD integrates a table spelling a value 1.0,
+        # then an unrelated table spelling it 1: the second result must
+        # render the *second call's* spelling, not the domain's first.
+        from repro.integration import AliteFD
+        from repro.table import Table
+
+        fd = AliteFD()
+        fd.integrate([Table(["x", "y"], [(1.0, "p")], name="A")])
+        result = fd.integrate([Table(["x", "y"], [(1, "q")], name="B")])
+        cell = result.rows[0][result.column_index("x")]
+        assert cell == 1 and isinstance(cell, int) and not isinstance(cell, bool)
+
+    def test_unintern_prefers_per_call_spelling(self):
+        interner = ValueInterner()
+        interner.code(1.0)  # domain-first spelling from an earlier call
+        [work], cells_by_code = intern_call_input([wt(1, "z")], interner)
+        restored = unintern_tuple(work, interner, cells_by_code)
+        assert isinstance(restored.cells[0], int)
+
+    def test_parallel_results_carry_input_tuples_for_explain(self):
+        from repro.integration import ParallelFD
+        from repro.integration.explain import fact_lineage
+        from repro.table import Table
+
+        tables = [
+            Table(["k", "a"], [("k1", "x")], name="A"),
+            Table(["k", "b"], [("k1", "y")], name="B"),
+        ]
+        result = ParallelFD(max_workers=1).integrate(tables)
+        assert result.input_tuples
+        lineage = fact_lineage(result, "f1")
+        assert [entry["attribute"] for entry in lineage] == ["k", "a", "b"]
