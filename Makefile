@@ -10,12 +10,15 @@
 #   make candidates-smoke  same suite @300 tables, relaxed gate (runs in CI)
 #   make bench-fd     interned FD kernel vs legacy object kernel @8x500 incl. the >= 3x check
 #   make fd-smoke     same suite, small scale: identity asserts + JSON, no speed gate (runs in CI)
+#   make bench-service  serving layer @400 tables: warm cached+batched >= 3x sequential cold calls
+#   make serve-smoke  service smoke: TCP client session (discover/cache/ingest/stats) +
+#                     byte-identity + zero-staleness asserts, no speed gate (runs in CI)
 #   make ci           what CI runs: tier-1 tests + smoke benchmarks + lint
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -70,4 +73,15 @@ fd-smoke:
 bench-fd:
 	$(PYTHON) benchmarks/bench_fd_kernel.py --check --json .benchmarks/fd_kernel.json
 
-ci: test bench-smoke store-smoke candidates-smoke fd-smoke lint
+# Serving-layer smoke: an end-to-end TCP client session (discover, cache
+# hit, ingest + re-query at the new version, stats counters) plus the
+# byte-identity and zero-staleness assertions at small scale; the >= 3x
+# throughput gate only runs at full scale (bench-service), where the
+# cold-open baseline is not jitter-dominated.
+serve-smoke:
+	$(PYTHON) benchmarks/bench_service.py --smoke --json .benchmarks/service.json
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --check --json .benchmarks/service.json
+
+ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke lint

@@ -24,6 +24,8 @@ Subpackages (each usable standalone):
 - :mod:`repro.datalake` -- catalogs, indexing, synthetic benchmark lakes
 - :mod:`repro.store` -- persistent lake store (versioned columnar segments
   + stats/sketch snapshots, incremental ingest, warm-start discovery)
+- :mod:`repro.service` -- the concurrent query-serving layer (worker
+  pool, versioned result cache, micro-batching, live store reload)
 - :mod:`repro.genquery` -- prompt-to-table generation
 - :mod:`repro.core` -- the pipeline itself
 """
@@ -33,17 +35,21 @@ from .core.pipeline import Dialite
 from .core.results import DiscoveryOutcome, PipelineResult
 from .datalake.catalog import DataLake
 from .integration.tuples import IntegratedTable
+from .service import LakeServer, LakeService, ServiceClient
 from .store.lakestore import LakeStore
 from .table.table import Table
 from .table.values import MISSING, PRODUCED
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Dialite",
     "Table",
     "DataLake",
     "LakeStore",
+    "LakeService",
+    "LakeServer",
+    "ServiceClient",
     "CandidateEngine",
     "CandidateSpec",
     "IntegratedTable",

@@ -28,10 +28,34 @@ serves sublinear retrieval with **zero** posting-index rebuild
 scores the entire lake through its fallback path.  That is the
 pre-refactor full-scan baseline the equivalence property tests and
 ``benchmarks/bench_candidates.py`` compare against.
+
+Concurrent reads (the serving layer's contract)
+-----------------------------------------------
+One engine is shared by every worker thread of a :mod:`repro.service`
+session, so the query path must be safe under concurrent *reads* after a
+warm build.  The audit, structure by structure:
+
+* **Lazy channel construction** is the one structural race: two threads
+  racing ``token_postings`` / ``value_postings`` / ``ensemble_for`` would
+  both build (double work, and ``build_count`` would over-count -- the
+  tested warm-start observable).  A build lock serializes construction;
+  fully-built structures are published by a single attribute store, after
+  which reads are lock-free.
+* **Posting probes / registry reads / sketch queries** are pure reads of
+  immutable-after-build structures -- safe.
+* **Accounting** (``_reports`` / ``_query_counts``) is advisory,
+  last-write-wins: single dict stores under the GIL, never structurally
+  torn.  Concurrent explains may interleave reports of different queries;
+  the serving layer therefore treats retrieval accounting as diagnostics
+  and never caches or compares it.
+* **Shared column stats** memoize idempotently (two racing threads compute
+  equal products; one assignment wins) -- duplicated effort at worst, and
+  none at all on the hydrated snapshots a warm service actually runs on.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator, Mapping
 
 from ..sketch.ensemble import LSHEnsemble
@@ -89,6 +113,10 @@ class CandidateEngine:
         self.build_count = 0
         self._reports: dict[str, RetrievalReport] = {}
         self._query_counts: dict[str, int] = {}
+        # Serializes lazy channel construction under concurrent queries
+        # (see the module docstring's audit); reads of built structures
+        # never take it.  Recreated on unpickle (locks don't pickle).
+        self._build_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Lazy channel construction (derived stats only, never raw cells)
@@ -96,26 +124,32 @@ class CandidateEngine:
     @property
     def registry(self) -> ColumnRegistry:
         if self._registry is None:
-            self._build_token_channel()
+            with self._build_lock:
+                if self._registry is None:
+                    self._build_token_channel()
         assert self._registry is not None
         return self._registry
 
     @property
     def token_postings(self) -> PostingIndex:
         if self._token_postings is None:
-            self._build_token_channel()
+            with self._build_lock:
+                if self._token_postings is None:
+                    self._build_token_channel()
         assert self._token_postings is not None
         return self._token_postings
 
     @property
     def value_postings(self) -> PostingIndex:
         if self._value_postings is None:
-            self.build_count += 1
-            registry = self.registry
-            self._value_postings = PostingIndex.build(
-                (key, self._column_stats(key).text_values())
-                for key in range(len(registry))
-            )
+            with self._build_lock:
+                if self._value_postings is None:
+                    self.build_count += 1
+                    registry = self.registry
+                    self._value_postings = PostingIndex.build(
+                        (key, self._column_stats(key).text_values())
+                        for key in range(len(registry))
+                    )
         return self._value_postings
 
     def _build_token_channel(self) -> None:
@@ -141,8 +175,11 @@ class CandidateEngine:
     def hasher_for(self, num_perm: int, seed: int) -> MinHasher:
         hasher = self._hashers.get((num_perm, seed))
         if hasher is None:
-            hasher = MinHasher(num_perm=num_perm, seed=seed)
-            self._hashers[(num_perm, seed)] = hasher
+            with self._build_lock:
+                hasher = self._hashers.get((num_perm, seed))
+                if hasher is None:
+                    hasher = MinHasher(num_perm=num_perm, seed=seed)
+                    self._hashers[(num_perm, seed)] = hasher
         return hasher
 
     def ensemble_for(
@@ -154,20 +191,26 @@ class CandidateEngine:
         params = (num_perm, num_partitions, seed, min_size)
         ensemble = self._ensembles.get(params)
         if ensemble is None:
-            # Band insertion from (hydrated) signatures is cheap and is
-            # not counted as a posting-index rebuild: build_count tracks
-            # the registry / posting channels the store artifact replaces.
-            ensemble = LSHEnsemble(
-                num_perm=num_perm, num_partitions=num_partitions, seed=seed
-            )
-            hasher = ensemble.hasher
-            registry = self.registry
-            ensemble.index_signatures(
-                (key, self._column_stats(key).minhash(hasher))
-                for key in range(len(registry))
-                if registry.token_sizes[key] >= min_size
-            )
-            self._ensembles[params] = ensemble
+            with self._build_lock:
+                ensemble = self._ensembles.get(params)
+                if ensemble is not None:
+                    return ensemble
+                # Band insertion from (hydrated) signatures is cheap and is
+                # not counted as a posting-index rebuild: build_count tracks
+                # the registry / posting channels the store artifact
+                # replaces.  Built fully before publication, so concurrent
+                # readers only ever see a complete ensemble.
+                ensemble = LSHEnsemble(
+                    num_perm=num_perm, num_partitions=num_partitions, seed=seed
+                )
+                hasher = ensemble.hasher
+                registry = self.registry
+                ensemble.index_signatures(
+                    (key, self._column_stats(key).minhash(hasher))
+                    for key in range(len(registry))
+                    if registry.token_sizes[key] >= min_size
+                )
+                self._ensembles[params] = ensemble
         return ensemble
 
     def materialized_ensembles(self) -> dict[tuple[int, int, int, int], LSHEnsemble]:
@@ -631,6 +674,17 @@ class CandidateEngine:
             )
         engine.loaded_from_store = True
         return engine
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks don't pickle (LakeIndex.save pickles the whole index,
+        # engine included); a fresh lock is recreated on load.
+        state = dict(self.__dict__)
+        state.pop("_build_lock", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._build_lock = threading.RLock()
 
     def __repr__(self) -> str:
         built = []

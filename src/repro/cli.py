@@ -16,13 +16,19 @@ equivalent headless surface::
                                --integrator alite_fd --out integrated.csv
     python -m repro integrate  --tables a.csv b.csv c.csv --out integrated.csv
     python -m repro integrate  --tables a.csv b.csv c.csv --workers 4 --explain
+    python -m repro serve      --store lake.store --port 8765 --workers 8
+    python -m repro discover   --service 127.0.0.1:8765 --query query.csv --column City
+    python -m repro integrate  --service 127.0.0.1:8765 --query query.csv --column City
     python -m repro analyze    --table integrated.csv --app correlation \
                                --option "columns=Vaccination Rate,Death Rate"
     python -m repro report     --lake lake/ --query query.csv --column City \
                                --out run.md
 
 Every command prints human-readable tables to stdout; ``--out`` writes CSV
-with the paper's ``±``/``⊥`` null markers.
+with the paper's ``±``/``⊥`` null markers.  ``serve`` puts a warm lake
+behind the concurrent serving layer (:mod:`repro.service`);
+``--service host:port`` routes discover/integrate through a running
+service instead of opening the store locally.
 """
 
 from __future__ import annotations
@@ -126,6 +132,31 @@ def build_parser() -> argparse.ArgumentParser:
         "domain size, intern/partition/closure/subsume timings",
     )
 
+    serve = commands.add_parser(
+        "serve", help="serve a lake store to concurrent clients over TCP"
+    )
+    serve.add_argument("--store", required=True, help="lake store directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one, printed at start)")
+    serve.add_argument("--workers", type=int, default=4, help="worker threads")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max in-flight requests before overload rejection")
+    serve.add_argument("--cache-capacity", type=int, default=1024,
+                       help="result-cache entries (LRU)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="result-cache TTL seconds (default: version-bound only)")
+    serve.add_argument("--batch-window", type=float, default=0.02,
+                       help="discover micro-batching window in seconds (0 disables)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds")
+    serve.add_argument("--stats-cache-capacity", type=int, default=None,
+                       help="bound the store's hydrated-stats LRU (long-running services)")
+    serve.add_argument("--candidate-budget", type=int, default=None)
+    serve.add_argument("--fd-workers", type=int, default=1)
+    serve.add_argument("--port-file", default=None,
+                       help="write 'host port lake_version' here once bound (for scripts)")
+
     report = commands.add_parser(
         "report", help="run the full pipeline and write a markdown report"
     )
@@ -149,6 +180,11 @@ def _add_discovery_arguments(parser: argparse.ArgumentParser, query_required: bo
     parser.add_argument(
         "--store", default=None,
         help="persistent lake store directory (warm start; alternative to --lake)",
+    )
+    parser.add_argument(
+        "--service", default=None, metavar="HOST:PORT",
+        help="route through a running `repro serve` instance instead of "
+        "opening the lake locally (shared warm indexes + result cache)",
     )
     parser.add_argument("--query", required=query_required, default=None, help="query table CSV")
     parser.add_argument("--column", default=None, help="intent/join column of the query")
@@ -294,6 +330,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
                 f"  {name}: channels={'+'.join(spec['channels'])}, "
                 f"budget={budget}, fallback floor={spec['min_candidates']}"
             )
+        _print_live_service(args.store, info["lake_version"])
         if info["tables"]:
             rows = [
                 (name, entry["rows"], entry["columns"], entry["content_hash"])
@@ -329,15 +366,69 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.service)
+
+
+def _print_service_discovery(response: dict) -> None:
+    """Render one wire discover response like the local summary table."""
+    rows = [
+        (r["table"], round(r["score"], 4), r["discoverer"], r["reason"])
+        for r in response["payload"]["results"]
+    ]
+    print(Table(["table", "score", "best_discoverer", "reason"], rows, name="discovery").to_pretty(50))
+    print(
+        f"lake v{response['lake_version']}"
+        + (" (served from cache)" if response.get("cached") else "")
+    )
+
+
+def _print_live_service(store_path: str, store_version: int) -> None:
+    """The `index info` live-service line: is a `repro serve` process
+    currently holding this lake, and at which version?"""
+    from .service import ServiceClient
+    from .service.protocol import read_beacon
+
+    beacon = read_beacon(store_path)
+    if not beacon:
+        print("live service: none")
+        return
+    address = f"{beacon['host']}:{beacon['port']}"
+    try:
+        served = ServiceClient(address, timeout=1.0).version()
+    except Exception:
+        print(f"live service: beacon for {address} is stale (not responding)")
+        return
+    freshness = (
+        "current"
+        if served == store_version
+        else f"behind store (serving v{served}, store at v{store_version})"
+    )
+    print(f"live service: {address} serving lake v{served} ({freshness})")
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
-    if args.lake is None and args.store is None:
-        raise SystemExit("discover requires --lake or --store")
+    if args.lake is None and args.store is None and args.service is None:
+        raise SystemExit("discover requires --lake, --store or --service")
     if args.query is None and not args.queries:
         raise SystemExit("discover requires --query or --queries")
     if args.query is not None and args.queries:
         raise SystemExit("pass either --query or --queries, not both")
-    pipeline = _load_pipeline(args)
     names = args.discoverers.split(",") if args.discoverers else None
+    if args.service:
+        client = _service_client(args)
+        for path in args.queries or [args.query]:
+            query = read_csv(path)
+            response = client.discover(
+                query, k=args.k, column=args.column, discoverers=names
+            )
+            print(f"query: {query.name}")
+            _print_service_discovery(response)
+            print()
+        return 0
+    pipeline = _load_pipeline(args)
     if args.queries:
         queries = [read_csv(path) for path in args.queries]
         outcomes = pipeline.discover_many(
@@ -386,6 +477,35 @@ def _print_retrieval(retrieval: dict) -> None:
 
 
 def _cmd_integrate(args: argparse.Namespace) -> int:
+    if args.service:
+        from .service import decode_table
+
+        client = _service_client(args)
+        if args.tables:
+            response = client.integrate(
+                tables=[read_csv(path) for path in args.tables],
+                integrator=args.integrator,
+                align=not args.no_align,
+            )
+        else:
+            if args.query is None:
+                raise SystemExit("integrate --service requires --query or --tables")
+            response = client.integrate(
+                query=read_csv(args.query),
+                k=args.k,
+                column=args.column,
+                integrator=args.integrator,
+                align=not args.no_align,
+            )
+        print(
+            "integration set: "
+            + ", ".join(response["payload"]["integration_set"])
+            + f"  (lake v{response['lake_version']}"
+            + (", served from cache)" if response.get("cached") else ")")
+            + "\n"
+        )
+        _emit(decode_table(response["payload"]["table"]), args.out)
+        return 0
     if args.tables:
         tables = [read_csv(path) for path in args.tables]
         pipeline = Dialite(DataLake(), fd_workers=args.workers)
@@ -442,6 +562,41 @@ def _print_kernel_stats(stats: dict | None) -> None:
     if "workers" in stats:
         timings.append(f"workers {stats['workers']} ({stats['stripes']} stripes)")
     print("  " + " | ".join(timings) + "\n")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import LakeServer, LakeService
+
+    service = LakeService(
+        store=args.store,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_capacity=args.cache_capacity,
+        cache_ttl=args.cache_ttl,
+        batch_window=args.batch_window,
+        default_deadline=args.deadline,
+        stats_cache_capacity=args.stats_cache_capacity,
+        candidate_budget=args.candidate_budget,
+        fd_workers=args.fd_workers,
+    )
+    server = LakeServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(
+        f"serving lake store {args.store} (lake v{service.version}, "
+        f"{args.workers} workers, cache {args.cache_capacity}) on {host}:{port}"
+    )
+    print("ops: ping version stats discover align integrate ingest shutdown")
+    if args.port_file:
+        from pathlib import Path
+
+        Path(args.port_file).write_text(
+            f"{host} {port} {service.version}\n", encoding="utf-8"
+        )
+    try:
+        server.run()  # blocks until a client sends shutdown (or Ctrl-C)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        server.close()
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -506,6 +661,7 @@ _COMMANDS = {
     "index": _cmd_index,
     "discover": _cmd_discover,
     "integrate": _cmd_integrate,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "analyze": _cmd_analyze,
 }

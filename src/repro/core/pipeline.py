@@ -158,6 +158,19 @@ class Dialite:
         """
         return cls(store=store_path, **options)
 
+    def serve(self, **options: Any) -> "Any":
+        """This pipeline as a concurrent serving session
+        (:class:`repro.service.LakeService`): a worker pool with bounded
+        admission and deadlines, a lake-version-keyed result cache,
+        discover micro-batching, and -- for store-backed pipelines -- a
+        hot-swap reload path that follows on-disk ingests.  Keyword
+        options are forwarded to ``LakeService`` (``workers``,
+        ``queue_depth``, ``cache_capacity``, ``batch_window``, ...).
+        """
+        from ..service import LakeService
+
+        return LakeService(pipeline=self, **options)
+
     @classmethod
     def with_all_discoverers(
         cls, lake: DataLake | Mapping[str, Table] | Sequence[Table] | None = None

@@ -17,6 +17,16 @@ successor).  Because stats live on the table object, replacing a table
 (the only legal "mutation" -- tables are immutable by convention)
 automatically starts from a cold cache under a fresh uid, and two lakes
 sharing table objects share their stats.
+
+Serving mode (:mod:`repro.service`): this view is read concurrently by
+every worker thread of a lake service.  Reads of already-computed
+products are safe (immutable frozensets/tuples, published by single
+attribute stores); a cold column racing two readers computes its scan
+twice with equal results -- which a warm service never does, since
+hydrated snapshots arrive fully scanned.  For long-running processes the
+*store-side* cache behind this view is the one that can grow without
+bound; bound it with ``LakeStore.open(..., stats_cache_capacity=N)``
+(see the ROADMAP cache-invalidation note).
 """
 
 from __future__ import annotations

@@ -110,6 +110,26 @@ class Discoverer(abc.ABC):
         self._fitted = True
         return self
 
+    def clone_unfitted(self) -> "Discoverer":
+        """An unfitted twin that keeps constructor configuration -- what
+        the serving layer refits against a new lake version while this
+        instance keeps serving the old one.
+
+        The default -- a shallow copy with the fitted flag and engine
+        cleared -- is correct whenever :meth:`_build_index` *assigns*
+        fresh containers (every built-in does).  A discoverer whose fit
+        **mutates** constructor-owned state in place (e.g. SANTOS's
+        knowledge-base synthesis) must override this and copy that state,
+        so a rebuild can never touch structures a still-serving twin is
+        reading concurrently.
+        """
+        import copy
+
+        clone = copy.copy(self)
+        clone._fitted = False
+        clone._engine = None
+        return clone
+
     def bind_engine(self, engine: "CandidateEngine") -> None:
         """Attach a (new) shared engine -- what loaders call after
         unpickling, since pickles deliberately drop the engine."""

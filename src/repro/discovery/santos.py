@@ -82,6 +82,17 @@ class SantosUnionSearch(Discoverer):
     def kb(self) -> KnowledgeBase:
         return self._kb
 
+    def clone_unfitted(self) -> "SantosUnionSearch":
+        """Unfitted twin with its **own** knowledge base: fit-time KB
+        synthesis (``config.synthesize_kb``) mutates the KB in place, so
+        a serving-layer rebuild must grow a copy -- never the object a
+        still-serving twin queries concurrently."""
+        import copy
+
+        clone = super().clone_unfitted()
+        clone._kb = copy.deepcopy(self._kb)
+        return clone
+
     # ------------------------------------------------------------------
     # Index construction
     # ------------------------------------------------------------------

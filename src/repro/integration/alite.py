@@ -203,15 +203,35 @@ class AliteFD(Integrator):
     value rank, not code).  ``last_stats`` holds the most recent kernel
     accounting (component counts, domain size, per-phase timings) -- the
     payload behind ``repro integrate --explain``.
+
+    *domain_capacity* bounds per-process interner growth for long-running
+    services: when a fresh ``integrate`` call finds the accreted domain
+    above the capacity, the instance starts over with an empty interner
+    (legal precisely because results never depend on accretion history;
+    output spellings come from the per-call representative map either
+    way).  The reset only ever happens **between** batch calls -- never
+    inside :meth:`integrate_incremental`, whose contract is continuity
+    with the stored domain.  None (the default) keeps the unbounded
+    batch behavior.
     """
 
     name = "alite_fd"
 
-    def __init__(self, interner: ValueInterner | None = None):
+    def __init__(
+        self,
+        interner: ValueInterner | None = None,
+        domain_capacity: int | None = None,
+    ):
         self.interner = interner if interner is not None else ValueInterner()
+        self.domain_capacity = domain_capacity
         self.last_stats: dict | None = None
 
     def _integrate(self, tables: list[Table], name: str) -> IntegratedTable:
+        if (
+            self.domain_capacity is not None
+            and self.interner.domain > self.domain_capacity
+        ):
+            self.interner = ValueInterner()
         header, work, tid_sources = prepare_integration_input(tables)
         base = base_cells_map(work)
         stats: dict = {}

@@ -1,0 +1,359 @@
+"""The service's wire surface: newline-delimited JSON over TCP, stdlib only.
+
+One request per line, one response per line::
+
+    -> {"op": "discover", "query": {...table...}, "k": 5, "column": "City"}
+    <- {"ok": true, "op": "discover", "lake_version": 3, "cached": false,
+        "payload": {"results": [...], "integration_set": [...]}}
+
+Tables cross the wire as ``{"name", "columns", "rows"}`` documents using
+the store codec's cell encoding (:func:`repro.store.codec.encode_cell`),
+so the paper's two null kinds survive the round trip.  Failures come back
+as ``{"ok": false, "kind": "ServiceOverloaded", "error": "..."}`` and
+:class:`ServiceClient` re-raises them under their service exception type.
+
+:class:`LakeServer` wraps a :class:`~repro.service.service.LakeService`
+in a ``ThreadingTCPServer`` (connection threads feed the service's own
+admission queue and worker pool -- the socket layer adds no second
+concurrency policy) and, for store-backed services, writes a
+``service.json`` **beacon** into the store directory while it is up:
+``repro index info`` pings it to report whether a live service currently
+holds the lake and at which version.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ..store.codec import decode_table, encode_table
+from ..table.table import Table
+from .service import (
+    DeadlineExceeded,
+    LakeService,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "LakeServer",
+    "ServiceClient",
+    "encode_table",
+    "decode_table",
+    "parse_address",
+    "read_beacon",
+]
+
+BEACON_FILE = "service.json"
+
+_ERROR_TYPES = {
+    "ServiceOverloaded": ServiceOverloaded,
+    "DeadlineExceeded": DeadlineExceeded,
+    "ServiceClosed": ServiceClosed,
+}
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` (or ``":port"`` for localhost) -> ``(host, port)``."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ValueError(f"service address must be host:port, got {address!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def read_beacon(store_path: str | Path) -> dict[str, Any] | None:
+    """The ``service.json`` beacon of a store directory, if present."""
+    beacon = Path(store_path) / BEACON_FILE
+    try:
+        return json.loads(beacon.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: serve requests line by line until EOF."""
+
+    server: "LakeServer"
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                response = self.server.dispatch(request)
+            except Exception as error:  # noqa: BLE001 - becomes the response
+                response = {
+                    "ok": False,
+                    "kind": type(error).__name__,
+                    "error": str(error),
+                }
+            self.wfile.write(
+                json.dumps(response, ensure_ascii=False, separators=(",", ":")).encode(
+                    "utf-8"
+                )
+                + b"\n"
+            )
+            self.wfile.flush()
+            if response.get("shutdown"):
+                # Shutdown must come from another thread: serve_forever
+                # only exits between polls, and this handler runs inside
+                # one of its connection threads.  close() is idempotent,
+                # so the CLI's own finally-close is harmless after this.
+                threading.Thread(target=self.server.close, daemon=True).start()
+                return
+
+
+class LakeServer(socketserver.ThreadingTCPServer):
+    """The service behind a TCP front end (see the module docstring)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: LakeService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self._beacon_path: Path | None = None
+        self._serving = False
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when 0 was asked)."""
+        return self.socket.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # Request dispatch (the op -> service mapping)
+    # ------------------------------------------------------------------
+    def dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        deadline = request.get("deadline")
+        if op == "ping":
+            return {"ok": True, "op": "ping", "payload": {"pong": True}}
+        if op == "version":
+            return {
+                "ok": True,
+                "op": "version",
+                "lake_version": self.service.version,
+                "payload": {"lake_version": self.service.version},
+            }
+        if op == "stats":
+            return {
+                "ok": True,
+                "op": "stats",
+                "lake_version": self.service.version,
+                "payload": self.service.stats_snapshot(),
+            }
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown", "shutdown": True, "payload": {}}
+        if op == "ingest":
+            report = self.service.ingest(
+                [decode_table(doc) for doc in request["tables"]]
+            )
+            return {
+                "ok": True,
+                "op": "ingest",
+                "lake_version": self.service.version,
+                "payload": report,
+            }
+        if op == "discover":
+            response = self.service.discover(
+                decode_table(request["query"]),
+                k=request.get("k", 10),
+                query_column=request.get("column"),
+                discoverers=request.get("discoverers"),
+                deadline=deadline,
+            )
+            return response.to_json()
+        if op == "align":
+            response = self.service.align(
+                [decode_table(doc) for doc in request["tables"]],
+                deadline=deadline,
+            )
+            return response.to_json()
+        if op == "integrate":
+            tables = request.get("tables")
+            query = request.get("query")
+            response = self.service.integrate(
+                tables=[decode_table(doc) for doc in tables] if tables else None,
+                query=decode_table(query) if query else None,
+                k=request.get("k", 10),
+                query_column=request.get("column"),
+                integrator=request.get("integrator"),
+                align=request.get("align", True),
+                deadline=deadline,
+            )
+            return response.to_json()
+        raise ServiceError(f"unknown wire op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle + beacon
+    # ------------------------------------------------------------------
+    def write_beacon(self) -> None:
+        """Advertise this server in the store directory (best effort)."""
+        store_path = self.service.store_path
+        if store_path is None:
+            return
+        host, port = self.address
+        beacon = store_path / BEACON_FILE
+        temp = beacon.with_name(beacon.name + ".tmp")
+        temp.write_text(
+            json.dumps({"host": host, "port": port, "pid": os.getpid()}),
+            encoding="utf-8",
+        )
+        temp.replace(beacon)
+        self._beacon_path = beacon
+
+    def remove_beacon(self) -> None:
+        if self._beacon_path is not None and self._beacon_path.exists():
+            self._beacon_path.unlink()
+            self._beacon_path = None
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        super().serve_forever(poll_interval)
+
+    def start(self) -> threading.Thread:
+        """Serve in a background thread (returns it); beacon written."""
+        self.write_beacon()
+        # Marked serving *before* the thread launches so a close() racing
+        # the thread's serve_forever entry still shuts it down (shutdown
+        # blocks until the loop runs and observes the request).
+        self._serving = True
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-lake-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def run(self) -> None:
+        """Serve in the calling thread until shutdown (the CLI path)."""
+        self.write_beacon()
+        try:
+            self.serve_forever()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop serving, close the socket, drop the beacon, stop the
+        service's worker pool.  Idempotent, and safe on a server whose
+        ``serve_forever`` never ran (``shutdown`` would otherwise wait
+        forever on an event only the serve loop sets)."""
+        if self._serving:
+            self._serving = False
+            self.shutdown()
+        self.server_close()
+        self.remove_beacon()
+        self.service.close()
+
+
+class ServiceClient:
+    """A tiny synchronous client: one connection per call.
+
+    Raises the service's own exception types for wire failures
+    (:class:`ServiceOverloaded`, :class:`DeadlineExceeded`, ...), so
+    callers handle local and remote services identically.
+    """
+
+    def __init__(self, address: "str | tuple[str, int]", timeout: float = 30.0):
+        if isinstance(address, str):
+            address = parse_address(address)
+        self.host, self.port = address
+        self.timeout = timeout
+
+    def call(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request document; return the response document."""
+        request = {"op": op, **{k: v for k, v in params.items() if v is not None}}
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as conn:
+            conn.sendall(
+                json.dumps(request, ensure_ascii=False, separators=(",", ":")).encode(
+                    "utf-8"
+                )
+                + b"\n"
+            )
+            with conn.makefile("rb") as reader:
+                line = reader.readline()
+        if not line:
+            raise ServiceError(
+                f"service at {self.host}:{self.port} closed the connection"
+            )
+        response = json.loads(line)
+        if not response.get("ok"):
+            error_type = _ERROR_TYPES.get(response.get("kind"), ServiceError)
+            raise error_type(response.get("error", "service error"))
+        return response
+
+    # Typed conveniences ------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.call("ping")["payload"]["pong"])
+
+    def version(self) -> int:
+        return int(self.call("version")["payload"]["lake_version"])
+
+    def stats(self) -> dict[str, Any]:
+        return self.call("stats")["payload"]
+
+    def discover(
+        self,
+        query: Table,
+        k: int = 10,
+        column: str | None = None,
+        discoverers: Sequence[str] | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "discover",
+            query=encode_table(query),
+            k=k,
+            column=column,
+            discoverers=list(discoverers) if discoverers else None,
+            deadline=deadline,
+        )
+
+    def align(self, tables: Iterable[Table], deadline: float | None = None) -> dict[str, Any]:
+        return self.call(
+            "align", tables=[encode_table(t) for t in tables], deadline=deadline
+        )
+
+    def integrate(
+        self,
+        tables: Iterable[Table] | None = None,
+        query: Table | None = None,
+        k: int = 10,
+        column: str | None = None,
+        integrator: str | None = None,
+        align: bool = True,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        return self.call(
+            "integrate",
+            tables=[encode_table(t) for t in tables] if tables else None,
+            query=encode_table(query) if query is not None else None,
+            k=k,
+            column=column,
+            integrator=integrator,
+            align=align,
+            deadline=deadline,
+        )
+
+    def ingest(self, tables: Iterable[Table]) -> dict[str, Any]:
+        return self.call("ingest", tables=[encode_table(t) for t in tables])["payload"]
+
+    def shutdown(self) -> None:
+        self.call("shutdown")
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.host}:{self.port})"

@@ -1,0 +1,965 @@
+"""The concurrent lake session: one warm pipeline, many callers.
+
+:class:`LakeService` owns what every previous PR made fast but nothing
+shared: a warm :class:`~repro.core.pipeline.Dialite` (hydrated store,
+persisted discoverer indexes, zero-rebuild candidate engine, amortized FD
+interner) served to concurrent callers through
+
+* a **worker pool** with bounded admission -- at most ``queue_depth``
+  requests in flight; the next one is rejected with
+  :class:`ServiceOverloaded` instead of queueing without bound -- and
+  optional per-request deadlines (:class:`DeadlineExceeded` both for
+  callers that give up waiting and for queued work that expires before a
+  worker reaches it);
+* a **versioned result cache**: responses are memoized under
+  ``(lake_version, canonical request key)`` with LRU + TTL eviction, so
+  *any* ingest -- in-process or a foreign process detected through the
+  store's cheap :meth:`~repro.store.lakestore.LakeStore.current_version`
+  poll -- invalidates by version, never by enumeration, and a response is
+  stamped with the exact lake version that produced it;
+* **request micro-batching**: discover requests that arrive within
+  ``batch_window`` seconds of each other and agree on ``(k, column,
+  discoverers)`` are coalesced through
+  :meth:`~repro.core.pipeline.Dialite.discover_many`, sharing the lake
+  index and per-query profiling across callers (identical queries in one
+  batch execute once and fan out);
+* a **hot-swap reload** path: when the on-disk version moves, a new
+  *generation* (fresh store handle, fresh warm pipeline) is built and
+  swapped in atomically; in-flight requests keep their generation and
+  finish on the snapshot they started on, stamped with its version.
+
+Request canonicalization: cache keys are built from *content* -- the
+query table's :func:`~repro.store.codec.table_content_hash`, ``k``, the
+intent column, the discoverer subset -- and payloads never include the
+caller's query-table name (the service renames queries to a
+hash-derived name internally), so two callers sending the same cells
+share one cache entry and byte-identical payloads.
+
+Thread-safety ground rules (see the audit in
+:mod:`repro.candidates.engine`): discovery fans out concurrently on the
+shared engine; align/integrate serialize on one internal lock because
+the aligner and the integrators (notably the FD interner) are shared
+mutable state -- correctness first, and discovery is the hot path a
+cache cannot already serve.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.pipeline import Dialite
+from ..datalake.indexer import LakeIndex
+from ..store.codec import encode_table, table_content_hash
+from ..store.lakestore import LakeStore
+from ..store.lru import LRUCache
+from ..table.table import Table
+
+__all__ = [
+    "LakeService",
+    "ServiceResponse",
+    "ServiceStats",
+    "ServiceError",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+    "ServiceClosed",
+    "oracle_discover_payload",
+]
+
+
+class ServiceError(RuntimeError):
+    """Any serving-layer failure that is not a pipeline bug."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission rejected: the in-flight request count is at capacity."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline lapsed before a result was produced."""
+
+
+class ServiceClosed(ServiceError):
+    """The service has been shut down."""
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One served result, version-stamped.
+
+    ``payload`` is a deterministic, JSON-serializable document -- the unit
+    that is cached, compared against oracles, and shipped over the wire.
+    ``lake_version`` is the version of the lake snapshot that produced it
+    (the never-stale contract: a response stamped ``v`` is byte-identical
+    to what a fresh pipeline opened at ``v`` would return).
+    """
+
+    op: str
+    lake_version: int
+    cached: bool
+    payload: dict[str, Any]
+    latency_s: float = 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": True,
+            "op": self.op,
+            "lake_version": self.lake_version,
+            "cached": self.cached,
+            "payload": self.payload,
+        }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class ServiceStats:
+    """Thread-safe serving metrics: hit/miss, rejections, batching,
+    reloads, and per-op latency quantiles (bounded reservoirs)."""
+
+    RESERVOIR = 4096
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.rejected_overload = 0
+        self.rejected_deadline = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.reloads = 0
+        self.ingests = 0
+        self._latencies: dict[str, list[float]] = {}
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def observe(self, op: str, seconds: float) -> None:
+        with self._lock:
+            reservoir = self._latencies.setdefault(op, [])
+            if len(reservoir) >= self.RESERVOIR:
+                # Drop the oldest half; quantiles stay recent-biased
+                # without per-observation deque churn.
+                del reservoir[: self.RESERVOIR // 2]
+            reservoir.append(seconds)
+
+    def snapshot(self, queue_depth: int = 0) -> dict[str, Any]:
+        """A JSON-friendly point-in-time view (the ``stats`` op / CLI)."""
+        with self._lock:
+            latency = {}
+            for op, reservoir in sorted(self._latencies.items()):
+                ordered = sorted(reservoir)
+                latency[op] = {
+                    "count": len(ordered),
+                    "p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
+                    "p95_ms": round(_percentile(ordered, 0.95) * 1000, 3),
+                    "max_ms": round(ordered[-1] * 1000, 3) if ordered else 0.0,
+                }
+            return {
+                "requests": self.requests,
+                "hits": self.hits,
+                "misses": self.misses,
+                "errors": self.errors,
+                "rejected_overload": self.rejected_overload,
+                "rejected_deadline": self.rejected_deadline,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "reloads": self.reloads,
+                "ingests": self.ingests,
+                "queue_depth": queue_depth,
+                "latency": latency,
+            }
+
+
+@dataclass
+class _Generation:
+    """One immutable serving snapshot: a warm pipeline over one store
+    handle at one lake version.  Swapped atomically on reload; in-flight
+    requests keep the generation they started with."""
+
+    pipeline: Dialite
+    store: LakeStore | None
+    version: int
+
+
+class _Request:
+    """One queued unit of work and its completion latch."""
+
+    __slots__ = (
+        "op", "params", "key", "deadline_at", "enqueued_at",
+        "done", "response", "error", "_expired", "_finished", "_lock",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        params: dict[str, Any],
+        key: tuple | None,
+        deadline_at: float | None,
+    ):
+        self.op = op
+        self.params = params
+        self.key = key
+        self.deadline_at = deadline_at
+        self.enqueued_at = time.monotonic()
+        self.done = threading.Event()
+        self.response: ServiceResponse | None = None
+        self.error: BaseException | None = None
+        self._expired = False
+        self._finished = False
+        self._lock = threading.Lock()
+
+    def expire_once(self) -> bool:
+        """Mark the deadline lapse; True for exactly one caller (so the
+        rejected-deadline counter never double-counts)."""
+        with self._lock:
+            if self._expired:
+                return False
+            self._expired = True
+            return True
+
+    def finish_once(self) -> bool:
+        """True for exactly one fulfiller -- the close()/dispatch race can
+        try to settle a request from two sides; only one may release the
+        admission slot and record stats."""
+        with self._lock:
+            if self._finished:
+                return False
+            self._finished = True
+            return True
+
+
+_SHUTDOWN = object()
+
+
+class LakeService:
+    """A shared, concurrent serving session over one warm lake.
+
+    Construct from a store (``LakeService(store=path)``) or wrap an
+    existing pipeline (``Dialite.open(path).serve()``).  ``request`` is
+    the one synchronous entry point; ``discover`` / ``align`` /
+    ``integrate`` / ``ingest`` are typed conveniences over it.  Use as a
+    context manager (or call :meth:`close`) to stop the worker pool.
+    """
+
+    def __init__(
+        self,
+        store: "str | Path | LakeStore | None" = None,
+        pipeline: Dialite | None = None,
+        *,
+        workers: int = 4,
+        queue_depth: int = 64,
+        cache_capacity: int | None = 1024,
+        cache_ttl: float | None = None,
+        batch_window: float = 0.02,
+        batch_max: int = 16,
+        reload_check_interval: float = 0.25,
+        default_deadline: float | None = None,
+        stats_cache_capacity: int | None = None,
+        candidate_budget: int | None = None,
+        fd_workers: int = 1,
+    ):
+        if pipeline is None:
+            if store is None:
+                raise ServiceError("LakeService needs a store or a pipeline")
+            if not isinstance(store, LakeStore):
+                store = LakeStore.open(
+                    store, stats_cache_capacity=stats_cache_capacity
+                )
+            pipeline = Dialite(
+                store=store,
+                candidate_budget=candidate_budget,
+                fd_workers=fd_workers,
+            )
+        pipeline.index  # fit lazily: a no-op for an already-fitted pipeline
+        backing = pipeline._store
+        self._gen = _Generation(
+            pipeline=pipeline,
+            store=backing,
+            version=backing.lake_version if backing is not None else 0,
+        )
+        self.workers = max(1, workers)
+        self.queue_depth = max(1, queue_depth)
+        self.batch_window = max(0.0, batch_window)
+        self.batch_max = max(1, batch_max)
+        self.reload_check_interval = max(0.0, reload_check_interval)
+        self.default_deadline = default_deadline
+        self.stats = ServiceStats()
+        self.cache = LRUCache(cache_capacity, ttl=cache_ttl)
+
+        self._handlers: dict[str, Callable[[_Generation, dict[str, Any]], dict]] = {
+            "discover": self._handle_discover,
+            "align": self._handle_align,
+            "integrate": self._handle_integrate,
+        }
+        self._closed = False
+        self._inflight = 0
+        self._admission_lock = threading.Lock()
+        self._reload_lock = threading.Lock()
+        # Serializes align/integrate (shared aligner + integrator state,
+        # notably the amortized FD interner); discovery never takes it.
+        self._work_lock = threading.Lock()
+        self._last_version_check = time.monotonic()
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The lake version of the current serving generation."""
+        return self._gen.version
+
+    @property
+    def pipeline(self) -> Dialite:
+        """The current generation's pipeline (a snapshot: reloads swap
+        in a new object rather than mutating this one)."""
+        return self._gen.pipeline
+
+    @property
+    def store_path(self) -> Path | None:
+        store = self._gen.store
+        return store.path if store is not None else None
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        snapshot = self.stats.snapshot(queue_depth=self._inflight)
+        snapshot["lake_version"] = self.version
+        snapshot["cache_entries"] = len(self.cache)
+        snapshot["cache_evictions"] = self.cache.evictions
+        snapshot["cache_expirations"] = self.cache.expirations
+        snapshot["workers"] = self.workers
+        return snapshot
+
+    def add_handler(
+        self, op: str, handler: Callable[[Any, dict[str, Any]], dict], replace: bool = False
+    ) -> None:
+        """Register a custom operation: ``handler(generation, params) ->
+        payload dict``.  ``generation.pipeline`` is the warm pipeline,
+        ``generation.version`` the lake version the response will be
+        stamped with.  Custom ops are not cached (no canonical key)."""
+        if op in self._handlers and not replace:
+            raise ValueError(f"op {op!r} already registered")
+        self._handlers[op] = handler
+
+    # ------------------------------------------------------------------
+    # The public request path
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        op: str,
+        params: dict[str, Any] | None = None,
+        *,
+        deadline: float | None = None,
+    ) -> ServiceResponse:
+        """Serve one request: cache lookup, admission, execution, wait.
+
+        *deadline* is relative seconds (``default_deadline`` when None);
+        the caller gets :class:`DeadlineExceeded` if it lapses first.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if op not in self._handlers:
+            raise ServiceError(
+                f"unknown op {op!r}; available: {sorted(self._handlers)}"
+            )
+        params = dict(params or {})
+        started = time.monotonic()
+        self.stats.count("requests")
+        self.reload_if_stale()
+
+        key = self._request_key(op, params)
+        gen = self._gen
+        if key is not None:
+            payload = self.cache.get((gen.version, key))
+            if payload is not None:
+                self.stats.count("hits")
+                self.stats.observe(op, time.monotonic() - started)
+                return ServiceResponse(
+                    op=op,
+                    lake_version=gen.version,
+                    cached=True,
+                    payload=payload,
+                    latency_s=time.monotonic() - started,
+                )
+        self.stats.count("misses")
+
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = None if deadline is None else started + deadline
+        request = _Request(op, params, key, deadline_at)
+        self._admit()
+        self._queue.put(request)
+        if self._closed:
+            # close() may have drained the queue between our admission and
+            # the put; settle the request ourselves rather than hang (the
+            # dispatcher-side fulfil is idempotent, so a benign race with
+            # a still-running dispatcher settles it exactly once).
+            self._fulfil_error(request, ServiceClosed("service closed"))
+
+        timeout = None if deadline_at is None else max(0.0, deadline_at - time.monotonic())
+        if not request.done.wait(timeout):
+            if request.expire_once():
+                self.stats.count("rejected_deadline")
+            raise DeadlineExceeded(
+                f"{op} deadline of {deadline:.3f}s lapsed before completion"
+            )
+        if request.error is not None:
+            raise request.error
+        assert request.response is not None
+        return request.response
+
+    # Typed conveniences ------------------------------------------------
+    def discover(
+        self,
+        query: Table,
+        k: int = 10,
+        query_column: str | None = None,
+        discoverers: Sequence[str] | None = None,
+        deadline: float | None = None,
+    ) -> ServiceResponse:
+        return self.request(
+            "discover",
+            {
+                "query": query,
+                "k": k,
+                "column": query_column,
+                "discoverers": tuple(discoverers) if discoverers else None,
+            },
+            deadline=deadline,
+        )
+
+    def align(
+        self, tables: Sequence[Table], deadline: float | None = None
+    ) -> ServiceResponse:
+        return self.request("align", {"tables": list(tables)}, deadline=deadline)
+
+    def integrate(
+        self,
+        tables: Sequence[Table] | None = None,
+        *,
+        query: Table | None = None,
+        k: int = 10,
+        query_column: str | None = None,
+        integrator: str | None = None,
+        align: bool = True,
+        deadline: float | None = None,
+    ) -> ServiceResponse:
+        if (tables is None) == (query is None):
+            raise ServiceError("integrate takes either tables or a query")
+        return self.request(
+            "integrate",
+            {
+                "tables": list(tables) if tables is not None else None,
+                "query": query,
+                "k": k,
+                "column": query_column,
+                "integrator": integrator,
+                "align": align,
+            },
+            deadline=deadline,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingest + reload (the versioned-invalidation path)
+    # ------------------------------------------------------------------
+    def ingest(self, tables: Sequence[Table] | Mapping[str, Table]) -> dict[str, Any]:
+        """Add/replace tables in the backing store and hot-swap to the new
+        version.  Runs on a *separate* store handle so the serving
+        generation's snapshot stays internally consistent; the swap makes
+        the new version visible to the next request, and the versioned
+        cache needs no enumeration -- old entries are keyed to the old
+        version and age out.
+        """
+        gen = self._gen
+        if gen.store is None:
+            raise ServiceError("ingest requires a store-backed service")
+        if isinstance(tables, Mapping):
+            delta = dict(tables)
+        else:
+            delta = {t.name: t for t in tables}
+        with self._reload_lock:
+            writer = self._gen.store.reopen()
+            report = writer.ingest(delta, prune=False)
+        self.stats.count("ingests")
+        self.reload_if_stale(force=True)
+        return {
+            "added": list(report.added),
+            "updated": list(report.updated),
+            "unchanged": list(report.unchanged),
+            "lake_version": report.lake_version,
+        }
+
+    def reload_if_stale(self, force: bool = False) -> bool:
+        """Hot-swap to the on-disk version if it moved; returns True when
+        a swap happened.  Rate-limited by ``reload_check_interval``
+        (bypassed by *force*); never drops in-flight requests -- they
+        finish on the generation they started with.
+
+        While one thread rebuilds, other request threads must keep
+        serving the *old* generation rather than queue up behind the
+        rebuild: the per-request path takes the reload lock
+        non-blocking and simply proceeds on its snapshot if a reload is
+        already in progress.  Only *force* (the in-process ingest path,
+        which needs synchronous visibility of the version it just wrote)
+        waits for the lock.
+        """
+        gen = self._gen
+        if gen.store is None:
+            return False
+        if not force:
+            now = time.monotonic()
+            if now - self._last_version_check < self.reload_check_interval:
+                return False
+            self._last_version_check = now
+        if gen.store.current_version() == gen.version and not force:
+            return False
+        if not self._reload_lock.acquire(blocking=force):
+            return False  # a reload is in flight; keep serving the old snapshot
+        try:
+            gen = self._gen
+            if gen.store.current_version() == gen.version:
+                return False
+            self._gen = self._build_generation(gen)
+            self.stats.count("reloads")
+            return True
+        finally:
+            self._reload_lock.release()
+
+    def _build_generation(self, previous: _Generation) -> _Generation:
+        """A fresh warm generation from the store's current on-disk state.
+
+        If the version move dropped the persisted discoverer indexes /
+        postings artifact (every content-changing ingest does), a builder
+        roster refits them against the hydrated lake -- warm, via the
+        stats snapshots -- and persists them, so the *serving* pipeline
+        always hydrates with ``engine.build_count == 0``.
+        """
+        assert previous.store is not None
+        store = previous.store.reopen()
+        roster = previous.pipeline.discoverers.components()
+        persisted = store.load_indexes()
+        if any(d.name not in persisted for d in roster):
+            builder = LakeIndex(
+                store.lake(), [d.clone_unfitted() for d in roster]
+            ).build()
+            builder.save_to_store(store)
+        pipeline = Dialite(
+            store=store,
+            discoverers=[d.clone_unfitted() for d in roster],
+            candidate_budget=previous.pipeline.candidate_budget,
+            fd_workers=previous.pipeline.fd_workers,
+        )
+        # Carry forward the (lake-independent) registries and aligner so
+        # custom integrators/apps survive a reload; align/integrate are
+        # serialized by the work lock, so sharing the instances is safe.
+        pipeline.integrators = previous.pipeline.integrators
+        pipeline.default_integrator = previous.pipeline.default_integrator
+        pipeline.apps = previous.pipeline.apps
+        pipeline.aligner = previous.pipeline.aligner
+        pipeline.fit()
+        return _Generation(pipeline=pipeline, store=store, version=store.lake_version)
+
+    # ------------------------------------------------------------------
+    # Admission + dispatch + execution
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        with self._admission_lock:
+            if self._closed:
+                raise ServiceClosed("service is closed")
+            if self._inflight >= self.queue_depth:
+                self.stats.count("rejected_overload")
+                raise ServiceOverloaded(
+                    f"{self._inflight} requests in flight (queue depth "
+                    f"{self.queue_depth}); retry later"
+                )
+            self._inflight += 1
+
+    def _release(self) -> None:
+        with self._admission_lock:
+            self._inflight -= 1
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            if (
+                self.batch_window > 0.0
+                and item.op == "discover"
+                and self.batch_max > 1
+                # Only open a batch window when another request is in
+                # flight (queued, mid-submit, or executing) -- a lone
+                # request on an idle service must not pay the window as
+                # pure latency, while near-simultaneous callers still
+                # coalesce even if they have not reached the queue yet.
+                and (self._inflight > 1 or not self._queue.empty())
+            ):
+                batch = self._collect_batch(item)
+                if batch is None:  # shutdown arrived mid-window
+                    break
+                self._executor.submit(self._execute_discover_batch, batch)
+            else:
+                self._executor.submit(self._execute_single, item)
+
+    def _collect_batch(self, first: _Request) -> list[_Request] | None:
+        """Drain compatible discover requests arriving within the window;
+        incompatible ones dispatch immediately (they are never delayed
+        by someone else's batch)."""
+        signature = self._batch_signature(first)
+        batch = [first]
+        horizon = time.monotonic() + self.batch_window
+        while len(batch) < self.batch_max:
+            remaining = horizon - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                self._executor.submit(self._execute_discover_batch, batch)
+                return None
+            if item.op == "discover" and self._batch_signature(item) == signature:
+                batch.append(item)
+            else:
+                self._executor.submit(self._execute_single, item)
+        return batch
+
+    @staticmethod
+    def _batch_signature(request: _Request) -> tuple:
+        # Defaults mirror _request_key, so "k omitted" and "k=10" batch
+        # (and cache) together; discoverers normalized like the key.
+        params = request.params
+        names = params.get("discoverers")
+        return (
+            params.get("k", 10),
+            params.get("column"),
+            tuple(names) if names else None,
+        )
+
+    def _expired(self, request: _Request) -> bool:
+        if request.deadline_at is not None and time.monotonic() > request.deadline_at:
+            if request.expire_once():
+                self.stats.count("rejected_deadline")
+            self._fulfil_error(
+                request, DeadlineExceeded("deadline lapsed while queued")
+            )
+            return True
+        return False
+
+    def _fulfil(self, request: _Request, response: ServiceResponse) -> None:
+        if not request.finish_once():
+            return
+        request.response = response
+        self.stats.observe(request.op, time.monotonic() - request.enqueued_at)
+        request.done.set()
+        self._release()
+
+    def _fulfil_error(self, request: _Request, error: BaseException) -> None:
+        if not request.finish_once():
+            return
+        request.error = error
+        if not isinstance(error, (DeadlineExceeded, ServiceClosed)):
+            self.stats.count("errors")
+        request.done.set()
+        self._release()
+
+    def _execute_single(self, request: _Request) -> None:
+        if self._expired(request):
+            return
+        gen = self._gen
+        try:
+            if request.key is not None:
+                payload = self.cache.get((gen.version, request.key))
+                if payload is not None:
+                    self._fulfil(
+                        request,
+                        ServiceResponse(
+                            op=request.op,
+                            lake_version=gen.version,
+                            cached=True,
+                            payload=payload,
+                        ),
+                    )
+                    return
+            handler = self._handlers[request.op]
+            payload = handler(gen, request.params)
+            if request.key is not None:
+                self.cache.put((gen.version, request.key), payload)
+            self._fulfil(
+                request,
+                ServiceResponse(
+                    op=request.op,
+                    lake_version=gen.version,
+                    cached=False,
+                    payload=payload,
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - error becomes the response
+            self._fulfil_error(request, error)
+
+    def _execute_discover_batch(self, batch: list[_Request]) -> None:
+        live = [r for r in batch if not self._expired(r)]
+        if not live:
+            return
+        gen = self._gen
+        try:
+            # Re-check the cache at this generation (the version may have
+            # moved since submit), then dedupe identical requests: one
+            # execution fans out to every waiter.
+            pending: dict[tuple, list[_Request]] = {}
+            for request in live:
+                payload = self.cache.get((gen.version, request.key))
+                if payload is not None:
+                    self._fulfil(
+                        request,
+                        ServiceResponse(
+                            op=request.op,
+                            lake_version=gen.version,
+                            cached=True,
+                            payload=payload,
+                        ),
+                    )
+                    continue
+                pending.setdefault(request.key, []).append(request)
+            if not pending:
+                return
+            unique = [waiters[0] for waiters in pending.values()]
+            if len(batch) > 1:
+                self.stats.count("batches")
+                self.stats.count("batched_requests", len(live))
+            if len(unique) == 1:
+                keyed = {unique[0].key: self._handle_discover(gen, unique[0].params)}
+            else:
+                queries = [
+                    self._service_query(r.params["query"]) for r in unique
+                ]
+                # Same defaults as _request_key/_handle_discover: the
+                # generic request() path may omit optional params.
+                first = unique[0].params
+                outcomes = gen.pipeline.discover_many(
+                    queries,
+                    k=first.get("k", 10),
+                    query_column=first.get("column"),
+                    discoverer_names=first.get("discoverers"),
+                )
+                keyed = {
+                    r.key: _discover_payload(outcome)
+                    for r, outcome in zip(unique, outcomes)
+                }
+            for key, payload in keyed.items():
+                self.cache.put((gen.version, key), payload)
+                for request in pending[key]:
+                    self._fulfil(
+                        request,
+                        ServiceResponse(
+                            op=request.op,
+                            lake_version=gen.version,
+                            cached=False,
+                            payload=payload,
+                        ),
+                    )
+        except Exception as error:  # noqa: BLE001 - error becomes the response
+            for request in live:
+                if not request.done.is_set():
+                    self._fulfil_error(request, error)
+
+    # ------------------------------------------------------------------
+    # Canonical keys + built-in handlers
+    # ------------------------------------------------------------------
+    def _request_key(self, op: str, params: dict[str, Any]) -> tuple | None:
+        """The canonical cache key of one request (None = uncacheable).
+
+        Keys are content-derived: the query table's content hash (name
+        excluded -- two callers sending the same cells share an entry),
+        plus every option that changes the result.
+        """
+        if op == "discover":
+            names = params.get("discoverers")
+            return (
+                "discover",
+                table_content_hash(params["query"]),
+                params.get("k", 10),
+                params.get("column"),
+                # Normalized so the generic request() path may pass a
+                # list (tuples hash, lists don't).
+                tuple(names) if names else None,
+            )
+        if op == "align":
+            return (
+                "align",
+                tuple(
+                    (t.name, table_content_hash(t)) for t in params["tables"]
+                ),
+            )
+        if op == "integrate":
+            if params.get("tables") is not None:
+                subject: tuple = (
+                    "tables",
+                    tuple(
+                        (t.name, table_content_hash(t))
+                        for t in params["tables"]
+                    ),
+                )
+            else:
+                subject = (
+                    "query",
+                    table_content_hash(params["query"]),
+                    params.get("k", 10),
+                    params.get("column"),
+                )
+            return ("integrate", subject, params.get("integrator"), params.get("align", True))
+        return None
+
+    @staticmethod
+    def _service_query(query: Table) -> Table:
+        """The query under its canonical service name (hash-derived, so
+        identical content gets an identical -- and lake-collision-free --
+        name, and batch members stay unique)."""
+        return query.with_name(f"q-{table_content_hash(query)[:16]}")
+
+    def _handle_discover(self, gen: _Generation, params: dict[str, Any]) -> dict:
+        outcome = gen.pipeline.discover(
+            self._service_query(params["query"]),
+            k=params.get("k", 10),
+            query_column=params.get("column"),
+            discoverer_names=params.get("discoverers"),
+        )
+        return _discover_payload(outcome)
+
+    def _handle_align(self, gen: _Generation, params: dict[str, Any]) -> dict:
+        with self._work_lock:
+            alignment = gen.pipeline.align(params["tables"])
+        assignments = {
+            f"{ref.table}.{ref.column}": integration_id
+            for ref, integration_id in alignment.assignments.items()
+        }
+        return {
+            "assignments": dict(sorted(assignments.items())),
+            "num_ids": alignment.num_ids,
+        }
+
+    def _handle_integrate(self, gen: _Generation, params: dict[str, Any]) -> dict:
+        integrator = params.get("integrator")
+        do_align = params.get("align", True)
+        if params.get("tables") is not None:
+            with self._work_lock:
+                result = gen.pipeline.integrate(
+                    params["tables"], integrator=integrator, align=do_align
+                )
+            integration_set = [t.name for t in params["tables"]]
+        else:
+            outcome = gen.pipeline.discover(
+                self._service_query(params["query"]),
+                k=params.get("k", 10),
+                query_column=params.get("column"),
+            )
+            with self._work_lock:
+                result = gen.pipeline.integrate(
+                    outcome, integrator=integrator, align=do_align
+                )
+            integration_set = [t.name for t in outcome.integration_set[1:]]
+        display = result.to_display_table()
+        return {
+            "integration_set": integration_set,
+            "table": _table_payload(display),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting work, finish what is running, stop the pool."""
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._dispatcher.join(timeout=10)
+        self._executor.shutdown(wait=True)
+        # Anything still queued (raced the sentinel) is refused loudly.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                self._fulfil_error(item, ServiceClosed("service closed"))
+
+    def __enter__(self) -> "LakeService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{self._inflight} in flight"
+        return (
+            f"LakeService(v{self.version}, {self.workers} workers, "
+            f"{len(self.cache)} cached, {state})"
+        )
+
+
+def oracle_discover_payload(
+    pipeline: Dialite,
+    query: Table,
+    k: int = 10,
+    query_column: str | None = None,
+    discoverers: Sequence[str] | None = None,
+) -> dict[str, Any]:
+    """What a service over *pipeline* would serve for this request --
+    the byte-identical sequential baseline the service benchmark and the
+    concurrency stress tests compare cached/batched responses against.
+    Applies the same canonicalization (hash-derived query name, name-free
+    payload) as the serving path."""
+    outcome = pipeline.discover(
+        LakeService._service_query(query),
+        k=k,
+        query_column=query_column,
+        discoverer_names=list(discoverers) if discoverers else None,
+    )
+    return _discover_payload(outcome)
+
+
+def _discover_payload(outcome) -> dict[str, Any]:
+    """The deterministic, name-free discover response document."""
+    return {
+        "results": [
+            {
+                "table": r.table_name,
+                "score": round(r.score, 9),
+                "discoverer": r.discoverer,
+                "reason": r.reason,
+            }
+            for r in outcome.merged
+        ],
+        "integration_set": [t.name for t in outcome.integration_set[1:]],
+    }
+
+
+# Response payloads carry tables in the same canonical document shape the
+# wire protocol uses -- one definition, in the store codec.
+_table_payload = encode_table

@@ -24,7 +24,15 @@ from typing import Any
 from ..table.table import Table
 from ..table.values import Cell, Null, is_null
 
-__all__ = ["encode_cell", "decode_cell", "encode_column", "decode_column", "table_content_hash"]
+__all__ = [
+    "encode_cell",
+    "decode_cell",
+    "encode_column",
+    "decode_column",
+    "encode_table",
+    "decode_table",
+    "table_content_hash",
+]
 
 _NULL_KEY = "__null__"
 
@@ -59,6 +67,27 @@ def encode_column(array: tuple[Cell, ...]) -> str:
 def decode_column(line: str) -> tuple[Cell, ...]:
     """Inverse of :func:`encode_column`."""
     return tuple(decode_cell(value) for value in json.loads(line))
+
+
+def encode_table(table: Table) -> dict[str, Any]:
+    """A whole table as one JSON-serializable document -- the canonical
+    ``{"name", "columns", "rows"}`` shape shared by the serving layer's
+    response payloads and the wire protocol (one definition, so the two
+    can never drift apart)."""
+    return {
+        "name": table.name,
+        "columns": list(table.columns),
+        "rows": [[encode_cell(cell) for cell in row] for row in table.rows],
+    }
+
+
+def decode_table(document: dict[str, Any]) -> Table:
+    """Inverse of :func:`encode_table`."""
+    return Table(
+        document["columns"],
+        [tuple(decode_cell(cell) for cell in row) for row in document["rows"]],
+        name=document.get("name", "table"),
+    )
 
 
 def table_content_hash(table: Table) -> str:

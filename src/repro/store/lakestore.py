@@ -35,6 +35,14 @@ Versioning: ``lake_version`` increments on every content-changing ingest;
 persisted discoverer indexes *and* the persisted posting artifact
 remember the version they were fitted/built against and are dropped
 (never silently served stale) when it moves on.
+
+Readers and writers may share a store directory across processes: every
+file the store writes -- manifest included -- is committed with an atomic
+``tmp`` + ``replace``, so a reader never observes a torn manifest, and a
+small ``version.json`` sibling (written on every manifest commit) lets
+:meth:`LakeStore.current_version` poll the on-disk version cheaply without
+re-parsing the full manifest -- the watch hook the serving layer
+(:mod:`repro.service`) uses to detect foreign ingests and hot-reload.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ from ..table.stats import TableStats
 from ..table.table import Table
 from ..table.values import Cell
 from .codec import table_content_hash
+from .lru import LRUCache
 from .segment import read_column, read_columns, write_segment
 from .snapshot import SketchConfig, column_stats_payload, hydrate_column_stats
 
@@ -107,14 +116,24 @@ class IngestReport:
 class LakeStore:
     """A directory-backed, versioned snapshot of a data lake."""
 
-    def __init__(self, path: Path, manifest: dict[str, Any]):
+    def __init__(
+        self,
+        path: Path,
+        manifest: dict[str, Any],
+        stats_cache_capacity: int | None = None,
+    ):
         self._path = Path(path)
         self._manifest = manifest
         self._sketch = SketchConfig.from_json(manifest["sketch"])
         # Hydrated per-table stats, shared between :meth:`table_stats` and
         # the tables :meth:`load_table` materializes -- one object per
-        # table name, so the lake-wide scan ledger is coherent.
-        self._stats_cache: dict[str, TableStats] = {}
+        # table name, so the lake-wide scan ledger is coherent.  Unbounded
+        # by default (a batch run's working set is one process lifetime);
+        # long-running services pass a capacity so recency-evicted
+        # snapshots are re-hydrated from disk instead of accreting forever
+        # (an evicted snapshot a live table already adopted stays valid --
+        # the table keeps its reference; only the store-side pointer goes).
+        self._stats_cache: LRUCache = LRUCache(stats_cache_capacity)
 
     # ------------------------------------------------------------------
     # Construction
@@ -155,6 +174,7 @@ class LakeStore:
         path: str | Path,
         sketch_config: SketchConfig | None = None,
         check_sketch: bool = True,
+        stats_cache_capacity: int | None = None,
     ) -> "LakeStore":
         """Open an existing store; validates format and sketch parameters.
 
@@ -164,6 +184,9 @@ class LakeStore:
         :class:`SketchConfigMismatch` -- hydrated sketches would silently
         be incomparable with freshly computed ones otherwise.  Pass
         ``check_sketch=False`` to adopt whatever the snapshot recorded.
+
+        *stats_cache_capacity* bounds the hydrated-stats cache by recency
+        (None = unbounded, the batch default); see :class:`.lru.LRUCache`.
         """
         path = Path(path)
         manifest_path = path / "manifest.json"
@@ -177,7 +200,7 @@ class LakeStore:
                 f"store at {path} uses format version {manifest['format_version']}, "
                 f"this library reads up to {_FORMAT_VERSION}"
             )
-        store = cls(path, manifest)
+        store = cls(path, manifest, stats_cache_capacity=stats_cache_capacity)
         if check_sketch:
             expected = sketch_config or SketchConfig()
             if store.sketch_config != expected:
@@ -203,6 +226,42 @@ class LakeStore:
     @property
     def lake_version(self) -> int:
         return self._manifest["lake_version"]
+
+    def current_version(self) -> int:
+        """The lake version currently committed **on disk** (cheap poll).
+
+        Unlike :attr:`lake_version` (this handle's in-memory manifest),
+        this re-reads the tiny ``version.json`` sibling the store writes on
+        every manifest commit -- no manifest re-parse, no re-hydration --
+        so a serving process can poll it per request to detect a foreign
+        ingest.  Falls back to parsing the manifest for stores written
+        before the sibling existed.  Atomic-replace commits guarantee a
+        reader sees either the old or the new file, never a torn one.
+        """
+        try:
+            payload = json.loads(
+                (self._path / "version.json").read_text(encoding="utf-8")
+            )
+            return int(payload["lake_version"])
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, ValueError):
+            pass
+        manifest_path = self._path / "manifest.json"
+        if not manifest_path.exists():
+            raise StoreNotFound(f"no lake store manifest at {self._path}")
+        return int(
+            json.loads(manifest_path.read_text(encoding="utf-8"))["lake_version"]
+        )
+
+    def reopen(self) -> "LakeStore":
+        """A fresh handle on this store's current on-disk state (the
+        hot-reload path: the old handle keeps serving its snapshot; the new
+        one sees the new manifest), preserving the sketch expectation and
+        stats-cache bound of this handle."""
+        return type(self).open(
+            self._path,
+            sketch_config=self._sketch,
+            stats_cache_capacity=self._stats_cache.capacity,
+        )
 
     @property
     def table_names(self) -> list[str]:
@@ -400,7 +459,7 @@ class LakeStore:
                 for column in entry["columns"]
             }
             cached = TableStats.hydrated(name, entry["columns"], by_name)
-            self._stats_cache[name] = cached
+            self._stats_cache.put(name, cached)
         return cached
 
     def _column_loader(self, name: str, column: str):
@@ -612,6 +671,14 @@ class LakeStore:
 
     def _write_manifest(self) -> None:
         self._write_json(self._path / "manifest.json", self._manifest)
+        # The cheap version beacon `current_version()` polls.  Written
+        # *after* the manifest commit: a poller that races the two writes
+        # sees an old version and simply reloads one poll later -- it can
+        # never see a version the manifest does not yet describe.
+        self._write_json(
+            self._path / "version.json",
+            {"lake_version": self._manifest["lake_version"]},
+        )
 
 
 class StoredDataLake(DataLake):

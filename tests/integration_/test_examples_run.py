@@ -52,6 +52,13 @@ class TestExamplesRun:
         out = run_example("incremental_integration.py", capsys)
         assert "Incremental result equals batch FD: True" in out
 
+    def test_serve_demo(self, capsys):
+        out = run_example("serve_demo.py", capsys)
+        assert "first cached=False, second cached=True" in out
+        assert "re-query at v2 (cached=False)" in out
+        assert "1 reloads" in out
+        assert "server shut down cleanly" in out
+
     def test_every_example_has_a_smoke_test(self):
         scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
         covered = {
@@ -61,5 +68,6 @@ class TestExamplesRun:
             "extensibility.py",
             "datalake_discovery.py",
             "incremental_integration.py",
+            "serve_demo.py",
         }
         assert scripts == covered, "new example needs a smoke test here"

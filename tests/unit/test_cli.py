@@ -363,3 +363,90 @@ class TestCandidateEngineCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "postings loaded from store: True" in out
+
+
+class TestServe:
+    """The serving surface: `repro serve`, `--service` routing, and the
+    `index info` live-service beacon."""
+
+    @pytest.fixture
+    def served(self, lake_dir, tmp_path):
+        import threading
+        import time
+
+        store_dir = tmp_path / "lake.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        port_file = tmp_path / "port.txt"
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--store", str(store_dir),
+                    "--port", "0", "--workers", "2",
+                    "--batch-window", "0.002",
+                    "--port-file", str(port_file),
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not port_file.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert port_file.exists(), "serve never wrote its port file"
+        host, port, version = port_file.read_text().split()
+        yield store_dir, f"{host}:{port}", thread
+        from repro.service import ServiceClient
+
+        try:
+            ServiceClient(f"{host}:{port}").shutdown()
+        except Exception:
+            pass
+        thread.join(timeout=10)
+
+    def test_discover_routes_through_service(self, served, query_csv, capsys):
+        store_dir, address, _ = served
+        capsys.readouterr()
+        assert main(
+            ["discover", "--service", address, "--query", str(query_csv),
+             "--column", "City", "-k", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "T2" in out and "T3" in out and "lake v1" in out
+        # A second identical call is served from the shared result cache.
+        assert main(
+            ["discover", "--service", address, "--query", str(query_csv),
+             "--column", "City", "-k", "5"]
+        ) == 0
+        assert "served from cache" in capsys.readouterr().out
+
+    def test_integrate_routes_through_service(self, served, query_csv, tmp_path, capsys):
+        store_dir, address, _ = served
+        out_file = tmp_path / "served_integrated.csv"
+        capsys.readouterr()
+        assert main(
+            ["integrate", "--service", address, "--query", str(query_csv),
+             "--column", "City", "--out", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "integration set: " in out and out_file.exists()
+        restored = read_csv(out_file)
+        assert "OID" in restored.columns and restored.num_rows >= 7
+
+    def test_index_info_reports_live_service(self, served, capsys):
+        store_dir, address, _ = served
+        capsys.readouterr()
+        assert main(["index", "info", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"live service: {address} serving lake v1 (current)" in out
+
+    def test_index_info_without_service(self, lake_dir, tmp_path, capsys):
+        store_dir = tmp_path / "cold.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert main(["index", "info", "--store", str(store_dir)]) == 0
+        assert "live service: none" in capsys.readouterr().out
+
+    def test_discover_requires_some_backend(self, query_csv):
+        with pytest.raises(SystemExit, match="--lake, --store or --service"):
+            main(["discover", "--query", str(query_csv)])

@@ -1,0 +1,548 @@
+"""Unit tests for the concurrent serving layer (repro.service).
+
+The load-bearing guarantees pinned here:
+
+* cache correctness under concurrency -- a threaded stress mix of
+  discover / integrate / ingest produces only responses that are
+  byte-identical to a sequential oracle pipeline opened at the exact
+  lake version each response is stamped with (zero staleness);
+* admission control -- overload is an explicit :class:`ServiceOverloaded`
+  rejection, deadlines surface :class:`DeadlineExceeded` for both the
+  waiting caller and queued work a worker reaches too late;
+* micro-batching -- concurrent compatible discover requests coalesce
+  through ``discover_many`` without changing any payload;
+* hot-swap reload -- in-process and foreign ingests move the serving
+  version, the swapped-in generation hydrates warm
+  (``engine.build_count == 0``), and in-flight work is never dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.pipeline import Dialite
+from repro.datalake import DataLake
+from repro.datalake.fixtures import (
+    covid_joinable_table,
+    covid_query_table,
+    covid_unionable_table,
+)
+from repro.datalake.indexer import LakeIndex
+from repro.integration.alite import AliteFD
+from repro.service import (
+    DeadlineExceeded,
+    LakeService,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    oracle_discover_payload,
+)
+from repro.service.service import _table_payload
+from repro.store import LakeStore
+from repro.table.table import Table
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def build_store(tmp_path, extra=()):
+    lake = DataLake([covid_unionable_table(), covid_joinable_table(), *extra])
+    store = LakeStore.create(tmp_path / "lake.store")
+    store.ingest(lake)
+    roster = Dialite(DataLake()).discoverers.components()
+    LakeIndex.from_store(store, roster, lake=store.lake()).save_to_store(store)
+    return tmp_path / "lake.store"
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return build_store(tmp_path)
+
+
+@pytest.fixture
+def service(store_path):
+    svc = LakeService(
+        store=store_path, workers=2, batch_window=0.0, reload_check_interval=0.0
+    )
+    yield svc
+    svc.close()
+
+
+def oracle_integrate_payload(store_path, query, k=10, column=None):
+    """The integrate payload a fresh pipeline at the store's current
+    version serves (mirrors the service handler's canonicalization)."""
+    pipeline = Dialite.open(store_path).fit()
+    outcome = pipeline.discover(
+        LakeService._service_query(query), k=k, query_column=column
+    )
+    result = pipeline.integrate(outcome)
+    return {
+        "integration_set": [t.name for t in outcome.integration_set[1:]],
+        "table": _table_payload(result.to_display_table()),
+    }
+
+
+class TestBasics:
+    def test_discover_matches_oracle_and_caches(self, store_path, service):
+        query = covid_query_table()
+        first = service.discover(query, k=5, query_column="City")
+        oracle = oracle_discover_payload(
+            Dialite.open(store_path).fit(), query, k=5, query_column="City"
+        )
+        assert canonical(first.payload) == canonical(oracle)
+        assert first.lake_version == 1 and not first.cached
+
+        again = service.discover(query, k=5, query_column="City")
+        assert again.cached and canonical(again.payload) == canonical(first.payload)
+        snapshot = service.stats_snapshot()
+        assert snapshot["hits"] == 1 and snapshot["misses"] == 1
+
+    def test_same_content_different_name_shares_cache_entry(self, service):
+        query = covid_query_table()
+        service.discover(query, k=5, query_column="City")
+        renamed = query.with_name("another_caller_name")
+        response = service.discover(renamed, k=5, query_column="City")
+        assert response.cached
+
+    def test_different_options_do_not_share_entries(self, service):
+        query = covid_query_table()
+        service.discover(query, k=5, query_column="City")
+        assert not service.discover(query, k=3, query_column="City").cached
+        assert not service.discover(query, k=5).cached
+
+    def test_integrate_and_align(self, store_path, service):
+        query = covid_query_table()
+        response = service.integrate(query=query, k=5, query_column="City")
+        oracle = oracle_integrate_payload(store_path, query, k=5, column="City")
+        assert canonical(response.payload) == canonical(oracle)
+        assert service.integrate(query=query, k=5, query_column="City").cached
+
+        aligned = service.align([covid_query_table(), covid_joinable_table()])
+        assert aligned.payload["num_ids"] >= 1
+        assert any(".City" in ref for ref in aligned.payload["assignments"])
+
+    def test_dialite_serve_wraps_pipeline(self):
+        lake = DataLake([covid_unionable_table(), covid_joinable_table()])
+        with Dialite(lake).fit().serve(workers=1, batch_window=0.0) as svc:
+            response = svc.discover(covid_query_table(), k=3, query_column="City")
+            assert response.lake_version == 0  # storeless sessions serve v0
+            assert not svc.reload_if_stale()
+            with pytest.raises(ServiceError):
+                svc.ingest([covid_query_table()])
+
+    def test_unknown_op_and_closed_service(self, service):
+        with pytest.raises(ServiceError):
+            service.request("no_such_op", {})
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.discover(covid_query_table(), k=3)
+
+    def test_generic_request_path_accepts_list_discoverers(self, service):
+        # The documented generic entry point may pass JSON-shaped params
+        # (lists, not tuples); the cache key must normalize them.
+        response = service.request(
+            "discover",
+            {"query": covid_query_table(), "k": 3, "column": "City",
+             "discoverers": ["josie"]},
+        )
+        assert all(r["discoverer"] == "josie" for r in response.payload["results"])
+        again = service.discover(
+            covid_query_table(), k=3, query_column="City", discoverers=("josie",)
+        )
+        assert again.cached  # list and tuple spellings share one entry
+
+    def test_custom_handler(self, service):
+        service.add_handler(
+            "echo", lambda gen, params: {"version": gen.version, **params}
+        )
+        response = service.request("echo", {"x": 1})
+        assert response.payload == {"version": 1, "x": 1}
+        assert not response.cached  # custom ops have no canonical key
+
+    def test_latency_quantiles_reported(self, service):
+        query = covid_query_table()
+        for _ in range(3):
+            service.discover(query, k=5, query_column="City")
+        latency = service.stats_snapshot()["latency"]["discover"]
+        assert latency["count"] == 3
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["max_ms"]
+
+
+class TestVersioning:
+    def test_in_process_ingest_swaps_warm_generation(self, service):
+        query = covid_query_table()
+        before = service.discover(query, k=5, query_column="City")
+        report = service.ingest(
+            [Table(["City", "Mayor"], [("Berlin", "A"), ("Boston", "B")], name="mayors")]
+        )
+        assert report["added"] == ["mayors"] and report["lake_version"] == 2
+        assert service.version == 2
+
+        after = service.discover(query, k=5, query_column="City")
+        assert after.lake_version == 2 and not after.cached
+        assert "mayors" in [r["table"] for r in after.payload["results"]]
+        assert before.lake_version == 1  # old response keeps its stamp
+
+        engine = service.pipeline.index.engine
+        assert engine.build_count == 0 and engine.loaded_from_store
+
+    def test_foreign_ingest_detected_by_version_poll(self, store_path, service):
+        query = covid_query_table()
+        service.discover(query, k=5, query_column="City")
+        # Another process's incremental ingest: a separate store handle.
+        writer = LakeStore.open(store_path)
+        writer.ingest(
+            {"extra": Table(["City", "Zone"], [("Berlin", "EU")], name="extra")},
+            prune=False,
+        )
+        assert service.reload_if_stale(force=True)
+        response = service.discover(query, k=5, query_column="City")
+        assert response.lake_version == 2 and not response.cached
+
+    def test_reload_never_mutates_serving_generation_state(self, service):
+        """The generation rebuild refits clone_unfitted() twins; fit-time
+        KB synthesis must land on the twin's copied knowledge base, never
+        the one the still-serving SANTOS instance reads concurrently."""
+        import pickle
+
+        old_santos = service.pipeline.discoverers.get("santos")
+        kb_before = pickle.dumps(old_santos.kb)
+        service.ingest(
+            [Table(["City", "Landmark"], [("Berlin", "Gate"), ("Boston", "Harbor")],
+                   name="landmarks")]
+        )
+        new_santos = service.pipeline.discoverers.get("santos")
+        assert new_santos is not old_santos
+        assert new_santos.kb is not old_santos.kb
+        assert pickle.dumps(old_santos.kb) == kb_before, (
+            "builder refit mutated the serving generation's knowledge base"
+        )
+
+    def test_cached_entries_are_version_scoped(self, service):
+        query = covid_query_table()
+        service.discover(query, k=5, query_column="City")
+        service.ingest([Table(["City"], [("Oslo",)], name="cities")])
+        assert not service.discover(query, k=5, query_column="City").cached
+        assert service.discover(query, k=5, query_column="City").cached
+
+
+class TestOverloadAndDeadlines:
+    @pytest.fixture
+    def blocked_service(self, store_path):
+        svc = LakeService(
+            store=store_path, workers=1, queue_depth=2,
+            batch_window=0.0, reload_check_interval=0.0,
+        )
+        gate = threading.Event()
+        svc.add_handler("block", lambda gen, params: {"ok": gate.wait(10)})
+        yield svc, gate
+        gate.set()
+        svc.close()
+
+    def test_overload_rejection(self, blocked_service):
+        svc, gate = blocked_service
+        started, errors = [], []
+
+        def submit():
+            started.append(True)
+            try:
+                svc.request("block", {})
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5
+        while svc.inflight < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(ServiceOverloaded):
+            svc.request("block", {})
+        assert svc.stats_snapshot()["rejected_overload"] == 1
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert not errors
+
+    def test_caller_deadline(self, blocked_service):
+        svc, gate = blocked_service
+        occupier = threading.Thread(target=lambda: svc.request("block", {}))
+        occupier.start()
+        deadline = time.monotonic() + 5
+        while svc.inflight < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(DeadlineExceeded):
+            svc.request("block", {}, deadline=0.05)
+        assert svc.stats_snapshot()["rejected_deadline"] >= 1
+        gate.set()
+        occupier.join(timeout=5)
+
+
+class TestBatching:
+    def test_identical_concurrent_requests_share_one_execution(self, store_path):
+        """Six callers, one content: whether the sharing happens through
+        the batch dedupe or the result cache, at most the leader (and one
+        batch) actually executes -- everyone gets the oracle payload."""
+        svc = LakeService(
+            store=store_path, workers=2, batch_window=0.15, batch_max=16,
+            reload_check_interval=0.0,
+        )
+        try:
+            query = covid_query_table()
+            oracle = canonical(oracle_discover_payload(
+                Dialite.open(store_path).fit(), query, k=5, query_column="City"
+            ))
+            responses = []
+            lock = threading.Lock()
+
+            def run():
+                response = svc.discover(query, k=5, query_column="City")
+                with lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=run) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert len(responses) == 6
+            assert all(canonical(r.payload) == oracle for r in responses)
+            # The engine's per-discoverer query counters are the ground
+            # truth for executions (batch members fan out one execution's
+            # payload; cache hits run none): at most the dispatch leader
+            # plus one batch may actually have searched.
+            executions = svc.pipeline.index.engine.stats()["queries"]
+            assert executions and max(executions.values()) <= 2, (
+                f"identical concurrent requests must share work via the "
+                f"batch dedupe or the cache, not execute per caller: "
+                f"{executions}"
+            )
+        finally:
+            svc.close()
+
+    def test_batched_generic_requests_may_omit_optional_params(self, store_path):
+        """The generic request() path may send only {"query": ...}; a
+        batch of such requests must apply the same defaults as the
+        single-execution path instead of KeyError-ing the whole batch."""
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.25, batch_max=16,
+            reload_check_interval=0.0,
+        )
+        try:
+            queries = [
+                Table(["City", "Round"], [("Berlin", i), ("Boston", i)],
+                      name=f"bare_{i}")
+                for i in range(4)
+            ]
+            responses, errors = {}, []
+            lock = threading.Lock()
+
+            def run(q):
+                try:
+                    response = svc.request("discover", {"query": q})
+                    with lock:
+                        responses[q.name] = response
+                except Exception as error:  # noqa: BLE001
+                    with lock:
+                        errors.append(error)
+
+            threads = [threading.Thread(target=run, args=(q,)) for q in queries]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert not errors
+            oracle_pipeline = Dialite.open(store_path).fit()
+            for q in queries:
+                assert canonical(responses[q.name].payload) == canonical(
+                    oracle_discover_payload(oracle_pipeline, q)
+                )
+        finally:
+            svc.close()
+
+    def test_distinct_queries_coalesce_through_discover_many(self, store_path):
+        """Distinct-content requests queued behind one busy worker must
+        coalesce into a micro-batch (counted in ServiceStats) and still
+        serve byte-identical oracle payloads."""
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.25, batch_max=16,
+            reload_check_interval=0.0,
+        )
+        try:
+            queries = [
+                covid_query_table(),
+                Table(["City", "Death Rate"], [("Berlin", 147), ("Boston", 335)],
+                      name="numeric_q"),
+            ] + [
+                Table(["Country", "City", "Round"],
+                      [("Germany", "Berlin", i), ("Spain", "Barcelona", i)],
+                      name=f"distinct_{i}")
+                for i in range(4)
+            ]
+            oracle_pipeline = Dialite.open(store_path).fit()
+            oracles = {
+                q.name: canonical(oracle_discover_payload(
+                    oracle_pipeline, q, k=4, query_column="City"
+                ))
+                for q in queries
+            }
+            responses = {}
+            lock = threading.Lock()
+
+            def run(q):
+                response = svc.discover(q, k=4, query_column="City")
+                with lock:
+                    responses[q.name] = response
+
+            threads = [threading.Thread(target=run, args=(q,)) for q in queries]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            for q in queries:
+                assert canonical(responses[q.name].payload) == oracles[q.name]
+            snapshot = svc.stats_snapshot()
+            assert snapshot["batches"] >= 1
+            assert snapshot["batched_requests"] >= 2
+        finally:
+            svc.close()
+
+
+class TestConcurrencyStress:
+    """The satellite's threaded stress: N workers, mixed discover /
+    integrate / one mid-run ingest; every response must match the
+    sequential oracle of the exact version it is stamped with."""
+
+    def test_version_consistent_byte_identical_responses(self, store_path):
+        queries = [
+            covid_query_table(),
+            Table(["City", "Death Rate"], [("Berlin", 147), ("Barcelona", 275)],
+                  name="stress_q1"),
+            Table(["Country", "City"], [("Spain", "Barcelona"), ("USA", "Boston")],
+                  name="stress_q2"),
+        ]
+        plant = Table(
+            ["City", "Total Cases"], [("Berlin", "2M"), ("Manchester", "0.9M")],
+            name="stress_plant",
+        )
+        svc = LakeService(
+            store=store_path, workers=4, batch_window=0.002,
+            reload_check_interval=0.01,
+        )
+        try:
+            results = []
+            errors = []
+            lock = threading.Lock()
+            ingested = threading.Event()
+
+            def clients(worker_id):
+                try:
+                    for round_number in range(6):
+                        query = queries[(worker_id + round_number) % len(queries)]
+                        if worker_id == 0 and round_number == 3:
+                            svc.ingest([plant])
+                            ingested.set()
+                        if worker_id % 2 == 0:
+                            response = svc.discover(query, k=4, query_column="City")
+                            kind = "discover"
+                        else:
+                            response = svc.integrate(
+                                query=query, k=4, query_column="City"
+                            )
+                            kind = "integrate"
+                        with lock:
+                            results.append((kind, query.name, response))
+                except Exception as error:  # noqa: BLE001
+                    with lock:
+                        errors.append(error)
+
+            threads = [
+                threading.Thread(target=clients, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert ingested.is_set()
+            versions = {response.lake_version for _, _, response in results}
+            assert versions == {1, 2}, "both generations must have served"
+
+            # Sequential oracles, one pipeline per observed version: the
+            # v1 oracle runs against a store rebuilt without the plant.
+            oracle_payloads = {}
+            v1_store = build_store(store_path.parent / "oracle_v1")
+            v1_pipeline = Dialite.open(v1_store).fit()
+            v2_pipeline = Dialite.open(store_path).fit()
+            for version, pipeline in ((1, v1_pipeline), (2, v2_pipeline)):
+                for query in queries:
+                    oracle_payloads[(version, "discover", query.name)] = canonical(
+                        oracle_discover_payload(
+                            pipeline, query, k=4, query_column="City"
+                        )
+                    )
+                    outcome = pipeline.discover(
+                        LakeService._service_query(query), k=4, query_column="City"
+                    )
+                    integrated = pipeline.integrate(outcome)
+                    oracle_payloads[(version, "integrate", query.name)] = canonical({
+                        "integration_set": [
+                            t.name for t in outcome.integration_set[1:]
+                        ],
+                        "table": _table_payload(integrated.to_display_table()),
+                    })
+
+            for kind, query_name, response in results:
+                expected = oracle_payloads[(response.lake_version, kind, query_name)]
+                assert canonical(response.payload) == expected, (
+                    f"stale/divergent {kind} response for {query_name} "
+                    f"at v{response.lake_version}"
+                )
+            assert svc.stats_snapshot()["errors"] == 0
+        finally:
+            svc.close()
+
+
+class TestServiceModeBounds:
+    def test_fd_interner_domain_capacity_resets_between_calls(self):
+        fd = AliteFD(domain_capacity=8)
+        tables = [
+            Table(["A", "B"], [(f"a{i}", f"b{i}") for i in range(6)], name="t1"),
+            Table(["B", "C"], [(f"b{i}", f"c{i}") for i in range(6)], name="t2"),
+        ]
+        first = fd.integrate(tables, name="one")
+        grown = fd.interner.domain
+        assert grown > 8
+        second = fd.integrate(tables, name="two")
+        # The reset started a fresh domain of exactly this call's values,
+        # and results are unchanged (they never depend on accretion).
+        assert fd.interner.domain == grown
+        assert first.rows == second.rows
+
+    def test_unbounded_by_default(self):
+        fd = AliteFD()
+        tables = [Table(["A"], [("x",), ("y",)], name="t")]
+        fd.integrate(tables, name="one")
+        domain = fd.interner.domain
+        fd.integrate(
+            [Table(["A"], [("z",), ("w",)], name="t")], name="two"
+        )
+        assert fd.interner.domain > domain  # accretes, never resets
+
+
+class TestServerLifecycle:
+    def test_close_without_serving_does_not_hang(self, store_path):
+        from repro.service import LakeServer
+
+        svc = LakeService(store=store_path, workers=1, batch_window=0.0)
+        server = LakeServer(svc, port=0)
+        closer = threading.Thread(target=server.close)
+        closer.start()
+        closer.join(timeout=5)
+        assert not closer.is_alive(), "close() on a never-served LakeServer hung"
+        assert svc._closed

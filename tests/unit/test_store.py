@@ -324,3 +324,120 @@ class TestCocoaRebind:
             clone.search(query, k=3, query_column="City")
         clone.rebind_lake(lake)
         assert clone.search(query, k=3, query_column="City") is not None
+
+
+class TestVersionWatch:
+    """The serving layer's cheap on-disk version poll + reader safety
+    under a concurrent writer (ISSUE 5 satellites)."""
+
+    def test_current_version_tracks_disk_without_reopen(self, store, lake):
+        reader = LakeStore.open(store.path)
+        assert reader.current_version() == reader.lake_version == 1
+        writer = LakeStore.open(store.path)
+        writer.ingest(
+            {"extra": Table(["City"], [("Oslo",)], name="extra")}, prune=False
+        )
+        # The reader handle's in-memory manifest is a stable snapshot...
+        assert reader.lake_version == 1
+        # ...while the poll sees the committed on-disk version.
+        assert reader.current_version() == 2
+
+    def test_version_beacon_file_written_and_fallback(self, store):
+        beacon = store.path / "version.json"
+        assert json.loads(beacon.read_text())["lake_version"] == 1
+        # Stores written before the beacon existed fall back to the
+        # manifest (and a corrupt beacon is ignored, not fatal).
+        beacon.unlink()
+        assert store.current_version() == 1
+        beacon.write_text("not json")
+        assert store.current_version() == 1
+
+    def test_reopen_returns_fresh_handle_same_config(self, store):
+        fresh = store.reopen()
+        assert fresh is not store
+        assert fresh.lake_version == store.lake_version
+        assert fresh.sketch_config == store.sketch_config
+
+    def test_reader_never_sees_torn_manifest_during_ingest(self, tmp_path, lake):
+        """A reader polling/opening while a writer ingests repeatedly must
+        only ever observe complete manifests and monotonic versions (the
+        atomic tmp+replace commit contract)."""
+        import threading
+
+        path = tmp_path / "race.store"
+        store = LakeStore.create(path)
+        store.ingest(lake)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            last = 0
+            while not stop.is_set():
+                try:
+                    version = LakeStore.open(path).current_version()
+                    opened = LakeStore.open(path)
+                    assert set(opened.table_names) >= {"T2", "T3"}
+                    if version < last:
+                        failures.append(f"version went backwards: {last}->{version}")
+                    last = version
+                except Exception as error:  # noqa: BLE001
+                    failures.append(repr(error))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        writer = LakeStore.open(path)
+        for round_number in range(20):
+            writer.ingest(
+                {
+                    "churn": Table(
+                        ["City", "round"], [("Berlin", round_number)], name="churn"
+                    )
+                },
+                prune=False,
+            )
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not failures
+        assert writer.lake_version == 21  # 20 churn rewrites after the seed
+
+
+class TestStatsCacheBound:
+    def test_lru_capacity_bounds_hydrated_stats(self, store, lake):
+        bounded = LakeStore.open(store.path, stats_cache_capacity=1)
+        t2_stats = bounded.table_stats("T2")
+        t3_stats = bounded.table_stats("T3")  # evicts T2's snapshot
+        assert len(bounded._stats_cache) == 1
+        assert bounded._stats_cache.evictions == 1
+        # The still-cached T3 object is served as-is...
+        assert bounded.table_stats("T3") is t3_stats
+        # ...and re-requesting evicted T2 re-hydrates a fresh snapshot.
+        assert bounded.table_stats("T2") is not t2_stats
+        # Evicted-and-rehydrated stats still serve without raw scans.
+        assert bounded.table_stats("T2").column("City").distinct
+        assert bounded.table_stats("T2").total_scans == 0
+
+    def test_unbounded_default_keeps_everything(self, store):
+        store.table_stats("T2")
+        store.table_stats("T3")
+        assert len(store._stats_cache) == 2
+        assert store._stats_cache.evictions == 0
+
+    def test_lru_cache_primitive(self):
+        from repro.store.lru import LRUCache
+
+        clock = [0.0]
+        cache = LRUCache(capacity=2, ttl=5.0, clock=lambda: clock[0])
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes recency
+        cache.put("c", 3)  # evicts b (least recently used)
+        assert cache.get("b") is None and cache.get("a") == 1
+        assert cache.evictions == 1
+        clock[0] = 6.0
+        assert cache.get("a") is None  # TTL lapsed
+        assert cache.expirations == 1
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
