@@ -13,12 +13,15 @@
 #   make bench-service  serving layer @400 tables: warm cached+batched >= 3x sequential cold calls
 #   make serve-smoke  service smoke: TCP client session (discover/cache/ingest/stats) +
 #                     byte-identity + zero-staleness asserts, no speed gate (runs in CI)
+#   make bench-segments  segment v2 binary decode @1k tables incl. the >= 2x-over-v1 check
+#   make segments-smoke  same suite, tiny scale: cross-format identity + migrate
+#                     round trip asserts, no speed gate (runs in CI)
 #   make ci           what CI runs: tier-1 tests + smoke benchmarks + lint
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke bench-segments segments-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +40,7 @@ lint:
 	fi
 	$(PYTHON) tools/check_no_full_scan.py
 	$(PYTHON) tools/check_fd_hot_paths.py
+	$(PYTHON) tools/check_segment_compat.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_table_engine.py --smoke --json .benchmarks/table_engine_smoke.json
@@ -84,4 +88,14 @@ serve-smoke:
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py --check --json .benchmarks/service.json
 
-ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke lint
+# Segment-format smoke: v1 and v2 stores over the same lake decode to
+# identical cells, migration rewrites every segment, and discovery is
+# format-blind; the >= 2x decode gate only runs at full scale
+# (bench-segments), on the decode-dominated 1k x 512 categorical lake.
+segments-smoke:
+	$(PYTHON) benchmarks/bench_segments.py --smoke --json .benchmarks/segments.json
+
+bench-segments:
+	$(PYTHON) benchmarks/bench_segments.py --check --json .benchmarks/segments.json
+
+ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke segments-smoke lint

@@ -206,12 +206,14 @@ def main(argv=None) -> int:
     parser.add_argument("--json", default=None, help="also write JSON here")
     parser.add_argument("--check", action="store_true",
                         help="fail unless the engine fan-out beats full scan "
-                        "by the gate (4x full; 1.5x smoke, where fixed "
+                        "by the gate (6x full; 1.5x smoke, where fixed "
                         "per-query overhead dominates the tiny lake)")
     args = parser.parse_args(argv)
 
     num_tables = 300 if args.smoke else args.tables
-    gate = 1.5 if args.smoke else 4.0
+    # Full gate raised from 4.0 with the segment-v2 PR's vectorized
+    # posting probe (concatenate + bincount merges); measured ~13x.
+    gate = 1.5 if args.smoke else 6.0
     results = run_suite(num_tables, repeats=2 if args.smoke else args.repeats)
 
     print(

@@ -1,0 +1,258 @@
+"""Segment v2 (binary columnar) vs v1 (JSONL) decode throughput.
+
+The claim under test (ISSUE 6 acceptance): on a decode-dominated
+workload at 1k tables -- a warm store serving full-table
+materializations, the shape of repeated integrate/export requests --
+the v2 binary segment reader is **>= 2x faster** than the v1 JSONL
+reader, with cell-identical results and identical discovery output.
+
+Phases measured per format (interleaved in one process, best-of-N):
+
+* ``open_s``    -- ``LakeStore.open``: manifest + lake version check;
+* ``hydrate_s`` -- stats hydration for every table (JSON stats files
+  are shared by both formats, so this phase is format-independent and
+  cached per store instance -- it is reported, not gated);
+* ``decode_s``  -- the gated quantity: materialize every table from
+  its segment on the warm store (pure segment decode + Table build).
+
+The v2 store is produced from the v1 store with
+:meth:`repro.store.LakeStore.migrate`, so the benchmark also exercises
+the migration path end to end: same content hashes, same stats files,
+same lake version.
+
+Two entry points:
+
+* standalone -- ``python benchmarks/bench_segments.py [--smoke]
+  [--json out.json] [--check]``;
+* pytest -- ``test_segment_formats_identical`` runs the time-free
+  identity assertions at tiny scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pipeline import Dialite  # noqa: E402
+from repro.store import LakeStore  # noqa: E402
+from repro.datalake import DataLake  # noqa: E402
+from repro.table import MISSING, Table  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# Workload: open-data-style categorical tables.  Dictionary-coded
+# segments shine exactly here -- few distinct values per column, many
+# rows -- which is the lake shape the paper's benchmarks (SANTOS /
+# TUS open-data crawls) exhibit.
+# ----------------------------------------------------------------------
+def make_lake(num_tables: int, rows: int, seed: int = 7) -> DataLake:
+    rng = random.Random(seed)
+    cities = [f"city_{i}" for i in range(40)]
+    categories = [f"cat_{i}" for i in range(40)]
+    tables = []
+    for t in range(num_tables):
+        table_rows = []
+        for _ in range(rows):
+            table_rows.append(
+                (
+                    rng.choice(cities),
+                    rng.choice(categories),
+                    1960 + rng.randrange(60),
+                    round(rng.random() * 5, 1) if rng.random() > 0.05 else MISSING,
+                )
+            )
+        tables.append(
+            Table(
+                ["city", "category", "year", "rating"],
+                table_rows,
+                name=f"t{t:05d}",
+            )
+        )
+    return DataLake(tables)
+
+
+def make_query(rows: int = 24, seed: int = 7) -> Table:
+    rng = random.Random(seed + 1)
+    return Table(
+        ["city", "score"],
+        [(f"city_{rng.randrange(40)}", rng.random()) for _ in range(rows)],
+        name="bench_query",
+    )
+
+
+def prepare_stores(
+    num_tables: int, rows: int, base_dir: Path
+) -> tuple[Path, Path, list[str]]:
+    """One lake, two stores: ingest as v1, then copy + migrate to v2 --
+    stats are computed once and shared byte-for-byte."""
+    lake = make_lake(num_tables, rows)
+    v1_dir = base_dir / "lake_v1.store"
+    v2_dir = base_dir / "lake_v2.store"
+    store = LakeStore.create(v1_dir, segment_format="v1")
+    store.ingest(lake)
+    shutil.copytree(v1_dir, v2_dir)
+    migrated = LakeStore.open(v2_dir, check_sketch=False).migrate(
+        segment_format="v2"
+    )
+    if len(migrated) != num_tables:
+        raise AssertionError(
+            f"migrate rewrote {len(migrated)} of {num_tables} segments"
+        )
+    return v1_dir, v2_dir, list(store.table_names)
+
+
+# ----------------------------------------------------------------------
+# Identity: the format must be invisible to every consumer.
+# ----------------------------------------------------------------------
+def assert_identical(v1_dir: Path, v2_dir: Path, names: list[str]) -> list:
+    s1 = LakeStore.open(v1_dir, check_sketch=False)
+    s2 = LakeStore.open(v2_dir, check_sketch=False)
+    counts = s2.segment_format_counts()
+    if {fmt for fmt, n in counts.items() if n} != {"v2"}:
+        raise AssertionError(f"migrated store is not all-v2: {counts}")
+    for name in names:
+        t1 = s1.load_table(name)
+        t2 = s2.load_table(name)
+        if t1.rows != t2.rows or t1.columns != t2.columns:
+            raise AssertionError(f"table {name!r} differs across formats")
+    query = make_query()
+    results = []
+    for store_dir in (v1_dir, v2_dir):
+        outcome = Dialite.open(store_dir).fit().discover(
+            query, k=10, query_column="city"
+        )
+        results.append(
+            [(r.table_name, round(r.score, 6)) for r in outcome.merged]
+        )
+    if results[0] != results[1]:
+        raise AssertionError("discover results differ across segment formats")
+    if not results[0]:
+        raise AssertionError("the benchmark query should discover something")
+    return results[0]
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+def measure(store_dir: Path, names: list[str], repeats: int) -> dict:
+    start = time.perf_counter()
+    store = LakeStore.open(store_dir, check_sketch=False)
+    open_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for name in names:
+        store.table_stats(name)  # hydrates + caches per store instance
+    hydrate_s = time.perf_counter() - start
+
+    decode_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for name in names:
+            store.load_table(name)
+        decode_s = min(decode_s, time.perf_counter() - start)
+    return {"open_s": open_s, "hydrate_s": hydrate_s, "decode_s": decode_s}
+
+
+def run_suite(num_tables: int, rows: int, repeats: int) -> dict:
+    base_dir = Path(tempfile.mkdtemp(prefix="bench_segments_"))
+    try:
+        v1_dir, v2_dir, names = prepare_stores(num_tables, rows, base_dir)
+        discovered = assert_identical(v1_dir, v2_dir, names)
+        bytes_v1 = sum(
+            f.stat().st_size for f in v1_dir.rglob("*.seg.*") if f.is_file()
+        )
+        bytes_v2 = sum(
+            f.stat().st_size for f in v2_dir.rglob("*.seg.*") if f.is_file()
+        )
+        # Interleave the two formats so drift in machine load hits both.
+        timings = {"v1": None, "v2": None}
+        for fmt, store_dir in (("v1", v1_dir), ("v2", v2_dir)):
+            timings[fmt] = measure(store_dir, names, repeats)
+        for fmt, store_dir in (("v2", v2_dir), ("v1", v1_dir)):
+            second = measure(store_dir, names, repeats)
+            for key in timings[fmt]:
+                timings[fmt][key] = min(timings[fmt][key], second[key])
+    finally:
+        shutil.rmtree(base_dir, ignore_errors=True)
+    speedup = timings["v1"]["decode_s"] / max(timings["v2"]["decode_s"], 1e-12)
+    return {
+        "suite": "segments",
+        "tables": num_tables,
+        "rows": rows,
+        "repeats": repeats,
+        "v1": {k: round(v, 4) for k, v in timings["v1"].items()},
+        "v2": {k: round(v, 4) for k, v in timings["v2"].items()},
+        "decode_speedup": round(speedup, 2),
+        "segment_bytes_v1": bytes_v1,
+        "segment_bytes_v2": bytes_v2,
+        "results_identical": True,  # assert_identical raised otherwise
+        "discovered": len(discovered),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tables", type=int, default=1000)
+    parser.add_argument("--rows", type=int, default=512)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N decode passes per interleave leg")
+    parser.add_argument("--smoke", action="store_true",
+                        help="60 tables x 96 rows, no speed gate (the CI mode)")
+    parser.add_argument("--json", default=None, help="also write JSON here")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless v2 decode is >= 2x faster than v1")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        results = run_suite(60, 96, repeats=1)
+    else:
+        results = run_suite(args.tables, args.rows, repeats=args.repeats)
+
+    print(
+        f"{results['tables']} tables x {results['rows']} rows: "
+        f"v1 decode {results['v1']['decode_s']:.3f}s "
+        f"(open {results['v1']['open_s']:.3f}s + hydrate "
+        f"{results['v1']['hydrate_s']:.3f}s), "
+        f"v2 decode {results['v2']['decode_s']:.3f}s "
+        f"(open {results['v2']['open_s']:.3f}s + hydrate "
+        f"{results['v2']['hydrate_s']:.3f}s) "
+        f"-> {results['decode_speedup']}x "
+        f"(segments: {results['segment_bytes_v1'] / 1e6:.1f} MB v1, "
+        f"{results['segment_bytes_v2'] / 1e6:.1f} MB v2)"
+    )
+    print(json.dumps(results))
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(results, indent=2), encoding="utf-8")
+        print(f"written: {args.json}")
+
+    if args.check and results["decode_speedup"] < 2.0:
+        print(
+            "ACCEPTANCE FAILED: v2 decode speedup "
+            f"{results['decode_speedup']}x < 2x"
+        )
+        return 1
+    if args.check:
+        print("acceptance ok: v2 segment decode >= 2x v1 at 1k tables")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry point: time-free identity at tiny scale
+# ----------------------------------------------------------------------
+def test_segment_formats_identical(tmp_path):
+    v1_dir, v2_dir, names = prepare_stores(12, 32, tmp_path)
+    assert assert_identical(v1_dir, v2_dir, names)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Iterable, Iterator, Mapping
 
+from .. import accel
+
 __all__ = ["ColumnRegistry", "PostingIndex"]
 
 
@@ -72,7 +74,7 @@ class ColumnRegistry:
 class PostingIndex:
     """token -> sorted list of column keys containing it."""
 
-    __slots__ = ("postings", "sizes")
+    __slots__ = ("postings", "sizes", "_arrays")
 
     def __init__(self, postings: dict[str, list[int]], sizes: list[int]):
         self.postings = postings
@@ -80,6 +82,10 @@ class PostingIndex:
         #: count for the token channel, normalized-value count for the
         #: value channel) -- distinct from the registry's token sizes.
         self.sizes = sizes
+        # Lazy per-probed-token contiguous int arrays for the vectorized
+        # probe; ``postings`` itself stays plain lists (the persisted
+        # JSONL shape and the public contract tests compare against).
+        self._arrays: dict[str, Any] = {}
 
     @classmethod
     def build(cls, domains: Iterable[tuple[int, Iterable[Hashable]]]) -> "PostingIndex":
@@ -112,11 +118,52 @@ class PostingIndex:
     def probe(self, probe_tokens: Iterable[Hashable]) -> dict[int, int]:
         """Column key -> number of probe tokens it contains.
 
-        One posting-list walk per probe token: the per-key counts are
-        *exact* overlap sizes with the probe set, so a scorer ranking by
-        overlap (JOSIE, COCOA's key index) consumes them directly --
-        retrieval and exact scoring are the same pass.
+        The per-key counts are *exact* overlap sizes with the probe set,
+        so a scorer ranking by overlap (JOSIE, COCOA's key index)
+        consumes them directly -- retrieval and exact scoring are the
+        same pass.  With numpy the matched posting lists merge as one
+        ``concatenate`` + ``bincount`` over contiguous int arrays (cached
+        per probed token); otherwise one posting-list walk per token.
+        Key order in the result may differ between the two paths; every
+        consumer aggregates or re-sorts with explicit tie-breaks, and the
+        counts themselves are identical (pinned by the equivalence suite).
         """
+        np = accel.np
+        postings = self.postings
+        if np is None:
+            return self._probe_py(probe_tokens)
+        arrays = getattr(self, "_arrays", None)
+        if arrays is None:  # instance from a pre-cache pickle
+            arrays = self._arrays = {}
+        matched = []
+        total = 0
+        for token in probe_tokens:
+            text = str(token)
+            array = arrays.get(text)
+            if array is None:
+                keys = postings.get(text)
+                if not keys:
+                    continue
+                array = arrays[text] = np.asarray(keys, dtype=np.int64)
+            matched.append(array)
+            total += len(array)
+        if not matched:
+            return {}
+        if len(matched) == 1:
+            # A single posting list holds each key once: all counts are 1.
+            return dict.fromkeys(matched[0].tolist(), 1)
+        if total < 64:
+            hits: dict[int, int] = {}
+            for array in matched:
+                for key in array.tolist():
+                    hits[key] = hits.get(key, 0) + 1
+            return hits
+        counts = np.bincount(np.concatenate(matched), minlength=len(self.sizes))
+        nonzero = np.nonzero(counts)[0]
+        return dict(zip(nonzero.tolist(), counts[nonzero].tolist()))
+
+    def _probe_py(self, probe_tokens: Iterable[Hashable]) -> dict[int, int]:
+        """The pure posting-list walk (also the vectorized path's oracle)."""
         hits: dict[int, int] = {}
         postings = self.postings
         for token in probe_tokens:

@@ -9,6 +9,7 @@ equivalent headless surface::
     python -m repro index build  --lake lake/ --store lake.store
     python -m repro index update --lake lake/ --store lake.store
     python -m repro index info   --store lake.store
+    python -m repro store migrate --store lake.store --format v2
     python -m repro discover   --store lake.store --query query.csv --column City
     python -m repro discover   --lake lake/ --query query.csv --column City -k 5
     python -m repro discover   --lake lake/ --queries q1.csv q2.csv --column City
@@ -96,6 +97,21 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="summarize a store: version, tables, persisted indexes"
     )
     index_info.add_argument("--store", required=True, help="lake store directory")
+
+    store_cmd = commands.add_parser(
+        "store", help="maintain a lake store's on-disk layout"
+    )
+    store_commands = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_migrate = store_commands.add_parser(
+        "migrate",
+        help="rewrite every table segment to a format (v1 JSONL <-> v2 binary); "
+        "stats, sketches, lake version and persisted indexes are untouched",
+    )
+    store_migrate.add_argument("--store", required=True, help="lake store directory")
+    store_migrate.add_argument(
+        "--format", dest="segment_format", default="v2", choices=("v1", "v2"),
+        help="target segment format (default: v2, the binary columnar format)",
+    )
 
     discover = commands.add_parser("discover", help="find tables related to a query")
     _add_discovery_arguments(discover, query_required=False)
@@ -284,11 +300,15 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
     if args.index_command == "info":
         info = LakeStore.open(args.store, check_sketch=False).info()
+        counts = info.get("segment_format_counts") or {}
+        mix = ", ".join(f"{fmt}: {n}" for fmt, n in sorted(counts.items()) if n)
         print(
             f"lake store: {info['path']}\n"
             f"format v{info['format_version']}, lake version {info['lake_version']}\n"
             f"{info['num_tables']} tables, {info['total_rows']} rows total\n"
-            f"sketch config: {info['sketch']}"
+            f"segment format: {info.get('segment_format', 'v1')}"
+            + (f" ({mix})" if mix else "")
+            + f"\nsketch config: {info['sketch']}"
         )
         if info["indexes"]:
             staleness = (
@@ -333,12 +353,20 @@ def _cmd_index(args: argparse.Namespace) -> int:
         _print_live_service(args.store, info["lake_version"])
         if info["tables"]:
             rows = [
-                (name, entry["rows"], entry["columns"], entry["content_hash"])
+                (
+                    name,
+                    entry["rows"],
+                    entry["columns"],
+                    entry.get("segment_format", "v1"),
+                    entry["content_hash"],
+                )
                 for name, entry in sorted(info["tables"].items())
             ]
             print()
             print(
-                Table(["table", "rows", "cols", "content_hash"], rows, name="store").to_pretty(200)
+                Table(
+                    ["table", "rows", "cols", "seg", "content_hash"], rows, name="store"
+                ).to_pretty(200)
             )
         return 0
 
@@ -363,6 +391,22 @@ def _cmd_index(args: argparse.Namespace) -> int:
         f"{name}: {seconds:.2f}s" for name, seconds in index.build_seconds.items()
     )
     print(f"fitted indexes ({timings}) persisted to {store.path}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import LakeStore
+
+    store = LakeStore.open(args.store, check_sketch=False)
+    before = dict(store.segment_format_counts())
+    rewritten = store.migrate(segment_format=args.segment_format)
+    after = store.segment_format_counts()
+    mix = ", ".join(f"{fmt}: {n}" for fmt, n in sorted(after.items()))
+    print(
+        f"migrated {len(rewritten)} of {sum(before.values())} table segments "
+        f"to {args.segment_format} (now {mix or 'empty store'}); "
+        f"lake version {store.lake_version} unchanged"
+    )
     return 0
 
 
@@ -659,6 +703,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "generate": _cmd_generate,
     "index": _cmd_index,
+    "store": _cmd_store,
     "discover": _cmd_discover,
     "integrate": _cmd_integrate,
     "serve": _cmd_serve,

@@ -56,6 +56,7 @@ from collections import deque
 from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
+from .. import accel
 from ..table.values import MISSING, PRODUCED, Cell, is_null
 from .tuples import WorkTuple, cell_key
 
@@ -71,7 +72,9 @@ __all__ = [
     "int_merge",
     "int_dedupe",
     "interned_closure",
+    "interned_closure_py",
     "interned_remove_subsumed",
+    "interned_remove_subsumed_py",
     "int_connected_components",
     "solve_interned",
 ]
@@ -316,7 +319,45 @@ def int_dedupe(tuples: Iterable[IntTuple]) -> list[IntTuple]:
 # ----------------------------------------------------------------------
 # Complementation closure on the interned domain
 # ----------------------------------------------------------------------
+#: Domains whose codes fit an int32 matrix row; larger ones (or a numpy-
+#: less process) run the pure kernels.  The packed posting values and
+#: rank scalars are Python ints either way -- only *codes* enter arrays.
+_INT32_DOMAIN_LIMIT = 2**31 - 1
+
+#: Components below this size always run the pure kernels: the per-pair
+#: store bookkeeping (dedupe lookups, provenance folds) is the shared
+#: floor of both backends, and numpy's per-pop array setup only amortizes
+#: once partner sets are large enough for its C-level conflict pruning to
+#: decide whole batches.  Measured on the FD kernel benchmark's 656
+#: small components (4-70 tuples), array setup *loses* ~40%; on single
+#: dense components it breaks even around the mid-hundreds and wins past
+#: that.
+_VECTOR_MIN_TUPLES = 512
+
+
+def _use_vectorized(num_tuples: int, domain: int) -> bool:
+    return (
+        num_tuples >= _VECTOR_MIN_TUPLES
+        and accel.np is not None
+        and domain <= _INT32_DOMAIN_LIMIT
+    )
+
+
 def interned_closure(
+    tuples: Sequence[IntTuple], domain: int, ranks: Sequence[int]
+) -> list[IntTuple]:
+    """Close *tuples* under pairwise complementation (dispatching twin:
+    batched numpy partner scans for large components, else the pure
+    kernel -- identical results either way, pinned by the equivalence
+    suite)."""
+    if _use_vectorized(len(tuples), domain):
+        from .vectorized import interned_closure_np
+
+        return interned_closure_np(tuples, domain, ranks)
+    return interned_closure_py(tuples, domain, ranks)
+
+
+def interned_closure_py(
     tuples: Sequence[IntTuple], domain: int, ranks: Sequence[int]
 ) -> list[IntTuple]:
     """Close *tuples* (already deduped) under pairwise complementation.
@@ -376,9 +417,17 @@ def interned_closure(
         for partner_key in sorted(partner_keys, key=sort_int):
             partner = store[partner_key]
             partner_codes = partner.codes
+            partner_mask = partner.mask
+            # Productive pairs add positions *both* ways.  When one mask
+            # contains the other, the merge reproduces the wider tuple's
+            # own store key with a support superset -- and a superset can
+            # never win the minimal-witness fold -- so the whole pair is
+            # a provable no-op, skipped before any per-position work.
+            if not work_mask & ~partner_mask or not partner_mask & ~work_mask:
+                continue
             # Joinable?  A shared posting value guarantees the overlap
             # condition, so only conflicts at common positions can block.
-            common = work_mask & partner.mask
+            common = work_mask & partner_mask
             while common:
                 position = (common & -common).bit_length() - 1
                 if work_codes[position] != partner_codes[position]:
@@ -412,12 +461,21 @@ def interned_closure(
                 else:
                     # Re-derivation: fold provenance by minimal witness
                     # (same rule as insert/_min_witness) without building
-                    # a tuple object for the already-known fact.
+                    # a tuple object for the already-known fact.  The
+                    # union is skipped outright when it cannot win:
+                    # |work ∪ partner| >= max(|work|, |partner|), so an
+                    # existing support smaller than either side already
+                    # beats any merge of the two.
                     existing_tids = existing.tids
-                    merged_tids = work_tids | partner.tids
+                    existing_size = len(existing_tids)
+                    partner_tids = partner.tids
+                    if existing_size < len(work_tids) or existing_size < len(
+                        partner_tids
+                    ):
+                        continue
+                    merged_tids = work_tids | partner_tids
                     if merged_tids != existing_tids:
                         merged_size = len(merged_tids)
-                        existing_size = len(existing_tids)
                         if merged_size < existing_size or (
                             merged_size == existing_size
                             and sorted(merged_tids) < sorted(existing_tids)
@@ -430,6 +488,18 @@ def interned_closure(
 # Subsumption removal on the interned domain
 # ----------------------------------------------------------------------
 def interned_remove_subsumed(tuples: Sequence[IntTuple], domain: int) -> list[IntTuple]:
+    """Keep only tuples no other (distinct) tuple subsumes (dispatching
+    twin of the closure above: batched for large working sets)."""
+    if _use_vectorized(len(tuples), domain):
+        from .vectorized import interned_remove_subsumed_np
+
+        return interned_remove_subsumed_np(tuples, domain)
+    return interned_remove_subsumed_py(tuples, domain)
+
+
+def interned_remove_subsumed_py(
+    tuples: Sequence[IntTuple], domain: int
+) -> list[IntTuple]:
     """Keep only tuples no other (distinct) tuple subsumes.
 
     The rarest-value candidate walk of

@@ -1,0 +1,248 @@
+"""Numpy twins of the interned FD kernels: batched partner scans.
+
+The pure kernels in :mod:`repro.integration.intern` walk one partner (or
+subsumption candidate) at a time, paying a Python-level bit-walk per
+pair.  This module keeps every store entry's code vector as a row of one
+contiguous ``int32`` matrix and decides whole partner batches with three
+array operations:
+
+* **joinability** -- a shared posting value guarantees the overlap
+  condition, so partner *p* conflicts with work *w* iff some position has
+  ``p != w`` with both non-null: ``((P != w) & (P != 0) & (w != 0)).any(axis=1)``;
+* **merge** -- non-null wins: ``np.where(w != 0, w, P[joinable])``, one
+  batched select for every joinable partner of a pop;
+* **subsumption** -- candidate *c* subsumes work *w* iff no position has
+  ``w`` non-null and ``c != w``: ``~((W != 0) & (C != W)).any(axis=1)``.
+
+Everything order-bearing stays in Python, unchanged from the pure
+kernel: partner iteration still sorts by the base-``domain`` packed rank
+scalar (a Python int -- ``domain**width`` routinely exceeds ``int64``),
+store insertion order still keys the output, and provenance still folds
+by the same minimal-witness rule on the same objects.  Results are
+therefore *identical* to the pure kernels, which the equivalence
+property suite pins (``tests/property/test_vectorized_equivalence.py``).
+
+Dispatch lives in :mod:`.intern`: these twins are used only when numpy
+is enabled and the domain fits ``int32``; small partner batches fall
+through to the pure per-pair walk, where array setup costs more than it
+saves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .. import accel
+from .intern import IntTuple, _min_witness, int_dedupe, int_subsumes
+
+__all__ = ["interned_closure_np", "interned_remove_subsumed_np", "max_int32_domain"]
+
+#: Partner/candidate batches below this size run the pure per-pair walk.
+_BATCH_MIN = 8
+
+#: Codes above this cannot live in an int32 matrix; dispatch falls back.
+_INT32_LIMIT = 2**31 - 1
+
+
+def max_int32_domain() -> int:
+    return _INT32_LIMIT
+
+
+def interned_closure_np(
+    tuples: Sequence[IntTuple], domain: int, ranks: Sequence[int]
+) -> list[IntTuple]:
+    """Batched twin of :func:`repro.integration.intern.interned_closure_py`.
+
+    Store entries are named by dense integer **ids** (insertion order);
+    postings map packed values to id lists, so a pop's partner set is one
+    ``concatenate`` + ``unique`` over int arrays, its legacy iteration
+    order one ``lexsort`` over int32 rank rows (no big-int scalars on
+    this path), and joinability/merge two batched array operations.  The
+    per-pair store bookkeeping -- dedupe lookups, provenance folds, new
+    inserts -- is byte-for-byte the pure kernel's.
+    """
+    np = accel.np
+    if not tuples:
+        return []
+    width = len(tuples[0].codes)
+
+    entries: list[IntTuple] = []
+    id_of: dict[tuple[int, ...], int] = {}
+    packed_of: list[list[int]] = []
+    postings: dict[int, list[int]] = {}
+    rank_lut = np.asarray(ranks, dtype=np.int32)
+
+    capacity = 64
+    while capacity < 2 * len(tuples):
+        capacity *= 2
+    matrix = np.zeros((capacity, width), dtype=np.int32)
+    # Rank rows sort exactly like the pure kernel's base-domain packed
+    # rank scalars: each digit is one position's rank, most-significant
+    # first, and rank vectors are unique per store key (ranks is a
+    # bijection), so lexicographic order has no ties to break.
+    rank_matrix = np.zeros((capacity, width), dtype=np.int32)
+
+    def insert(work: IntTuple) -> int | None:
+        nonlocal matrix, rank_matrix, capacity
+        key = work.codes
+        existing_id = id_of.get(key)
+        if existing_id is not None:
+            entries[existing_id] = _min_witness(entries[existing_id], work)
+            return None
+        new_id = len(entries)
+        id_of[key] = new_id
+        entries.append(work)
+        if new_id == capacity:
+            capacity *= 2
+            matrix = np.resize(matrix, (capacity, width))
+            rank_matrix = np.resize(rank_matrix, (capacity, width))
+        row = np.asarray(key, dtype=np.int32)
+        matrix[new_id] = row
+        rank_matrix[new_id] = rank_lut[row]
+        packed = [
+            position * domain + code for position, code in enumerate(key) if code
+        ]
+        packed_of.append(packed)
+        for value in packed:
+            postings.setdefault(value, []).append(new_id)
+        return new_id
+
+    agenda: deque[int] = deque()
+    for work in tuples:
+        new_id = insert(work)
+        if new_id is not None:
+            agenda.append(new_id)
+
+    intp = np.intp
+    while agenda:
+        work_id = agenda.popleft()
+        work = entries[work_id]
+        work_mask = work.mask
+        work_tids = work.tids
+        lists = [postings[value] for value in packed_of[work_id]]
+        if not lists:  # all-null tuple: no postings, no partners
+            continue
+        if len(lists) == 1:
+            partner_ids = np.asarray(lists[0], dtype=intp)
+        else:
+            partner_ids = np.unique(
+                np.concatenate([np.asarray(ids, dtype=intp) for ids in lists])
+            )
+        # Work's own id is always present (it sits in each of its posting
+        # lists); partners are everything else.
+        if len(partner_ids) <= 1:
+            continue
+        w = matrix[work_id]
+        partner_ranks = rank_matrix[partner_ids]
+        ordered = partner_ids[
+            np.lexsort(tuple(partner_ranks[:, i] for i in range(width - 1, -1, -1)))
+        ]
+        partners = matrix[ordered]
+        w_nonnull = w != 0
+        conflicts = ((partners != w) & (partners != 0) & w_nonnull).any(axis=1)
+        conflicts |= ordered == work_id
+        joinable = np.nonzero(~conflicts)[0]
+        if joinable.size == 0:
+            continue
+        merged_block = np.where(w_nonnull, w, partners[joinable])
+        partner_id_list = ordered[joinable].tolist()
+
+        for partner_id, merged_list in zip(partner_id_list, merged_block.tolist()):
+            partner = entries[partner_id]
+            partner_mask = partner.mask
+            # Same both-ways mask test as the pure kernel: one-sided pairs
+            # reproduce an existing key with a support superset -- no-ops.
+            if not work_mask & ~partner_mask or not partner_mask & ~work_mask:
+                continue
+            merged_codes = tuple(merged_list)
+            existing_id = id_of.get(merged_codes)
+            if existing_id is None:
+                merged = IntTuple(
+                    merged_codes,
+                    work_mask | partner.mask,
+                    work_tids | partner.tids,
+                )
+                agenda.append(insert(merged))
+            else:
+                # Same size precheck as the pure kernel: the union cannot
+                # beat an existing support smaller than either side.
+                existing = entries[existing_id]
+                existing_tids = existing.tids
+                existing_size = len(existing_tids)
+                partner_tids = partner.tids
+                if existing_size < len(work_tids) or existing_size < len(
+                    partner_tids
+                ):
+                    continue
+                merged_tids = work_tids | partner_tids
+                if merged_tids != existing_tids:
+                    merged_size = len(merged_tids)
+                    if merged_size < existing_size or (
+                        merged_size == existing_size
+                        and sorted(merged_tids) < sorted(existing_tids)
+                    ):
+                        existing.tids = merged_tids
+    return entries
+
+
+def interned_remove_subsumed_np(
+    tuples: Sequence[IntTuple], domain: int
+) -> list[IntTuple]:
+    """Batched twin of
+    :func:`repro.integration.intern.interned_remove_subsumed_py`."""
+    np = accel.np
+    unique = int_dedupe(tuples)
+    if len(unique) <= 1:
+        return unique
+    width = len(unique[0].codes)
+
+    postings: dict[int, list[int]] = {}
+    packed_lists: list[list[int]] = []
+    for i, work in enumerate(unique):
+        packed = [
+            position * domain + code
+            for position, code in enumerate(work.codes)
+            if code
+        ]
+        for value in packed:
+            postings.setdefault(value, []).append(i)
+        packed_lists.append(packed)
+
+    matrix = np.zeros((len(unique), width), dtype=np.int32)
+    for i, work in enumerate(unique):
+        matrix[i] = work.codes
+
+    candidate_arrays: dict[int, object] = {}
+    kept: list[IntTuple] = []
+    for i, work in enumerate(unique):
+        packed = packed_lists[i]
+        if not packed:
+            # All-null tuple: subsumed by anything else.
+            continue
+        rarest = min(packed, key=lambda value: len(postings[value]))
+        candidates = postings[rarest]
+        if len(candidates) >= _BATCH_MIN:
+            index_array = candidate_arrays.get(rarest)
+            if index_array is None:
+                index_array = np.asarray(candidates, dtype=np.intp)
+                candidate_arrays[rarest] = index_array
+            w = matrix[i]
+            rows = matrix[index_array]
+            subsumes = ~((w != 0) & (rows != w)).any(axis=1)
+            dominated = bool((subsumes & (index_array != i)).any())
+        else:
+            mask = work.mask
+            dominated = False
+            for j in candidates:
+                if j == i:
+                    continue
+                candidate = unique[j]
+                if mask & ~candidate.mask:
+                    continue
+                if int_subsumes(candidate, work):
+                    dominated = True
+                    break
+        if not dominated:
+            kept.append(work)
+    return kept

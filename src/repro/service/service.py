@@ -351,6 +351,12 @@ class LakeService:
         snapshot["cache_evictions"] = self.cache.evictions
         snapshot["cache_expirations"] = self.cache.expirations
         snapshot["workers"] = self.workers
+        store = self._gen.store
+        if store is not None:
+            # The on-disk segment layout this generation serves from; a
+            # `store migrate` takes effect on the next reload/ingest.
+            snapshot["segment_format"] = store.default_segment_format
+            snapshot["segment_format_counts"] = store.segment_format_counts()
         return snapshot
 
     def add_handler(

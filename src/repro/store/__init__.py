@@ -29,7 +29,7 @@ Typical use::
     warm.stats.scan_counts()                   # all zero, forever warm
 """
 
-from .codec import table_content_hash
+from .codec import BinaryCodecError, table_content_hash
 from .lakestore import (
     IngestReport,
     LakeStore,
@@ -39,6 +39,7 @@ from .lakestore import (
     StoreError,
     StoreNotFound,
 )
+from .segment import SegmentCorrupted
 from .snapshot import DEFAULT_HLL_PRECISION, SketchConfig
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "StoreError",
     "StoreNotFound",
     "SketchConfigMismatch",
+    "SegmentCorrupted",
+    "BinaryCodecError",
     "table_content_hash",
     "DEFAULT_HLL_PRECISION",
 ]

@@ -5,7 +5,13 @@ Layout of a store directory::
     manifest.json            versioned catalog: per-table content hashes,
                              segment/stats file names, column byte offsets,
                              sketch configuration, persisted-index roster
-    segments/<t>.seg.jsonl   one table's cell data, one column per line
+    segments/<t>.seg.jsonl   one table's cell data, v1: one JSON column
+                             per line
+    segments/<t>.seg.bin     same data, v2: binary columnar -- fixed-width
+                             dictionary codes + per-table value dictionary
+                             + null bitmaps (per-entry ``segment_format``
+                             manifest tags let both coexist; see
+                             :meth:`LakeStore.migrate`)
     stats/<t>.stats.json     the table's ColumnStats snapshot payloads
     indexes/<d>.pkl          one fitted discoverer index per file
     postings/engine.post.jsonl  the candidate engine's inverted posting
@@ -63,7 +69,14 @@ from ..table.table import Table
 from ..table.values import Cell
 from .codec import table_content_hash
 from .lru import LRUCache
-from .segment import read_column, read_columns, write_segment
+from .segment import (
+    read_column,
+    read_column_v2,
+    read_columns,
+    read_columns_v2,
+    write_segment,
+    write_segment_v2,
+)
 from .snapshot import SketchConfig, column_stats_payload, hydrate_column_stats
 
 __all__ = [
@@ -78,6 +91,25 @@ __all__ = [
 
 _FORMAT = "repro-lake-store"
 _FORMAT_VERSION = 1
+
+#: Segment formats this library writes and reads.  ``v1`` is JSON lines
+#: (``.seg.jsonl``), ``v2`` the binary dictionary-coded format
+#: (``.seg.bin``).  Per-entry tags let the two coexist in one store; the
+#: store-level ``segment_format`` manifest key is only the *default* for
+#: new writes.  Content hashes are computed over the canonical JSON codec
+#: regardless of segment format, so migrating never changes hashes,
+#: ``lake_version``, or the validity of persisted indexes/postings.
+_SEGMENT_FORMATS = ("v1", "v2")
+_DEFAULT_SEGMENT_FORMAT = "v2"
+
+
+def _check_segment_format(segment_format: str) -> str:
+    if segment_format not in _SEGMENT_FORMATS:
+        raise StoreError(
+            f"unknown segment format {segment_format!r}; "
+            f"expected one of {_SEGMENT_FORMATS}"
+        )
+    return segment_format
 
 
 class StoreError(RuntimeError):
@@ -144,9 +176,16 @@ class LakeStore:
         path: str | Path,
         sketch_config: SketchConfig | None = None,
         exist_ok: bool = False,
+        segment_format: str = _DEFAULT_SEGMENT_FORMAT,
     ) -> "LakeStore":
         """Initialize an empty store at *path* (or open the existing one
-        when ``exist_ok`` and the sketch configuration is compatible)."""
+        when ``exist_ok`` and the sketch configuration is compatible).
+
+        *segment_format* becomes the store's default for new writes (the
+        manifest ``segment_format`` key); stores created before the key
+        existed default to ``v1``, so legacy stores stay pure-v1 unless
+        migrated or ingested into with an explicit format.
+        """
         path = Path(path)
         if (path / "manifest.json").exists():
             if not exist_ok:
@@ -158,6 +197,7 @@ class LakeStore:
         manifest = {
             "format": _FORMAT,
             "format_version": _FORMAT_VERSION,
+            "segment_format": _check_segment_format(segment_format),
             "lake_version": 0,
             "sketch": (sketch_config or SketchConfig()).to_json(),
             "tables": {},
@@ -227,6 +267,20 @@ class LakeStore:
     def lake_version(self) -> int:
         return self._manifest["lake_version"]
 
+    @property
+    def default_segment_format(self) -> str:
+        """The format new segment writes use when :meth:`ingest` is not
+        told otherwise.  Manifests from before the tag existed read as
+        ``v1`` -- their segments are JSON lines and stay that way."""
+        return self._manifest.get("segment_format", "v1")
+
+    def segment_format_counts(self) -> dict[str, int]:
+        """How many table entries sit in each segment format."""
+        counts = dict.fromkeys(_SEGMENT_FORMATS, 0)
+        for entry in self._manifest["tables"].values():
+            counts[entry.get("segment_format", "v1")] += 1
+        return counts
+
     def current_version(self) -> int:
         """The lake version currently committed **on disk** (cheap poll).
 
@@ -283,6 +337,7 @@ class LakeStore:
                 "rows": entry["num_rows"],
                 "columns": len(entry["columns"]),
                 "content_hash": entry["content_hash"][:12],
+                "segment_format": entry.get("segment_format", "v1"),
             }
             for name, entry in self._manifest["tables"].items()
         }
@@ -291,6 +346,8 @@ class LakeStore:
         return {
             "path": str(self._path),
             "format_version": self._manifest["format_version"],
+            "segment_format": self.default_segment_format,
+            "segment_format_counts": self.segment_format_counts(),
             "lake_version": self.lake_version,
             "sketch": self._sketch.to_json(),
             "num_tables": len(tables),
@@ -314,6 +371,7 @@ class LakeStore:
         lake: Mapping[str, Table],
         prune: bool = True,
         adopt_stats: bool = True,
+        segment_format: str | None = None,
     ) -> IngestReport:
         """Bring the store up to date with *lake*, rewriting only deltas.
 
@@ -323,7 +381,15 @@ class LakeStore:
         new/changed -> write that table's segment + stats snapshot.  With
         ``prune``, tables absent from *lake* are dropped.  Any change bumps
         ``lake_version`` and invalidates persisted discoverer indexes.
+
+        *segment_format* chooses the on-disk encoding for the segments
+        this call writes (the store's default when ``None``); unchanged
+        tables keep whatever format they already have -- use
+        :meth:`migrate` to rewrite those.
         """
+        segment_format = _check_segment_format(
+            segment_format or self.default_segment_format
+        )
         tables = self._manifest["tables"]
         added: list[str] = []
         updated: list[str] = []
@@ -345,7 +411,7 @@ class LakeStore:
                 if adopt_stats:
                     table.adopt_stats(self.table_stats(name))
                 continue
-            new_entry = self._write_table(name, table, digest)
+            new_entry = self._write_table(name, table, digest, segment_format)
             if entry is not None:
                 stale.extend(entry[key] for key in ("segment", "stats"))
             tables[name] = new_entry
@@ -386,10 +452,21 @@ class LakeStore:
         self._write_manifest()
         self._unlink_all(stale)
 
-    def _write_table(self, name: str, table: Table, digest: str) -> dict[str, Any]:
-        stem = self._file_stem(name, digest)
+    def _write_segment_file(
+        self, stem: str, table: Table, segment_format: str
+    ) -> tuple[str, list[int]]:
+        """One segment under the chosen format: ``(relative path, offsets)``."""
+        if segment_format == "v2":
+            segment_rel = f"segments/{stem}.seg.bin"
+            return segment_rel, write_segment_v2(self._path / segment_rel, table)
         segment_rel = f"segments/{stem}.seg.jsonl"
-        offsets = write_segment(self._path / segment_rel, table)
+        return segment_rel, write_segment(self._path / segment_rel, table)
+
+    def _write_table(
+        self, name: str, table: Table, digest: str, segment_format: str
+    ) -> dict[str, Any]:
+        stem = self._file_stem(name, digest)
+        segment_rel, offsets = self._write_segment_file(stem, table, segment_format)
         stats_rel = f"stats/{stem}.stats.json"
         payload = {
             "columns": {
@@ -401,11 +478,50 @@ class LakeStore:
         return {
             "content_hash": digest,
             "segment": segment_rel,
+            "segment_format": segment_format,
             "stats": stats_rel,
             "columns": list(table.columns),
             "num_rows": table.num_rows,
             "column_offsets": offsets,
         }
+
+    def migrate(self, segment_format: str = _DEFAULT_SEGMENT_FORMAT) -> list[str]:
+        """Rewrite every segment not already in *segment_format*; returns
+        the migrated table names (possibly empty).
+
+        Only segment files move: stats snapshots, content hashes and
+        ``lake_version`` are untouched -- hashes are computed over the
+        canonical JSON codec, not the on-disk encoding, so persisted
+        discoverer indexes and posting artifacts remain valid across a
+        migration.  The manifest commit is the atomic switch point; old
+        segment files are unlinked only after it lands.  The store's
+        default format for future writes is updated to match.
+        """
+        _check_segment_format(segment_format)
+        migrated: list[str] = []
+        stale: list[str] = []
+        for name, entry in self._manifest["tables"].items():
+            if entry.get("segment_format", "v1") == segment_format:
+                continue
+            table = self.load_table(name)
+            stem = self._file_stem(name, entry["content_hash"])
+            segment_rel, offsets = self._write_segment_file(
+                stem, table, segment_format
+            )
+            stale.append(entry["segment"])
+            self._manifest["tables"][name] = dict(
+                entry,
+                segment=segment_rel,
+                segment_format=segment_format,
+                column_offsets=offsets,
+            )
+            migrated.append(name)
+        changed = migrated or self.default_segment_format != segment_format
+        self._manifest["segment_format"] = segment_format
+        if changed:
+            self._write_manifest()
+            self._unlink_all(stale)
+        return migrated
 
     def _unlink_all(self, relative_paths: Sequence[str]) -> None:
         for rel in relative_paths:
@@ -424,7 +540,12 @@ class LakeStore:
         """Materialize one table from its segment, with its hydrated stats
         snapshot attached (so its columns never need a raw re-scan)."""
         entry = self._entry(name)
-        arrays = read_columns(self._path / entry["segment"], len(entry["columns"]))
+        reader = (
+            read_columns_v2
+            if entry.get("segment_format", "v1") == "v2"
+            else read_columns
+        )
+        arrays = reader(self._path / entry["segment"], len(entry["columns"]))
         table = Table.from_columns(entry["columns"], arrays, name=name)
         return table.adopt_stats(self.table_stats(name))
 
@@ -437,7 +558,12 @@ class LakeStore:
             raise KeyError(
                 f"table {name!r} has no column {column!r}; columns: {entry['columns']}"
             ) from None
-        return read_column(self._path / entry["segment"], entry["column_offsets"][position])
+        reader = (
+            read_column_v2
+            if entry.get("segment_format", "v1") == "v2"
+            else read_column
+        )
+        return reader(self._path / entry["segment"], entry["column_offsets"][position])
 
     def table_stats(self, name: str) -> TableStats:
         """The hydrated stats snapshot of one table (cached per name; the

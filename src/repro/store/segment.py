@@ -1,23 +1,68 @@
-"""Columnar segment files: one table's cell data, one column per line.
+"""Columnar segment files in two on-disk formats.
 
-A segment mirrors :attr:`repro.table.table.Table.column_arrays` on disk:
-line *i* is column *i*'s cell array under the codec in
+**v1** (``.seg.jsonl``) mirrors
+:attr:`repro.table.table.Table.column_arrays` as line-oriented JSON: line
+*i* is column *i*'s cell array under the codec in
 :mod:`repro.store.codec`.  The writer records each line's starting byte
 offset, which the manifest keeps alongside the table entry -- that is what
 makes **per-column lazy loading** a single ``seek`` + ``readline`` instead
-of a file scan, so hydrating one column of one table of a 10k-table lake
-touches exactly one line of one file.
+of a file scan.
+
+**v2** (``.seg.bin``) is the binary dictionary-coded columnar format::
+
+    header   <4sBIIIQ>  magic b"RSG2", code width (1|2|4), rows, cols,
+                        dictionary entry count, dictionary byte length
+    dict     binary cell codec (codec.encode_cells_binary), one entry per
+             distinct non-null cell, in first-appearance order
+    col i    rows * width little-endian unsigned dictionary codes,
+             then a non-null bitmap of (rows+7)//8 bytes (LSB-first:
+             bit r of byte r//8 set iff row r holds a real value)
+
+Codes reuse the PR-4 interner's assignment idea: ``0`` is the MISSING
+null, ``1`` the PRODUCED null, and code ``c >= 2`` names dictionary entry
+``c - 2``.  Decoding a column is therefore one contiguous array read plus
+a table lookup -- no JSON parsing, no per-cell branching -- and the null
+bitmap hands bitmask kernels their non-null masks without a scan.  Reads
+go through ``mmap`` + numpy when available, with a pure-stdlib
+``array``-module fallback.  Any structural damage (bad magic, impossible
+code width, size mismatch, out-of-range code, undecodable dictionary)
+raises :class:`SegmentCorrupted` rather than yielding garbage cells.
 """
 
 from __future__ import annotations
 
+import mmap
+import os
+import struct
+import sys
 from pathlib import Path
 
+from .. import accel
 from ..table.table import Table
-from ..table.values import Cell
-from .codec import decode_column, encode_column
+from ..table.values import MISSING, PRODUCED, Cell, is_null
+from .codec import (
+    BinaryCodecError,
+    decode_cells_binary,
+    decode_column,
+    encode_cells_binary,
+    encode_column,
+)
 
-__all__ = ["write_segment", "read_column", "read_columns"]
+__all__ = [
+    "write_segment",
+    "read_column",
+    "read_columns",
+    "write_segment_v2",
+    "read_column_v2",
+    "read_columns_v2",
+    "read_segment_v2_codes",
+    "SegmentCorrupted",
+]
+
+
+class SegmentCorrupted(RuntimeError):
+    """A v2 segment file is structurally damaged (truncated, bad magic,
+    out-of-range dictionary codes, undecodable dictionary block)."""
 
 
 def write_segment(path: Path, table: Table) -> list[int]:
@@ -57,3 +102,297 @@ def read_columns(path: Path, num_columns: int) -> list[tuple[Cell, ...]]:
             f"segment {path} holds {len(arrays)} columns, manifest says {num_columns}"
         )
     return arrays
+
+
+# ----------------------------------------------------------------------
+# Format v2: binary dictionary-coded columns
+# ----------------------------------------------------------------------
+_V2_MAGIC = b"RSG2"
+_V2_HEADER = struct.Struct("<4sBIIIQ")
+
+#: Null sentinels occupy the first two codes; real cells start at 2.
+_NULL_CODES = 2
+
+#: stdlib ``array`` typecodes by unsigned item size (platform-resolved:
+#: the C type behind a typecode varies, the byte width is what matters).
+_TYPECODE_BY_WIDTH = {
+    size: code
+    for code in ("B", "H", "I", "L", "Q")
+    for size in (struct.calcsize(code),)
+}
+_NUMPY_DTYPE_BY_WIDTH = {1: "<u1", 2: "<u2", 4: "<u4"}
+
+
+def _width_for(code_count: int) -> int:
+    if code_count <= 0xFF:
+        return 1
+    if code_count <= 0xFFFF:
+        return 2
+    return 4
+
+
+def _pack_codes(codes: list[int], width: int) -> bytes:
+    np = accel.np
+    if np is not None:
+        return np.asarray(codes, dtype=_NUMPY_DTYPE_BY_WIDTH[width]).tobytes()
+    packed = _stdarray_of(width, codes)
+    if sys.byteorder == "big":
+        packed.byteswap()
+    return packed.tobytes()
+
+
+def _stdarray_of(width: int, init):
+    from array import array
+
+    return array(_TYPECODE_BY_WIDTH[width], init)
+
+
+def _unpack_codes(buffer, width: int) -> list[int]:
+    np = accel.np
+    if np is not None:
+        return np.frombuffer(buffer, dtype=_NUMPY_DTYPE_BY_WIDTH[width]).tolist()
+    unpacked = _stdarray_of(width, b"")
+    unpacked.frombytes(bytes(buffer))
+    if sys.byteorder == "big":
+        unpacked.byteswap()
+    return unpacked.tolist()
+
+
+def write_segment_v2(path: Path, table: Table) -> list[int]:
+    """Write *table* in binary v2; returns per-column block byte offsets.
+
+    Atomic like the v1 writer (temp file + rename).  The dictionary keys
+    cells by ``(type, value)`` so numerically-equal cells of different
+    types (``True`` / ``1`` / ``1.0``) keep distinct codes and decode back
+    to their exact original type.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = table.column_arrays
+    rows = table.num_rows
+    dictionary: list[Cell] = []
+    code_of: dict = {}
+    column_codes: list[list[int]] = []
+    for array in arrays:
+        codes: list[int] = []
+        for cell in array:
+            if is_null(cell):
+                codes.append(0 if cell is MISSING or cell.kind == MISSING.kind else 1)
+                continue
+            key = (type(cell).__name__, cell)
+            code = code_of.get(key)
+            if code is None:
+                code = len(dictionary) + _NULL_CODES
+                code_of[key] = code
+                dictionary.append(cell)
+            codes.append(code)
+        column_codes.append(codes)
+
+    width = _width_for(len(dictionary) + _NULL_CODES)
+    dict_block = encode_cells_binary(dictionary)
+    bitmap_bytes = (rows + 7) // 8
+
+    temp = path.with_name(path.name + ".tmp")
+    offsets: list[int] = []
+    with temp.open("wb") as handle:
+        handle.write(
+            _V2_HEADER.pack(
+                _V2_MAGIC, width, rows, len(arrays), len(dictionary), len(dict_block)
+            )
+        )
+        handle.write(dict_block)
+        for codes in column_codes:
+            offsets.append(handle.tell())
+            handle.write(_pack_codes(codes, width))
+            nonnull = 0
+            for row, code in enumerate(codes):
+                if code >= _NULL_CODES:
+                    nonnull |= 1 << row
+            handle.write(nonnull.to_bytes(bitmap_bytes, "little"))
+    temp.replace(path)
+    return offsets
+
+
+class _SegmentV2:
+    """Parsed v2 header + dictionary over one contiguous buffer."""
+
+    __slots__ = (
+        "buffer", "width", "rows", "cols", "lut", "body_start", "path", "_obj_lut"
+    )
+
+    def __init__(self, path: Path, buffer) -> None:
+        self.path = path
+        self.buffer = buffer
+        if len(buffer) < _V2_HEADER.size:
+            raise SegmentCorrupted(f"segment {path} is shorter than a v2 header")
+        magic, width, rows, cols, dict_count, dict_bytes = _V2_HEADER.unpack_from(
+            buffer, 0
+        )
+        if magic != _V2_MAGIC:
+            raise SegmentCorrupted(f"segment {path} has bad magic {magic!r}")
+        if width not in (1, 2, 4):
+            raise SegmentCorrupted(f"segment {path} declares code width {width}")
+        body_start = _V2_HEADER.size + dict_bytes
+        expected = body_start + cols * (rows * width + (rows + 7) // 8)
+        if len(buffer) != expected:
+            raise SegmentCorrupted(
+                f"segment {path} holds {len(buffer)} bytes, header implies {expected}"
+            )
+        try:
+            dictionary = decode_cells_binary(
+                bytes(buffer[_V2_HEADER.size : body_start]), dict_count
+            )
+        except BinaryCodecError as exc:
+            raise SegmentCorrupted(
+                f"segment {path} dictionary is undecodable: {exc}"
+            ) from exc
+        self.width = width
+        self.rows = rows
+        self.cols = cols
+        self.lut = [MISSING, PRODUCED, *dictionary]
+        self.body_start = body_start
+        self._obj_lut = None  # lazily-built numpy object LUT for decode
+
+    def codes_at(self, offset: int) -> list[int]:
+        """The code array of the column block starting at *offset*."""
+        span = self.rows * self.width
+        if (
+            offset < self.body_start
+            or offset + span + (self.rows + 7) // 8 > len(self.buffer)
+        ):
+            raise SegmentCorrupted(
+                f"segment {self.path} column offset {offset} is out of bounds"
+            )
+        return _unpack_codes(self.buffer[offset : offset + span], self.width)
+
+    def column_offset(self, index: int) -> int:
+        return self.body_start + index * (self.rows * self.width + (self.rows + 7) // 8)
+
+    def bitmap_at(self, offset: int) -> int:
+        start = offset + self.rows * self.width
+        return int.from_bytes(
+            bytes(self.buffer[start : start + (self.rows + 7) // 8]), "little"
+        )
+
+    def decode(self, codes: list[int]) -> tuple[Cell, ...]:
+        lut = self.lut
+        try:
+            return tuple(map(lut.__getitem__, codes))
+        except IndexError:
+            bad = max(codes)
+            raise SegmentCorrupted(
+                f"segment {self.path} holds code {bad}, dictionary ends at "
+                f"{len(lut) - 1}"
+            ) from None
+
+    def cells_at(self, offset: int) -> tuple[Cell, ...]:
+        """The cell array of the column block at *offset*: one contiguous
+        code read plus one LUT gather (numpy object fancy-indexing when
+        available, the plain map otherwise)."""
+        np = accel.np
+        if np is None:
+            return self.decode(self.codes_at(offset))
+        span = self.rows * self.width
+        if (
+            offset < self.body_start
+            or offset + span + (self.rows + 7) // 8 > len(self.buffer)
+        ):
+            raise SegmentCorrupted(
+                f"segment {self.path} column offset {offset} is out of bounds"
+            )
+        codes = np.frombuffer(
+            self.buffer, dtype=_NUMPY_DTYPE_BY_WIDTH[self.width],
+            count=self.rows, offset=offset,
+        )
+        obj_lut = self._obj_lut
+        if obj_lut is None:
+            obj_lut = self._obj_lut = np.asarray(self.lut, dtype=object)
+        try:
+            return tuple(obj_lut[codes].tolist())
+        except IndexError:
+            raise SegmentCorrupted(
+                f"segment {self.path} holds code {int(codes.max())}, "
+                f"dictionary ends at {len(self.lut) - 1}"
+            ) from None
+
+
+#: Files below this many bytes are read whole instead of memory-mapped:
+#: two syscalls (map + unmap) cost more than one small read.
+_MMAP_MIN_BYTES = 1 << 20
+
+
+def _open_v2(path: Path):
+    """Open a v2 segment: ``mmap``-backed for large files (zero-copy numpy
+    ``frombuffer`` reads), a plain ``read()`` for small ones."""
+    handle = path.open("rb")
+    try:
+        size = os.fstat(handle.fileno()).st_size
+        if size >= _MMAP_MIN_BYTES:
+            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        else:
+            buffer = handle.read()
+        try:
+            segment = _SegmentV2(path, buffer)
+        except SegmentCorrupted:
+            if isinstance(buffer, mmap.mmap):
+                buffer.close()
+            raise
+    finally:
+        handle.close()
+    return segment
+
+
+def _close_v2(segment: _SegmentV2) -> None:
+    if isinstance(segment.buffer, mmap.mmap):
+        segment.buffer.close()
+
+
+def read_columns_v2(path: Path, num_columns: int) -> list[tuple[Cell, ...]]:
+    """All column arrays of a v2 segment, in header order."""
+    segment = _open_v2(path)
+    try:
+        if segment.cols != num_columns:
+            raise SegmentCorrupted(
+                f"segment {path} holds {segment.cols} columns, manifest says "
+                f"{num_columns}"
+            )
+        return [
+            segment.cells_at(segment.column_offset(index))
+            for index in range(segment.cols)
+        ]
+    finally:
+        _close_v2(segment)
+
+
+def read_column_v2(path: Path, offset: int) -> tuple[Cell, ...]:
+    """One column array of a v2 segment, read by its recorded block offset."""
+    segment = _open_v2(path)
+    try:
+        return segment.cells_at(offset)
+    finally:
+        _close_v2(segment)
+
+
+def read_segment_v2_codes(
+    path: Path,
+) -> tuple[list[Cell], list[list[int]], list[int]]:
+    """Code-native view of a v2 segment, for consumers that want to stay in
+    integer space: ``(lut, per-column code arrays, per-column non-null
+    bitmaps as Python ints)`` where ``lut[0]`` is MISSING, ``lut[1]`` is
+    PRODUCED and ``lut[c]`` decodes code ``c``."""
+    segment = _open_v2(path)
+    try:
+        columns: list[list[int]] = []
+        bitmaps: list[int] = []
+        for index in range(segment.cols):
+            offset = segment.column_offset(index)
+            codes = segment.codes_at(offset)
+            if codes and max(codes) >= len(segment.lut):
+                raise SegmentCorrupted(
+                    f"segment {path} holds code {max(codes)}, dictionary ends "
+                    f"at {len(segment.lut) - 1}"
+                )
+            columns.append(codes)
+            bitmaps.append(segment.bitmap_at(offset))
+        return list(segment.lut), columns, bitmaps
+    finally:
+        _close_v2(segment)

@@ -1,0 +1,190 @@
+"""Binary cell codec fidelity audit (ISSUE 6 satellite).
+
+The v2 segment dictionary rides on :func:`encode_cells_binary` /
+:func:`decode_cells_binary`, which has two decode paths -- a plain loop
+below ``_VECTOR_MIN_CELLS`` cells and a numpy group-decode above it.
+Both must reproduce every cell **bit-for-bit**: NaN keeps its payload,
+``-0.0`` keeps its sign, ints beyond 2**53 don't round through a
+double, ``True`` never collapses into ``1``, and the two null kinds
+come back as the same singletons.  Corruption must raise
+:class:`BinaryCodecError`, never decode into plausible garbage.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+
+from repro import accel
+from repro.store.codec import (
+    _VECTOR_MIN_CELLS,
+    BinaryCodecError,
+    decode_cells_binary,
+    encode_cells_binary,
+)
+from repro.table import MISSING, PRODUCED
+
+
+@pytest.fixture(params=["loop", "numpy"])
+def backend(request):
+    """Force each decode backend in turn; restore the ambient one."""
+    if request.param == "numpy" and not accel.HAVE_NUMPY:
+        pytest.skip("numpy not installed")
+    previous = accel.set_numpy_enabled(request.param == "numpy")
+    yield request.param
+    accel.set_numpy_enabled(previous)
+
+
+def pad_to_vector_width(cells):
+    """Enough filler that the numpy path (>= _VECTOR_MIN_CELLS) engages."""
+    filler = ["pad"] * max(0, _VECTOR_MIN_CELLS - len(cells))
+    return list(cells) + filler
+
+
+def roundtrip(cells):
+    return decode_cells_binary(encode_cells_binary(cells), len(cells))
+
+
+def bits(cell):
+    """Equality key under which NaN == NaN and -0.0 != 0.0."""
+    if type(cell) is float:
+        return ("float", struct.pack("<d", cell))
+    return (type(cell).__name__, cell)
+
+
+FLOATS = [
+    float("nan"),
+    float("inf"),
+    float("-inf"),
+    -0.0,
+    0.0,
+    5e-324,  # smallest subnormal
+    1.7976931348623157e308,  # largest finite
+    0.1,
+    -1.5,
+]
+
+INTS = [
+    0,
+    1,
+    -1,
+    2**53,
+    2**53 + 1,  # not representable as a double
+    -(2**53) - 1,
+    2**80,
+    -(2**80),
+    2**400,
+]
+
+STRINGS = ["", "plain", "héllo", "日本語", "a" * 1000, "mixed-ascii-日本"]
+
+EVERYTHING = (
+    FLOATS + INTS + STRINGS + [True, False, MISSING, PRODUCED]
+)
+
+
+class TestFidelity:
+    def test_floats_bit_identical(self, backend):
+        for padded in (FLOATS, pad_to_vector_width(FLOATS)):
+            decoded = roundtrip(padded)
+            for cell, back in zip(padded, decoded):
+                assert bits(back) == bits(cell)
+
+    def test_nan_payload_and_negative_zero(self, backend):
+        decoded = roundtrip(pad_to_vector_width([float("nan"), -0.0]))
+        assert math.isnan(decoded[0])
+        assert struct.pack("<d", decoded[1]) == struct.pack("<d", -0.0)
+        assert math.copysign(1.0, decoded[1]) == -1.0
+
+    def test_large_ints_exact(self, backend):
+        for padded in (INTS, pad_to_vector_width(INTS)):
+            decoded = roundtrip(padded)
+            for cell, back in zip(INTS, decoded):
+                assert type(back) is int and back == cell
+
+    def test_bools_stay_bools(self, backend):
+        decoded = roundtrip(pad_to_vector_width([True, False, 1, 0]))
+        assert decoded[0] is True
+        assert decoded[1] is False
+        assert type(decoded[2]) is int and decoded[2] == 1
+        assert type(decoded[3]) is int and decoded[3] == 0
+
+    def test_null_singletons(self, backend):
+        decoded = roundtrip(pad_to_vector_width([MISSING, PRODUCED]))
+        assert decoded[0] is MISSING
+        assert decoded[1] is PRODUCED
+
+    def test_strings_including_non_ascii(self, backend):
+        for padded in (STRINGS, pad_to_vector_width(STRINGS)):
+            assert roundtrip(padded)[: len(STRINGS)] == STRINGS
+
+    def test_everything_mixed(self, backend):
+        for cells in (EVERYTHING, pad_to_vector_width(EVERYTHING)):
+            decoded = roundtrip(cells)
+            assert [bits(c) for c in decoded] == [bits(c) for c in cells]
+
+    def test_empty(self, backend):
+        assert roundtrip([]) == []
+
+    def test_backends_agree(self):
+        if not accel.HAVE_NUMPY:
+            pytest.skip("numpy not installed")
+        cells = pad_to_vector_width(EVERYTHING)
+        buffer = encode_cells_binary(cells)
+        previous = accel.set_numpy_enabled(True)
+        try:
+            vectorized = decode_cells_binary(buffer, len(cells))
+            accel.set_numpy_enabled(False)
+            looped = decode_cells_binary(buffer, len(cells))
+        finally:
+            accel.set_numpy_enabled(previous)
+        assert [bits(c) for c in vectorized] == [bits(c) for c in looped]
+
+
+class TestCorruption:
+    def corpus(self):
+        """Small (loop path) and padded (numpy path) encodings."""
+        small = ["abcd", 7, 1.5, True, MISSING]
+        return [small, pad_to_vector_width(small)]
+
+    def test_truncated(self, backend):
+        for cells in self.corpus():
+            buffer = encode_cells_binary(cells)
+            for cut in (len(buffer) - 1, len(cells) * 5 - 1, 0):
+                if cut < 0 or cut >= len(buffer):
+                    continue
+                with pytest.raises(BinaryCodecError):
+                    decode_cells_binary(buffer[:cut], len(cells))
+
+    def test_trailing_garbage(self, backend):
+        for cells in self.corpus():
+            buffer = encode_cells_binary(cells)
+            with pytest.raises(BinaryCodecError, match="trailing"):
+                decode_cells_binary(buffer + b"\x00", len(cells))
+
+    def test_unknown_tag(self, backend):
+        for cells in self.corpus():
+            buffer = bytearray(encode_cells_binary(cells))
+            buffer[0] = 0x7F
+            with pytest.raises(BinaryCodecError, match="unknown binary cell tag"):
+                decode_cells_binary(bytes(buffer), len(cells))
+
+    def test_fixed_tag_length_mismatch(self, backend):
+        for cells in self.corpus():
+            position = cells.index(1.5)
+            buffer = bytearray(encode_cells_binary(cells))
+            # The float's u32 length field lives at count + 4 * position.
+            offset = len(cells) + 4 * position
+            buffer[offset : offset + 4] = struct.pack("<I", 7)
+            with pytest.raises(BinaryCodecError, match="declares payload length"):
+                decode_cells_binary(bytes(buffer), len(cells))
+
+    def test_invalid_utf8(self, backend):
+        for cells in self.corpus():
+            buffer = bytearray(encode_cells_binary(cells))
+            # String payloads start right after the tag + length blocks.
+            buffer[len(cells) * 5] = 0xFF
+            with pytest.raises(BinaryCodecError, match="UTF-8"):
+                decode_cells_binary(bytes(buffer), len(cells))

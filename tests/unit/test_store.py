@@ -104,16 +104,16 @@ class TestIncrementalIngest:
         assert report.lake_version == 1 and report.changed
 
     def test_unchanged_reingest_rewrites_nothing(self, store, lake):
-        segment_files = {f: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        segment_files = {f: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.*")}
         report = store.ingest(lake)
         assert sorted(report.unchanged) == ["T2", "T3"]
         assert not report.changed
         assert store.lake_version == 1  # version only moves on content change
-        after = {f: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        after = {f: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.*")}
         assert after == segment_files  # byte-for-byte untouched files
 
     def test_replacing_one_table_rewrites_only_that_table(self, store, lake):
-        mtimes = {f.name: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        mtimes = {f.name: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.*")}
         replacement = Table(  # T3 with its last row dropped: real new content
             lake["T3"].columns,
             list(lake["T3"].rows[:-1]),
@@ -123,7 +123,7 @@ class TestIncrementalIngest:
         report = store.ingest(changed)
         assert report.updated == ("T3",) and report.unchanged == ("T2",)
         assert store.lake_version == 2
-        after = {f.name: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.jsonl")}
+        after = {f.name: f.stat().st_mtime_ns for f in store.path.rglob("*.seg.*")}
         unchanged_files = [n for n in after if after[n] == mtimes.get(n)]
         assert len(unchanged_files) == 1  # T2's segment untouched
 
@@ -131,7 +131,7 @@ class TestIncrementalIngest:
         report = store.ingest(DataLake([lake["T2"]]))
         assert report.removed == ("T3",)
         assert store.table_names == ["T2"]
-        assert len(list(store.path.rglob("*.seg.jsonl"))) == 1
+        assert len(list(store.path.rglob("*.seg.*"))) == 1
 
     def test_ingest_warms_unchanged_inmemory_tables(self, store, lake):
         fresh = DataLake(
@@ -441,3 +441,79 @@ class TestStatsCacheBound:
         assert cache.expirations == 1
         with pytest.raises(ValueError):
             LRUCache(capacity=0)
+
+
+class TestSegmentFormats:
+    """v1 (JSONL) and v2 (binary columnar) segments coexist; ``migrate``
+    rewrites between them without touching stats, hashes or versions."""
+
+    def test_ingest_default_is_v2(self, store):
+        assert store.default_segment_format == "v2"
+        counts = store.segment_format_counts()
+        assert counts.get("v2") == 2 and not counts.get("v1")
+
+    def test_explicit_v1_store_still_writes_jsonl(self, tmp_path, lake):
+        store = LakeStore.create(tmp_path / "s", segment_format="v1")
+        store.ingest(lake)
+        assert list((tmp_path / "s" / "segments").glob("*.seg.jsonl"))
+        assert not list((tmp_path / "s" / "segments").glob("*.seg.bin"))
+        assert LakeStore.open(tmp_path / "s").load_table("T2").num_rows
+
+    @pytest.mark.parametrize("target", ["v1", "v2"])
+    def test_migrate_round_trip_preserves_content(self, tmp_path, lake, target):
+        source = "v2" if target == "v1" else "v1"
+        store = LakeStore.create(tmp_path / "s", segment_format=source)
+        store.ingest(lake)
+        version = store.lake_version
+        before = {name: store.load_table(name) for name in store.table_names}
+        hashes = {
+            name: store.info()["tables"][name]["content_hash"]
+            for name in store.table_names
+        }
+
+        migrated = store.migrate(segment_format=target)
+        assert sorted(migrated) == sorted(lake)
+        assert store.lake_version == version  # content did not change
+        assert store.default_segment_format == target
+        counts = store.segment_format_counts()
+        assert counts.get(target) == 2 and not counts.get(source)
+
+        reopened = LakeStore.open(tmp_path / "s")
+        for name, table in before.items():
+            after = reopened.load_table(name)
+            assert after.rows == table.rows
+            assert after.columns == table.columns
+            assert (
+                reopened.info()["tables"][name]["content_hash"] == hashes[name]
+            )
+        # The old-format segment files are gone; only the target remains.
+        extension = "jsonl" if target == "v1" else "bin"
+        other = "bin" if target == "v1" else "jsonl"
+        segments = tmp_path / "s" / "segments"
+        assert list(segments.glob(f"*.seg.{extension}"))
+        assert not list(segments.glob(f"*.seg.{other}"))
+
+    def test_migrate_is_idempotent(self, store):
+        assert store.migrate(segment_format="v2") == []
+        assert store.default_segment_format == "v2"
+
+    def test_persisted_indexes_survive_migration(self, tmp_path, lake):
+        store_dir = tmp_path / "s"
+        store = LakeStore.create(store_dir, segment_format="v1")
+        store.ingest(lake)
+        roster = Dialite(DataLake()).discoverers.components()
+        LakeIndex(store.lake(), roster).build().save_to_store(store)
+
+        LakeStore.open(store_dir).migrate(segment_format="v2")
+
+        # The saved indexes were not invalidated (content is unchanged) and
+        # keep serving without a single raw-cell scan.
+        warm_store = LakeStore.open(store_dir)
+        warm_lake = warm_store.lake()
+        index = LakeIndex.from_store(warm_store, lake=warm_lake)
+        assert index.is_built
+        results = index.search_merged(
+            covid_query_table(), k=3, query_column="City"
+        )
+        assert {r.table_name for r in results} == {"T2", "T3"}
+        assert all(n == 0 for n in warm_lake.stats.scan_counts().values())

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI guard: the v1 segment path must not fall behind the v2 writer.
+
+Two stores can hold the same lake in different segment encodings (v1
+JSONL, v2 binary columnar), and ``LakeStore.migrate`` rewrites between
+them in either direction.  That contract silently breaks if someone
+adds a field to the v2 writer's manifest entries (or a cell shape to
+the v2 codec) without teaching the v1 path the same trick: migration
+v2 -> v1 would then *lose* data while every test that only exercises
+one format stays green.
+
+This guard ingests one adversarial lake -- every cell shape the codec
+distinguishes (bools, huge ints, NaN / -0.0 / infinities, unicode,
+empty strings, MISSING and PRODUCED nulls), plus an empty table and a
+single-cell table -- once per format, and fails the build unless:
+
+* both writers emit manifest entries with the **same key set** and the
+  same values for every format-independent key (hash, columns, stats,
+  row count);
+* both readers reconstruct **bit-identical cells** (type-exact;
+  floats compared by IEEE bit pattern so NaN and -0.0 survive);
+* migrating each store to the *other* format round-trips to the same
+  cells and the same content hashes in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import struct
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datalake import DataLake  # noqa: E402
+from repro.store import LakeStore  # noqa: E402
+from repro.table import MISSING, PRODUCED, Table  # noqa: E402
+
+#: Manifest-entry keys whose values legitimately differ across formats.
+FORMAT_DEPENDENT_KEYS = {"segment", "segment_format", "column_offsets"}
+
+
+def adversarial_lake() -> DataLake:
+    cells = Table(
+        ["flags", "ints", "floats", "strings", "nulls"],
+        [
+            (True, 2**80, float("nan"), "héllo", MISSING),
+            (False, -(2**80), -0.0, "日本語", PRODUCED),
+            (True, 0, float("inf"), "", MISSING),
+            (False, -1, float("-inf"), "plain", "not-null"),
+            (True, 2**53 + 1, 1e308, "a" * 300, PRODUCED),
+        ],
+        name="cells",
+    )
+    single = Table(["only"], [(MISSING,)], name="single")
+    empty = Table(["a", "b"], [], name="empty")
+    return DataLake([cells, single, empty])
+
+
+def bits(cell):
+    """A comparison key under which NaN == NaN and -0.0 != 0.0."""
+    if type(cell) is float:
+        return ("f", struct.pack("<d", cell))
+    return (type(cell).__name__, cell)
+
+
+def table_bits(table: Table):
+    return [tuple(bits(c) for c in row) for row in table.rows]
+
+
+def entry_views(store_dir: Path) -> dict:
+    """The raw on-disk manifest entries -- the actual format contract."""
+    manifest = json.loads((store_dir / "manifest.json").read_text("utf-8"))
+    return manifest["tables"]
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    lake = adversarial_lake()
+    base = Path(tempfile.mkdtemp(prefix="segment_compat_"))
+    try:
+        stores = {}
+        for fmt in ("v1", "v2"):
+            store = LakeStore.create(base / f"{fmt}.store", segment_format=fmt)
+            store.ingest(lake)
+            stores[fmt] = store
+
+        views = {fmt: entry_views(base / f"{fmt}.store") for fmt in stores}
+        for name in lake.names:
+            e1, e2 = views["v1"][name], views["v2"][name]
+            missing = set(e2) - set(e1)
+            extra = set(e1) - set(e2)
+            if missing:
+                problems.append(
+                    f"{name}: v1 writer lost manifest fields the v2 writer "
+                    f"emits: {sorted(missing)}"
+                )
+            if extra:
+                problems.append(
+                    f"{name}: v1 writer emits fields unknown to v2: "
+                    f"{sorted(extra)}"
+                )
+            for key in (set(e1) & set(e2)) - FORMAT_DEPENDENT_KEYS:
+                if e1[key] != e2[key]:
+                    problems.append(
+                        f"{name}: manifest field {key!r} differs across "
+                        f"formats: {e1[key]!r} != {e2[key]!r}"
+                    )
+            t1 = stores["v1"].load_table(name)
+            t2 = stores["v2"].load_table(name)
+            if t1.columns != t2.columns:
+                problems.append(f"{name}: column names differ across formats")
+            elif table_bits(t1) != table_bits(t2):
+                problems.append(
+                    f"{name}: cells are not bit-identical across formats"
+                )
+
+        # Migration both ways: cells and hashes survive the round trip.
+        for source_fmt, target_fmt in (("v1", "v2"), ("v2", "v1")):
+            copy_dir = base / f"{source_fmt}_to_{target_fmt}.store"
+            shutil.copytree(base / f"{source_fmt}.store", copy_dir)
+            migrated = LakeStore.open(copy_dir, check_sketch=False)
+            migrated.migrate(segment_format=target_fmt)
+            target_views = views[target_fmt]
+            for name, entry in entry_views(copy_dir).items():
+                target = target_views[name]
+                for key in set(entry) | set(target):
+                    if key in FORMAT_DEPENDENT_KEYS:
+                        continue
+                    if entry.get(key) != target.get(key):
+                        problems.append(
+                            f"{name}: migrate {source_fmt}->{target_fmt} "
+                            f"changed manifest field {key!r}"
+                        )
+                before = stores[source_fmt].load_table(name)
+                after = migrated.load_table(name)
+                if table_bits(before) != table_bits(after):
+                    problems.append(
+                        f"{name}: migrate {source_fmt}->{target_fmt} changed "
+                        f"cell bits"
+                    )
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print("segment compatibility guard FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        "segment compatibility guard ok: v1 and v2 writers agree on manifest "
+        "fields, cells are bit-identical, migration round-trips both ways"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
