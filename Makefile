@@ -16,12 +16,14 @@
 #   make bench-segments  segment v2 binary decode @1k tables incl. the >= 2x-over-v1 check
 #   make segments-smoke  same suite, tiny scale: cross-format identity + migrate
 #                     round trip asserts, no speed gate (runs in CI)
+#   make obs-smoke    observability overhead smoke: disabled tracing must cost
+#                     <= 3% vs a stubbed-no-op baseline on a warm workload (runs in CI)
 #   make ci           what CI runs: tier-1 tests + smoke benchmarks + lint
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke bench-segments segments-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke bench-segments segments-smoke obs-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,7 +33,9 @@ test:
 # The full-scan guard fails the build if any discoverer's query path
 # iterates the raw lake mapping instead of retrieving through the engine;
 # the FD hot-path guard fails it if integration hot paths regress to
-# per-cell normalized_key round trips instead of cell_key / interned codes.
+# per-cell normalized_key round trips instead of cell_key / interned codes;
+# the obs span-placement guard fails it if span/record allocation creeps
+# into per-row/per-cell loops of the hot modules.
 lint:
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
 		$(PYTHON) -m pyflakes src/repro benchmarks tests tools; \
@@ -41,6 +45,7 @@ lint:
 	$(PYTHON) tools/check_no_full_scan.py
 	$(PYTHON) tools/check_fd_hot_paths.py
 	$(PYTHON) tools/check_segment_compat.py
+	$(PYTHON) tools/check_obs_spans.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_table_engine.py --smoke --json .benchmarks/table_engine_smoke.json
@@ -98,4 +103,10 @@ segments-smoke:
 bench-segments:
 	$(PYTHON) benchmarks/bench_segments.py --check --json .benchmarks/segments.json
 
-ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke segments-smoke lint
+# Observability overhead smoke: the disabled-tracing pipeline vs the same
+# pipeline with repro.obs entry points stubbed to bare no-ops, interleaved
+# min-of-N; fails if the shipped instrumentation costs more than 3%.
+obs-smoke:
+	$(PYTHON) tools/check_obs_overhead.py
+
+ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke segments-smoke obs-smoke lint

@@ -33,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.pipeline import Dialite  # noqa: E402
 from repro.datalake import DataLake, LakeIndex, seeds  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
 from repro.store import LakeStore  # noqa: E402
 from repro.table import MISSING, Table  # noqa: E402
 
@@ -143,6 +144,8 @@ def contract_holds(engine_results: list, fullscan_results: list) -> bool:
 
 
 def run_suite(num_tables: int, k: int = 10, repeats: int = 3) -> dict:
+    # A fresh registry so the record's metrics cover exactly this run.
+    obs_metrics.reset_global_registry()
     lake, queries = make_workload(num_tables)
     index = build_index(lake)
     engine = index.engine
@@ -194,6 +197,7 @@ def run_suite(num_tables: int, k: int = 10, repeats: int = 3) -> dict:
         "warm_postings_loaded": warm_loaded,
         "warm_posting_rebuilds": warm_rebuilds,
         "candidates_scored_last_query": scored,
+        "metrics": obs_metrics.global_registry().snapshot(),
     }
 
 

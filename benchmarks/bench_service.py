@@ -148,7 +148,7 @@ def payload_bytes(payload: dict) -> str:
 def run_service(store_path: Path, requests, clients: int = 8, ingest_at: int | None = None,
                 plant: Table | None = None):
     """Closed-loop concurrent clients against one warm service; returns
-    (seconds, responses in request order, stats snapshot, service versions)."""
+    (seconds, responses in request order, stats snapshot, metrics snapshot)."""
     service = LakeService(
         store=store_path,
         workers=clients,
@@ -190,7 +190,7 @@ def run_service(store_path: Path, requests, clients: int = 8, ingest_at: int | N
         for thread in threads:
             thread.join()
         seconds = time.perf_counter() - start
-        return seconds, responses, service.stats_snapshot()
+        return seconds, responses, service.stats_snapshot(), service.metrics_snapshot()
     finally:
         service.close()
 
@@ -212,7 +212,7 @@ def run_cold_sequential(store_path: Path, requests):
 # ----------------------------------------------------------------------
 def phase_throughput(store_path: Path, hot, unique, total: int, clients: int) -> dict:
     requests = request_sequence(hot, unique, total)
-    service_s, responses, stats = run_service(store_path, requests, clients=clients)
+    service_s, responses, stats, metrics = run_service(store_path, requests, clients=clients)
     cold_s, cold_payloads = run_cold_sequential(store_path, requests)
     identical = all(
         payload_bytes(response.payload) == payload_bytes(cold)
@@ -230,6 +230,7 @@ def phase_throughput(store_path: Path, hot, unique, total: int, clients: int) ->
         "batches": stats["batches"],
         "batched_requests": stats["batched_requests"],
         "p95_discover_ms": stats["latency"].get("discover", {}).get("p95_ms"),
+        "metrics": metrics,
     }
 
 
@@ -250,7 +251,7 @@ def phase_consistency(store_path: Path, hot, unique, plant, total: int, clients:
         }
     }
 
-    seconds, responses, stats = run_service(
+    seconds, responses, stats, _metrics = run_service(
         store_path, requests, clients=clients, ingest_at=total // 2, plant=plant
     )
 

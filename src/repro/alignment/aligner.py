@@ -14,6 +14,7 @@ from typing import Sequence
 
 from ..discovery.kb import KnowledgeBase, seed_knowledge_base
 from ..embeddings.column import ColumnEmbedder
+from ..obs import trace
 from ..table.table import Table
 from .cluster import cluster_columns
 from .features import AlignedColumn, ColumnRef, featurize_tables
@@ -89,8 +90,14 @@ class HolisticAligner:
         """Match columns across *tables* and assign integration IDs."""
         if not tables:
             raise ValueError("cannot align an empty integration set")
-        columns = featurize_tables(tables, kb=self._kb, embedder=self._embedder)
-        clusters = cluster_columns(columns, threshold=self.threshold, weights=self.weights)
+        with trace.span("align.featurize", tables=len(tables)) as featurize_span:
+            columns = featurize_tables(tables, kb=self._kb, embedder=self._embedder)
+            featurize_span.add(columns=len(columns))
+        with trace.span("align.cluster") as cluster_span:
+            clusters = cluster_columns(
+                columns, threshold=self.threshold, weights=self.weights
+            )
+            cluster_span.add(clusters=len(clusters))
         header_of = {c.ref: c.header for c in columns}
         assignments: dict[ColumnRef, str] = {}
         used_ids: set[str] = set()

@@ -58,6 +58,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Any, Hashable, Iterable, Iterator, Mapping
 
+from ..obs import metrics, trace
 from ..sketch.ensemble import LSHEnsemble
 from ..sketch.minhash import MinHasher, MinHashSignature
 from .postings import ColumnRegistry, PostingIndex
@@ -145,16 +146,23 @@ class CandidateEngine:
             with self._build_lock:
                 if self._value_postings is None:
                     self.build_count += 1
-                    registry = self.registry
-                    self._value_postings = PostingIndex.build(
-                        (key, self._column_stats(key).text_values())
-                        for key in range(len(registry))
-                    )
+                    metrics.counter("engine.build.values").inc()
+                    with trace.span("engine.build", channel="values"):
+                        registry = self.registry
+                        self._value_postings = PostingIndex.build(
+                            (key, self._column_stats(key).text_values())
+                            for key in range(len(registry))
+                        )
         return self._value_postings
 
     def _build_token_channel(self) -> None:
         """One pass over the lake's cached token sets: registry + postings."""
         self.build_count += 1
+        metrics.counter("engine.build.tokens").inc()
+        with trace.span("engine.build", channel="tokens"):
+            self._build_token_channel_inner()
+
+    def _build_token_channel_inner(self) -> None:
         owners: list[tuple[str, str]] = []
         sizes: list[int] = []
         postings: dict[str, list[int]] = {}
@@ -200,6 +208,7 @@ class CandidateEngine:
                 # the registry / posting channels the store artifact
                 # replaces.  Built fully before publication, so concurrent
                 # readers only ever see a complete ensemble.
+                metrics.counter("engine.build.ensemble").inc()
                 ensemble = LSHEnsemble(
                     num_perm=num_perm, num_partitions=num_partitions, seed=seed
                 )
@@ -283,40 +292,43 @@ class CandidateEngine:
         through :meth:`assemble` / :meth:`label_candidates`."""
         if self.force_exhaustive or spec.exhaustive:
             return self.all_candidates(discoverer, spec)
-        if spec.intent_only and query_column in query.columns:
-            probe_columns = [query_column]
-        else:
-            # No (known) intent column: probe everything.  An unknown
-            # intent degrades to all-columns rather than raising, matching
-            # the scorers' own probe-column selection -- discoverers that
-            # want loud validation do it in their _candidates override
-            # (LSH Ensemble does).
-            probe_columns = list(query.columns)
-        evidence: dict[str, dict[int, float]] = {}
-        probes = 0
-        for channel in spec.channels:
-            if channel == "tokens":
-                index = self.token_postings
-                for column in probe_columns:
-                    tokens = query.stats.column(column).tokens
-                    if not tokens:
-                        continue
-                    probes += 1
-                    evidence[f"tokens:{column}"] = dict(index.probe(tokens))
-            elif channel == "values":
-                index = self.value_postings
-                for column in probe_columns:
-                    values = query.stats.column(column).text_values()
-                    if not values:
-                        continue
-                    probes += 1
-                    evidence[f"values:{column}"] = dict(index.probe(values))
+        with trace.span(
+            "engine.retrieve", discoverer=discoverer, channels=",".join(spec.channels)
+        ):
+            if spec.intent_only and query_column in query.columns:
+                probe_columns = [query_column]
             else:
-                raise EngineError(
-                    f"channel {channel!r} needs discoverer-provided probes; "
-                    f"override _candidates() instead of using generic retrieve()"
-                )
-        return self.assemble(discoverer, spec, evidence, k, probes=probes)
+                # No (known) intent column: probe everything.  An unknown
+                # intent degrades to all-columns rather than raising, matching
+                # the scorers' own probe-column selection -- discoverers that
+                # want loud validation do it in their _candidates override
+                # (LSH Ensemble does).
+                probe_columns = list(query.columns)
+            evidence: dict[str, dict[int, float]] = {}
+            probes = 0
+            for channel in spec.channels:
+                if channel == "tokens":
+                    index = self.token_postings
+                    for column in probe_columns:
+                        tokens = query.stats.column(column).tokens
+                        if not tokens:
+                            continue
+                        probes += 1
+                        evidence[f"tokens:{column}"] = dict(index.probe(tokens))
+                elif channel == "values":
+                    index = self.value_postings
+                    for column in probe_columns:
+                        values = query.stats.column(column).text_values()
+                        if not values:
+                            continue
+                        probes += 1
+                        evidence[f"values:{column}"] = dict(index.probe(values))
+                else:
+                    raise EngineError(
+                        f"channel {channel!r} needs discoverer-provided probes; "
+                        f"override _candidates() instead of using generic retrieve()"
+                    )
+            return self.assemble(discoverer, spec, evidence, k, probes=probes)
 
     def assemble(
         self,
@@ -543,6 +555,27 @@ class CandidateEngine:
         self._query_counts[report.discoverer] = (
             self._query_counts.get(report.discoverer, 0) + 1
         )
+        # Every retrieval funnels through here (finalize / exhaustive /
+        # empty), so this is where process-wide retrieval accounting and
+        # per-request span attribution both attach -- once per retrieval,
+        # never per posting entry.
+        metrics.counter("engine.retrievals").inc()
+        metrics.counter("engine.probes").inc(report.probes)
+        metrics.counter("engine.retrieved_tables").inc(report.retrieved)
+        for channel in report.channels:
+            metrics.counter(f"engine.channel.{channel}").inc()
+        if report.fallback:
+            metrics.counter("engine.fallbacks").inc()
+        if report.truncated:
+            metrics.counter("engine.truncations").inc()
+        tracer = trace.current_tracer()
+        if tracer is not None and tracer.current is not None:
+            tracer.current.add(
+                probes=report.probes,
+                retrieved=report.retrieved,
+                scored=report.scored,
+                fallback=int(report.fallback),
+            )
 
     @property
     def reports(self) -> dict[str, RetrievalReport]:

@@ -15,8 +15,21 @@ from __future__ import annotations
 from typing import Any, Hashable, Iterable, Iterator, Mapping
 
 from .. import accel
+from ..obs import metrics
 
 __all__ = ["ColumnRegistry", "PostingIndex"]
+
+
+def _observe_probe(entries: int, vectorized: bool) -> None:
+    """Per-*probe* accounting (one histogram observation and one counter
+    bump per probe call -- never per posting entry): how many posting
+    entries the probe touched, and which twin answered it."""
+    metrics.counter(
+        "postings.probe.vectorized" if vectorized else "postings.probe.pure"
+    ).inc()
+    metrics.histogram(
+        "postings.probe_entries", metrics.DEFAULT_SIZE_BUCKETS
+    ).observe(entries)
 
 
 class ColumnRegistry:
@@ -128,10 +141,17 @@ class PostingIndex:
         consumer aggregates or re-sorts with explicit tie-breaks, and the
         counts themselves are identical (pinned by the equivalence suite).
         """
+        if accel.np is None:
+            hits = self._probe_py(probe_tokens)
+            _observe_probe(sum(hits.values()), vectorized=False)
+            return hits
+        hits = self._probe_np(probe_tokens)
+        _observe_probe(sum(hits.values()), vectorized=True)
+        return hits
+
+    def _probe_np(self, probe_tokens: Iterable[Hashable]) -> dict[int, int]:
         np = accel.np
         postings = self.postings
-        if np is None:
-            return self._probe_py(probe_tokens)
         arrays = getattr(self, "_arrays", None)
         if arrays is None:  # instance from a pre-cache pickle
             arrays = self._arrays = {}

@@ -125,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print per-discoverer retrieval accounting: candidates "
         "retrieved before scoring, channels used, fallbacks",
     )
+    discover.add_argument(
+        "--trace", action="store_true",
+        help="print the request's span tree: nested wall/self timings and "
+        "counters for every pipeline stage (service requests return the "
+        "server-side tree)",
+    )
 
     integrate = commands.add_parser(
         "integrate", help="discover (or take) an integration set and integrate it"
@@ -146,6 +152,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="print kernel accounting: connected components, interned "
         "domain size, intern/partition/closure/subsume timings",
+    )
+    integrate.add_argument(
+        "--trace", action="store_true",
+        help="print the request's span tree (discovery, alignment and the "
+        "FD kernel's intern/partition/closure/subsume phases)",
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="re-run a discover/integrate invocation with --trace appended",
+        description="Shorthand: `repro trace discover --lake lake/ --query q.csv` "
+        "is `repro discover --lake lake/ --query q.csv --trace`.",
+    )
+    trace_cmd.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="the discover/integrate command line to trace",
     )
 
     serve = commands.add_parser(
@@ -259,6 +281,32 @@ def _emit(table: Table, out: str | None) -> None:
     if out:
         write_csv(table, out)
         print(f"\nwritten: {out}")
+
+
+def _maybe_trace(enabled: bool, name: str):
+    """``(tracer, context)`` -- an ambient tracer rooted at ``name`` when
+    ``--trace`` was asked, else ``(None, nullcontext())`` (zero overhead)."""
+    if not enabled:
+        from contextlib import nullcontext
+
+        return None, nullcontext()
+    from contextlib import ExitStack
+
+    from .obs import trace as tracing
+
+    tracer = tracing.Tracer()
+    stack = ExitStack()
+    stack.enter_context(tracing.activate(tracer))
+    stack.enter_context(tracer.span(name))
+    return tracer, stack
+
+
+def _print_trace(document: dict | None) -> None:
+    """Render one span tree (local tracer dict or wire ``trace`` field)."""
+    from .obs.trace import format_trace
+
+    print("\ntrace:")
+    print(format_trace(document or {}))
 
 
 # ----------------------------------------------------------------------
@@ -466,29 +514,38 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         for path in args.queries or [args.query]:
             query = read_csv(path)
             response = client.discover(
-                query, k=args.k, column=args.column, discoverers=names
+                query, k=args.k, column=args.column, discoverers=names,
+                trace=args.trace,
             )
             print(f"query: {query.name}")
             _print_service_discovery(response)
+            if args.trace:
+                _print_trace(response.get("trace"))
             print()
         return 0
     pipeline = _load_pipeline(args)
     if args.queries:
         queries = [read_csv(path) for path in args.queries]
-        outcomes = pipeline.discover_many(
-            queries, k=args.k, query_column=args.column, discoverer_names=names
-        )
+        tracer, tracing_ctx = _maybe_trace(args.trace, "cli.discover")
+        with tracing_ctx:
+            outcomes = pipeline.discover_many(
+                queries, k=args.k, query_column=args.column, discoverer_names=names
+            )
         for outcome in outcomes:
             print(f"query: {outcome.query.name}")
             print(outcome.summary().to_pretty(50))
             if args.explain:
                 _print_retrieval(outcome.retrieval)
             print()
+        if tracer is not None:
+            _print_trace(tracer.to_dict())
         return 0
     query = read_csv(args.query)
-    outcome = pipeline.discover(
-        query, k=args.k, query_column=args.column, discoverer_names=names
-    )
+    tracer, tracing_ctx = _maybe_trace(args.trace, "cli.discover")
+    with tracing_ctx:
+        outcome = pipeline.discover(
+            query, k=args.k, query_column=args.column, discoverer_names=names
+        )
     print(outcome.summary().to_pretty(50))
     if args.explain:
         _print_retrieval(outcome.retrieval)
@@ -499,6 +556,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
             f"budget={'unbudgeted' if budget is None else budget}, "
             f"postings loaded from store: {engine_stats['loaded_from_store']}"
         )
+    if tracer is not None:
+        _print_trace(tracer.to_dict())
     return 0
 
 
@@ -530,6 +589,7 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
                 tables=[read_csv(path) for path in args.tables],
                 integrator=args.integrator,
                 align=not args.no_align,
+                trace=args.trace,
             )
         else:
             if args.query is None:
@@ -540,6 +600,7 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
                 column=args.column,
                 integrator=args.integrator,
                 align=not args.no_align,
+                trace=args.trace,
             )
         print(
             "integration set: "
@@ -549,13 +610,17 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
             + "\n"
         )
         _emit(decode_table(response["payload"]["table"]), args.out)
+        if args.trace:
+            _print_trace(response.get("trace"))
         return 0
+    tracer, tracing_ctx = _maybe_trace(args.trace, "cli.integrate")
     if args.tables:
         tables = [read_csv(path) for path in args.tables]
         pipeline = Dialite(DataLake(), fd_workers=args.workers)
-        result = pipeline.integrate(
-            tables, integrator=args.integrator, align=not args.no_align
-        )
+        with tracing_ctx:
+            result = pipeline.integrate(
+                tables, integrator=args.integrator, align=not args.no_align
+            )
     else:
         if (args.lake is None and args.store is None) or args.query is None:
             raise SystemExit(
@@ -564,13 +629,14 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
         pipeline = _load_pipeline(args)
         query = read_csv(args.query)
         names = args.discoverers.split(",") if args.discoverers else None
-        outcome = pipeline.discover(
-            query, k=args.k, query_column=args.column, discoverer_names=names
-        )
+        with tracing_ctx:
+            outcome = pipeline.discover(
+                query, k=args.k, query_column=args.column, discoverer_names=names
+            )
+            result = pipeline.integrate(
+                outcome, integrator=args.integrator, align=not args.no_align
+            )
         print("integration set: " + ", ".join(t.name for t in outcome.integration_set) + "\n")
-        result = pipeline.integrate(
-            outcome, integrator=args.integrator, align=not args.no_align
-        )
     if args.explain:
         chosen = pipeline.integrators.get(
             args.integrator or pipeline.default_integrator
@@ -578,6 +644,8 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
         _print_kernel_stats(getattr(chosen, "last_stats", None))
     display = result.to_display_table() if isinstance(result, IntegratedTable) else result
     _emit(display, args.out)
+    if tracer is not None:
+        _print_trace(tracer.to_dict())
     return 0
 
 
@@ -608,6 +676,21 @@ def _print_kernel_stats(stats: dict | None) -> None:
     print("  " + " | ".join(timings) + "\n")
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace <command ...>``: re-dispatch with ``--trace`` appended."""
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest or rest[0] not in ("discover", "integrate"):
+        raise SystemExit(
+            "trace wraps discover or integrate, "
+            "e.g. repro trace discover --lake lake/ --query q.csv"
+        )
+    if "--trace" not in rest:
+        rest.append("--trace")
+    return main(rest)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import LakeServer, LakeService
 
@@ -629,7 +712,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving lake store {args.store} (lake v{service.version}, "
         f"{args.workers} workers, cache {args.cache_capacity}) on {host}:{port}"
     )
-    print("ops: ping version stats discover align integrate ingest shutdown")
+    print("ops: ping version stats metrics discover align integrate ingest shutdown")
     if args.port_file:
         from pathlib import Path
 
@@ -707,6 +790,7 @@ _COMMANDS = {
     "discover": _cmd_discover,
     "integrate": _cmd_integrate,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
     "report": _cmd_report,
     "analyze": _cmd_analyze,
 }

@@ -58,6 +58,7 @@ from ..integration.outerjoin import (
 )
 from ..integration.parallel import ParallelFD
 from ..integration.tuples import IntegratedTable
+from ..obs import trace
 from ..table.table import Table
 from .registry import Registry
 from .results import DiscoveryOutcome, PipelineResult
@@ -279,11 +280,15 @@ class Dialite:
             raise ValueError(
                 f"query table name {query.name!r} collides with a lake table; rename it"
             )
-        per_discoverer = self.index.search(
-            query, k=k, query_column=query_column, discoverer_names=discoverer_names
-        )
-        merged = merge_result_sets(list(per_discoverer.values()))
-        integration_set = [query] + [self.lake[r.table_name] for r in merged]
+        with trace.span("pipeline.discover", query=query.name, k=k) as discover_span:
+            per_discoverer = self.index.search(
+                query, k=k, query_column=query_column, discoverer_names=discoverer_names
+            )
+            merged = merge_result_sets(list(per_discoverer.values()))
+            integration_set = [query] + [self.lake[r.table_name] for r in merged]
+            discover_span.add(
+                discoverers=len(per_discoverer), integration_set=len(integration_set)
+            )
         reports = self.index.retrieval_reports()
         return DiscoveryOutcome(
             query=query,
@@ -326,7 +331,8 @@ class Dialite:
     # ------------------------------------------------------------------
     def align(self, tables: Sequence[Table]) -> Alignment:
         """Holistic schema matching only (inspectable intermediate)."""
-        return self.aligner.align(tables)
+        with trace.span("pipeline.align", tables=len(tables)):
+            return self.aligner.align(tables)
 
     def integrate(
         self,
@@ -349,9 +355,13 @@ class Dialite:
         else:
             chosen = self.integrators.get(integrator or self.default_integrator)
         tables = list(tables)
-        if align:
-            tables = self.aligner.align(tables).apply(tables)
-        return chosen.integrate(tables, name=name)
+        with trace.span(
+            "pipeline.integrate", tables=len(tables), integrator=chosen.name
+        ):
+            if align:
+                with trace.span("pipeline.align", tables=len(tables)):
+                    tables = self.aligner.align(tables).apply(tables)
+            return chosen.integrate(tables, name=name)
 
     # ------------------------------------------------------------------
     # Stage 3: analyze

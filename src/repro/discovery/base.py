@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from ..candidates.spec import CandidateSet, CandidateSpec
+from ..obs import trace
 from ..table.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -166,10 +167,15 @@ class Discoverer(abc.ABC):
             raise RuntimeError(f"discoverer {self.name!r} used before fit()")
         if k <= 0:
             raise ValueError("k must be positive")
-        candidates = self._candidates(query, k, query_column)
-        results = self._search(query, k, query_column, candidates)
-        results.sort(key=lambda r: (-r.score, r.table_name))
-        return results[:k]
+        with trace.span(f"discover.{self.name}", k=k):
+            with trace.span("discover.candidates") as candidates_span:
+                candidates = self._candidates(query, k, query_column)
+                candidates_span.add(candidates=len(candidates.tables))
+            with trace.span("discover.score") as score_span:
+                results = self._search(query, k, query_column, candidates)
+                score_span.add(results=len(results))
+            results.sort(key=lambda r: (-r.score, r.table_name))
+            return results[:k]
 
     def _candidates(
         self, query: Table, k: int, query_column: str | None

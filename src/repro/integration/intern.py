@@ -57,6 +57,7 @@ from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 from .. import accel
+from ..obs import metrics, trace
 from ..table.values import MISSING, PRODUCED, Cell, is_null
 from .tuples import WorkTuple, cell_key
 
@@ -77,6 +78,7 @@ __all__ = [
     "interned_remove_subsumed_py",
     "int_connected_components",
     "solve_interned",
+    "fd_stats_from_span",
 ]
 
 #: The code every null cell (either kind) interns to.
@@ -343,6 +345,18 @@ def _use_vectorized(num_tuples: int, domain: int) -> bool:
     )
 
 
+#: Vectorized-vs-pure dispatch tallies.  Plain ints bumped under the GIL:
+#: the dispatchers run once per component, and :func:`solve_interned`
+#: snapshots the deltas into its span / the global registry once per
+#: solve, so the per-component cost is a dict increment, not a lock.
+_DISPATCH = {
+    "closure_vectorized": 0,
+    "closure_pure": 0,
+    "subsume_vectorized": 0,
+    "subsume_pure": 0,
+}
+
+
 def interned_closure(
     tuples: Sequence[IntTuple], domain: int, ranks: Sequence[int]
 ) -> list[IntTuple]:
@@ -353,7 +367,9 @@ def interned_closure(
     if _use_vectorized(len(tuples), domain):
         from .vectorized import interned_closure_np
 
+        _DISPATCH["closure_vectorized"] += 1
         return interned_closure_np(tuples, domain, ranks)
+    _DISPATCH["closure_pure"] += 1
     return interned_closure_py(tuples, domain, ranks)
 
 
@@ -493,7 +509,9 @@ def interned_remove_subsumed(tuples: Sequence[IntTuple], domain: int) -> list[In
     if _use_vectorized(len(tuples), domain):
         from .vectorized import interned_remove_subsumed_np
 
+        _DISPATCH["subsume_vectorized"] += 1
         return interned_remove_subsumed_np(tuples, domain)
+    _DISPATCH["subsume_pure"] += 1
     return interned_remove_subsumed_py(tuples, domain)
 
 
@@ -623,50 +641,108 @@ def solve_interned(
     un-interning) with the sequential integrator.  A solver that times its
     phases internally may record them by mutating *stats* through a
     closure; the sequential default records the closure/subsume split.
+
+    The phase structure is emitted as an ``integrate.fd`` span tree
+    (nesting under the ambient tracer when one is active); *stats* is
+    **derived from that tree** by :func:`fd_stats_from_span` -- one
+    instrumentation source, same payload keys as ever.  The interleaved
+    per-component closure/subsume loop keeps local ``perf_counter``
+    accumulation (a span per component would allocate inside the hot
+    loop) and enters the tree as two pre-measured children.
     """
-    started = perf_counter()
-    ints, cells_by_code = intern_call_input(work, interner)
-    domain = interner.domain
-    ranks = interner.sort_ranks()
-    interned_at = perf_counter()
+    tracer = trace.current_tracer()
+    if tracer is None:
+        tracer = trace.Tracer()
 
-    components, all_null = int_connected_components(int_dedupe(ints), domain)
-    partitioned_at = perf_counter()
+    dispatch_before = dict(_DISPATCH)
+    with tracer.span("integrate.fd") as fd_span:
+        with tracer.span("integrate.intern"):
+            ints, cells_by_code = intern_call_input(work, interner)
+            domain = interner.domain
+            ranks = interner.sort_ranks()
 
-    if component_solver is not None:
-        solve_started = perf_counter()
-        solved = list(component_solver(components, domain, ranks))
-        closure_seconds = perf_counter() - solve_started
-        subsume_seconds = None  # folded into the solver's combined time
-    else:
-        closure_seconds = 0.0
-        subsume_seconds = 0.0
-        solved = []
-        for component in components:
-            closure_started = perf_counter()
-            closed = interned_closure(component, domain, ranks)
-            closure_seconds += perf_counter() - closure_started
-            subsume_started = perf_counter()
-            solved.extend(interned_remove_subsumed(closed, domain))
-            subsume_seconds += perf_counter() - subsume_started
-    if not solved and all_null:
-        # Degenerate input: only all-null tuples exist; keep one (already
-        # provenance-folded by the dedupe above).
-        solved = all_null[:1]
+        with tracer.span("integrate.partition"):
+            components, all_null = int_connected_components(
+                int_dedupe(ints), domain
+            )
 
-    final = [unintern_tuple(t, interner, cells_by_code) for t in solved]
-    if stats is not None:
-        stats.update(
+        if component_solver is not None:
+            # Combined closure+subsume inside the solver (e.g. a process
+            # pool); the split is not observable from here.
+            with tracer.span("integrate.closure"):
+                solved = list(component_solver(components, domain, ranks))
+        else:
+            closure_seconds = 0.0
+            subsume_seconds = 0.0
+            solved = []
+            for component in components:
+                closure_started = perf_counter()
+                closed = interned_closure(component, domain, ranks)
+                closure_seconds += perf_counter() - closure_started
+                subsume_started = perf_counter()
+                solved.extend(interned_remove_subsumed(closed, domain))
+                subsume_seconds += perf_counter() - subsume_started
+            tracer.record("integrate.closure", wall_s=closure_seconds)
+            tracer.record("integrate.subsume", wall_s=subsume_seconds)
+        if not solved and all_null:
+            # Degenerate input: only all-null tuples exist; keep one
+            # (already provenance-folded by the dedupe above).
+            solved = all_null[:1]
+
+        final = [unintern_tuple(t, interner, cells_by_code) for t in solved]
+        fd_span.add(
             input_tuples=len(ints),
             output_tuples=len(final),
             components=len(components),
             largest_component=max((len(c) for c in components), default=0),
             all_null_tuples=len(all_null),
             domain=domain,
-            intern_seconds=interned_at - started,
-            partition_seconds=partitioned_at - interned_at,
-            closure_seconds=closure_seconds,
         )
-        if subsume_seconds is not None:
-            stats["subsume_seconds"] = subsume_seconds
+        for key, before in dispatch_before.items():
+            delta = _DISPATCH[key] - before
+            if delta:
+                fd_span.add(**{key: delta})
+                metrics.counter(f"fd.dispatch.{key}").inc(delta)
+        size_histogram = metrics.histogram(
+            "fd.component_size", metrics.DEFAULT_SIZE_BUCKETS
+        )
+        for component in components:
+            size_histogram.observe(len(component))
+        metrics.counter("fd.solves").inc()
+
+    if stats is not None:
+        stats.update(fd_stats_from_span(fd_span))
     return final
+
+
+def fd_stats_from_span(fd_span: "trace.Span") -> dict:
+    """The ``--explain`` kernel-stats payload, read off a closed
+    ``integrate.fd`` span: phase children become ``*_seconds``, span
+    counters carry the sizes.  Keys match the historical hand-rolled
+    dict exactly (``subsume_seconds`` is present only when a separate
+    subsume child exists -- i.e. the sequential per-component path)."""
+    counters = fd_span.counters
+    stats = {
+        key: counters[key]
+        for key in (
+            "input_tuples",
+            "output_tuples",
+            "components",
+            "largest_component",
+            "all_null_tuples",
+            "domain",
+        )
+        if key in counters
+    }
+    for phase, key in (
+        ("integrate.intern", "intern_seconds"),
+        ("integrate.partition", "partition_seconds"),
+        ("integrate.closure", "closure_seconds"),
+    ):
+        child = fd_span.child(phase)
+        if child is not None:
+            stats[key] = child.wall_s
+    subsume = fd_span.child("integrate.subsume")
+    if subsume is not None:
+        stats["subsume_seconds"] = subsume.wall_s
+    return stats

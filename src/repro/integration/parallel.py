@@ -33,6 +33,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
 
+from ..obs import trace
 from ..table.table import Table
 from ..table.values import is_null
 from .base import Integrator
@@ -107,6 +108,18 @@ def _solve_interned_component(
     )
 
 
+def _annotate_span(stats: dict) -> None:
+    """Copy the pool fan-out (workers/stripes) onto the open ambient span
+    -- the ``integrate.closure`` span :func:`solve_interned` holds while
+    the component solver runs -- so a traced integrate attributes its
+    combined closure time to the right pool shape."""
+    tracer = trace.current_tracer()
+    if tracer is not None and tracer.current is not None:
+        tracer.current.add(
+            workers=stats.get("workers", 1), stripes=stats.get("stripes", 0)
+        )
+
+
 def _solve_interned_stripe(
     domain: int, ranks: tuple[int, ...], stripe: list[list[IntTuple]]
 ) -> list[IntTuple]:
@@ -146,6 +159,7 @@ class ParallelFD(Integrator):
             if not parallel:
                 stats["workers"] = 1
                 stats["stripes"] = len(components)
+                _annotate_span(stats)
                 solve = partial(_solve_interned_component, domain, ranks)
                 return [t for c in components for t in solve(c)]
             # Stripe round-robin over largest-first components:
@@ -159,6 +173,7 @@ class ParallelFD(Integrator):
             stripes = [components[i::num_stripes] for i in range(num_stripes)]
             stats["workers"] = self.max_workers
             stats["stripes"] = num_stripes
+            _annotate_span(stats)
             solve = partial(_solve_interned_stripe, domain, ranks)
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 solved_stripes = list(pool.map(solve, stripes))

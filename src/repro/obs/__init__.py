@@ -1,0 +1,43 @@
+"""repro.obs -- pipeline-wide observability.
+
+Two pieces, one discipline:
+
+* :mod:`repro.obs.trace` -- request-scoped span trees.  Instrumented code
+  calls ``trace.span("stage.phase", key=value)`` unconditionally; when no
+  tracer is ambient the call returns a shared no-op singleton.
+* :mod:`repro.obs.metrics` -- process-wide counters / gauges / fixed
+  bucket histograms with mergeable JSON snapshots.
+
+Instrumented modules import these as **modules** (``from repro.obs import
+trace, metrics``) rather than importing the helpers by name, so the
+overhead harness (``tools/check_obs_overhead.py``) can stub the helpers
+globally for its baseline measurement.
+"""
+
+from . import metrics, trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    merge_snapshots,
+)
+from .trace import NOOP_SPAN, Span, Tracer, activate, current_tracer, format_trace
+
+__all__ = [
+    "trace",
+    "metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "merge_snapshots",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "activate",
+    "current_tracer",
+    "format_trace",
+]

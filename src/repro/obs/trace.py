@@ -1,0 +1,346 @@
+"""Request-scoped tracing: nestable spans forming a per-request tree.
+
+One :class:`Tracer` lives for one traced request (or one traced CLI run)
+and collects a tree of :class:`Span` nodes -- name, wall time, thread CPU
+time, counters, children.  Instrumented code never checks whether tracing
+is on: the module-level :func:`span` helper looks up the *ambient* tracer
+of the current thread and, when there is none, returns a shared no-op
+context manager -- a single module-level singleton, so a disabled hot
+path pays one function call and one ``threading.local`` read, with zero
+allocation.
+
+Cross-thread nesting is explicit.  Thread-local ambience does not follow
+work submitted to a pool, so the boundary that hands a request to a
+worker wraps the work in :func:`activate`::
+
+    with activate(tracer, parent=tracer.root):
+        ...  # spans opened here nest under the request root
+
+Accumulated phases (e.g. the FD kernel's interleaved per-component
+closure/subsume loop) cannot open a span per iteration without paying an
+allocation in a hot loop; they keep their local ``perf_counter``
+accumulation and emit one completed child afterwards with
+:meth:`Tracer.record`.
+
+Everything here is stdlib-only and thread-safe: child lists are appended
+under the tracer's lock, so workers may attach spans while the root is
+still open on the caller's thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "record",
+    "current_tracer",
+    "activate",
+    "format_trace",
+    "NOOP_SPAN",
+]
+
+
+class _NoopSpan:
+    """The shared do-nothing span: what :func:`span` hands out when no
+    tracer is ambient.  One module-level instance, never allocated per
+    call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def add(self, **counters: object) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One node of a trace tree (see the module docstring)."""
+
+    __slots__ = (
+        "name", "parent", "children", "counters",
+        "wall_s", "cpu_s", "_wall0", "_cpu0", "closed",
+    )
+
+    def __init__(
+        self, name: str, parent: "Span | None" = None, counters: dict | None = None
+    ):
+        self.name = name
+        self.parent = parent
+        self.children: list[Span] = []
+        self.counters: dict = dict(counters) if counters else {}
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+        self.closed = False
+
+    def _start(self) -> None:
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+
+    def _stop(self) -> None:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.thread_time() - self._cpu0
+        self.closed = True
+
+    def add(self, **counters) -> "Span":
+        """Bump counters: numeric values accumulate, anything else is set."""
+        own = self.counters
+        for key, value in counters.items():
+            existing = own.get(key)
+            if isinstance(existing, (int, float)) and isinstance(value, (int, float)):
+                own[key] = existing + value
+            else:
+                own[key] = value
+        return self
+
+    def child(self, name: str) -> "Span | None":
+        """The first direct child named *name* (None when absent)."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    @property
+    def self_wall_s(self) -> float:
+        """Wall time not attributed to any child span."""
+        return max(0.0, self.wall_s - sum(c.wall_s for c in self.children))
+
+    def to_dict(self) -> dict:
+        """JSON-safe tree: times in milliseconds, counters verbatim."""
+        return {
+            "name": self.name,
+            "wall_ms": round(self.wall_s * 1000, 3),
+            "cpu_ms": round(self.cpu_s * 1000, 3),
+            "self_ms": round(self.self_wall_s * 1000, 3),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.wall_s * 1000:.3f}ms, {len(self.children)} children)"
+
+
+class _SpanContext:
+    """The context manager :meth:`Tracer.span` returns: parent resolution
+    and attachment happen at ``__enter__`` so the span nests under
+    whatever is current *when the block starts*, not when it was built."""
+
+    __slots__ = ("_tracer", "_name", "_counters", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, counters: dict):
+        self._tracer = tracer
+        self._name = name
+        self._counters = counters
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._counters)
+        return self._span
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> bool:
+        span = self._span
+        assert span is not None
+        if exc_type is not None:
+            span.counters["error"] = exc_type.__name__
+        self._tracer._close(span)
+        return False
+
+
+class Tracer:
+    """One trace tree under construction, usable from many threads.
+
+    The first span opened (on any thread) becomes the root; later spans
+    nest under the current thread's innermost open span, falling back to
+    the thread's *anchor* (set by :func:`activate` at pool boundaries)
+    and then the root.
+    """
+
+    def __init__(self) -> None:
+        self.root: Span | None = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- per-thread state ------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span on this thread (anchor/root fallback)."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        anchor = getattr(self._local, "anchor", None)
+        return anchor if anchor is not None else self.root
+
+    # -- span construction ----------------------------------------------
+    def span(self, name: str, **counters) -> _SpanContext:
+        """A context manager timing one nested phase."""
+        return _SpanContext(self, name, counters)
+
+    def _open(self, name: str, counters: dict) -> Span:
+        parent = self.current
+        span = Span(name, parent=parent, counters=counters)
+        with self._lock:
+            if parent is None:
+                if self.root is None:
+                    self.root = span
+                else:  # a second top-level span: keep one tree
+                    span.parent = self.root
+                    self.root.children.append(span)
+            else:
+                parent.children.append(span)
+        self._stack().append(span)
+        span._start()
+        return span
+
+    def _close(self, span: Span) -> None:
+        span._stop()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def record(
+        self, name: str, wall_s: float = 0.0, cpu_s: float = 0.0, **counters
+    ) -> Span:
+        """Attach an already-measured child span (explicit duration) --
+        how accumulated phase totals enter the tree without a span
+        allocation inside the hot loop that measured them."""
+        parent = self.current
+        span = Span(name, parent=parent, counters=counters)
+        span.wall_s = wall_s
+        span.cpu_s = cpu_s
+        span.closed = True
+        with self._lock:
+            if parent is None:
+                if self.root is None:
+                    self.root = span
+                else:
+                    span.parent = self.root
+                    self.root.children.append(span)
+            else:
+                parent.children.append(span)
+        return span
+
+    def activate(self, parent: Span | None = None) -> "activate":
+        """Make this tracer ambient on the current thread (see
+        :func:`activate`)."""
+        return activate(self, parent)
+
+    def to_dict(self) -> dict:
+        """The finished tree (empty dict when nothing was recorded)."""
+        return self.root.to_dict() if self.root is not None else {}
+
+
+# ----------------------------------------------------------------------
+# Ambient tracer: thread-local, explicit hand-off across pools
+# ----------------------------------------------------------------------
+_AMBIENT = threading.local()
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer ambient on this thread (None = tracing disabled here)."""
+    return getattr(_AMBIENT, "tracer", None)
+
+
+def span(name: str, **counters):
+    """Open a span on the ambient tracer; the shared no-op when none.
+
+    This is the one call instrumented code makes.  The disabled path is a
+    ``threading.local`` read and a constant return -- no allocation.
+    """
+    tracer = getattr(_AMBIENT, "tracer", None)
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **counters)
+
+
+def record(name: str, wall_s: float = 0.0, cpu_s: float = 0.0, **counters):
+    """Attach a pre-measured child to the ambient tracer (no-op when
+    tracing is disabled)."""
+    tracer = getattr(_AMBIENT, "tracer", None)
+    if tracer is None:
+        return None
+    return tracer.record(name, wall_s=wall_s, cpu_s=cpu_s, **counters)
+
+
+class activate:
+    """Context manager: make *tracer* ambient on this thread, with new
+    top-level spans nesting under *parent* (default: the tracer's root).
+
+    This is the pool-boundary hand-off: thread-local ambience does not
+    follow submitted work, so the worker side of a queue/executor wraps
+    its execution in ``activate(tracer, parent=...)`` to keep the request
+    a single tree."""
+
+    __slots__ = ("_tracer", "_parent", "_prev_tracer", "_prev_anchor")
+
+    def __init__(self, tracer: Tracer, parent: Span | None = None):
+        self._tracer = tracer
+        self._parent = parent
+
+    def __enter__(self) -> Tracer:
+        self._prev_tracer = getattr(_AMBIENT, "tracer", None)
+        _AMBIENT.tracer = self._tracer
+        local = self._tracer._local
+        self._prev_anchor = getattr(local, "anchor", None)
+        local.anchor = self._parent if self._parent is not None else self._tracer.root
+        return self._tracer
+
+    def __exit__(self, *exc_info: object) -> bool:
+        _AMBIENT.tracer = self._prev_tracer
+        self._tracer._local.anchor = self._prev_anchor
+        return False
+
+
+# ----------------------------------------------------------------------
+# Rendering (the CLI's `repro trace` / `--trace` output)
+# ----------------------------------------------------------------------
+def format_trace(node: dict, indent: str = "", last: bool = True) -> str:
+    """Render a :meth:`Span.to_dict` tree as an indented text outline with
+    cumulative and self times."""
+    if not node:
+        return "(empty trace)"
+    lines: list[str] = []
+    _format_node(node, "", True, True, lines)
+    return "\n".join(lines)
+
+
+def _format_node(
+    node: dict, prefix: str, last: bool, is_root: bool, lines: list[str]
+) -> None:
+    connector = "" if is_root else ("└─ " if last else "├─ ")
+    counters = node.get("counters") or {}
+    shown = ", ".join(f"{k}={_fmt_value(v)}" for k, v in counters.items())
+    timing = f"{node['wall_ms']:.1f}ms"
+    if node.get("children"):
+        timing += f" (self {node['self_ms']:.1f}ms)"
+    lines.append(
+        f"{prefix}{connector}{node['name']}  {timing}" + (f"  [{shown}]" if shown else "")
+    )
+    children = node.get("children") or []
+    child_prefix = prefix if is_root else prefix + ("   " if last else "│  ")
+    for i, child in enumerate(children):
+        _format_node(child, child_prefix, i == len(children) - 1, False, lines)
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

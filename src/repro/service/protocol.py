@@ -155,6 +155,13 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 "lake_version": self.service.version,
                 "payload": self.service.stats_snapshot(),
             }
+        if op == "metrics":
+            return {
+                "ok": True,
+                "op": "metrics",
+                "lake_version": self.service.version,
+                "payload": self.service.metrics_snapshot(),
+            }
         if op == "shutdown":
             return {"ok": True, "op": "shutdown", "shutdown": True, "payload": {}}
         if op == "ingest":
@@ -167,6 +174,7 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 "lake_version": self.service.version,
                 "payload": report,
             }
+        trace = bool(request.get("trace", False))
         if op == "discover":
             response = self.service.discover(
                 decode_table(request["query"]),
@@ -174,12 +182,14 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 query_column=request.get("column"),
                 discoverers=request.get("discoverers"),
                 deadline=deadline,
+                trace=trace,
             )
             return response.to_json()
         if op == "align":
             response = self.service.align(
                 [decode_table(doc) for doc in request["tables"]],
                 deadline=deadline,
+                trace=trace,
             )
             return response.to_json()
         if op == "integrate":
@@ -193,6 +203,7 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 integrator=request.get("integrator"),
                 align=request.get("align", True),
                 deadline=deadline,
+                trace=trace,
             )
             return response.to_json()
         raise ServiceError(f"unknown wire op {op!r}")
@@ -306,6 +317,9 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         return self.call("stats")["payload"]
 
+    def metrics(self) -> dict[str, Any]:
+        return self.call("metrics")["payload"]
+
     def discover(
         self,
         query: Table,
@@ -313,6 +327,7 @@ class ServiceClient:
         column: str | None = None,
         discoverers: Sequence[str] | None = None,
         deadline: float | None = None,
+        trace: bool = False,
     ) -> dict[str, Any]:
         return self.call(
             "discover",
@@ -321,11 +336,20 @@ class ServiceClient:
             column=column,
             discoverers=list(discoverers) if discoverers else None,
             deadline=deadline,
+            trace=True if trace else None,
         )
 
-    def align(self, tables: Iterable[Table], deadline: float | None = None) -> dict[str, Any]:
+    def align(
+        self,
+        tables: Iterable[Table],
+        deadline: float | None = None,
+        trace: bool = False,
+    ) -> dict[str, Any]:
         return self.call(
-            "align", tables=[encode_table(t) for t in tables], deadline=deadline
+            "align",
+            tables=[encode_table(t) for t in tables],
+            deadline=deadline,
+            trace=True if trace else None,
         )
 
     def integrate(
@@ -337,6 +361,7 @@ class ServiceClient:
         integrator: str | None = None,
         align: bool = True,
         deadline: float | None = None,
+        trace: bool = False,
     ) -> dict[str, Any]:
         return self.call(
             "integrate",
@@ -347,6 +372,7 @@ class ServiceClient:
             integrator=integrator,
             align=align,
             deadline=deadline,
+            trace=True if trace else None,
         )
 
     def ingest(self, tables: Iterable[Table]) -> dict[str, Any]:

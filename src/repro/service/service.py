@@ -45,16 +45,21 @@ cache cannot already serve.
 
 from __future__ import annotations
 
+import json
 import queue
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from math import ceil
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.pipeline import Dialite
 from ..datalake.indexer import LakeIndex
+from ..obs import metrics as obs_metrics
+from ..obs import trace as tracing
+from ..obs.metrics import MetricsRegistry
 from ..store.codec import encode_table, table_content_hash
 from ..store.lakestore import LakeStore
 from ..store.lru import LRUCache
@@ -104,83 +109,105 @@ class ServiceResponse:
     cached: bool
     payload: dict[str, Any]
     latency_s: float = 0.0
+    #: The request's span tree (:meth:`Tracer.to_dict` shape), attached
+    #: only when the caller asked for tracing.
+    trace: dict[str, Any] | None = field(default=None, compare=False)
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        document = {
             "ok": True,
             "op": self.op,
             "lake_version": self.lake_version,
             "cached": self.cached,
             "payload": self.payload,
         }
+        if self.trace is not None:
+            document["trace"] = self.trace
+        return document
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile: the smallest value with at least
+    ``ceil(q * n)`` values at or below it.  (The previous
+    ``round(q * (n - 1))`` indexing used banker's rounding, so p50 of an
+    even-length list rounded *down* past the upper median -- pinned by
+    ``test_percentile_nearest_rank``.)"""
     if not sorted_values:
         return 0.0
-    index = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    n = len(sorted_values)
+    rank = min(n, max(1, ceil(q * n)))
+    return sorted_values[rank - 1]
 
 
 class ServiceStats:
     """Thread-safe serving metrics: hit/miss, rejections, batching,
-    reloads, and per-op latency quantiles (bounded reservoirs)."""
+    reloads, and per-op latency quantiles.
 
-    RESERVOIR = 4096
+    Since the ``repro.obs`` refactor this is a thin view over a private
+    :class:`~repro.obs.metrics.MetricsRegistry` -- counters are shared
+    :class:`Counter` instruments and latencies are fixed-bucket
+    histograms instead of the old 4096-entry reservoirs (bounded memory,
+    mergeable snapshots) -- while :meth:`snapshot` keeps its historical
+    shape exactly.  ``max_ms`` stays exact (histograms track the true
+    max); p50/p95 are bucket-resolution nearest-rank."""
+
+    COUNTER_NAMES = (
+        "requests",
+        "hits",
+        "misses",
+        "errors",
+        "rejected_overload",
+        "rejected_deadline",
+        "batches",
+        "batched_requests",
+        "reloads",
+        "ingests",
+    )
+    _LATENCY_PREFIX = "service.latency."
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.requests = 0
-        self.hits = 0
-        self.misses = 0
-        self.errors = 0
-        self.rejected_overload = 0
-        self.rejected_deadline = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self.reloads = 0
-        self.ingests = 0
-        self._latencies: dict[str, list[float]] = {}
+        self.registry = MetricsRegistry()
+        for name in self.COUNTER_NAMES:
+            self.registry.counter(f"service.{name}")
 
     def count(self, counter: str, amount: int = 1) -> None:
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + amount)
+        if counter not in self.COUNTER_NAMES:
+            raise AttributeError(f"unknown service counter {counter!r}")
+        self.registry.counter(f"service.{counter}").inc(amount)
 
     def observe(self, op: str, seconds: float) -> None:
-        with self._lock:
-            reservoir = self._latencies.setdefault(op, [])
-            if len(reservoir) >= self.RESERVOIR:
-                # Drop the oldest half; quantiles stay recent-biased
-                # without per-observation deque churn.
-                del reservoir[: self.RESERVOIR // 2]
-            reservoir.append(seconds)
+        self.registry.histogram(
+            f"{self._LATENCY_PREFIX}{op}"
+        ).observe_seconds(seconds)
+
+    def __getattr__(self, name: str) -> Any:
+        # The pre-registry API exposed the counters as plain attributes
+        # (``stats.requests``); keep that read surface.
+        if name in type(self).COUNTER_NAMES:
+            return self.registry.counter(f"service.{name}").value
+        raise AttributeError(name)
 
     def snapshot(self, queue_depth: int = 0) -> dict[str, Any]:
         """A JSON-friendly point-in-time view (the ``stats`` op / CLI)."""
-        with self._lock:
-            latency = {}
-            for op, reservoir in sorted(self._latencies.items()):
-                ordered = sorted(reservoir)
-                latency[op] = {
-                    "count": len(ordered),
-                    "p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
-                    "p95_ms": round(_percentile(ordered, 0.95) * 1000, 3),
-                    "max_ms": round(ordered[-1] * 1000, 3) if ordered else 0.0,
-                }
-            return {
-                "requests": self.requests,
-                "hits": self.hits,
-                "misses": self.misses,
-                "errors": self.errors,
-                "rejected_overload": self.rejected_overload,
-                "rejected_deadline": self.rejected_deadline,
-                "batches": self.batches,
-                "batched_requests": self.batched_requests,
-                "reloads": self.reloads,
-                "ingests": self.ingests,
-                "queue_depth": queue_depth,
-                "latency": latency,
+        latency = {}
+        for name, histogram in self.registry.histograms(
+            self._LATENCY_PREFIX
+        ).items():
+            op = name[len(self._LATENCY_PREFIX):]
+            hist = histogram.snapshot()
+            latency[op] = {
+                "count": hist["count"],
+                "p50_ms": round(hist["p50"], 3),
+                "p95_ms": round(hist["p95"], 3),
+                "max_ms": round(hist["max"], 3),
             }
+        snapshot: dict[str, Any] = {
+            name: self.registry.counter(f"service.{name}").value
+            for name in self.COUNTER_NAMES
+        }
+        snapshot["queue_depth"] = queue_depth
+        snapshot["latency"] = latency
+        return snapshot
 
 
 @dataclass
@@ -198,7 +225,7 @@ class _Request:
     """One queued unit of work and its completion latch."""
 
     __slots__ = (
-        "op", "params", "key", "deadline_at", "enqueued_at",
+        "op", "params", "key", "deadline_at", "enqueued_at", "tracer",
         "done", "response", "error", "_expired", "_finished", "_lock",
     )
 
@@ -208,11 +235,13 @@ class _Request:
         params: dict[str, Any],
         key: tuple | None,
         deadline_at: float | None,
+        tracer: "tracing.Tracer | None" = None,
     ):
         self.op = op
         self.params = params
         self.key = key
         self.deadline_at = deadline_at
+        self.tracer = tracer
         self.enqueued_at = time.monotonic()
         self.done = threading.Event()
         self.response: ServiceResponse | None = None
@@ -270,6 +299,7 @@ class LakeService:
         stats_cache_capacity: int | None = None,
         candidate_budget: int | None = None,
         fd_workers: int = 1,
+        trace_path: "str | Path | None" = None,
     ):
         if pipeline is None:
             if store is None:
@@ -298,6 +328,10 @@ class LakeService:
         self.default_deadline = default_deadline
         self.stats = ServiceStats()
         self.cache = LRUCache(cache_capacity, ttl=cache_ttl)
+        #: JSONL trace sink: when set, *every* request is traced and its
+        #: span tree appended as one JSON line (offline analysis).
+        self._trace_path = Path(trace_path) if trace_path is not None else None
+        self._trace_lock = threading.Lock()
 
         self._handlers: dict[str, Callable[[_Generation, dict[str, Any]], dict]] = {
             "discover": self._handle_discover,
@@ -359,6 +393,29 @@ class LakeService:
             snapshot["segment_format_counts"] = store.segment_format_counts()
         return snapshot
 
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The full instrument view: this service's private registry
+        (counters + latency histograms behind :meth:`stats_snapshot`)
+        merged with the process-wide registry (store decode counts,
+        engine retrieval/build accounting, FD dispatch tallies).  The
+        ``metrics`` wire op serves exactly this document; two of them
+        from different processes fold with
+        :func:`repro.obs.metrics.merge_snapshots`."""
+        return obs_metrics.merge_snapshots(
+            obs_metrics.global_registry().snapshot(),
+            self.stats.registry.snapshot(),
+        )
+
+    def _write_trace(self, document: dict[str, Any]) -> None:
+        """Append one finished span tree to the JSONL sink (one compact
+        JSON object per line; no-op without a ``trace_path``)."""
+        if self._trace_path is None or not document:
+            return
+        line = json.dumps(document, separators=(",", ":"), sort_keys=True)
+        with self._trace_lock:
+            with self._trace_path.open("a", encoding="utf-8") as sink:
+                sink.write(line + "\n")
+
     def add_handler(
         self, op: str, handler: Callable[[Any, dict[str, Any]], dict], replace: bool = False
     ) -> None:
@@ -379,12 +436,45 @@ class LakeService:
         params: dict[str, Any] | None = None,
         *,
         deadline: float | None = None,
+        trace: bool = False,
     ) -> ServiceResponse:
         """Serve one request: cache lookup, admission, execution, wait.
 
         *deadline* is relative seconds (``default_deadline`` when None);
         the caller gets :class:`DeadlineExceeded` if it lapses first.
+
+        *trace* records the request as one span tree (admission ->
+        cache -> queue wait -> execution, with every pipeline stage
+        nested under it) and attaches it to the response.  A traced
+        request bypasses discover micro-batching so its attribution is
+        exact.  When the service has a ``trace_path`` sink, every
+        request is traced and appended there; *trace* additionally
+        returns the tree to this caller.
         """
+        tracer = (
+            tracing.Tracer()
+            if (trace or self._trace_path is not None)
+            else None
+        )
+        if tracer is None:
+            return self._request_inner(op, params, deadline, None)
+        try:
+            with tracing.activate(tracer):
+                with tracer.span(f"service.{op}"):
+                    response = self._request_inner(op, params, deadline, tracer)
+        finally:
+            self._write_trace(tracer.to_dict())
+        if trace:
+            response = replace(response, trace=tracer.to_dict())
+        return response
+
+    def _request_inner(
+        self,
+        op: str,
+        params: dict[str, Any] | None,
+        deadline: float | None,
+        tracer: "tracing.Tracer | None",
+    ) -> ServiceResponse:
         if self._closed:
             raise ServiceClosed("service is closed")
         if op not in self._handlers:
@@ -399,7 +489,9 @@ class LakeService:
         key = self._request_key(op, params)
         gen = self._gen
         if key is not None:
-            payload = self.cache.get((gen.version, key))
+            with tracing.span("service.cache") as cache_span:
+                payload = self.cache.get((gen.version, key))
+                cache_span.add(hit=int(payload is not None))
             if payload is not None:
                 self.stats.count("hits")
                 self.stats.observe(op, time.monotonic() - started)
@@ -415,7 +507,7 @@ class LakeService:
         if deadline is None:
             deadline = self.default_deadline
         deadline_at = None if deadline is None else started + deadline
-        request = _Request(op, params, key, deadline_at)
+        request = _Request(op, params, key, deadline_at, tracer=tracer)
         self._admit()
         self._queue.put(request)
         if self._closed:
@@ -445,6 +537,7 @@ class LakeService:
         query_column: str | None = None,
         discoverers: Sequence[str] | None = None,
         deadline: float | None = None,
+        trace: bool = False,
     ) -> ServiceResponse:
         return self.request(
             "discover",
@@ -455,12 +548,18 @@ class LakeService:
                 "discoverers": tuple(discoverers) if discoverers else None,
             },
             deadline=deadline,
+            trace=trace,
         )
 
     def align(
-        self, tables: Sequence[Table], deadline: float | None = None
+        self,
+        tables: Sequence[Table],
+        deadline: float | None = None,
+        trace: bool = False,
     ) -> ServiceResponse:
-        return self.request("align", {"tables": list(tables)}, deadline=deadline)
+        return self.request(
+            "align", {"tables": list(tables)}, deadline=deadline, trace=trace
+        )
 
     def integrate(
         self,
@@ -472,6 +571,7 @@ class LakeService:
         integrator: str | None = None,
         align: bool = True,
         deadline: float | None = None,
+        trace: bool = False,
     ) -> ServiceResponse:
         if (tables is None) == (query is None):
             raise ServiceError("integrate takes either tables or a query")
@@ -486,6 +586,7 @@ class LakeService:
                 "align": align,
             },
             deadline=deadline,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -548,7 +649,9 @@ class LakeService:
             gen = self._gen
             if gen.store.current_version() == gen.version:
                 return False
-            self._gen = self._build_generation(gen)
+            with tracing.span("service.reload", from_version=gen.version) as reload_span:
+                self._gen = self._build_generation(gen)
+                reload_span.add(to_version=self._gen.version)
             self.stats.count("reloads")
             return True
         finally:
@@ -616,6 +719,9 @@ class LakeService:
                 self.batch_window > 0.0
                 and item.op == "discover"
                 and self.batch_max > 1
+                # Traced requests execute alone: coalescing would blur a
+                # batch's shared pipeline time across its members' trees.
+                and item.tracer is None
                 # Only open a batch window when another request is in
                 # flight (queued, mid-submit, or executing) -- a lone
                 # request on an idle service must not pay the window as
@@ -648,7 +754,11 @@ class LakeService:
             if item is _SHUTDOWN:
                 self._executor.submit(self._execute_discover_batch, batch)
                 return None
-            if item.op == "discover" and self._batch_signature(item) == signature:
+            if (
+                item.op == "discover"
+                and item.tracer is None
+                and self._batch_signature(item) == signature
+            ):
                 batch.append(item)
             else:
                 self._executor.submit(self._execute_single, item)
@@ -698,34 +808,47 @@ class LakeService:
             return
         gen = self._gen
         try:
-            if request.key is not None:
-                payload = self.cache.get((gen.version, request.key))
-                if payload is not None:
-                    self._fulfil(
-                        request,
-                        ServiceResponse(
-                            op=request.op,
-                            lake_version=gen.version,
-                            cached=True,
-                            payload=payload,
-                        ),
+            if request.tracer is None:
+                response = self._compute_response(request, gen)
+            else:
+                # Re-join the caller's trace: thread-local ambience does
+                # not cross the pool, so the worker re-activates the
+                # request's tracer anchored at its root.  The execute
+                # span must close *before* _fulfil wakes the caller --
+                # the caller serializes the tree as soon as wait()
+                # returns.
+                with tracing.activate(request.tracer, parent=request.tracer.root):
+                    request.tracer.record(
+                        "service.queue_wait",
+                        wall_s=time.monotonic() - request.enqueued_at,
                     )
-                    return
-            handler = self._handlers[request.op]
-            payload = handler(gen, request.params)
-            if request.key is not None:
-                self.cache.put((gen.version, request.key), payload)
-            self._fulfil(
-                request,
-                ServiceResponse(
-                    op=request.op,
-                    lake_version=gen.version,
-                    cached=False,
-                    payload=payload,
-                ),
-            )
+                    with request.tracer.span("service.execute"):
+                        response = self._compute_response(request, gen)
+            self._fulfil(request, response)
         except Exception as error:  # noqa: BLE001 - error becomes the response
             self._fulfil_error(request, error)
+
+    def _compute_response(self, request: _Request, gen: _Generation) -> ServiceResponse:
+        """Worker-side cache re-check + handler execution (no fulfil)."""
+        if request.key is not None:
+            payload = self.cache.get((gen.version, request.key))
+            if payload is not None:
+                return ServiceResponse(
+                    op=request.op,
+                    lake_version=gen.version,
+                    cached=True,
+                    payload=payload,
+                )
+        handler = self._handlers[request.op]
+        payload = handler(gen, request.params)
+        if request.key is not None:
+            self.cache.put((gen.version, request.key), payload)
+        return ServiceResponse(
+            op=request.op,
+            lake_version=gen.version,
+            cached=False,
+            payload=payload,
+        )
 
     def _execute_discover_batch(self, batch: list[_Request]) -> None:
         live = [r for r in batch if not self._expired(r)]

@@ -64,6 +64,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from ..datalake.catalog import DataLake
 from ..datalake.stats import LakeStats
 from ..discovery.base import Discoverer
+from ..obs import metrics, trace
 from ..table.stats import TableStats
 from ..table.table import Table
 from ..table.values import Cell
@@ -540,14 +541,13 @@ class LakeStore:
         """Materialize one table from its segment, with its hydrated stats
         snapshot attached (so its columns never need a raw re-scan)."""
         entry = self._entry(name)
-        reader = (
-            read_columns_v2
-            if entry.get("segment_format", "v1") == "v2"
-            else read_columns
-        )
-        arrays = reader(self._path / entry["segment"], len(entry["columns"]))
-        table = Table.from_columns(entry["columns"], arrays, name=name)
-        return table.adopt_stats(self.table_stats(name))
+        segment_format = entry.get("segment_format", "v1")
+        reader = read_columns_v2 if segment_format == "v2" else read_columns
+        metrics.counter(f"store.decode.{segment_format}").inc()
+        with trace.span("store.load_table", table=name, format=segment_format):
+            arrays = reader(self._path / entry["segment"], len(entry["columns"]))
+            table = Table.from_columns(entry["columns"], arrays, name=name)
+            return table.adopt_stats(self.table_stats(name))
 
     def load_column(self, name: str, column: str) -> tuple[Cell, ...]:
         """One column's cells, read by byte offset (no full-table load)."""
@@ -558,18 +558,20 @@ class LakeStore:
             raise KeyError(
                 f"table {name!r} has no column {column!r}; columns: {entry['columns']}"
             ) from None
-        reader = (
-            read_column_v2
-            if entry.get("segment_format", "v1") == "v2"
-            else read_column
-        )
+        segment_format = entry.get("segment_format", "v1")
+        reader = read_column_v2 if segment_format == "v2" else read_column
+        metrics.counter(f"store.decode_column.{segment_format}").inc()
         return reader(self._path / entry["segment"], entry["column_offsets"][position])
 
     def table_stats(self, name: str) -> TableStats:
         """The hydrated stats snapshot of one table (cached per name; the
         same object a materialized table adopts, keeping one scan ledger)."""
         cached = self._stats_cache.get(name)
-        if cached is None:
+        if cached is not None:
+            metrics.counter("store.stats_cache.hits").inc()
+            return cached
+        metrics.counter("store.stats_cache.rehydrates").inc()
+        with trace.span("store.rehydrate_stats", table=name):
             entry = self._entry(name)
             payloads = json.loads(
                 (self._path / entry["stats"]).read_text(encoding="utf-8")
@@ -586,6 +588,9 @@ class LakeStore:
             }
             cached = TableStats.hydrated(name, entry["columns"], by_name)
             self._stats_cache.put(name, cached)
+            metrics.gauge("store.stats_cache.evictions").set(
+                self._stats_cache.evictions
+            )
         return cached
 
     def _column_loader(self, name: str, column: str):

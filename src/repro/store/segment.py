@@ -38,6 +38,7 @@ import sys
 from pathlib import Path
 
 from .. import accel
+from ..obs import metrics
 from ..table.table import Table
 from ..table.values import MISSING, PRODUCED, Cell, is_null
 from .codec import (
@@ -328,8 +329,10 @@ def _open_v2(path: Path):
         size = os.fstat(handle.fileno()).st_size
         if size >= _MMAP_MIN_BYTES:
             buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            metrics.counter("segment.open.mmap").inc()
         else:
             buffer = handle.read()
+            metrics.counter("segment.open.read").inc()
         try:
             segment = _SegmentV2(path, buffer)
         except SegmentCorrupted:

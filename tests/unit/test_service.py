@@ -546,3 +546,113 @@ class TestServerLifecycle:
         closer.join(timeout=5)
         assert not closer.is_alive(), "close() on a never-served LakeServer hung"
         assert svc._closed
+
+
+class TestObservability:
+    """ISSUE 7: tracing + metrics threaded through the serving layer."""
+
+    def test_percentile_nearest_rank(self):
+        from repro.service.service import _percentile
+
+        # Nearest-rank, explicitly: rank = ceil(q * n), 1-indexed.  The
+        # old int(round(...)) used banker's rounding, so e.g. p50 of a
+        # 2-element list picked index round(0.5*2)-1 = 0 on some sizes
+        # and 1 on others; these pins make the rule unambiguous.
+        assert _percentile([1.0, 2.0], 0.5) == 1.0       # ceil(1.0) = rank 1
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert _percentile([1.0, 2.0, 3.0], 0.5) == 2.0  # ceil(1.5) = rank 2
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.95) == 4.0
+        assert _percentile([5.0], 0.99) == 5.0
+        assert _percentile([], 0.5) == 0.0
+        values = [float(v) for v in range(1, 101)]
+        assert _percentile(values, 0.5) == 50.0
+        assert _percentile(values, 0.95) == 95.0
+
+    def test_stats_snapshot_shape_unchanged(self, service):
+        service.discover(covid_query_table(), k=2)
+        service.discover(covid_query_table(), k=2)
+        snapshot = service.stats_snapshot()
+        for key in (
+            "requests", "hits", "misses", "errors", "rejected_overload",
+            "rejected_deadline", "batches", "batched_requests", "reloads",
+            "ingests", "queue_depth", "latency",
+        ):
+            assert key in snapshot, key
+        assert snapshot["requests"] == 2
+        assert snapshot["hits"] == 1 and snapshot["misses"] == 1
+        discover_latency = snapshot["latency"]["discover"]
+        assert set(discover_latency) == {"count", "p50_ms", "p95_ms", "max_ms"}
+        assert discover_latency["count"] == 2
+        assert discover_latency["p50_ms"] <= discover_latency["p95_ms"]
+        assert discover_latency["p95_ms"] <= discover_latency["max_ms"] + 1e-9
+
+    def test_traced_discover_returns_span_tree(self, service):
+        response = service.discover(covid_query_table(), k=2, trace=True)
+        assert response.trace is not None
+        tree = response.trace
+        assert tree["name"] == "service.discover"
+
+        def names(node):
+            yield node["name"]
+            for child in node.get("children", []):
+                yield from names(child)
+
+        flat = list(names(tree))
+        # Admission -> cache -> queue -> execute -> engine -> discoverers.
+        for expected in (
+            "service.cache", "service.queue_wait", "service.execute",
+            "pipeline.discover", "discover.santos", "discover.candidates",
+            "discover.score",
+        ):
+            assert expected in flat, (expected, flat)
+        # Traced requests are excluded from micro-batching, and the
+        # untraced twin is unaffected (and serveable from cache).
+        untraced = service.discover(covid_query_table(), k=2)
+        assert untraced.trace is None
+
+    def test_traced_response_not_cached_with_trace(self, service):
+        first = service.discover(covid_query_table(), k=2, trace=True)
+        second = service.discover(covid_query_table(), k=2)
+        assert second.cached and second.trace is None
+        assert canonical(first.payload) == canonical(second.payload)
+
+    def test_trace_sink_writes_jsonl(self, store_path, tmp_path):
+        sink = tmp_path / "traces.jsonl"
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.0, trace_path=sink
+        )
+        try:
+            svc.discover(covid_query_table(), k=2)
+            svc.discover(covid_query_table(), k=2)
+        finally:
+            svc.close()
+        lines = sink.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            document = json.loads(line)
+            assert document["name"] == "service.discover"
+            assert "wall_ms" in document
+
+    def test_metrics_snapshot_merges_service_and_global(self, service):
+        service.discover(covid_query_table(), k=2)
+        snapshot = service.metrics_snapshot()
+        assert "counters" in snapshot and "histograms" in snapshot
+        assert snapshot["counters"]["service.requests"] >= 1
+        latency = snapshot["histograms"]["service.latency.discover"]
+        assert latency["count"] >= 1
+
+    def test_metrics_wire_op(self, store_path):
+        from repro.service import LakeServer, ServiceClient
+
+        svc = LakeService(store=store_path, workers=1, batch_window=0.0)
+        server = LakeServer(svc, port=0)
+        server.start()
+        try:
+            client = ServiceClient(server.address)
+            client.discover(covid_query_table(), k=2)
+            payload = client.metrics()
+            assert payload["counters"]["service.requests"] >= 1
+            traced = client.discover(covid_query_table(), k=2, trace=True)
+            assert traced["trace"]["name"] == "service.discover"
+        finally:
+            server.close()

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""CI smoke: disabled tracing must cost <= 3% over a fully stubbed baseline.
+
+The observability layer's contract (ISSUE 7) is that when no tracer is
+ambient, instrumentation reduces to one ``threading.local`` read per
+``trace.span`` call (returning the shared no-op span) and one lock-free
+counter bump per metrics call.  This tool measures that contract instead
+of trusting it:
+
+* **shipped** -- the pipeline exactly as deployed, tracing disabled
+  (no ambient tracer, no trace sink);
+* **stubbed** -- the same pipeline with ``repro.obs.trace`` /
+  ``repro.obs.metrics`` module entry points monkeypatched to bare
+  no-ops, which is the closest runnable approximation of "the
+  instrumentation was never written".
+
+Every call site imports the *modules* (``from ..obs import metrics,
+trace``) and resolves ``trace.span`` / ``metrics.counter`` at call time
+-- the convention exists precisely so this tool can swap the functions
+globally without touching call sites.
+
+Both variants run the same warm workload (discover over a synthetic
+lake + an ALITE FD integrate), interleaved min-of-N to shed scheduler
+noise.  Fails (exit 1) if shipped exceeds stubbed by more than
+``--threshold`` (default 3%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pipeline import Dialite  # noqa: E402
+from repro.datalake.catalog import DataLake  # noqa: E402
+from repro.obs import metrics, trace  # noqa: E402
+from repro.table.table import Table  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# The stubbed baseline: repro.obs entry points as bare no-ops
+# ----------------------------------------------------------------------
+class _StubSpan:
+    """Accepts the whole Span surface and does nothing."""
+
+    counters: dict = {}
+    wall_s = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def add(self, **counters):
+        pass
+
+    def child(self, name):
+        return None
+
+
+_STUB_SPAN = _StubSpan()
+
+
+class _StubTracer:
+    root = None
+    current = None
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def span(self, name, **counters):
+        return _STUB_SPAN
+
+    def record(self, name, wall_s=0.0, cpu_s=None, **counters):
+        pass
+
+    def to_dict(self):
+        return {}
+
+
+class _StubInstrument:
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def add(self, amount):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def observe_ms(self, value):
+        pass
+
+    def observe_seconds(self, value):
+        pass
+
+
+_STUB_INSTRUMENT = _StubInstrument()
+
+_TRACE_PATCH = {
+    "span": lambda name, **counters: _STUB_SPAN,
+    "record": lambda name, wall_s=0.0, cpu_s=None, **counters: None,
+    "current_tracer": lambda: None,
+    "Tracer": _StubTracer,
+}
+_METRICS_PATCH = {
+    "counter": lambda name: _STUB_INSTRUMENT,
+    "gauge": lambda name: _STUB_INSTRUMENT,
+    "histogram": lambda name, buckets=None: _STUB_INSTRUMENT,
+}
+
+
+class _stubbed_obs:
+    """Swap the obs entry points for no-ops; restore on exit."""
+
+    def __enter__(self):
+        self._saved = (
+            {k: getattr(trace, k) for k in _TRACE_PATCH},
+            {k: getattr(metrics, k) for k in _METRICS_PATCH},
+        )
+        for key, value in _TRACE_PATCH.items():
+            setattr(trace, key, value)
+        for key, value in _METRICS_PATCH.items():
+            setattr(metrics, key, value)
+        return self
+
+    def __exit__(self, *exc):
+        saved_trace, saved_metrics = self._saved
+        for key, value in saved_trace.items():
+            setattr(trace, key, value)
+        for key, value in saved_metrics.items():
+            setattr(metrics, key, value)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Workload: warm discover + integrate over a synthetic lake
+# ----------------------------------------------------------------------
+def build_lake(num_tables: int, rows: int, seed: int = 7) -> DataLake:
+    rng = random.Random(seed)
+    vocab = [f"ent{v:04d}" for v in range(num_tables * 4)]
+    lake = DataLake()
+    for t in range(num_tables):
+        key_col = [rng.choice(vocab) for _ in range(rows)]
+        rows_out = [
+            (key_col[r], f"x{rng.randrange(1000)}", f"y{rng.randrange(50)}")
+            for r in range(rows)
+        ]
+        lake.add(Table(["Entity", f"Attr{t % 5}", "Group"], rows_out, name=f"t{t:03d}"))
+    return lake
+
+
+def build_workload(num_tables: int = 48, rows: int = 24, queries: int = 4):
+    lake = build_lake(num_tables, rows)
+    pipeline = Dialite(lake).fit()
+    rng = random.Random(13)
+    vocab = [f"ent{v:04d}" for v in range(num_tables * 4)]
+    query_tables = [
+        Table(
+            ["Entity"],
+            [(rng.choice(vocab),) for _ in range(8)],
+            name=f"q{i}",
+        )
+        for i in range(queries)
+    ]
+
+    def workload() -> None:
+        for query in query_tables:
+            outcome = pipeline.discover(query, k=4, query_column="Entity")
+            pipeline.integrate(outcome.integration_set[:4])
+
+    return workload
+
+
+def measure(workload, runs: int) -> tuple[float, float]:
+    """Interleaved min-of-``runs`` for (shipped, stubbed) seconds."""
+    shipped = []
+    stubbed = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        workload()
+        shipped.append(time.perf_counter() - start)
+        with _stubbed_obs():
+            start = time.perf_counter()
+            workload()
+            stubbed.append(time.perf_counter() - start)
+    return min(shipped), min(stubbed)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=5, help="interleaved repetitions")
+    parser.add_argument(
+        "--threshold", type=float, default=0.03,
+        help="max allowed (shipped - stubbed) / stubbed (default 0.03)",
+    )
+    args = parser.parse_args()
+
+    workload = build_workload()
+    workload()  # warm both code paths and every lazy cache before timing
+    with _stubbed_obs():
+        workload()
+
+    shipped_s, stubbed_s = measure(workload, args.runs)
+    overhead = (shipped_s - stubbed_s) / stubbed_s
+    print(
+        f"obs overhead smoke: shipped {shipped_s * 1000:.1f}ms, "
+        f"stubbed baseline {stubbed_s * 1000:.1f}ms, "
+        f"overhead {overhead * 100:+.2f}% (threshold {args.threshold * 100:.0f}%, "
+        f"min of {args.runs} interleaved runs)"
+    )
+    if overhead > args.threshold:
+        print("obs overhead smoke FAILED: disabled tracing is not cheap enough")
+        return 1
+    print("obs overhead smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
