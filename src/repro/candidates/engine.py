@@ -105,6 +105,14 @@ class CandidateEngine:
         #: Engine-wide kill switch: answer every retrieval with the whole
         #: lake (the full-scan baseline for benchmarks / equivalence tests).
         self.force_exhaustive = False
+        #: Scatter-gather mode (repro.shard): report retrieval evidence
+        #: without applying the fallback floor -- a shard cannot judge the
+        #: floor against its local retrieved count; the reducer owns that
+        #: decision with the global count.  The per-shard budget cap still
+        #: applies (the global top-budget's members within a shard are a
+        #: prefix of the shard's own strength ranking, so a per-shard cap
+        #: at the same budget never drops a globally-kept table).
+        self.defer_policy = False
         #: True when the posting structures were hydrated from a store
         #: artifact instead of built from stats.
         self.loaded_from_store = False
@@ -209,8 +217,17 @@ class CandidateEngine:
                 # replaces.  Built fully before publication, so concurrent
                 # readers only ever see a complete ensemble.
                 metrics.counter("engine.build.ensemble").inc()
+                # size-buckets: a column's partition (and hence its band
+                # parameters) is a function of its own cardinality, not of
+                # the lake distribution -- an engine over any subset of the
+                # lake retrieves exactly the global band hits restricted to
+                # that subset.  Required for sharded scatter-gather to be
+                # byte-identical with the single-store pipeline.
                 ensemble = LSHEnsemble(
-                    num_perm=num_perm, num_partitions=num_partitions, seed=seed
+                    num_perm=num_perm,
+                    num_partitions=num_partitions,
+                    seed=seed,
+                    partitioning="size-buckets",
                 )
                 hasher = ensemble.hasher
                 registry = self.registry
@@ -398,12 +415,44 @@ class CandidateEngine:
         budget, it never inflates back to the whole lake."""
         ordered = sorted(totals, key=lambda table: (-totals[table], table))
         retrieved = len(ordered)
+        budget = spec.budget if spec.budget is not None else self.default_budget
+        if self.defer_policy:
+            # Shard mode: never fall back locally (the reducer judges the
+            # floor against the global retrieved count and orchestrates a
+            # second, evidence-retained exhaustive round when needed); the
+            # budget cap is safe per shard -- see the attribute docstring.
+            truncated = budget is not None and retrieved > budget
+            if truncated:
+                ordered = ordered[:budget]
+            report = RetrievalReport(
+                discoverer=discoverer,
+                channels=spec.channels,
+                probes=probes,
+                retrieved=retrieved,
+                scored=len(ordered),
+                lake_size=len(self._lake),
+                fallback=False,
+                truncated=truncated,
+            )
+            self._record(report)
+            candidates = CandidateSet(
+                tables=tuple(ordered),
+                evidence=evidence,
+                fallback=False,
+                truncated=truncated,
+                report=report,
+            )
+            candidates.context["deferred"] = {
+                "retrieved": retrieved,
+                "floor": spec.floor(k),
+                "totals": dict(totals),
+            }
+            return candidates
         fallback = retrieved < spec.floor(k)
         truncated = False
         if fallback:
             ordered = list(self.tables())
         else:
-            budget = spec.budget if spec.budget is not None else self.default_budget
             truncated = budget is not None and retrieved > budget
             if truncated:
                 ordered = ordered[:budget]
@@ -597,7 +646,9 @@ class CandidateEngine:
                 "indexed_columns": len(ensemble),
                 "bands": sum(
                     index.b
-                    for partition in ensemble._partitions
+                    for partition in (
+                        list(ensemble._partitions) + list(ensemble._buckets.values())
+                    )
                     for index in partition.indexes.values()
                 ),
             }

@@ -93,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--all-discoverers", action="store_true",
             help="fit every built-in discoverer (adds starmie, tus, cocoa)",
         )
+    index_build.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="create a sharded lake of N shards (content-hash routed; "
+        "discovery scatter-gathers with byte-identical results)",
+    )
     index_info = index_commands.add_parser(
         "info", help="summarize a store: version, tables, persisted indexes"
     )
@@ -112,6 +117,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", dest="segment_format", default="v2", choices=("v1", "v2"),
         help="target segment format (default: v2, the binary columnar format)",
     )
+    store_shard = store_commands.add_parser(
+        "shard",
+        help="create, resize or inspect a sharded lake "
+        "(N content-hash-routed sub-stores under one manifest)",
+    )
+    shard_commands = store_shard.add_subparsers(dest="shard_command", required=True)
+    shard_init = shard_commands.add_parser(
+        "init", help="create an empty sharded lake store"
+    )
+    shard_init.add_argument("--store", required=True, help="sharded lake directory")
+    shard_init.add_argument(
+        "--shards", type=int, required=True, metavar="N", help="number of shards"
+    )
+    shard_init.add_argument(
+        "--routing-seed", type=int, default=None,
+        help="routing hash seed (default: derived from the layout)",
+    )
+    shard_rebalance = shard_commands.add_parser(
+        "rebalance",
+        help="re-route every table into a new shard count (full rewrite; "
+        "drops persisted per-shard indexes and the global fit state)",
+    )
+    shard_rebalance.add_argument("--store", required=True, help="sharded lake directory")
+    shard_rebalance.add_argument(
+        "--shards", type=int, required=True, metavar="N", help="new number of shards"
+    )
+    shard_rebalance.add_argument(
+        "--routing-seed", type=int, default=None,
+        help="new routing seed (default: keep the current one)",
+    )
+    shard_info = shard_commands.add_parser(
+        "info", help="per-shard table counts and versions"
+    )
+    shard_info.add_argument("--store", required=True, help="sharded lake directory")
 
     discover = commands.add_parser("discover", help="find tables related to a query")
     _add_discovery_arguments(discover, query_required=False)
@@ -344,10 +383,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_index(args: argparse.Namespace) -> int:
     from .datalake.indexer import LakeIndex
+    from .shard import ShardedLakeIndex, ShardedLakeStore, open_any_store
     from .store import LakeStore
 
     if args.index_command == "info":
-        info = LakeStore.open(args.store, check_sketch=False).info()
+        info = open_any_store(args.store, check_sketch=False).info()
+        if info.get("sharded"):
+            _print_sharded_info(info)
+            _print_live_service(args.store, info["lake_version"])
+            return 0
         counts = info.get("segment_format_counts") or {}
         mix = ", ".join(f"{fmt}: {n}" for fmt, n in sorted(counts.items()) if n)
         print(
@@ -420,13 +464,45 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
     lake = DataLake.from_dir(args.lake)
     if args.index_command == "build":
-        store = LakeStore.create(args.store, exist_ok=True)
+        from pathlib import Path as _Path
+
+        if getattr(args, "shards", None):
+            store = ShardedLakeStore.create(
+                args.store, num_shards=args.shards, exist_ok=True
+            )
+            if store.num_shards != args.shards:
+                print(
+                    f"store is already sharded into {store.num_shards}; "
+                    f"use `repro store shard rebalance --shards {args.shards}` "
+                    f"to change the layout",
+                    file=sys.stderr,
+                )
+                return 2
+        elif (_Path(args.store) / "lake.json").exists():
+            # An existing sharded layout: keep building it sharded.
+            store = open_any_store(args.store)
+        else:
+            store = LakeStore.create(args.store, exist_ok=True)
     else:  # update: incremental by design, so the store must already exist
-        store = LakeStore.open(args.store)
+        store = open_any_store(args.store)
     report = store.ingest(lake)
     print(f"ingest {report.summary()}")
     warm_lake = store.lake()
     roster = _resolve_roster(args, warm_lake)
+    if isinstance(store, ShardedLakeStore):
+        # Per-shard hydration reuses every shard whose version (and
+        # persisted roster) is current and refits only the rest.
+        index = ShardedLakeIndex.from_store(store, roster)
+        timings = ", ".join(
+            f"{name}: {seconds:.2f}s"
+            for name, seconds in sorted(index.build_seconds.items())
+        )
+        index.close()
+        print(
+            f"fitted {store.num_shards}-shard indexes ({timings}) "
+            f"persisted to {store.path}"
+        )
+        return 0
     persisted = store.load_indexes()
     if not report.changed and all(d.name in persisted for d in roster):
         print("lake unchanged; persisted indexes are current")
@@ -442,10 +518,70 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_store(args: argparse.Namespace) -> int:
-    from .store import LakeStore
+def _print_sharded_info(info: dict) -> None:
+    """The `index info` / `store shard info` summary of a sharded lake."""
+    counts = info.get("segment_format_counts") or {}
+    mix = ", ".join(f"{fmt}: {n}" for fmt, n in sorted(counts.items()) if n)
+    print(
+        f"sharded lake store: {info['path']}\n"
+        f"format v{info['format_version']}, lake epoch {info['lake_version']}, "
+        f"{info['num_shards']} shards (routing seed {info['routing_seed']})\n"
+        f"{info['num_tables']} tables, {info['total_rows']} rows total\n"
+        f"segment format: {info.get('segment_format', 'v1')}"
+        + (f" ({mix})" if mix else "")
+        + f"\nsketch config: {info['sketch']}"
+    )
+    if info.get("indexes"):
+        print(f"persisted indexes (union across shards): {', '.join(info['indexes'])}")
+    else:
+        print("persisted indexes: none")
+    rows = [
+        (
+            entry["name"],
+            entry["lake_version"],
+            entry["num_tables"],
+            entry["total_rows"],
+            ", ".join(entry["indexes"]) or "-",
+        )
+        for entry in info["shards"]
+    ]
+    print()
+    print(
+        Table(
+            ["shard", "version", "tables", "rows", "indexes"], rows, name="shards"
+        ).to_pretty(200)
+    )
 
-    store = LakeStore.open(args.store, check_sketch=False)
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .shard import ShardedLakeStore, open_any_store
+
+    if args.store_command == "shard":
+        if args.shard_command == "init":
+            seed = args.routing_seed if args.routing_seed is not None else 0
+            store = ShardedLakeStore.create(
+                args.store, num_shards=args.shards, routing_seed=seed
+            )
+            print(
+                f"created empty sharded lake at {store.path}: "
+                f"{store.num_shards} shards, routing seed {store.routing_seed}"
+            )
+            return 0
+        store = ShardedLakeStore.open(args.store, check_sketch=False)
+        if args.shard_command == "rebalance":
+            before = store.num_shards
+            store = store.rebalance(args.shards, routing_seed=args.routing_seed)
+            print(
+                f"rebalanced {len(store)} tables from {before} into "
+                f"{store.num_shards} shards (routing seed {store.routing_seed}); "
+                f"persisted indexes and global fit state dropped -- "
+                f"run `repro index build` to refit"
+            )
+            return 0
+        _print_sharded_info(store.info())  # shard info
+        return 0
+
+    store = open_any_store(args.store, check_sketch=False)
     before = dict(store.segment_format_counts())
     rewritten = store.migrate(segment_format=args.segment_format)
     after = store.segment_format_counts()
@@ -488,6 +624,22 @@ def _print_live_service(store_path: str, store_version: int) -> None:
         print("live service: none")
         return
     address = f"{beacon['host']}:{beacon['port']}"
+    pid = beacon.get("pid")
+    if pid is not None:
+        # An unclean exit leaves the beacon behind; a dead PID settles
+        # "not serving" instantly instead of waiting out a ping timeout.
+        import os
+
+        try:
+            os.kill(int(pid), 0)
+        except ProcessLookupError:
+            print(
+                f"live service: none "
+                f"(stale beacon for {address}: process {pid} is gone)"
+            )
+            return
+        except (PermissionError, OSError, ValueError):
+            pass  # alive but not ours, or unreadable pid: fall through to ping
     try:
         served = ServiceClient(address, timeout=1.0).version()
     except Exception:
@@ -549,13 +701,21 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     print(outcome.summary().to_pretty(50))
     if args.explain:
         _print_retrieval(outcome.retrieval)
-        engine_stats = pipeline.index.engine.stats()
-        budget = engine_stats["default_budget"]
-        print(
-            f"\nengine: {engine_stats['tables']} tables, "
-            f"budget={'unbudgeted' if budget is None else budget}, "
-            f"postings loaded from store: {engine_stats['loaded_from_store']}"
-        )
+        engine = getattr(pipeline.index, "engine", None)
+        if engine is not None:
+            engine_stats = engine.stats()
+            budget = engine_stats["default_budget"]
+            print(
+                f"\nengine: {engine_stats['tables']} tables, "
+                f"budget={'unbudgeted' if budget is None else budget}, "
+                f"postings loaded from store: {engine_stats['loaded_from_store']}"
+            )
+        else:  # sharded: one engine per shard, summarized by the reducer
+            index = pipeline.index
+            print(
+                f"\nsharded engine: {len(index.store)} tables across "
+                f"{index.store.num_shards} shards ({index.executor})"
+            )
     if tracer is not None:
         _print_trace(tracer.to_dict())
     return 0

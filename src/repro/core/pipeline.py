@@ -83,10 +83,14 @@ class Dialite:
         fd_workers: int = 1,
     ):
         if store is not None:
+            from ..shard.store import ShardedLakeStore, open_any_store
             from ..store.lakestore import LakeStore
 
-            if not isinstance(store, LakeStore):
-                store = LakeStore.open(store)
+            if not isinstance(store, (LakeStore, ShardedLakeStore)):
+                # Auto-detect the layout: a directory with a
+                # manifest-of-manifests (lake.json) opens as a sharded
+                # lake, anything else as a single store.
+                store = open_any_store(store)
             if lake is None:
                 lake = store.lake()
         self._store = store
@@ -143,11 +147,17 @@ class Dialite:
         ):
             self.apps.register(app.name, app)
 
-        self._index: LakeIndex | None = None
+        #: A LakeIndex, or a ShardedLakeIndex when the store is sharded.
+        self._index: Any | None = None
 
     @classmethod
     def open(cls, store_path: "str | Path | LakeStore", **options: Any) -> "Dialite":
         """A pipeline warm-started from a persistent lake store.
+
+        Sharded layouts (a ``lake.json`` manifest-of-manifests written by
+        ``repro store shard init`` / :class:`repro.shard.ShardedLakeStore`)
+        are auto-detected; discovery then runs scatter-gather across the
+        shards with byte-identical results.
 
         The lake is served lazily from the store's columnar segments with
         all column statistics pre-hydrated, and :meth:`fit` reuses any
@@ -213,7 +223,11 @@ class Dialite:
             discoverer.name = name
         self.discoverers.register(discoverer.name, discoverer, replace=replace)
         if self._index is not None:
-            discoverer.fit(self.lake, engine=self._index.engine)
+            engine = getattr(self._index, "engine", None)
+            if engine is not None:
+                discoverer.fit(self.lake, engine=engine)
+            # Sharded indexes have no single engine: the refit happens
+            # per shard when the index lazily rebuilds.
             self._index = None  # rebuild lazily with the new roster
         return discoverer
 
@@ -235,15 +249,36 @@ class Dialite:
     # ------------------------------------------------------------------
     # Stage 1: discover
     # ------------------------------------------------------------------
-    def fit(self) -> "Dialite":
+    def fit(self, previous_index: "Any | None" = None) -> "Dialite":
         """Build all discovery indexes offline (idempotent); returns self.
 
         With a backing store (:meth:`open`), fitting hydrates persisted
         discoverer indexes instead of rebuilding them; discoverers without
         a persisted index (e.g. newly registered ones) are fitted against
-        the hydrated lake, warm.
+        the hydrated lake, warm.  On a sharded store the index is a
+        scatter-gather :class:`~repro.shard.ShardedLakeIndex`;
+        *previous_index* (a still-serving sharded index over the same
+        lake, the hot-reload path) donates per-shard state for every
+        shard whose version did not move, so a single-table ingest
+        rebuilds exactly one shard.
         """
-        if self._store is not None:
+        from ..shard.store import ShardedLakeStore
+
+        if isinstance(self._store, ShardedLakeStore):
+            from ..shard.index import ShardedLakeIndex
+
+            # The registry keeps the prototypes (per-shard fitted clones
+            # live inside the sharded index or its worker processes).
+            self._index = ShardedLakeIndex.from_store(
+                self._store,
+                self.discoverers.components(),
+                previous=(
+                    previous_index
+                    if isinstance(previous_index, ShardedLakeIndex)
+                    else None
+                ),
+            )
+        elif self._store is not None:
             self._index = LakeIndex.from_store(
                 self._store, self.discoverers.components(), lake=self.lake
             )
@@ -257,7 +292,11 @@ class Dialite:
         return self
 
     @property
-    def index(self) -> LakeIndex:
+    def index(self) -> "Any":
+        """The discovery index: a :class:`LakeIndex`, or a
+        :class:`~repro.shard.ShardedLakeIndex` over a sharded store (both
+        expose ``search`` / ``search_merged`` / ``retrieval_reports`` /
+        ``set_candidate_budget``)."""
         if self._index is None:
             self.fit()
         assert self._index is not None

@@ -231,6 +231,17 @@ def merge_result_sets(
     table's normalized score the alphabetically first discoverer is
     credited -- so persisted integration sets are byte-reproducible
     across runs regardless of roster iteration order.
+
+    Multi-source inputs (the sharded reducer) may present the *same*
+    ``(table, discoverer)`` pair in more than one result set -- e.g. two
+    shards each returning their local score for one table.  Dedup keeps
+    the **max** score for the pair: a repeat at a lower or equal score
+    never displaces the credited entry (strict ``>`` on score; the ``<``
+    tie-break on discoverer name is a no-op for an identical name), a
+    repeat at a higher score wins, and ``found_by`` accumulates
+    duplicates into a set so the reason line lists each discoverer once.
+    The final (score desc, table asc, discoverer asc) sort stays a total
+    order either way.
     """
     best: dict[str, DiscoveryResult] = {}
     found_by: dict[str, list[str]] = {}

@@ -66,6 +66,9 @@ class CocoaJoinSearch(Discoverer):
     # ------------------------------------------------------------------
     def _build_index(self, lake: Mapping[str, Table]) -> None:
         self._lake = dict(lake)
+        # Fitting binds a lake, so a clone born through __getstate__
+        # (copy.copy consults it too) stops needing a rebind here.
+        self._needs_rebind = False
         # The join-key inverted index is the engine's normalized-value
         # posting channel, shared with TUS's pruning; build it offline.
         self._require_engine().warm(("values",))
@@ -79,6 +82,10 @@ class CocoaJoinSearch(Discoverer):
     def __getstate__(self) -> dict:
         state = super().__getstate__()
         state["_lake"] = {}
+        # Explicit marker: an *empty* lake mapping is legitimate (a fitted
+        # index over an empty shard), so "needs rebinding" cannot be
+        # inferred from emptiness alone.
+        state["_needs_rebind"] = True
         return state
 
     def rebind_lake(self, lake: Mapping[str, Table]) -> None:
@@ -91,6 +98,7 @@ class CocoaJoinSearch(Discoverer):
         (its value postings rebuild lazily on first search).
         """
         self._lake = lake
+        self._needs_rebind = False
         if self._engine is None:
             from ..candidates.engine import CandidateEngine
 
@@ -114,7 +122,7 @@ class CocoaJoinSearch(Discoverer):
     ) -> CandidateSet:
         """Build the query's key -> target-value map once, probe the value
         postings with its keys, and stash the map for the scoring phase."""
-        if self._fitted and not self._lake:
+        if self._fitted and getattr(self, "_needs_rebind", False):
             raise RuntimeError(
                 "cocoa index was unpickled without its lake; call "
                 "rebind_lake(lake) before searching"

@@ -182,8 +182,14 @@ class KnowledgeBase:
         values.  Column pairs co-occurring in a table also mint a synthetic
         relation between their types.  Returns the number of types created.
         """
+        # Sorted iteration makes the synthesized KB -- cluster membership,
+        # syn:<n> numbering, relation labels -- a pure function of the
+        # mapping's *contents*, independent of its iteration order.  The
+        # sharded build relies on this: one global KB synthesized over the
+        # combined lake must be reproducible regardless of how the shard
+        # views are stitched together.
         columns: list[tuple[str, str, frozenset[str]]] = []
-        for table_name, table in tables.items():
+        for table_name, table in sorted(tables.items()):
             for column in table.columns:
                 domain = frozenset(
                     normalize_token(v) for v in table.column_values(column) if isinstance(v, str)
@@ -238,7 +244,7 @@ class KnowledgeBase:
                 self.add_entity(value, type_name)
 
         # Synthetic relations: types whose columns co-occur in some table.
-        for table_name, table in tables.items():
+        for table_name, table in sorted(tables.items()):
             typed = [
                 type_of_column.get((table_name, column))
                 for column in table.columns

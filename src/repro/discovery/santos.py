@@ -93,6 +93,18 @@ class SantosUnionSearch(Discoverer):
         clone._kb = copy.deepcopy(self._kb)
         return clone
 
+    def adopt_kb(self, kb: KnowledgeBase) -> None:
+        """Install an externally synthesized knowledge base and disable
+        fit-time synthesis (the sharded build path: one KB synthesized
+        over the *combined* lake, shared by every shard's fit, so each
+        shard's annotations are exactly the global annotations restricted
+        to its tables)."""
+        self._kb = kb
+        if self.config.synthesize_kb:
+            from dataclasses import replace
+
+            self.config = replace(self.config, synthesize_kb=False)
+
     # ------------------------------------------------------------------
     # Index construction
     # ------------------------------------------------------------------

@@ -99,12 +99,26 @@ class TusUnionSearch(Discoverer):
             )
         return summaries
 
+    def adopt_corpus_idf(self, idf: TfIdfWeights) -> None:
+        """Pin the corpus IDF to an externally accumulated one (the
+        sharded build path: document frequencies accumulated over the
+        *combined* lake, shared by every shard's fit, so a shard scores
+        with the same ubiquity damping as the single-store pipeline).
+        ``_build_index`` keeps a pinned IDF instead of re-accumulating
+        shard-local frequencies."""
+        self._idf = idf
+        self._idf_pinned = True
+
     def _build_index(self, lake: Mapping[str, Table]) -> None:
         self._tables = {}
-        self._idf = TfIdfWeights()
+        pinned = getattr(self, "_idf_pinned", False)
+        if not pinned:
+            self._idf = TfIdfWeights()
         for table_name, table in lake.items():
             summaries = self._summarize(table)
             self._tables[table_name] = summaries
+            if pinned:
+                continue
             for summary in summaries:
                 self._idf.add_document(summary.values)
         # Candidate pruning by shared values runs on the engine's

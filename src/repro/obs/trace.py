@@ -243,6 +243,38 @@ class Tracer:
         :func:`activate`)."""
         return activate(self, parent)
 
+    def attach_tree(self, node: dict, parent: Span | None = None) -> Span | None:
+        """Graft an already-finished :meth:`Span.to_dict` tree under
+        *parent* (default: this thread's current span, then the root).
+
+        This is the *process*-boundary hand-off: a pool worker in another
+        process runs its own local tracer (span objects cannot cross the
+        pickle boundary open), ships the finished tree back as a dict,
+        and the driver re-attaches it here so a scatter-gather request
+        still renders as one tree.  Times and counters are taken verbatim
+        from the dict; children recurse."""
+        if not node:
+            return None
+        if parent is None:
+            parent = self.current
+        span = Span(str(node.get("name", "?")), parent=parent)
+        span.wall_s = float(node.get("wall_ms", 0.0)) / 1000.0
+        span.cpu_s = float(node.get("cpu_ms", 0.0)) / 1000.0
+        span.counters = dict(node.get("counters") or {})
+        span.closed = True
+        with self._lock:
+            if parent is None:
+                if self.root is None:
+                    self.root = span
+                else:
+                    span.parent = self.root
+                    self.root.children.append(span)
+            else:
+                parent.children.append(span)
+        for child in node.get("children") or []:
+            self.attach_tree(child, parent=span)
+        return span
+
     def to_dict(self) -> dict:
         """The finished tree (empty dict when nothing was recorded)."""
         return self.root.to_dict() if self.root is not None else {}
@@ -335,6 +367,13 @@ def _format_node(
         f"{prefix}{connector}{node['name']}  {timing}" + (f"  [{shown}]" if shown else "")
     )
     children = node.get("children") or []
+    if node.get("name") == "discover.scatter":
+        # Scatter parents fan out one child per shard; render slowest
+        # first (by self time) so shard skew is visible at a glance.
+        children = sorted(
+            children,
+            key=lambda c: (-float(c.get("self_ms", 0.0)), str(c.get("name", ""))),
+        )
     child_prefix = prefix if is_root else prefix + ("   " if last else "│  ")
     for i, child in enumerate(children):
         _format_node(child, child_prefix, i == len(children) - 1, False, lines)

@@ -57,6 +57,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..core.pipeline import Dialite
 from ..datalake.indexer import LakeIndex
+from ..shard.store import ShardedLakeStore, open_any_store
 from ..obs import metrics as obs_metrics
 from ..obs import trace as tracing
 from ..obs.metrics import MetricsRegistry
@@ -217,7 +218,7 @@ class _Generation:
     requests keep the generation they started with."""
 
     pipeline: Dialite
-    store: LakeStore | None
+    store: LakeStore | ShardedLakeStore | None
     version: int
 
 
@@ -304,8 +305,10 @@ class LakeService:
         if pipeline is None:
             if store is None:
                 raise ServiceError("LakeService needs a store or a pipeline")
-            if not isinstance(store, LakeStore):
-                store = LakeStore.open(
+            if not isinstance(store, (LakeStore, ShardedLakeStore)):
+                # Sharded layouts (lake.json) auto-detect; discovery then
+                # runs scatter-gather with byte-identical results.
+                store = open_any_store(
                     store, stats_cache_capacity=stats_cache_capacity
                 )
             pipeline = Dialite(
@@ -391,6 +394,9 @@ class LakeService:
             # `store migrate` takes effect on the next reload/ingest.
             snapshot["segment_format"] = store.default_segment_format
             snapshot["segment_format_counts"] = store.segment_format_counts()
+            if isinstance(store, ShardedLakeStore):
+                snapshot["num_shards"] = store.num_shards
+                snapshot["shard_versions"] = store.shard_versions()
         return snapshot
 
     def metrics_snapshot(self) -> dict[str, Any]:
@@ -401,10 +407,19 @@ class LakeService:
         ``metrics`` wire op serves exactly this document; two of them
         from different processes fold with
         :func:`repro.obs.metrics.merge_snapshots`."""
-        return obs_metrics.merge_snapshots(
+        snapshot = obs_metrics.merge_snapshots(
             obs_metrics.global_registry().snapshot(),
             self.stats.registry.snapshot(),
         )
+        # Sharded lakes in process mode keep per-shard registries inside
+        # the worker processes; fold them in so engine retrieval counts
+        # stay visible behind one wire op.
+        worker_metrics = getattr(self._gen.pipeline._index, "worker_metrics", None)
+        if worker_metrics is not None:
+            extra = worker_metrics()
+            if extra:
+                snapshot = obs_metrics.merge_snapshots(snapshot, extra)
+        return snapshot
 
     def _write_trace(self, document: dict[str, Any]) -> None:
         """Append one finished span tree to the JSONL sink (one compact
@@ -669,12 +684,14 @@ class LakeService:
         assert previous.store is not None
         store = previous.store.reopen()
         roster = previous.pipeline.discoverers.components()
-        persisted = store.load_indexes()
-        if any(d.name not in persisted for d in roster):
-            builder = LakeIndex(
-                store.lake(), [d.clone_unfitted() for d in roster]
-            ).build()
-            builder.save_to_store(store)
+        sharded = isinstance(store, ShardedLakeStore)
+        if not sharded:
+            persisted = store.load_indexes()
+            if any(d.name not in persisted for d in roster):
+                builder = LakeIndex(
+                    store.lake(), [d.clone_unfitted() for d in roster]
+                ).build()
+                builder.save_to_store(store)
         pipeline = Dialite(
             store=store,
             discoverers=[d.clone_unfitted() for d in roster],
@@ -688,7 +705,15 @@ class LakeService:
         pipeline.default_integrator = previous.pipeline.default_integrator
         pipeline.apps = previous.pipeline.apps
         pipeline.aligner = previous.pipeline.aligner
-        pipeline.fit()
+        if sharded:
+            # The previous generation's sharded index donates per-shard
+            # state (hydrated indexes or warm worker pools) for every
+            # shard whose version did not move -- a one-table ingest
+            # reload refits exactly one shard; stale shards refit and
+            # re-persist inside the sharded hydration itself.
+            pipeline.fit(previous_index=previous.pipeline._index)
+        else:
+            pipeline.fit()
         return _Generation(pipeline=pipeline, store=store, version=store.lake_version)
 
     # ------------------------------------------------------------------
@@ -1029,6 +1054,14 @@ class LakeService:
         self._queue.put(_SHUTDOWN)
         self._dispatcher.join(timeout=10)
         self._executor.shutdown(wait=True)
+        # Sharded indexes own executor resources (thread pools / worker
+        # process leases); release them once nothing can dispatch.
+        index_close = getattr(self._gen.pipeline._index, "close", None)
+        if index_close is not None:
+            try:
+                index_close()
+            except Exception:  # noqa: BLE001 - shutdown must not raise
+                pass
         # Anything still queued (raced the sentinel) is refused loudly.
         while True:
             try:

@@ -1,0 +1,785 @@
+"""Scatter-gather discovery over a sharded lake.
+
+:class:`ShardedLakeIndex` is the sharded twin of
+:class:`~repro.datalake.indexer.LakeIndex`: one candidate engine +
+fitted discoverer roster *per shard* (persisted per-shard and
+version-pinned exactly like the single store), a scatter phase that fans
+a profiled-once query out across the shards, and a reducer that merges
+the per-shard answers into the exact result the single-store pipeline
+would produce -- byte-identical top-k, pinned by
+``tests/property/test_shard_equivalence.py``.
+
+Two ingredients make the reduction exact rather than approximate:
+
+**Lake-global fit state.**  Two discoverers derive corpus-wide products
+at fit time -- SANTOS synthesizes a knowledge base from the lake and TUS
+accumulates corpus IDF -- so a naive per-shard fit would score with
+shard-local statistics.  :meth:`build` computes those products once over
+the *combined* lake (deterministically: KB synthesis iterates tables in
+sorted order, IDF document frequencies are order-free counts) and
+injects them into every shard's fit via ``adopt_kb`` /
+``adopt_corpus_idf``; the products persist at the lake root
+(``global_fit.pkl``) stamped with the epoch they were computed at.  A
+partial refit after a single-shard ingest deliberately *reuses* the
+pinned state so all shards stay mutually consistent (the documented
+drift caveat: rebuild to refresh corpus statistics).
+
+**Deferred retrieval policy.**  Shard engines run with
+``defer_policy = True``: retrieval reports its evidence (counts,
+strength totals) without applying the exhaustive-fallback floor, whose
+predicate needs the *lake-wide* retrieved count.  The reducer sums the
+per-shard counts (shards are disjoint), applies the identical floor
+test, and -- when a budget is active -- re-derives the global kept set
+from the union of per-shard strength totals using the engine's own
+``(-strength, name)`` order.  When the floor trips, a second scatter
+runs the evidence-retained exhaustive round on every shard, mirroring
+the unsharded fallback.  See :mod:`repro.shard.worker` for the
+per-shard half and the full byte-identity argument.
+
+Executors: ``"threads"`` runs shards on a thread pool in-process (the
+default for <= 2 shards, where GIL contention is cheaper than process
+hops); ``"processes"`` gives each shard a single-worker process pool
+whose initializer hydrates the shard index once (warm across requests).
+Pools are wrapped in refcounted leases so a service reload keeps the
+warm worker of every shard whose version did not move.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Sequence
+
+from ..datalake.indexer import LakeIndex
+from ..discovery.base import Discoverer, DiscoveryResult, merge_result_sets
+from ..obs import metrics, trace
+from ..store.codec import encode_table
+from ..store.lakestore import StoreError
+from ..table.table import Table
+from . import worker as shard_worker
+from .store import ShardedLakeStore
+
+__all__ = ["ShardedLakeIndex"]
+
+#: Shard-count threshold under which "auto" picks threads over processes.
+_THREAD_SHARD_LIMIT = 2
+
+#: Buckets for the scatter skew ratio (slowest shard / mean shard wall).
+_SKEW_BOUNDS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0)
+
+
+def _mp_context():
+    """Fork when the platform has it (workers inherit the warm import
+    state); the default start method otherwise."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class _PoolLease:
+    """A refcounted single-worker process pool pinned to one shard at one
+    version.
+
+    A service reload builds a new :class:`ShardedLakeIndex`, but shards
+    whose version did not move transfer their lease to the new index
+    (:meth:`acquire`) instead of respawning -- the warm worker (hydrated
+    stats snapshots, unpickled discoverer indexes) survives the
+    generation swap.  The last :meth:`release` shuts the pool down.
+    """
+
+    def __init__(self, shard_path: str, version: int):
+        self.path = str(shard_path)
+        self.version = version
+        self._refs = 1
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=_mp_context(),
+            initializer=shard_worker.process_worker_init,
+            initargs=(self.path,),
+        )
+
+    def acquire(self) -> "_PoolLease":
+        with self._lock:
+            if self._pool is None:
+                raise RuntimeError(f"pool lease for {self.path} already shut down")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def submit(self, fn, *args):
+        pool = self._pool
+        if pool is None:
+            raise RuntimeError(f"pool lease for {self.path} already shut down")
+        return pool.submit(fn, *args)
+
+
+class ShardedLakeIndex:
+    """Per-shard engines + rosters behind the :class:`LakeIndex` search
+    surface (``search`` / ``search_merged`` / ``retrieval_reports`` /
+    ``set_candidate_budget`` / ``build_seconds``)."""
+
+    def __init__(
+        self,
+        store: ShardedLakeStore,
+        discoverers: Sequence[Discoverer] | None = None,
+        executor: str = "auto",
+    ):
+        if executor not in ("auto", "threads", "processes"):
+            raise ValueError(
+                f"executor must be auto|threads|processes, got {executor!r}"
+            )
+        if executor == "auto":
+            executor = (
+                "threads" if store.num_shards <= _THREAD_SHARD_LIMIT else "processes"
+            )
+        self._store = store
+        self._prototypes = list(discoverers) if discoverers is not None else None
+        self._executor = executor
+        self._shard_indexes: list[LakeIndex | None] = [None] * store.num_shards
+        self._leases: list[_PoolLease | None] = [None] * store.num_shards
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._roster_names: list[str] = (
+            [d.name for d in self._prototypes] if self._prototypes is not None else []
+        )
+        self._build_seconds: dict[str, float] = {}
+        self._shard_versions: list[int] = []
+        self._last_reports: dict[str, dict[str, Any]] = {}
+        self._built = False
+        self._budget: int | None = None
+        self._closed = False
+        self._last_critical_cpu_s = 0.0
+        # Serializes lazy executor construction: the serving layer's
+        # worker threads may race the first search.
+        self._exec_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ShardedLakeStore:
+        return self._store
+
+    @property
+    def executor(self) -> str:
+        return self._executor
+
+    @property
+    def discoverer_names(self) -> list[str]:
+        return list(self._roster_names)
+
+    @property
+    def build_seconds(self) -> dict[str, float]:
+        """Per-discoverer fit wall time, summed across shards (the
+        sequential cost of the build)."""
+        return dict(self._build_seconds)
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def set_candidate_budget(self, budget: int | None) -> "ShardedLakeIndex":
+        """Engine-wide candidate budget, applied per shard *and* re-judged
+        globally by the reducer (see the module docstring); None restores
+        unbudgeted retrieval."""
+        self._budget = budget
+        return self
+
+    def retrieval_reports(self) -> dict[str, dict[str, Any]]:
+        """Per-discoverer last-retrieval summaries, synthesized from the
+        per-shard reports into the global accounting the unsharded engine
+        would have recorded (``discover --explain``)."""
+        return {name: dict(doc) for name, doc in self._last_reports.items()}
+
+    # ------------------------------------------------------------------
+    # Lake-global fit state (see the module docstring)
+    # ------------------------------------------------------------------
+    def _compute_fit_state(self) -> dict[str, Any]:
+        assert self._prototypes is not None
+        lake = self._store.lake()
+        state: dict[str, Any] = {"kb": {}, "idf": {}}
+        for proto in self._prototypes:
+            if hasattr(proto, "adopt_kb") and getattr(
+                proto.config, "synthesize_kb", False
+            ):
+                kb = copy.deepcopy(proto.kb)
+                kb.synthesize_from_tables(
+                    lake, min_jaccard=proto.config.synth_min_jaccard
+                )
+                state["kb"][proto.name] = kb
+            if hasattr(proto, "adopt_corpus_idf"):
+                from ..text.tfidf import TfIdfWeights
+
+                idf = TfIdfWeights()
+                max_values = proto.config.max_values
+                stats = lake.stats
+                # One document per column, exactly the token sets the
+                # discoverer's summaries consume; document-frequency
+                # counts are order-free, so any iteration order yields
+                # the same weights as the unsharded accumulation.
+                for table_name in self._store.table_names:
+                    table_stats = stats.table(table_name)
+                    for column in table_stats.columns:
+                        idf.add_document(
+                            table_stats.column(column).text_values(max_values)
+                        )
+                state["idf"][proto.name] = idf
+        return state
+
+    def _ensure_fit_state(self) -> dict[str, Any]:
+        state = self._store.load_fit_state()
+        if state is None:
+            state = self._compute_fit_state()
+            self._store.save_fit_state(state)
+        return state
+
+    def _adapted_roster(self, state: dict[str, Any]) -> list[Discoverer]:
+        """Unfitted clones of the prototypes with the lake-global fit
+        products injected -- what every shard's fit (and warm-start
+        substitution) receives; the prototypes themselves are never
+        fitted."""
+        assert self._prototypes is not None
+        roster: list[Discoverer] = []
+        for proto in self._prototypes:
+            clone = proto.clone_unfitted()
+            kb = state.get("kb", {}).get(proto.name)
+            if kb is not None and hasattr(clone, "adopt_kb"):
+                clone.adopt_kb(kb)
+            idf = state.get("idf", {}).get(proto.name)
+            if idf is not None and hasattr(clone, "adopt_corpus_idf"):
+                clone.adopt_corpus_idf(idf)
+            roster.append(clone)
+        return roster
+
+    # ------------------------------------------------------------------
+    # Build / hydrate
+    # ------------------------------------------------------------------
+    def build(self) -> "ShardedLakeIndex":
+        """Fit every shard's roster (global fit state first), persisting
+        each shard's indexes + postings pinned to its version; returns
+        self.  Idempotent like :meth:`LakeIndex.build`."""
+        if self._built:
+            return self
+        if self._prototypes is None:
+            raise StoreError(
+                "building a sharded index requires discoverer prototypes; "
+                "pass discoverers= (or hydrate with from_store after an "
+                "index build)"
+            )
+        state = self._compute_fit_state()
+        self._store.save_fit_state(state)
+        self._build_seconds = {}
+        for i, shard in enumerate(self._store.shards):
+            built = LakeIndex(shard.lake(), self._adapted_roster(state)).build()
+            built.save_to_store(shard)
+            for name, seconds in built.build_seconds.items():
+                self._build_seconds[name] = (
+                    self._build_seconds.get(name, 0.0) + seconds
+                )
+            if self._executor == "threads":
+                built.engine.defer_policy = True
+                self._shard_indexes[i] = built
+        self._shard_versions = self._store.shard_versions()
+        self._roster_names = [d.name for d in self._prototypes]
+        self._built = True
+        return self
+
+    @classmethod
+    def from_store(
+        cls,
+        store: ShardedLakeStore,
+        discoverers: Sequence[Discoverer] | None = None,
+        previous: "ShardedLakeIndex | None" = None,
+        executor: str = "auto",
+    ) -> "ShardedLakeIndex":
+        """A ready-to-search sharded index hydrated from persisted
+        per-shard artifacts.
+
+        *previous* (a still-serving :class:`ShardedLakeIndex` over the
+        same lake) donates per-shard state for every shard whose version
+        did not move: the hydrated in-process index in thread mode, the
+        warm worker-pool lease in process mode -- so a single-table
+        ingest reload rebuilds exactly one shard.  Shards with missing
+        or stale persisted indexes are refitted here (with the pinned
+        global fit state) and re-persisted; with ``discoverers=None``
+        that situation raises instead (nothing to refit from).
+        """
+        index = cls(store, discoverers=discoverers, executor=executor)
+        index._hydrate(previous)
+        return index
+
+    def _reusable(self, previous: "ShardedLakeIndex | None") -> bool:
+        return (
+            previous is not None
+            and previous is not self
+            and previous._built
+            and not previous._closed
+            and previous._executor == self._executor
+            and previous._store.num_shards == self._store.num_shards
+            and str(previous._store.path) == str(self._store.path)
+            and (
+                self._prototypes is None
+                or previous._roster_names == [d.name for d in self._prototypes]
+            )
+        )
+
+    def _hydrate(self, previous: "ShardedLakeIndex | None" = None) -> None:
+        store = self._store
+        reuse = self._reusable(previous)
+        recorded = store.index_build_seconds()
+        self._build_seconds = dict(recorded)
+        state: dict[str, Any] | None = None  # loaded/computed on first need
+        roster_names: list[str] = list(self._roster_names)
+        if not roster_names:
+            # No prototypes: serve the roster every shard can answer.
+            # Shards may persist heterogeneous rosters (a pipeline opened
+            # with a subset refits only the shards that moved), so the
+            # servable roster is the cross-shard intersection, in the
+            # first shard's persisted order.
+            if reuse and previous is not None:
+                roster_names = list(previous._roster_names)
+            else:
+                common: set[str] | None = None
+                first_order: list[str] = []
+                for shard in store.shards:
+                    persisted = list(shard.info().get("indexes") or [])
+                    if common is None:
+                        common = set(persisted)
+                        first_order = persisted
+                    else:
+                        common &= set(persisted)
+                roster_names = [n for n in first_order if n in (common or set())]
+            if not roster_names:
+                raise StoreError(
+                    "no discoverer index is persisted on every shard; run an "
+                    "index build or pass explicit discoverers"
+                )
+            self._roster_names = list(roster_names)
+        for i, shard in enumerate(store.shards):
+            version = shard.lake_version
+            if (
+                reuse
+                and previous is not None
+                and i < len(previous._shard_versions)
+                and previous._shard_versions[i] == version
+            ):
+                if self._executor == "threads":
+                    donated = previous._shard_indexes[i]
+                    if donated is not None:
+                        self._shard_indexes[i] = donated
+                        continue
+                else:
+                    lease = previous._leases[i]
+                    if lease is not None and lease.version == version:
+                        self._leases[i] = lease.acquire()
+                        continue
+            info = shard.info()
+            persisted_names = list(info.get("indexes") or [])
+            current = info.get("indexes_lake_version") == version and set(
+                roster_names
+            ) <= set(persisted_names)
+            if not current:
+                if self._prototypes is None:
+                    raise StoreError(
+                        f"shard {store.shard_names[i]} has no current persisted "
+                        f"indexes for version {version}; run an index build or "
+                        f"pass explicit discoverers"
+                    )
+                if state is None:
+                    state = self._ensure_fit_state()
+                built = LakeIndex(
+                    shard.lake(), self._adapted_roster(state)
+                ).build()
+                built.save_to_store(shard)
+                for name, seconds in built.build_seconds.items():
+                    self._build_seconds[name] = (
+                        self._build_seconds.get(name, 0.0) + seconds
+                    )
+                if self._executor == "threads":
+                    built.engine.defer_policy = True
+                    self._shard_indexes[i] = built
+                continue
+            if self._executor == "threads":
+                if self._prototypes is not None:
+                    if state is None:
+                        state = self._ensure_fit_state()
+                    hydrated = LakeIndex.from_store(
+                        shard, discoverers=self._adapted_roster(state)
+                    )
+                else:
+                    hydrated = LakeIndex.from_store(shard)
+                hydrated.engine.defer_policy = True
+                self._shard_indexes[i] = hydrated
+            # Process mode: the pool initializer hydrates lazily on first
+            # search (LakeIndex.from_store over the persisted roster).
+        self._shard_versions = store.shard_versions()
+        self._built = True
+
+    # ------------------------------------------------------------------
+    # Executors
+    # ------------------------------------------------------------------
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        with self._exec_lock:
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self._store.num_shards,
+                    thread_name_prefix="repro-shard",
+                )
+            return self._thread_pool
+
+    def _ensure_leases(self) -> list[_PoolLease]:
+        with self._exec_lock:
+            leases: list[_PoolLease] = []
+            for i, shard in enumerate(self._store.shards):
+                lease = self._leases[i]
+                if lease is None:
+                    lease = _PoolLease(str(shard.path), self._shard_versions[i])
+                    self._leases[i] = lease
+                leases.append(lease)
+            return leases
+
+    # ------------------------------------------------------------------
+    # Search: scatter, reduce, (maybe) fallback scatter
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Table,
+        k: int = 10,
+        query_column: str | None = None,
+        discoverer_names: Sequence[str] | None = None,
+    ) -> dict[str, list[DiscoveryResult]]:
+        """Top-k per discoverer over the whole lake -- byte-identical to
+        the same roster on an unsharded :class:`LakeIndex`."""
+        if not self._built:
+            self.build()
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if discoverer_names is not None:
+            names = list(discoverer_names)
+            if self._roster_names:
+                missing = sorted(set(names) - set(self._roster_names))
+                if missing:
+                    raise KeyError(
+                        f"unknown discoverers: {missing}; "
+                        f"have {sorted(self._roster_names)}"
+                    )
+        else:
+            # Ship the roster explicitly: a shard's *persisted* roster may
+            # be wider than this index's (e.g. a pipeline opened with a
+            # subset of the discoverers the store was built with), and the
+            # workers must not widen the answer.
+            names = list(self._roster_names) or None
+        tracer = trace.current_tracer()
+        critical_cpu = 0.0
+        with trace.span("discover.scatter", shards=self._store.num_shards) as scatter:
+            scatter_span = scatter if tracer is not None else None
+            answers, walls, cpus = self._scatter(
+                query, k, query_column, names, "deferred", tracer, scatter_span
+            )
+            self._observe_skew(walls, scatter)
+            critical_cpu += max(cpus, default=0.0)
+            ordered = names if names is not None else list(answers[0].keys())
+            merged: dict[str, list[DiscoveryResult]] = {}
+            needs_fallback: list[str] = []
+            for name in ordered:
+                payloads = [answer[name] for answer in answers]
+                reduced = self._reduce(name, payloads, k)
+                if reduced is None:
+                    needs_fallback.append(name)
+                else:
+                    merged[name] = reduced
+            if needs_fallback:
+                fallback_answers, fallback_walls, fallback_cpus = self._scatter(
+                    query, k, query_column, needs_fallback, "fallback",
+                    tracer, scatter_span,
+                )
+                self._observe_skew(fallback_walls, scatter)
+                critical_cpu += max(fallback_cpus, default=0.0)
+                for name in needs_fallback:
+                    rows = [
+                        result
+                        for answer in fallback_answers
+                        for result in answer[name]
+                    ]
+                    rows.sort(key=lambda r: (-r.score, r.table_name))
+                    merged[name] = rows[:k]
+        self._last_critical_cpu_s = critical_cpu
+        return {name: merged[name] for name in ordered}
+
+    @property
+    def last_critical_cpu_seconds(self) -> float:
+        """The previous :meth:`search`'s critical path: per scatter round,
+        the *maximum* over shards of each shard's own CPU seconds, summed
+        across rounds.  This is the per-query latency a deployment with
+        one core per shard would observe -- wall clock measures the same
+        thing on an unloaded host with >= num_shards cores, but on a
+        starved host it also counts time shards spend descheduled while
+        their siblings run (``bench_shard`` gates whichever is honest for
+        the machine it runs on)."""
+        return self._last_critical_cpu_s
+
+    def search_merged(
+        self,
+        query: Table,
+        k: int = 10,
+        query_column: str | None = None,
+    ) -> list[DiscoveryResult]:
+        """The union of all discoverers' result sets (the integration-set
+        construction)."""
+        per_discoverer = self.search(query, k=k, query_column=query_column)
+        return merge_result_sets(list(per_discoverer.values()))
+
+    def _scatter(
+        self,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        names: Sequence[str] | None,
+        round_: str,
+        tracer,
+        scatter_span,
+    ) -> tuple[list[dict[str, Any]], list[float], list[float]]:
+        """Run one round on every shard; returns (per-shard answers,
+        per-shard wall seconds, per-shard own-CPU seconds), in shard
+        roster order."""
+        num = self._store.num_shards
+        if self._executor == "threads":
+            pool = self._ensure_thread_pool()
+            query.stats.warm()  # profile once; every shard thread reuses it
+
+            def run(i: int) -> tuple[dict[str, Any], float, float]:
+                index = self._shard_indexes[i]
+                assert index is not None
+                index.engine.default_budget = self._budget
+                start = time.perf_counter()
+                start_cpu = time.thread_time()
+                if tracer is not None:
+                    with trace.activate(tracer, parent=scatter_span):
+                        with trace.span(
+                            f"shard[{i}]", tables=len(self._store.shards[i])
+                        ):
+                            answer = self._run_local(
+                                index, query, k, query_column, names, round_
+                            )
+                else:
+                    answer = self._run_local(
+                        index, query, k, query_column, names, round_
+                    )
+                return (
+                    answer,
+                    time.perf_counter() - start,
+                    time.thread_time() - start_cpu,
+                )
+
+            futures = [pool.submit(run, i) for i in range(num)]
+            outcomes = [future.result() for future in futures]
+            return (
+                [o[0] for o in outcomes],
+                [o[1] for o in outcomes],
+                [o[2] for o in outcomes],
+            )
+
+        leases = self._ensure_leases()
+        document = encode_table(query)
+        futures = [
+            leases[i].submit(
+                shard_worker.process_worker_run,
+                {
+                    "query": document,
+                    "k": k,
+                    "column": query_column,
+                    "names": list(names) if names is not None else None,
+                    "budget": self._budget,
+                    "label": f"shard[{i}]",
+                    "round": round_,
+                },
+            )
+            for i in range(num)
+        ]
+        answers: list[dict[str, Any]] = []
+        walls: list[float] = []
+        cpus: list[float] = []
+        for future in futures:
+            outcome = future.result()
+            answers.append(outcome["answer"])
+            walls.append(outcome["wall_s"])
+            cpus.append(outcome.get("cpu_s", outcome["wall_s"]))
+            if tracer is not None:
+                tracer.attach_tree(outcome["trace"], parent=scatter_span)
+        return answers, walls, cpus
+
+    @staticmethod
+    def _run_local(
+        index: LakeIndex,
+        query: Table,
+        k: int,
+        query_column: str | None,
+        names: Sequence[str] | None,
+        round_: str,
+    ) -> dict[str, Any]:
+        if round_ == "fallback":
+            assert names is not None
+            return shard_worker.fallback_search(index, query, k, query_column, names)
+        return shard_worker.deferred_search(index, query, k, query_column, names)
+
+    def _observe_skew(self, walls: list[float], scatter_span) -> None:
+        if not walls:
+            return
+        mean = sum(walls) / len(walls)
+        skew = (max(walls) / mean) if mean > 0 else 1.0
+        metrics.histogram("shard.scatter.skew", bounds=_SKEW_BOUNDS).observe(skew)
+        scatter_span.add(skew=round(skew, 3))
+
+    def _reduce(
+        self, name: str, payloads: list[dict[str, Any]], k: int
+    ) -> list[DiscoveryResult] | None:
+        """Merge one discoverer's per-shard answers; None means the
+        global retrieved count is under the fallback floor and a second
+        (exhaustive, evidence-retained) scatter must run.
+
+        Mirrors the unsharded ``CandidateEngine._finalize`` exactly: the
+        floor is judged on the summed pre-cap retrieved count; an active
+        budget keeps the top-budget tables of the *union* strength
+        totals under the engine's ``(-strength, name)`` order (shards
+        are disjoint, so the union is collision-free and equals the
+        global totals); the final ranking is the scorers' shared
+        ``(-score, table_name)`` total order.
+        """
+        results = [result for payload in payloads for result in payload["results"]]
+        reports = [p["report"] for p in payloads if p.get("report")]
+        lake_size = len(self._store)
+        probes = sum(int(r.get("probes", 0)) for r in reports)
+        channels = list(reports[0]["channels"]) if reports else []
+        if any(p["mode"] == "assemble" for p in payloads):
+            retrieved = sum(int(p["retrieved"]) for p in payloads)
+            floor = max(int(p["floor"]) for p in payloads)
+            if retrieved < floor:
+                # The same predicate _finalize evaluates, on the global
+                # count; round two scores the whole lake per shard.
+                self._last_reports[name] = {
+                    "discoverer": name,
+                    "channels": channels,
+                    "probes": probes,
+                    "retrieved": retrieved,
+                    "scored": lake_size,
+                    "lake_size": lake_size,
+                    "fallback": True,
+                    "truncated": False,
+                    "exhaustive": False,
+                }
+                return None
+            budget = payloads[0]["budget"]
+            truncated = False
+            if budget is not None:
+                union: dict[str, float] = {}
+                for payload in payloads:
+                    union.update(payload.get("totals") or {})
+                if len(union) > budget:
+                    truncated = True
+                    kept = set(
+                        sorted(union, key=lambda t: (-union[t], t))[:budget]
+                    )
+                    results = [r for r in results if r.table_name in kept]
+            self._last_reports[name] = {
+                "discoverer": name,
+                "channels": channels,
+                "probes": probes,
+                "retrieved": retrieved,
+                "scored": budget if truncated else retrieved,
+                "lake_size": lake_size,
+                "fallback": False,
+                "truncated": truncated,
+                "exhaustive": False,
+            }
+        elif any(p["mode"] == "exhaustive" for p in payloads):
+            self._last_reports[name] = {
+                "discoverer": name,
+                "channels": ["exhaustive"],
+                "probes": 0,
+                "retrieved": lake_size,
+                "scored": lake_size,
+                "lake_size": lake_size,
+                "fallback": False,
+                "truncated": False,
+                "exhaustive": True,
+            }
+        else:  # every shard said "empty": unprobeable query, never falls back
+            self._last_reports[name] = {
+                "discoverer": name,
+                "channels": channels,
+                "probes": probes,
+                "retrieved": 0,
+                "scored": 0,
+                "lake_size": lake_size,
+                "fallback": False,
+                "truncated": False,
+                "exhaustive": False,
+            }
+        results.sort(key=lambda r: (-r.score, r.table_name))
+        return results[:k]
+
+    # ------------------------------------------------------------------
+    # Worker metrics (process mode)
+    # ------------------------------------------------------------------
+    def worker_metrics(self) -> dict[str, Any] | None:
+        """The shard workers' metrics registries folded into one snapshot
+        (None in thread mode, where workers share the process registry)."""
+        if self._executor != "processes":
+            return None
+        merged: dict[str, Any] | None = None
+        for lease in self._leases:
+            if lease is None:
+                continue
+            try:
+                snapshot = lease.submit(
+                    shard_worker.process_worker_metrics, None
+                ).result(timeout=5.0)
+            except Exception:  # noqa: BLE001 - diagnostics must not fail serving
+                continue
+            merged = (
+                snapshot if merged is None else metrics.merge_snapshots(merged, snapshot)
+            )
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this index's executor resources (pool leases are
+        refcounted: a successor generation holding an acquired lease
+        keeps its worker alive)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=False)
+            self._thread_pool = None
+        leases, self._leases = self._leases, [None] * self._store.num_shards
+        for lease in leases:
+            if lease is not None:
+                lease.release()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedLakeIndex({self._store.num_shards} shards, "
+            f"executor={self._executor!r}, built={self._built})"
+        )

@@ -1,0 +1,551 @@
+"""The sharded lake store: N LakeStore shards under one manifest.
+
+Layout on disk::
+
+    <root>/lake.json        the manifest-of-manifests (roster + routing)
+    <root>/shard-000/       a complete, independent LakeStore
+    <root>/shard-001/
+    ...
+
+``lake.json`` records the shard roster and the routing rule (seed +
+count); each shard keeps its own ``manifest.json`` / ``version.json`` /
+segments / postings exactly as an unsharded store would.  Routing is a
+stable content hash of the *table name* (sha1 of ``"<seed>:<name>"``
+mod N), so a table's home shard never depends on what else is in the
+lake, and an ingest or remove of one table touches exactly one shard --
+only that shard's ``lake_version`` moves and only its persisted
+postings/indexes invalidate.
+
+The *lake epoch* is the sum of the per-shard ``lake_version`` counters.
+Each counter is monotonic under its own commits, shards are disjoint,
+and every mutation goes through exactly one shard -- so the sum is
+monotonic too and satisfies the same ``current_version()`` polling
+contract :class:`repro.service.LakeService` uses for hot reload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..datalake.catalog import DataLake
+from ..datalake.stats import LakeStats
+from ..store.lakestore import (
+    IngestReport,
+    LakeStore,
+    StoreError,
+    StoreNotFound,
+)
+from ..table.stats import TableStats
+from ..table.table import Table
+
+__all__ = [
+    "ShardedLakeStore",
+    "ShardedDataLake",
+    "ShardedLakeStats",
+    "open_any_store",
+]
+
+_FORMAT = "repro-sharded-lake"
+_FORMAT_VERSION = 1
+_FIT_STATE_FILE = "global_fit.pkl"
+
+
+def shard_route(name: str, seed: int, num_shards: int) -> int:
+    """The routing rule: a stable hash of the table *name* alone.
+
+    sha1 keyed by the routing seed, first 8 hex digits, mod N -- stable
+    across processes and Python versions (never ``hash()``, which is
+    salted per process), and independent of lake contents so a table
+    can never migrate shards as its neighbors change.
+    """
+    digest = hashlib.sha1(f"{seed}:{name}".encode("utf-8")).hexdigest()
+    return int(digest[:8], 16) % num_shards
+
+
+def open_any_store(path: str | Path, **open_options: Any):
+    """Open *path* as whichever store layout lives there.
+
+    A ``lake.json`` marks a sharded root; a ``manifest.json`` marks a
+    plain :class:`LakeStore`.  Everything that accepts a store path
+    (``Dialite.open``, the service, the CLI) funnels through here so
+    sharded layouts are adopted transparently.
+    """
+    path = Path(path)
+    if (path / "lake.json").exists():
+        return ShardedLakeStore.open(path, **open_options)
+    return LakeStore.open(path, **open_options)
+
+
+class ShardedLakeStore:
+    """N :class:`LakeStore` shards behind the single-store contract.
+
+    Duck-types the surface the pipeline, serving layer and CLI consume
+    (``lake_version`` / ``current_version`` / ``reopen`` / ``ingest`` /
+    ``remove`` / ``lake()`` / ``info()`` / segment-format accessors), so
+    callers holding "a store" need no sharding awareness beyond the
+    ``isinstance`` branches that pick the sharded index builder.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        manifest: dict[str, Any],
+        shards: list[LakeStore],
+        stats_cache_capacity: int | None = None,
+    ):
+        self._path = Path(path)
+        self._manifest = manifest
+        self._shards = shards
+        self._stats_cache_capacity = stats_cache_capacity
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        num_shards: int = 4,
+        routing_seed: int = 0,
+        exist_ok: bool = False,
+        **shard_options: Any,
+    ) -> "ShardedLakeStore":
+        """Initialize an empty sharded lake at *path*.
+
+        *shard_options* (``sketch_config``, ``segment_format``) forward to
+        every shard's :meth:`LakeStore.create`.
+        """
+        path = Path(path)
+        if (path / "lake.json").exists():
+            if not exist_ok:
+                raise StoreError(
+                    f"a sharded lake already exists at {path}; open() it instead"
+                )
+            return cls.open(path)
+        if (path / "manifest.json").exists():
+            raise StoreError(
+                f"{path} already holds an unsharded lake store; "
+                f"pick a fresh directory (or rebalance into one)"
+            )
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        path.mkdir(parents=True, exist_ok=True)
+        shard_names = [f"shard-{i:03d}" for i in range(num_shards)]
+        shards = [
+            LakeStore.create(path / name, **shard_options) for name in shard_names
+        ]
+        manifest = {
+            "format": _FORMAT,
+            "format_version": _FORMAT_VERSION,
+            "num_shards": num_shards,
+            "routing_seed": routing_seed,
+            "shards": shard_names,
+        }
+        store = cls(path, manifest, shards)
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        stats_cache_capacity: int | None = None,
+        **shard_options: Any,
+    ) -> "ShardedLakeStore":
+        path = Path(path)
+        manifest_path = path / "lake.json"
+        if not manifest_path.exists():
+            raise StoreNotFound(f"no sharded lake manifest at {path}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != _FORMAT:
+            raise StoreError(f"{manifest_path} is not a {_FORMAT} manifest")
+        if manifest.get("format_version", 0) > _FORMAT_VERSION:
+            raise StoreError(
+                f"sharded lake at {path} uses format version "
+                f"{manifest['format_version']}, this library reads up to "
+                f"{_FORMAT_VERSION}"
+            )
+        shards = [
+            LakeStore.open(
+                path / name,
+                stats_cache_capacity=stats_cache_capacity,
+                **shard_options,
+            )
+            for name in manifest["shards"]
+        ]
+        return cls(path, manifest, shards, stats_cache_capacity=stats_cache_capacity)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def num_shards(self) -> int:
+        return int(self._manifest["num_shards"])
+
+    @property
+    def routing_seed(self) -> int:
+        return int(self._manifest["routing_seed"])
+
+    @property
+    def shards(self) -> list[LakeStore]:
+        return list(self._shards)
+
+    @property
+    def shard_names(self) -> list[str]:
+        return list(self._manifest["shards"])
+
+    @property
+    def sketch_config(self):
+        return self._shards[0].sketch_config
+
+    @property
+    def stats_cache_capacity(self) -> int | None:
+        return self._stats_cache_capacity
+
+    def shard_of(self, name: str) -> int:
+        """The shard index owning table *name* (routing rule)."""
+        return shard_route(name, self.routing_seed, self.num_shards)
+
+    def shard_for(self, name: str) -> LakeStore:
+        return self._shards[self.shard_of(name)]
+
+    @property
+    def lake_version(self) -> int:
+        """The lake epoch: sum of the shard handles' manifest versions."""
+        return sum(shard.lake_version for shard in self._shards)
+
+    def current_version(self) -> int:
+        """The epoch committed on disk (cheap per-shard version.json polls
+        -- the serving layer's hot-reload probe)."""
+        return sum(shard.current_version() for shard in self._shards)
+
+    def shard_versions(self) -> list[int]:
+        """Per-shard manifest versions, in roster order."""
+        return [shard.lake_version for shard in self._shards]
+
+    def reopen(self) -> "ShardedLakeStore":
+        """A fresh handle on the current on-disk state of every shard."""
+        return type(self).open(
+            self._path, stats_cache_capacity=self._stats_cache_capacity
+        )
+
+    @property
+    def default_segment_format(self) -> str:
+        return self._shards[0].default_segment_format
+
+    def segment_format_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for shard in self._shards:
+            for fmt, n in shard.segment_format_counts().items():
+                counts[fmt] = counts.get(fmt, 0) + n
+        return counts
+
+    @property
+    def table_names(self) -> list[str]:
+        """Every table name, sorted (shard-order independent)."""
+        names: list[str] = []
+        for shard in self._shards:
+            names.extend(shard.table_names)
+        names.sort()
+        return names
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in self.shard_for(name)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedLakeStore({str(self._path)!r}, {self.num_shards} shards, "
+            f"epoch {self.lake_version}, {len(self)} tables)"
+        )
+
+    def info(self) -> dict[str, Any]:
+        """A JSON-friendly summary (what ``repro index info`` and
+        ``repro store shard info`` print)."""
+        shard_infos = [shard.info() for shard in self._shards]
+        return {
+            "path": str(self._path),
+            "format_version": self._manifest["format_version"],
+            "sharded": True,
+            "num_shards": self.num_shards,
+            "routing_seed": self.routing_seed,
+            "lake_version": self.lake_version,
+            "segment_format": self.default_segment_format,
+            "segment_format_counts": self.segment_format_counts(),
+            "num_tables": len(self),
+            "total_rows": sum(i["total_rows"] for i in shard_infos),
+            "sketch": self.sketch_config.to_json(),
+            "shards": [
+                {
+                    "name": name,
+                    "lake_version": info["lake_version"],
+                    "num_tables": info["num_tables"],
+                    "total_rows": info["total_rows"],
+                    "indexes": info["indexes"],
+                }
+                for name, info in zip(self.shard_names, shard_infos)
+            ],
+            "indexes": sorted(
+                {d for info in shard_infos for d in info["indexes"]}
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Mutation (each table's writes land on exactly one shard)
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        lake: Mapping[str, Table],
+        prune: bool = True,
+        adopt_stats: bool = True,
+        segment_format: str | None = None,
+    ) -> IngestReport:
+        """Route *lake* through the shards; merge the per-shard reports.
+
+        With ``prune`` every shard also drops its tables absent from
+        *lake* (routing is stable, so a surviving table is always present
+        in its own shard's slice); without it, shards receiving no tables
+        are not touched at all -- the single-table service ingest rewrites
+        exactly one shard.
+        """
+        groups: list[dict[str, Table]] = [{} for _ in self._shards]
+        for name, table in lake.items():
+            groups[self.shard_of(name)][name] = table
+        added: list[str] = []
+        updated: list[str] = []
+        unchanged: list[str] = []
+        removed: list[str] = []
+        for shard, group in zip(self._shards, groups):
+            if not group and not prune:
+                continue
+            report = shard.ingest(
+                group,
+                prune=prune,
+                adopt_stats=adopt_stats,
+                segment_format=segment_format,
+            )
+            added.extend(report.added)
+            updated.extend(report.updated)
+            unchanged.extend(report.unchanged)
+            removed.extend(report.removed)
+        return IngestReport(
+            added=tuple(sorted(added)),
+            updated=tuple(sorted(updated)),
+            removed=tuple(sorted(removed)),
+            unchanged=tuple(sorted(unchanged)),
+            lake_version=self.lake_version,
+        )
+
+    def remove(self, name: str) -> None:
+        """Drop one table from its home shard (only that shard's version
+        moves and only its artifacts invalidate)."""
+        self.shard_for(name).remove(name)
+
+    def migrate(self, segment_format: str = "v2") -> list[str]:
+        """Rewrite every shard's segments into *segment_format*."""
+        rewritten: list[str] = []
+        for shard in self._shards:
+            rewritten.extend(shard.migrate(segment_format))
+        return sorted(rewritten)
+
+    # ------------------------------------------------------------------
+    # Reads (routed)
+    # ------------------------------------------------------------------
+    def load_table(self, name: str) -> Table:
+        return self.shard_for(name).load_table(name)
+
+    def load_column(self, name: str, column: str):
+        return self.shard_for(name).load_column(name, column)
+
+    def table_stats(self, name: str) -> TableStats:
+        return self.shard_for(name).table_stats(name)
+
+    def lake(self) -> "ShardedDataLake":
+        """The combined contents as a lazy, read-only :class:`DataLake`."""
+        return ShardedDataLake(self)
+
+    def index_build_seconds(self) -> dict[str, float]:
+        """Recorded per-discoverer build time, summed across shards (the
+        sequential cost; a parallel build's wall time is lower)."""
+        merged: dict[str, float] = {}
+        for shard in self._shards:
+            for name, seconds in shard.index_build_seconds().items():
+                merged[name] = merged.get(name, 0.0) + seconds
+        return merged
+
+    # ------------------------------------------------------------------
+    # Global fit state (lake-wide discoverer products, shared by shards)
+    # ------------------------------------------------------------------
+    def save_fit_state(self, payload: dict[str, Any]) -> None:
+        """Persist lake-global fit products (synthesized KB, corpus IDF)
+        pinned to the epoch they were computed at.  Shard fits inject
+        these so every shard scores with lake-wide statistics -- the
+        byte-identity requirement (see :mod:`repro.shard.index`)."""
+        payload = dict(payload)
+        payload["epoch"] = self.lake_version
+        file = self._path / _FIT_STATE_FILE
+        temp = file.with_name(file.name + ".tmp")
+        with temp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temp.replace(file)
+
+    def load_fit_state(self) -> dict[str, Any] | None:
+        """The persisted global fit products, or None.  The payload's
+        ``epoch`` records when it was computed; a partial refit after a
+        single-shard ingest deliberately reuses the pinned state (all
+        shards stay mutually consistent) -- rebuild or rebalance to
+        refresh it (the drift caveat in README's "Sharded lakes")."""
+        file = self._path / _FIT_STATE_FILE
+        if not file.exists():
+            return None
+        with file.open("rb") as handle:
+            payload = pickle.load(handle)
+        return payload if isinstance(payload, dict) else None
+
+    # ------------------------------------------------------------------
+    # Rebalance (re-route everything under a new shard count/seed)
+    # ------------------------------------------------------------------
+    def rebalance(
+        self, num_shards: int, routing_seed: int | None = None
+    ) -> "ShardedLakeStore":
+        """Rewrite the lake under a new shard count (and optionally a new
+        routing seed), returning a fresh handle on the result.
+
+        Builds the new layout in a sibling staging directory, then swaps
+        it in.  The swap is **not** atomic (it moves shard directories);
+        do not rebalance under live writers, and expect to rebuild
+        discoverer indexes afterwards -- every shard's version restarts,
+        so all persisted indexes and the global fit state are invalidated
+        (the fit-state file is dropped here).
+        """
+        if routing_seed is None:
+            routing_seed = self.routing_seed
+        staging = self._path.parent / (self._path.name + ".rebalance")
+        if staging.exists():
+            shutil.rmtree(staging)
+        fresh = type(self).create(
+            staging, num_shards=num_shards, routing_seed=routing_seed
+        )
+        for name in self.table_names:
+            fresh.ingest({name: self.load_table(name)}, prune=False)
+        old_names = self.shard_names
+        fresh_names = fresh.shard_names
+        # Swap: drop old shard dirs + manifest, move the staged ones in.
+        for name in old_names:
+            shutil.rmtree(self._path / name, ignore_errors=True)
+        (self._path / _FIT_STATE_FILE).unlink(missing_ok=True)
+        for name in fresh_names:
+            os.replace(staging / name, self._path / name)
+        self._manifest = dict(fresh._manifest)
+        self._write_manifest()
+        shutil.rmtree(staging, ignore_errors=True)
+        return self.reopen()
+
+    # ------------------------------------------------------------------
+    def _write_manifest(self) -> None:
+        file = self._path / "lake.json"
+        temp = file.with_name(file.name + ".tmp")
+        temp.write_text(
+            json.dumps(self._manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        temp.replace(file)
+
+
+class ShardedDataLake(DataLake):
+    """The combined, read-only view over every shard's stored lake.
+
+    Routes table access to the owning shard's lazy
+    :class:`~repro.store.lakestore.StoredDataLake`, so materialized
+    tables and hydrated stats snapshots are shared with any other
+    consumer of the same shard handles (one scan ledger per shard).
+    Iteration order is sorted by name: a pure function of the contents,
+    independent of shard count or roster order.
+    """
+
+    def __init__(self, store: ShardedLakeStore):
+        super().__init__(())
+        self._store = store
+        self._shard_views = [shard.lake() for shard in store.shards]
+
+    @property
+    def store(self) -> ShardedLakeStore:
+        return self._store
+
+    def add(self, table: Table) -> None:
+        raise TypeError(
+            "ShardedDataLake is read-only; ingest tables into the "
+            "ShardedLakeStore instead"
+        )
+
+    def __getitem__(self, name: str) -> Table:
+        return self._shard_views[self._store.shard_of(name)][name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store.table_names)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def names(self) -> list[str]:
+        return self._store.table_names
+
+    def tables(self) -> list[Table]:
+        return [self[name] for name in self._store.table_names]
+
+    def total_rows(self) -> int:
+        return sum(view.total_rows() for view in self._shard_views)
+
+    @property
+    def stats(self) -> "ShardedLakeStats":
+        return ShardedLakeStats(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDataLake({len(self)} tables, "
+            f"{self._store.num_shards} shards, epoch {self._store.lake_version})"
+        )
+
+
+class ShardedLakeStats(LakeStats):
+    """Lake-wide stats over a sharded lake, served from each shard's
+    hydrated snapshots (never materializes cell data)."""
+
+    def __init__(self, lake: ShardedDataLake):
+        super().__init__(lake)
+        self._store = lake.store
+
+    def table(self, name: str) -> TableStats:
+        return self._store.table_stats(name)
+
+    def column(self, table_name: str, column: str):
+        return self._store.table_stats(table_name).column(column)
+
+    def __iter__(self) -> Iterator[tuple[str, TableStats]]:
+        for name in self._store.table_names:
+            yield name, self._store.table_stats(name)
+
+    def warm(self) -> "ShardedLakeStats":
+        for _, stats in self:
+            stats.warm()
+        return self
+
+    def scan_counts(self) -> dict[tuple[str, str], int]:
+        counts: dict[tuple[str, str], int] = {}
+        for name, stats in self:
+            for column, count in stats.scan_counts.items():
+                counts[(name, column)] = count
+        return counts

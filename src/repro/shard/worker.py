@@ -1,0 +1,229 @@
+"""Per-shard search execution for scatter-gather discovery.
+
+One shard answers a query by running the normal two-phase search --
+retrieval through its own candidate engine, scoring of retrieved
+candidates only -- but with the engine in ``defer_policy`` mode: the
+shard reports *what it retrieved* (counts, strengths) and scores it,
+while the fallback-floor and budget decisions that depend on lake-wide
+counts move to the reducer (:class:`~repro.shard.index.ShardedLakeIndex`).
+
+Why this preserves byte-identity with the single-store pipeline:
+
+* every scorer ranks candidates by per-candidate-pure functions of the
+  query and the candidate's own column stats, then sorts by the total
+  order ``(-score, table_name)`` -- so the global top-k is contained in
+  the union of per-shard top-k lists (any table beaten by >= k tables
+  globally is beaten by >= k tables within its own shard's slice);
+* retrieval evidence (posting probes, banded sketch hits with
+  size-bucket partitioning, label matches) is per-candidate pure, so a
+  shard's evidence is exactly the global evidence restricted to its
+  tables;
+* with a budget, the global kept set is the top-B of the union of
+  per-shard strength totals; its members inside one shard are a prefix
+  of that shard's own strength ranking, so the per-shard cap at the same
+  B (applied by ``defer_policy`` finalize) never drops a kept table --
+  the reducer re-derives the exact global kept set from the reported
+  totals;
+* the exhaustive fallback (TUS's floor) triggers *iff* the summed
+  retrieved count is under the floor -- the same predicate the unsharded
+  ``_finalize`` evaluates -- and round two scores every shard table with
+  retrieval evidence retained, mirroring the unsharded fallback's
+  evidence-retention semantics.
+
+The module-level functions double as process-pool entry points: a pool
+worker hydrates its shard's persisted index once (initializer), then
+answers searches from warm state.  Queries cross the process boundary as
+codec documents (stored tables carry unpicklable column loaders), and
+span trees come back as dicts for the driver to graft
+(:meth:`Tracer.attach_tree <repro.obs.trace.Tracer.attach_tree>`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..candidates.spec import CandidateSet
+from ..obs import metrics, trace
+from ..store.codec import decode_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..datalake.indexer import LakeIndex
+    from ..discovery.base import Discoverer
+    from ..table.table import Table
+
+__all__ = [
+    "deferred_search",
+    "fallback_search",
+    "process_worker_init",
+    "process_worker_run",
+    "process_worker_metrics",
+]
+
+
+def _chosen(index: "LakeIndex", names: Sequence[str] | None) -> list["Discoverer"]:
+    by_name = {d.name: d for d in index.discoverers}
+    if names is None:
+        return index.discoverers
+    missing = sorted(set(names) - set(by_name))
+    if missing:
+        raise KeyError(f"unknown discoverers: {missing}; have {sorted(by_name)}")
+    return [by_name[name] for name in names]
+
+
+def deferred_search(
+    index: "LakeIndex",
+    query: "Table",
+    k: int,
+    query_column: str | None,
+    names: Sequence[str] | None,
+) -> dict[str, dict[str, Any]]:
+    """Round one on one shard: per-discoverer local results + retrieval
+    accounting, with floor/budget policy deferred to the reducer.
+
+    Per discoverer the payload carries ``mode`` (``assemble`` for
+    evidence-backed retrieval, ``exhaustive`` for all-candidate specs,
+    ``empty`` for unprobeable queries), the local sorted results
+    (truncated to k only when no budget is in play -- under a budget the
+    reducer needs every scored row to filter against the global kept
+    set), the pre-cap ``retrieved`` count and fallback ``floor``, and the
+    full strength ``totals`` when a budget applies.
+    """
+    engine = index.engine
+    engine.defer_policy = True
+    query.stats.warm()
+    out: dict[str, dict[str, Any]] = {}
+    for discoverer in _chosen(index, names):
+        spec = discoverer.candidate_spec()
+        budget = spec.budget if spec.budget is not None else engine.default_budget
+        with trace.span(f"discover.{discoverer.name}", k=k):
+            with trace.span("discover.candidates") as candidates_span:
+                candidates = discoverer._candidates(query, k, query_column)
+                candidates_span.add(candidates=len(candidates.tables))
+            with trace.span("discover.score") as score_span:
+                results = discoverer._search(query, k, query_column, candidates)
+                score_span.add(results=len(results))
+        results.sort(key=lambda r: (-r.score, r.table_name))
+        report = candidates.report.to_json() if candidates.report else None
+        deferred = candidates.context.get("deferred")
+        if deferred is None:
+            exhaustive = candidates.report is not None and candidates.report.exhaustive
+            out[discoverer.name] = {
+                "mode": "exhaustive" if exhaustive else "empty",
+                "results": results[:k],
+                "retrieved": candidates.report.retrieved if candidates.report else 0,
+                "floor": 0,
+                "totals": None,
+                "budget": budget,
+                "report": report,
+            }
+            continue
+        out[discoverer.name] = {
+            "mode": "assemble",
+            "results": results if budget is not None else results[:k],
+            "retrieved": deferred["retrieved"],
+            "floor": deferred["floor"],
+            "totals": deferred["totals"] if budget is not None else None,
+            "budget": budget,
+            "report": report,
+        }
+    return out
+
+
+def fallback_search(
+    index: "LakeIndex",
+    query: "Table",
+    k: int,
+    query_column: str | None,
+    names: Sequence[str],
+) -> dict[str, list]:
+    """Round two on one shard, run only when the reducer found the
+    *global* retrieved count under a discoverer's floor: score every
+    shard table with retrieval evidence retained -- the sharded image of
+    the unsharded ``_finalize`` fallback (which hands the scorer the
+    whole lake plus the evidence it already gathered, *not* the
+    evidence-free ``force_exhaustive`` scan)."""
+    engine = index.engine
+    engine.defer_policy = True
+    query.stats.warm()
+    out: dict[str, list] = {}
+    for discoverer in _chosen(index, names):
+        with trace.span(f"discover.{discoverer.name}", k=k, fallback=1):
+            candidates = discoverer._candidates(query, k, query_column)
+            expanded = CandidateSet(
+                tables=tuple(engine.tables()),
+                evidence=candidates.evidence,
+                fallback=True,
+                truncated=False,
+                report=candidates.report,
+            )
+            expanded.context.update(candidates.context)
+            expanded.context.pop("deferred", None)
+            with trace.span("discover.score") as score_span:
+                results = discoverer._search(query, k, query_column, expanded)
+                score_span.add(results=len(results))
+        results.sort(key=lambda r: (-r.score, r.table_name))
+        out[discoverer.name] = results[:k]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Process-pool entry points (one single-worker pool per shard: the
+# initializer hydrates once, every later task reuses the warm index)
+# ----------------------------------------------------------------------
+_WORKER: dict[str, Any] = {}
+
+
+def process_worker_init(shard_path: str) -> None:
+    """Pool initializer: hydrate this shard's persisted index (stats
+    snapshots, postings artifact, discoverer pickles) exactly once."""
+    from ..datalake.indexer import LakeIndex
+    from ..store.lakestore import LakeStore
+
+    store = LakeStore.open(shard_path)
+    index = LakeIndex.from_store(store)
+    index.engine.defer_policy = True
+    _WORKER["index"] = index
+
+
+def process_worker_run(payload: dict[str, Any]) -> dict[str, Any]:
+    """One scatter task: decode the query, run the requested round on the
+    warm shard index under a local tracer, ship results + span tree back."""
+    index = _WORKER["index"]
+    index.engine.default_budget = payload.get("budget")
+    query = decode_table(payload["query"])
+    # Warm the query profile before the clocks start: the thread executor
+    # warms once in the driver outside its measured region, so leaving it
+    # inside here would charge every process worker for the same constant
+    # profiling cost and skew the wall/cpu accounting between executors.
+    # What the clocks measure on both paths is retrieval + scoring.
+    query.stats.warm()
+    tracer = trace.Tracer()
+    start = time.perf_counter()
+    start_cpu = time.thread_time()
+    with tracer.activate():
+        with tracer.span(payload["label"]):
+            if payload.get("round") == "fallback":
+                answer: Any = fallback_search(
+                    index, query, payload["k"], payload["column"], payload["names"]
+                )
+            else:
+                answer = deferred_search(
+                    index, query, payload["k"], payload["column"], payload["names"]
+                )
+    # cpu_s is this worker's own CPU seconds: unlike wall_s it excludes
+    # time spent descheduled while sibling shards share a starved host,
+    # so max-over-shards cpu_s is the honest critical-path latency a
+    # one-core-per-shard deployment would observe.
+    return {
+        "answer": answer,
+        "trace": tracer.to_dict(),
+        "wall_s": time.perf_counter() - start,
+        "cpu_s": time.thread_time() - start_cpu,
+    }
+
+
+def process_worker_metrics(_: Any = None) -> dict[str, Any]:
+    """This worker process's metrics snapshot (the driver folds all of
+    them into one view with ``merge_snapshots``)."""
+    return metrics.global_registry().snapshot()

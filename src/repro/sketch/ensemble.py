@@ -37,15 +37,28 @@ class EnsembleMatch:
 
 
 class _Partition:
-    """One cardinality range: shared signatures, one banded index per r."""
+    """One cardinality range: shared signatures, one banded index per r.
 
-    def __init__(self, num_perm: int, allowed_r: Sequence[int]):
-        self.upper = 0
+    With ``fixed_upper`` the partition's upper size bound is pinned at
+    construction (size-bucket mode) instead of tracking the max observed
+    cardinality -- the bound is then a function of the bucket alone, not
+    of which keys happen to be indexed.
+    """
+
+    def __init__(
+        self,
+        num_perm: int,
+        allowed_r: Sequence[int],
+        fixed_upper: int | None = None,
+    ):
+        self.upper = fixed_upper if fixed_upper is not None else 0
+        self._fixed = fixed_upper is not None
         self.signatures: dict[Hashable, MinHashSignature] = {}
         self.indexes = {r: BandedLSHIndex(num_perm, r) for r in allowed_r}
 
     def insert(self, key: Hashable, signature: MinHashSignature) -> None:
-        self.upper = max(self.upper, signature.size)
+        if not self._fixed:
+            self.upper = max(self.upper, signature.size)
         self.signatures[key] = signature
         for index in self.indexes.values():
             index.insert(key, signature)
@@ -64,6 +77,27 @@ class LSHEnsemble:
     ``index`` may be called once with all entries (it sorts by cardinality to
     form equi-depth partitions); incremental ``insert`` routes to the best
     existing partition, trading a little tuning accuracy for convenience.
+
+    Two partitioning modes:
+
+    ``equi-depth`` (default)
+        The paper's scheme: sort by cardinality, cut into
+        ``num_partitions`` equal chunks, upper bound = max observed size
+        per chunk.  Best tuning accuracy for a one-shot bulk index, but
+        the partition a key lands in -- and hence the ``(b, r)`` choice
+        that decides its band hits -- depends on the *whole* indexed
+        distribution.
+
+    ``size-buckets``
+        Deterministic geometric buckets: a key with cardinality ``s``
+        lands in bucket ``floor(log2(s))`` with a fixed upper bound
+        ``2^(bucket+1) - 1``.  Bucket and bound are functions of the key's
+        own cardinality alone, so the band-hit decision for any key is
+        independent of what else is indexed -- an ensemble over any
+        subset of the entries returns exactly the global matches
+        restricted to that subset.  This is what makes sharded retrieval
+        decomposable, at a small tuning cost (bounds are powers of two
+        rather than observed maxima).
     """
 
     def __init__(
@@ -72,11 +106,18 @@ class LSHEnsemble:
         num_partitions: int = 8,
         seed: int = 1,
         allowed_r: Sequence[int] | None = None,
+        partitioning: str = "equi-depth",
     ):
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
+        if partitioning not in ("equi-depth", "size-buckets"):
+            raise ValueError(
+                f"unknown partitioning {partitioning!r} "
+                "(expected 'equi-depth' or 'size-buckets')"
+            )
         self.num_perm = num_perm
         self.num_partitions = num_partitions
+        self.partitioning = partitioning
         self._hasher = MinHasher(num_perm=num_perm, seed=seed)
         self._allowed_r = tuple(
             r for r in (allowed_r or _DEFAULT_ALLOWED_R) if r <= num_perm
@@ -84,6 +125,8 @@ class LSHEnsemble:
         if not self._allowed_r:
             raise ValueError("allowed_r has no entry <= num_perm")
         self._partitions: list[_Partition] = []
+        # size-buckets mode: bucket index -> partition, created on demand.
+        self._buckets: dict[int, _Partition] = {}
         self._indexed = 0
 
     # ------------------------------------------------------------------
@@ -115,6 +158,11 @@ class LSHEnsemble:
         signed = [(key, sig) for key, sig in entries if sig.size > 0]
         if not signed:
             return
+        if self.partitioning == "size-buckets":
+            for key, signature in signed:
+                self._bucket_for(signature.size).insert(key, signature)
+            self._indexed += len(signed)
+            return
         signed.sort(key=lambda pair: pair[1].size)
         chunks = max(1, min(self.num_partitions, len(signed)))
         per_chunk = -(-len(signed) // chunks)  # ceil division: equi-depth
@@ -125,10 +173,27 @@ class LSHEnsemble:
             self._partitions.append(partition)
         self._indexed += len(signed)
 
+    def _bucket_for(self, size: int) -> _Partition:
+        """The geometric bucket owning cardinality *size* (size-buckets
+        mode), created on first use.  Bucket ``b`` covers sizes in
+        ``[2^b, 2^(b+1) - 1]`` with that fixed upper bound."""
+        bucket = max(0, size.bit_length() - 1)
+        partition = self._buckets.get(bucket)
+        if partition is None:
+            partition = _Partition(
+                self.num_perm, self._allowed_r, fixed_upper=(1 << (bucket + 1)) - 1
+            )
+            self._buckets[bucket] = partition
+        return partition
+
     def insert(self, key: Hashable, tokens: Iterable[Hashable]) -> None:
         """Incrementally index one set (routed by cardinality)."""
         signature = self._hasher.signature(tokens)
         if signature.size == 0:
+            return
+        if self.partitioning == "size-buckets":
+            self._bucket_for(signature.size).insert(key, signature)
+            self._indexed += 1
             return
         if not self._partitions:
             self._partitions.append(_Partition(self.num_perm, self._allowed_r))
@@ -163,7 +228,10 @@ class LSHEnsemble:
             return []
         candidates: set[Hashable] = set()
         signature_of: dict[Hashable, MinHashSignature] = {}
-        for partition in self._partitions:
+        partitions: Iterable[_Partition] = self._partitions
+        if self.partitioning == "size-buckets":
+            partitions = (self._buckets[b] for b in sorted(self._buckets))
+        for partition in partitions:
             if not partition.signatures:
                 continue
             jaccard_threshold = self._containment_to_jaccard(

@@ -447,6 +447,32 @@ class TestServe:
         assert main(["index", "info", "--store", str(store_dir)]) == 0
         assert "live service: none" in capsys.readouterr().out
 
+    def test_index_info_detects_dead_pid_beacon(self, lake_dir, tmp_path, capsys):
+        """ISSUE 8 satellite pin: a beacon left behind by an uncleanly
+        exited server is reported as "not serving" via the PID liveness
+        check, instead of waiting out the connect/ping timeout."""
+        import json
+        import subprocess
+        import sys
+        import time
+
+        store_dir = tmp_path / "stale.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()  # a real PID that is now certainly dead (reaped here)
+        (store_dir / "service.json").write_text(
+            json.dumps({"host": "127.0.0.1", "port": 1, "pid": child.pid}),
+            encoding="utf-8",
+        )
+        capsys.readouterr()
+        start = time.perf_counter()
+        assert main(["index", "info", "--store", str(store_dir)]) == 0
+        elapsed = time.perf_counter() - start
+        out = capsys.readouterr().out
+        assert f"process {child.pid} is gone" in out
+        assert "live service: none" in out
+        assert elapsed < 1.0, "dead-PID beacon must not wait out the ping timeout"
+
     def test_discover_requires_some_backend(self, query_csv):
         with pytest.raises(SystemExit, match="--lake, --store or --service"):
             main(["discover", "--query", str(query_csv)])

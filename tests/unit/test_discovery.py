@@ -188,3 +188,39 @@ class TestMergeResultSets:
         assert [r.table_name for r in forward] == ["a", "b", "t"]
         by_name = {r.table_name: r for r in forward}
         assert by_name["t"].discoverer == "alpha"  # tie -> lexicographic winner
+
+    def test_same_pair_from_two_sources_keeps_max_score(self):
+        """ISSUE 8 satellite pin: the sharded reducer may present the same
+        (table, discoverer) pair in several result sets -- two shards each
+        returning their local score for one table.  Dedup keeps the max
+        score for the pair, lists the discoverer once in the reason line,
+        and the merged order stays the (score desc, table asc, discoverer
+        asc) total order regardless of which shard's copy arrives first."""
+        shard_a = [
+            DiscoveryResult("t", 0.4, "josie"),
+            DiscoveryResult("u", 0.9, "josie"),
+        ]
+        shard_b = [
+            DiscoveryResult("t", 0.7, "josie"),
+            DiscoveryResult("t", 0.7, "santos"),
+        ]
+        forward = merge_result_sets([shard_a, shard_b], normalize=False)
+        backward = merge_result_sets([shard_b, shard_a], normalize=False)
+        key = lambda rs: [(r.table_name, r.score, r.discoverer, r.reason) for r in rs]
+        assert key(forward) == key(backward)
+        by_name = {r.table_name: r for r in forward}
+        assert by_name["t"].score == 0.7  # max across sources, not first-seen
+        assert by_name["t"].discoverer == "josie"  # 0.7 tie -> lexicographic
+        # Each discoverer is credited once even though josie reported twice.
+        assert by_name["t"].reason == "found by: josie, santos"
+        assert [r.table_name for r in forward] == ["u", "t"]
+
+    def test_equal_repeat_never_displaces_credited_entry(self):
+        # A lower-or-equal repeat of the same pair is a no-op: strict >
+        # on score, and the discoverer-name tie-break compares equal.
+        first = [DiscoveryResult("t", 0.5, "josie", reason="r1")]
+        repeat = [DiscoveryResult("t", 0.5, "josie", reason="r2")]
+        merged = merge_result_sets([first, repeat], normalize=False)
+        assert len(merged) == 1
+        assert merged[0].score == 0.5
+        assert merged[0].reason == "found by: josie"

@@ -20,6 +20,13 @@ and the KB synthesis that runs inside SANTOS's fit.
 Subscript access (``self._lake[name]``) stays legal everywhere: scoring
 a retrieved candidate's cells is exactly what the candidate set
 licenses.
+
+The sharded-lake layer (ISSUE 8) is held to the same bar: the
+scatter-gather *query* path (``ShardedLakeIndex.search`` and the worker
+round functions) must never walk a lake mapping -- each shard retrieves
+through its own engine and the reducer merges.  Its exemptions are the
+write/build-side lifecycle where routing or (re)indexing a full lake is
+the point.
 """
 
 from __future__ import annotations
@@ -28,9 +35,10 @@ import ast
 import sys
 from pathlib import Path
 
-DISCOVERY_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "discovery"
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: Fit-time / lifecycle functions where a full lake pass is legitimate.
+#: Fit-time / lifecycle functions where a full lake pass is legitimate,
+#: in discoverer code.
 FIT_TIME = {
     "fit",
     "_build_index",
@@ -40,6 +48,21 @@ FIT_TIME = {
     "synthesize_from_tables",  # KB minting, runs inside SANTOS's fit
     "evaluate_discoverer",     # offline benchmark metric, fits then searches
 }
+
+#: Ingest/build-side lifecycle in repro.shard where routing or indexing
+#: the whole lake is the operation itself (never on the query path).
+SHARD_FIT_TIME = {
+    "ingest",             # routes every table to its home shard
+    "build",              # offline index construction, one pass per shard
+    "rebalance",          # full rewrite under a new routing rule
+    "_hydrate",           # warm-start refit of stale shards
+    "_compute_fit_state",  # lake-global KB/IDF products, computed at build
+}
+
+CHECKED_DIRS = (
+    (SRC / "discovery", FIT_TIME),
+    (SRC / "shard", SHARD_FIT_TIME),
+)
 
 #: Names that refer to the lake mapping inside discoverer code.
 LAKE_NAMES = {"lake", "_lake"}
@@ -54,13 +77,13 @@ def _is_lake_expr(node: ast.AST) -> bool:
     return False
 
 
-def check_file(path: Path) -> list[str]:
+def check_file(path: Path, exemptions: set[str]) -> list[str]:
     tree = ast.parse(path.read_text(encoding="utf-8"))
     violations = []
     for node in ast.walk(tree):
         if (
             isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-            and node.name not in FIT_TIME
+            and node.name not in exemptions
         ):
             # Nested defs are reached through ast.walk on the module, so
             # a lake walk inside a closure is still caught (attributed to
@@ -119,16 +142,20 @@ def _violations_in_own_body(function: ast.FunctionDef, path: Path) -> list[str]:
 
 def main() -> int:
     violations: list[str] = []
-    for path in sorted(DISCOVERY_DIR.glob("*.py")):
-        violations.extend(check_file(path))
+    checked = 0
+    for directory, exemptions in CHECKED_DIRS:
+        for path in sorted(directory.glob("*.py")):
+            violations.extend(check_file(path, exemptions))
+            checked += 1
     if violations:
         print("full-lake-scan guard FAILED:")
         for violation in violations:
             print(f"  {violation}")
         return 1
+    packages = " + ".join(f"repro.{d.name}" for d, _ in CHECKED_DIRS)
     print(
-        f"full-lake-scan guard ok: no non-fit-time code in repro.discovery "
-        f"iterates the raw lake ({len(list(DISCOVERY_DIR.glob('*.py')))} modules checked)"
+        f"full-lake-scan guard ok: no non-fit-time code in {packages} "
+        f"iterates the raw lake ({checked} modules checked)"
     )
     return 0
 
