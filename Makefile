@@ -23,12 +23,17 @@
 #                     critical-path CPU p95 on starved hosts), identical top-k
 #   make shard-smoke  same suite, small scale: identity + one-shard-rewrite asserts
 #                     through the process executor, no speed gate (runs in CI)
+#   make bench-chaos  fault-tolerance chaos suite: concurrent discover/ingest
+#                     under injected worker kills + connection drops; zero
+#                     errors, zero wrong/stale answers vs a per-version
+#                     oracle, non-degraded p95 <= 2x the no-fault baseline
+#   make chaos-smoke  same suite, small scale + same gates (runs in CI)
 #   make ci           what CI runs: tier-1 tests + smoke benchmarks + lint
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke bench-segments segments-smoke obs-smoke bench-shard shard-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke bench-segments segments-smoke obs-smoke bench-shard shard-smoke bench-chaos chaos-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,7 +45,9 @@ test:
 # the FD hot-path guard fails it if integration hot paths regress to
 # per-cell normalized_key round trips instead of cell_key / interned codes;
 # the obs span-placement guard fails it if span/record allocation creeps
-# into per-row/per-cell loops of the hot modules.
+# into per-row/per-cell loops of the hot modules;
+# the fault-site guard fails it if a registered fault point loses its live
+# call site or an inject.fire() call appears that the registry doesn't know.
 lint:
 	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
 		$(PYTHON) -m pyflakes src/repro benchmarks tests tools; \
@@ -51,6 +58,7 @@ lint:
 	$(PYTHON) tools/check_fd_hot_paths.py
 	$(PYTHON) tools/check_segment_compat.py
 	$(PYTHON) tools/check_obs_spans.py
+	$(PYTHON) tools/check_fault_sites.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_table_engine.py --smoke --json .benchmarks/table_engine_smoke.json
@@ -125,4 +133,16 @@ shard-smoke:
 bench-shard:
 	$(PYTHON) benchmarks/bench_shard.py --check --json .benchmarks/shard.json
 
-ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke segments-smoke obs-smoke shard-smoke lint
+# Chaos smoke: a live 4-shard service under concurrent discovers + ingests
+# with injected worker kills and client connection drops.  Unlike the other
+# smokes the gates run at every scale (they are correctness gates, not
+# speed gates): every request completes (retried or annotated-degraded),
+# zero wrong/stale answers vs a per-lake-version oracle, and non-degraded
+# p95 stays within 2x the no-fault baseline measured in the same run.
+chaos-smoke:
+	$(PYTHON) benchmarks/bench_chaos.py --smoke --check --json .benchmarks/chaos.json
+
+bench-chaos:
+	$(PYTHON) benchmarks/bench_chaos.py --check --json .benchmarks/chaos.json
+
+ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke segments-smoke obs-smoke shard-smoke chaos-smoke lint

@@ -117,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", dest="segment_format", default="v2", choices=("v1", "v2"),
         help="target segment format (default: v2, the binary columnar format)",
     )
+    store_recover = store_commands.add_parser(
+        "recover",
+        help="settle a crashed writer's intent journal (roll an interrupted "
+        "ingest/rebalance forward or back, delete orphan temp files); the "
+        "same recovery runs implicitly on every open",
+    )
+    store_recover.add_argument(
+        "--store", required=True, help="lake store directory (plain or sharded)"
+    )
     store_shard = store_commands.add_parser(
         "shard",
         help="create, resize or inspect a sharded lake "
@@ -556,6 +565,21 @@ def _print_sharded_info(info: dict) -> None:
 def _cmd_store(args: argparse.Namespace) -> int:
     from .shard import ShardedLakeStore, open_any_store
 
+    if args.store_command == "recover":
+        from .shard import recover_any_store
+
+        repairs = recover_any_store(args.store)
+        if not repairs:
+            print("clean: no interrupted operation found")
+            return 0
+        for repair in repairs:
+            where = f" (shard {repair['shard']})" if "shard" in repair else ""
+            removed = repair.get("removed", [])
+            print(
+                f"{repair.get('op', '?')}{where}: {repair['action'].replace('_', ' ')}"
+                + (f", {len(removed)} orphan file(s) removed" if removed else "")
+            )
+        return 0
     if args.store_command == "shard":
         if args.shard_command == "init":
             seed = args.routing_seed if args.routing_seed is not None else 0
@@ -872,7 +896,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving lake store {args.store} (lake v{service.version}, "
         f"{args.workers} workers, cache {args.cache_capacity}) on {host}:{port}"
     )
-    print("ops: ping version stats metrics discover align integrate ingest shutdown")
+    print(
+        "ops: ping version health stats metrics discover align integrate "
+        "ingest shutdown"
+    )
     if args.port_file:
         from pathlib import Path
 

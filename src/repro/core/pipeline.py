@@ -335,6 +335,11 @@ class Dialite:
             merged=merged,
             integration_set=integration_set,
             retrieval={name: reports[name] for name in per_discoverer if name in reports},
+            # Sharded indexes report shards that stayed dead through the
+            # supervised retry; plain indexes have no such attribute.
+            degraded_shards=tuple(
+                getattr(self.index, "last_degraded_shards", ()) or ()
+            ),
         )
 
     def discover_many(

@@ -31,6 +31,11 @@ class DiscoveryOutcome:
     #: counts before scoring, channels used, fallback/truncation flags
     #: (what ``discover --explain`` prints).
     retrieval: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Shard ids omitted from this answer because their workers failed
+    #: even after a respawn + retry (sharded lakes only; empty means the
+    #: answer is complete).  Degraded outcomes are served but never
+    #: cached -- see :mod:`repro.service.service`.
+    degraded_shards: tuple[int, ...] = ()
 
     @property
     def discovered_names(self) -> list[str]:

@@ -1,0 +1,58 @@
+"""Bounded exponential backoff with jitter for the service client.
+
+A :class:`RetryPolicy` is pure arithmetic: ``delay(attempt)`` returns
+how long to sleep before retry number ``attempt`` (0-based), capped at
+``max_delay`` and fuzzed by up to ``jitter`` of itself so a thundering
+herd of clients does not re-dial in lockstep.  The caller decides *what*
+is retryable -- the policy only shapes the schedule.
+
+The server's overload pushback can carry a ``retry_after`` hint
+(seconds); passing it as ``floor`` makes the backoff honor the server's
+estimate instead of hammering earlier than invited.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """``attempts`` total tries; sleeps ``base_delay * multiplier**n``
+    (jittered, capped at ``max_delay``) between them."""
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 2.0,
+        jitter: float = 0.25,
+    ):
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1 or not 0 <= jitter <= 1:
+            raise ValueError("invalid backoff parameters")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+
+    def delay(self, attempt: int, floor: float | None = None) -> float:
+        """Sleep before retry ``attempt`` (0-based).  ``floor`` is a
+        server-supplied minimum (its Retry-After-style hint)."""
+        delay = min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + random.random() * self.jitter
+        if floor is not None:
+            delay = max(delay, float(floor))
+        return min(delay, self.max_delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(attempts={self.attempts}, base_delay={self.base_delay}, "
+            f"multiplier={self.multiplier}, max_delay={self.max_delay}, "
+            f"jitter={self.jitter})"
+        )

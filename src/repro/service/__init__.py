@@ -31,6 +31,7 @@ from .service import (
     ServiceOverloaded,
     ServiceResponse,
     ServiceStats,
+    ServiceUnavailable,
     oracle_discover_payload,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "ServiceStats",
     "ServiceError",
     "ServiceOverloaded",
+    "ServiceUnavailable",
     "DeadlineExceeded",
     "ServiceClosed",
     "encode_table",

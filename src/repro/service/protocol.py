@@ -28,9 +28,12 @@ import os
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from ..faults import inject
+from ..faults.retry import RetryPolicy
 from ..store.codec import decode_table, encode_table
 from ..table.table import Table
 from .service import (
@@ -39,6 +42,7 @@ from .service import (
     ServiceClosed,
     ServiceError,
     ServiceOverloaded,
+    ServiceUnavailable,
 )
 
 __all__ = [
@@ -54,9 +58,15 @@ BEACON_FILE = "service.json"
 
 _ERROR_TYPES = {
     "ServiceOverloaded": ServiceOverloaded,
+    "ServiceUnavailable": ServiceUnavailable,
     "DeadlineExceeded": DeadlineExceeded,
     "ServiceClosed": ServiceClosed,
 }
+
+#: Wire ops the client never retries: a dropped connection leaves it
+#: unknown whether the server applied the write, and replaying an ingest
+#: against a moved lake version is not idempotent.
+_NO_RETRY_OPS = frozenset({"ingest"})
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -87,6 +97,7 @@ class _Handler(socketserver.StreamRequestHandler):
             if not line:
                 continue
             try:
+                inject.fire("server.handle")
                 request = json.loads(line)
                 response = self.server.dispatch(request)
             except Exception as error:  # noqa: BLE001 - becomes the response
@@ -95,6 +106,9 @@ class _Handler(socketserver.StreamRequestHandler):
                     "kind": type(error).__name__,
                     "error": str(error),
                 }
+                retry_after = getattr(error, "retry_after", None)
+                if retry_after is not None:
+                    response["retry_after"] = retry_after
             self.wfile.write(
                 json.dumps(response, ensure_ascii=False, separators=(",", ":")).encode(
                     "utf-8"
@@ -147,6 +161,13 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 "op": "version",
                 "lake_version": self.service.version,
                 "payload": {"lake_version": self.service.version},
+            }
+        if op == "health":
+            return {
+                "ok": True,
+                "op": "health",
+                "lake_version": self.service.version,
+                "payload": self.service.health_snapshot(),
             }
         if op == "stats":
             return {
@@ -270,44 +291,99 @@ class LakeServer(socketserver.ThreadingTCPServer):
 
 
 class ServiceClient:
-    """A tiny synchronous client: one connection per call.
+    """A small synchronous client: one connection per call, with retries.
 
     Raises the service's own exception types for wire failures
     (:class:`ServiceOverloaded`, :class:`DeadlineExceeded`, ...), so
-    callers handle local and remote services identically.
+    callers handle local and remote services identically.  Connect and
+    read failures surface as :class:`ServiceUnavailable`.
+
+    Transient failures -- connection errors (:class:`ServiceUnavailable`)
+    and admission rejections (:class:`ServiceOverloaded`) -- are retried
+    with bounded exponential backoff + jitter (*retry*, a
+    :class:`~repro.faults.retry.RetryPolicy`; pass ``None`` to disable).
+    An overload response's ``retry_after`` hint floors the next delay.
+    ``ingest`` is **never** retried: a dropped connection leaves the
+    write's fate unknown, and replaying it is not idempotent.
     """
 
-    def __init__(self, address: "str | tuple[str, int]", timeout: float = 30.0):
+    def __init__(
+        self,
+        address: "str | tuple[str, int]",
+        timeout: float = 30.0,
+        connect_timeout: float | None = None,
+        retry: RetryPolicy | None = RetryPolicy(),
+    ):
         if isinstance(address, str):
             address = parse_address(address)
         self.host, self.port = address
+        #: Read timeout: the longest one request may take end to end
+        #: (kept under its historical name for call-site compatibility).
         self.timeout = timeout
+        #: Connect timeout: reaching a dead host should fail fast even
+        #: when the read timeout is generous.
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else min(timeout, 5.0)
+        )
+        self.retry = retry
 
     def call(self, op: str, **params: Any) -> dict[str, Any]:
         """Send one request document; return the response document."""
         request = {"op": op, **{k: v for k, v in params.items() if v is not None}}
-        with socket.create_connection(
-            (self.host, self.port), timeout=self.timeout
-        ) as conn:
-            conn.sendall(
-                json.dumps(request, ensure_ascii=False, separators=(",", ":")).encode(
-                    "utf-8"
+        attempts = self.retry.attempts if self.retry is not None else 1
+        if op in _NO_RETRY_OPS:
+            attempts = 1
+        for attempt in range(attempts):
+            try:
+                return self._call_once(request)
+            except (ServiceUnavailable, ServiceOverloaded) as error:
+                if attempt + 1 >= attempts:
+                    raise
+                assert self.retry is not None
+                time.sleep(
+                    self.retry.delay(
+                        attempt, floor=getattr(error, "retry_after", None)
+                    )
                 )
-                + b"\n"
-            )
-            with conn.makefile("rb") as reader:
-                line = reader.readline()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, request: dict[str, Any]) -> dict[str, Any]:
+        """One connection, one request, one response line."""
+        try:
+            inject.fire("client.connect")
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            ) as conn:
+                conn.settimeout(self.timeout)
+                conn.sendall(
+                    json.dumps(
+                        request, ensure_ascii=False, separators=(",", ":")
+                    ).encode("utf-8")
+                    + b"\n"
+                )
+                with conn.makefile("rb") as reader:
+                    line = reader.readline()
+        except OSError as error:  # ConnectionError, timeout, refused, ...
+            raise ServiceUnavailable(
+                f"service at {self.host}:{self.port} unreachable: {error}"
+            ) from error
         if not line:
-            raise ServiceError(
+            raise ServiceUnavailable(
                 f"service at {self.host}:{self.port} closed the connection"
             )
         response = json.loads(line)
         if not response.get("ok"):
             error_type = _ERROR_TYPES.get(response.get("kind"), ServiceError)
-            raise error_type(response.get("error", "service error"))
+            error = error_type(response.get("error", "service error"))
+            if response.get("retry_after") is not None:
+                error.retry_after = response["retry_after"]
+            raise error
         return response
 
     # Typed conveniences ------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self.call("health")["payload"]
+
     def ping(self) -> bool:
         return bool(self.call("ping")["payload"]["pong"])
 

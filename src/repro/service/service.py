@@ -72,6 +72,7 @@ __all__ = [
     "ServiceStats",
     "ServiceError",
     "ServiceOverloaded",
+    "ServiceUnavailable",
     "DeadlineExceeded",
     "ServiceClosed",
     "oracle_discover_payload",
@@ -83,7 +84,22 @@ class ServiceError(RuntimeError):
 
 
 class ServiceOverloaded(ServiceError):
-    """Admission rejected: the in-flight request count is at capacity."""
+    """Admission rejected: the in-flight request count is at capacity.
+
+    ``retry_after`` is the server's backoff hint in seconds (crossing the
+    wire as the error document's ``retry_after`` field); the retrying
+    client floors its next delay at it.
+    """
+
+    def __init__(self, message: str = "", retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailable(ServiceError):
+    """The service could not be reached (connect/read failure, dropped
+    connection).  The request may never have arrived, so only idempotent
+    operations are safe to retry on it."""
 
 
 class DeadlineExceeded(ServiceError):
@@ -163,6 +179,7 @@ class ServiceStats:
         "batched_requests",
         "reloads",
         "ingests",
+        "degraded",
     )
     _LATENCY_PREFIX = "service.latency."
 
@@ -284,6 +301,10 @@ class LakeService:
     context manager (or call :meth:`close`) to stop the worker pool.
     """
 
+    #: The backoff hint attached to :class:`ServiceOverloaded` (seconds);
+    #: long enough for a worker slot to turn over on a loaded service.
+    overload_retry_after = 0.05
+
     def __init__(
         self,
         store: "str | Path | LakeStore | None" = None,
@@ -398,6 +419,26 @@ class LakeService:
                 snapshot["num_shards"] = store.num_shards
                 snapshot["shard_versions"] = store.shard_versions()
         return snapshot
+
+    def health_snapshot(self) -> dict[str, Any]:
+        """Liveness + degradation in one cheap document (the ``health``
+        wire op): repro version-agnostic status, the serving lake
+        version, per-shard worker liveness for sharded lakes, and which
+        shards (if any) the *last* discover had to serve without."""
+        index = getattr(self._gen.pipeline, "_index", None)
+        degraded = tuple(getattr(index, "last_degraded_shards", ()) or ())
+        document: dict[str, Any] = {
+            "status": "closed" if self._closed else ("degraded" if degraded else "ok"),
+            "lake_version": self.version,
+            "inflight": self._inflight,
+            "workers": self.workers,
+            "degraded_shards": list(degraded),
+            "worker_respawns": int(getattr(index, "worker_respawns", 0) or 0),
+        }
+        shard_health = getattr(index, "shard_health", None)
+        if shard_health is not None:
+            document["shards"] = shard_health()
+        return document
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """The full instrument view: this service's private registry
@@ -727,7 +768,8 @@ class LakeService:
                 self.stats.count("rejected_overload")
                 raise ServiceOverloaded(
                     f"{self._inflight} requests in flight (queue depth "
-                    f"{self.queue_depth}); retry later"
+                    f"{self.queue_depth}); retry later",
+                    retry_after=self.overload_retry_after,
                 )
             self._inflight += 1
 
@@ -866,7 +908,14 @@ class LakeService:
                 )
         handler = self._handlers[request.op]
         payload = handler(gen, request.params)
-        if request.key is not None:
+        # Degraded payloads (shards lost past the supervised retry) are
+        # served -- annotated -- but never cached: a later request must
+        # get a complete answer once the shard recovers, and the cache is
+        # keyed by version only, which a shard death does not move.
+        degraded = isinstance(payload, dict) and payload.get("degraded_shards")
+        if degraded:
+            self.stats.count("degraded")
+        if request.key is not None and not degraded:
             self.cache.put((gen.version, request.key), payload)
         return ServiceResponse(
             op=request.op,
@@ -925,7 +974,11 @@ class LakeService:
                     for r, outcome in zip(unique, outcomes)
                 }
             for key, payload in keyed.items():
-                self.cache.put((gen.version, key), payload)
+                # Same degraded-never-cached rule as _compute_response.
+                if payload.get("degraded_shards"):
+                    self.stats.count("degraded")
+                else:
+                    self.cache.put((gen.version, key), payload)
                 for request in pending[key]:
                     self._fulfil(
                         request,
@@ -1107,8 +1160,12 @@ def oracle_discover_payload(
 
 
 def _discover_payload(outcome) -> dict[str, Any]:
-    """The deterministic, name-free discover response document."""
-    return {
+    """The deterministic, name-free discover response document.
+
+    ``degraded_shards`` appears *only* when non-empty, so healthy
+    payloads stay byte-identical to every pre-fault-tolerance response
+    (and to the oracle the chaos harness compares against)."""
+    document: dict[str, Any] = {
         "results": [
             {
                 "table": r.table_name,
@@ -1120,6 +1177,10 @@ def _discover_payload(outcome) -> dict[str, Any]:
         ],
         "integration_set": [t.name for t in outcome.integration_set[1:]],
     }
+    degraded = tuple(getattr(outcome, "degraded_shards", ()) or ())
+    if degraded:
+        document["degraded_shards"] = list(degraded)
+    return document
 
 
 # Response payloads carry tables in the same canonical document shape the

@@ -17,7 +17,7 @@ answers with the deterministic total order the single-store pipeline uses
 tables (pinned by ``tests/property/test_shard_equivalence.py``).
 """
 
-from .store import ShardedDataLake, ShardedLakeStore, open_any_store
+from .store import ShardedDataLake, ShardedLakeStore, open_any_store, recover_any_store
 from .index import ShardedLakeIndex
 
 __all__ = [
@@ -25,4 +25,5 @@ __all__ = [
     "ShardedDataLake",
     "ShardedLakeIndex",
     "open_any_store",
+    "recover_any_store",
 ]

@@ -42,6 +42,17 @@ hops); ``"processes"`` gives each shard a single-worker process pool
 whose initializer hydrates the shard index once (warm across requests).
 Pools are wrapped in refcounted leases so a service reload keeps the
 warm worker of every shard whose version did not move.
+
+**Supervision** (process mode): a scatter that loses a worker -- the
+process died (``BrokenProcessPool``) or blew the per-scatter deadline
+(``scatter_timeout``) -- respawns that shard's pool and retries the
+failed shards once.  A shard that fails its retry too is dropped from
+the merge and reported in :attr:`last_degraded_shards`: the query
+returns the surviving shards' answer, explicitly *degraded* rather than
+failed (the serving layer annotates the payload and skips its result
+cache).  Only when every shard fails does the search raise.  Respawns
+and degraded scatters are counted in ``repro.obs`` metrics
+(``shard.worker.respawns``, ``shard.scatter.degraded``).
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ from typing import Any, Sequence
 
 from ..datalake.indexer import LakeIndex
 from ..discovery.base import Discoverer, DiscoveryResult, merge_result_sets
+from ..faults import inject
 from ..obs import metrics, trace
 from ..store.codec import encode_table
 from ..store.lakestore import StoreError
@@ -101,7 +113,12 @@ class _PoolLease:
             max_workers=1,
             mp_context=_mp_context(),
             initializer=shard_worker.process_worker_init,
-            initargs=(self.path,),
+            # The version pin makes respawns safe under concurrent
+            # ingests: a worker spawned while the shard's on-disk state
+            # has already moved past this lease's generation exits
+            # cleanly instead of hydrating -- and answering from -- a
+            # version its driver is not serving.
+            initargs=(self.path, self.version),
         )
 
     def acquire(self) -> "_PoolLease":
@@ -126,6 +143,12 @@ class _PoolLease:
             raise RuntimeError(f"pool lease for {self.path} already shut down")
         return pool.submit(fn, *args)
 
+    def alive(self) -> bool:
+        """False once the pool is shut down or its worker died (a broken
+        pool stays broken until the supervisor respawns the lease)."""
+        pool = self._pool
+        return pool is not None and not getattr(pool, "_broken", False)
+
 
 class ShardedLakeIndex:
     """Per-shard engines + rosters behind the :class:`LakeIndex` search
@@ -137,6 +160,7 @@ class ShardedLakeIndex:
         store: ShardedLakeStore,
         discoverers: Sequence[Discoverer] | None = None,
         executor: str = "auto",
+        scatter_timeout: float | None = 60.0,
     ):
         if executor not in ("auto", "threads", "processes"):
             raise ValueError(
@@ -162,6 +186,12 @@ class ShardedLakeIndex:
         self._budget: int | None = None
         self._closed = False
         self._last_critical_cpu_s = 0.0
+        # Per-scatter deadline (process mode): a worker that neither
+        # answers nor dies within this window counts as hung and its pool
+        # is respawned.  None disables the deadline.
+        self._scatter_timeout = scatter_timeout
+        self._last_degraded: tuple[int, ...] = ()
+        self._respawns = 0
         # Serializes lazy executor construction: the serving layer's
         # worker threads may race the first search.
         self._exec_lock = threading.Lock()
@@ -203,6 +233,42 @@ class ShardedLakeIndex:
         per-shard reports into the global accounting the unsharded engine
         would have recorded (``discover --explain``)."""
         return {name: dict(doc) for name, doc in self._last_reports.items()}
+
+    @property
+    def last_degraded_shards(self) -> tuple[int, ...]:
+        """Shard indexes the previous :meth:`search` could not recover
+        (dead even after a respawn + retry) -- empty on a healthy query.
+        The pipeline threads this into the response's degraded-result
+        annotation."""
+        return self._last_degraded
+
+    @property
+    def worker_respawns(self) -> int:
+        """Shard pools respawned by supervision over this index's life."""
+        return self._respawns
+
+    def shard_health(self) -> list[dict[str, Any]]:
+        """Per-shard liveness (the service ``health`` op's shard view).
+        A lease that was never spawned reports alive -- it will be on
+        first use; a broken one reports dead until supervision respawns
+        it on the next scatter."""
+        health: list[dict[str, Any]] = []
+        for i, name in enumerate(self._store.shard_names):
+            entry: dict[str, Any] = {
+                "shard": name,
+                "version": (
+                    self._shard_versions[i]
+                    if i < len(self._shard_versions)
+                    else None
+                ),
+            }
+            if self._executor == "processes":
+                lease = self._leases[i]
+                entry["alive"] = True if lease is None else lease.alive()
+            else:
+                entry["alive"] = True
+            health.append(entry)
+        return health
 
     # ------------------------------------------------------------------
     # Lake-global fit state (see the module docstring)
@@ -451,6 +517,23 @@ class ShardedLakeIndex:
                 leases.append(lease)
             return leases
 
+    def _respawn_lease(self, i: int) -> None:
+        """Replace shard *i*'s pool with a fresh one (its worker died or
+        hung); the old lease is released, not waited on -- a hung task
+        cannot block the respawn."""
+        with self._exec_lock:
+            old = self._leases[i]
+            self._leases[i] = _PoolLease(
+                str(self._store.shards[i].path), self._shard_versions[i]
+            )
+        if old is not None:
+            try:
+                old.release()
+            except Exception:  # noqa: BLE001 - a broken pool may refuse
+                pass
+        self._respawns += 1
+        metrics.counter("shard.worker.respawns").inc()
+
     # ------------------------------------------------------------------
     # Search: scatter, reduce, (maybe) fallback scatter
     # ------------------------------------------------------------------
@@ -484,11 +567,18 @@ class ShardedLakeIndex:
             names = list(self._roster_names) or None
         tracer = trace.current_tracer()
         critical_cpu = 0.0
+        degraded_all: set[int] = set()
         with trace.span("discover.scatter", shards=self._store.num_shards) as scatter:
             scatter_span = scatter if tracer is not None else None
-            answers, walls, cpus = self._scatter(
+            answers, walls, cpus, degraded = self._scatter(
                 query, k, query_column, names, "deferred", tracer, scatter_span
             )
+            degraded_all.update(degraded)
+            if not answers:
+                raise StoreError(
+                    f"discover scatter failed on every shard "
+                    f"(shards {sorted(degraded_all)} dead after respawn + retry)"
+                )
             self._observe_skew(walls, scatter)
             critical_cpu += max(cpus, default=0.0)
             ordered = names if names is not None else list(answers[0].keys())
@@ -502,10 +592,18 @@ class ShardedLakeIndex:
                 else:
                     merged[name] = reduced
             if needs_fallback:
-                fallback_answers, fallback_walls, fallback_cpus = self._scatter(
-                    query, k, query_column, needs_fallback, "fallback",
-                    tracer, scatter_span,
+                fallback_answers, fallback_walls, fallback_cpus, degraded = (
+                    self._scatter(
+                        query, k, query_column, needs_fallback, "fallback",
+                        tracer, scatter_span,
+                    )
                 )
+                degraded_all.update(degraded)
+                if not fallback_answers:
+                    raise StoreError(
+                        f"fallback scatter failed on every shard "
+                        f"(shards {sorted(degraded_all)} dead after respawn + retry)"
+                    )
                 self._observe_skew(fallback_walls, scatter)
                 critical_cpu += max(fallback_cpus, default=0.0)
                 for name in needs_fallback:
@@ -517,6 +615,9 @@ class ShardedLakeIndex:
                     rows.sort(key=lambda r: (-r.score, r.table_name))
                     merged[name] = rows[:k]
         self._last_critical_cpu_s = critical_cpu
+        self._last_degraded = tuple(sorted(degraded_all))
+        if degraded_all:
+            metrics.counter("shard.scatter.degraded").inc()
         return {name: merged[name] for name in ordered}
 
     @property
@@ -551,10 +652,12 @@ class ShardedLakeIndex:
         round_: str,
         tracer,
         scatter_span,
-    ) -> tuple[list[dict[str, Any]], list[float], list[float]]:
+    ) -> tuple[list[dict[str, Any]], list[float], list[float], tuple[int, ...]]:
         """Run one round on every shard; returns (per-shard answers,
-        per-shard wall seconds, per-shard own-CPU seconds), in shard
-        roster order."""
+        per-shard wall seconds, per-shard own-CPU seconds, degraded shard
+        indexes), answers in shard roster order with degraded shards
+        omitted.  Thread mode has no supervision (a thread cannot die
+        under the driver) so its degraded set is always empty."""
         num = self._store.num_shards
         if self._executor == "threads":
             pool = self._ensure_thread_pool()
@@ -590,36 +693,90 @@ class ShardedLakeIndex:
                 [o[0] for o in outcomes],
                 [o[1] for o in outcomes],
                 [o[2] for o in outcomes],
+                (),
             )
 
         leases = self._ensure_leases()
         document = encode_table(query)
-        futures = [
-            leases[i].submit(
-                shard_worker.process_worker_run,
-                {
-                    "query": document,
-                    "k": k,
-                    "column": query_column,
-                    "names": list(names) if names is not None else None,
-                    "budget": self._budget,
-                    "label": f"shard[{i}]",
-                    "round": round_,
-                },
-            )
-            for i in range(num)
-        ]
+
+        def payload_for(i: int) -> dict[str, Any]:
+            doc: dict[str, Any] = {
+                "query": document,
+                "k": k,
+                "column": query_column,
+                "names": list(names) if names is not None else None,
+                "budget": self._budget,
+                "label": f"shard[{i}]",
+                "round": round_,
+            }
+            # The fault plane is process-local, so an armed worker kill is
+            # consumed driver-side at submit time and shipped as a poison
+            # flag the worker honors with os._exit -- a *real* process
+            # death, exercising the same BrokenProcessPool path an OOM
+            # kill or segfault would.
+            if inject.take_worker_kill(i):
+                doc["_fault_kill"] = True
+            return doc
+
+        results: dict[int, dict[str, Any]] = {}
+        failed: list[int] = []
+        futures_by_shard: dict[int, Any] = {}
+        for i in range(num):
+            try:
+                futures_by_shard[i] = leases[i].submit(
+                    shard_worker.process_worker_run, payload_for(i)
+                )
+            except Exception:  # noqa: BLE001 - broken/closed pool at submit
+                failed.append(i)
+        for i, future in futures_by_shard.items():
+            try:
+                results[i] = future.result(timeout=self._scatter_timeout)
+            except Exception:  # noqa: BLE001 - BrokenProcessPool / deadline
+                failed.append(i)
+        degraded: list[int] = []
+        if failed:
+            # Supervision: respawn each failed shard's pool, retry the
+            # scatter once on those shards only.  A shard that fails its
+            # retry too is dropped from this answer (degraded result) and
+            # left with a fresh pool for the next query.
+            metrics.counter("shard.scatter.failures").inc(len(failed))
+            for i in sorted(failed):
+                self._respawn_lease(i)
+            leases = self._ensure_leases()
+            retries: dict[int, Any] = {}
+            for i in sorted(failed):
+                try:
+                    retries[i] = leases[i].submit(
+                        shard_worker.process_worker_run, payload_for(i)
+                    )
+                except Exception:  # noqa: BLE001
+                    retries[i] = None
+            for i in sorted(failed):
+                outcome = None
+                future = retries.get(i)
+                if future is not None:
+                    try:
+                        outcome = future.result(timeout=self._scatter_timeout)
+                    except Exception:  # noqa: BLE001
+                        outcome = None
+                if outcome is None:
+                    degraded.append(i)
+                    self._respawn_lease(i)
+                else:
+                    results[i] = outcome
         answers: list[dict[str, Any]] = []
         walls: list[float] = []
         cpus: list[float] = []
-        for future in futures:
-            outcome = future.result()
+        for i in range(num):
+            outcome = results.get(i)
+            if outcome is None:
+                continue
             answers.append(outcome["answer"])
             walls.append(outcome["wall_s"])
             cpus.append(outcome.get("cpu_s", outcome["wall_s"]))
             if tracer is not None:
                 tracer.attach_tree(outcome["trace"], parent=scatter_span)
-        return answers, walls, cpus
+        return answers, walls, cpus, tuple(degraded)
 
     @staticmethod
     def _run_local(

@@ -35,6 +35,8 @@ from typing import Any, Iterator, Mapping
 
 from ..datalake.catalog import DataLake
 from ..datalake.stats import LakeStats
+from ..faults import inject
+from ..store import journal
 from ..store.lakestore import (
     IngestReport,
     LakeStore,
@@ -49,6 +51,7 @@ __all__ = [
     "ShardedDataLake",
     "ShardedLakeStats",
     "open_any_store",
+    "recover_any_store",
 ]
 
 _FORMAT = "repro-sharded-lake"
@@ -80,6 +83,37 @@ def open_any_store(path: str | Path, **open_options: Any):
     if (path / "lake.json").exists():
         return ShardedLakeStore.open(path, **open_options)
     return LakeStore.open(path, **open_options)
+
+
+def recover_any_store(path: str | Path) -> list[dict[str, Any]]:
+    """Run crash recovery on whichever store layout lives at *path*,
+    without fully opening it (the ``repro store recover`` verb).  Returns
+    one summary dict per repair performed (empty = nothing to do).
+
+    Opening a store runs the same recovery implicitly; this entry point
+    exists for operators who want to settle a crashed writer's journal --
+    and see what it did -- before pointing a service at the directory.
+    """
+    path = Path(path)
+    repairs: list[dict[str, Any]] = []
+    if (path / "lake.json").exists() or (
+        journal.read_journal(path) or {}
+    ).get("op") == "rebalance":
+        root = ShardedLakeStore._recover(path)
+        if root:
+            repairs.append(root)
+        manifest_path = path / "lake.json"
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            for name in manifest.get("shards", []):
+                fixed = LakeStore.recover(path / name)
+                if fixed:
+                    repairs.append(dict(fixed, shard=name))
+        return repairs
+    fixed = LakeStore.recover(path)
+    if fixed:
+        repairs.append(fixed)
+    return repairs
 
 
 class ShardedLakeStore:
@@ -159,6 +193,7 @@ class ShardedLakeStore:
         **shard_options: Any,
     ) -> "ShardedLakeStore":
         path = Path(path)
+        cls._recover(path)
         manifest_path = path / "lake.json"
         if not manifest_path.exists():
             raise StoreNotFound(f"no sharded lake manifest at {path}")
@@ -180,6 +215,83 @@ class ShardedLakeStore:
             for name in manifest["shards"]
         ]
         return cls(path, manifest, shards, stats_cache_capacity=stats_cache_capacity)
+
+    @classmethod
+    def _recover(cls, path: Path) -> dict[str, Any] | None:
+        """Settle an interrupted :meth:`rebalance` (runs at the top of
+        :meth:`open`; per-shard journals are handled by each shard's own
+        :meth:`LakeStore.recover`).
+
+        The ``lake.json`` replace is the commit point.  Journal txn ==
+        manifest txn means the new layout committed: finish the cleanup
+        (drop the ``.old-<txn>`` shard backups, the staging directory and
+        the stale global fit state).  A mismatch means it never
+        committed: restore every backed-up shard directory, delete any
+        new-layout directories that were already moved in, and drop
+        staging -- placement is unique again either way, never a table in
+        two live shards.
+
+        As with :meth:`LakeStore.recover`, a journal whose rebalancer is
+        still alive (root writer lock held) is left untouched.
+        """
+        if journal.read_journal(path) is None:
+            return None
+        lock = journal.acquire_writer_lock(path, blocking=False)
+        if lock is None:
+            # Live rebalance in progress; nothing has crashed.
+            return None
+        try:
+            return cls._settle(path)
+        finally:
+            lock.release()
+
+    @classmethod
+    def _settle(cls, path: Path) -> dict[str, Any] | None:
+        """Settlement body of :meth:`_recover`; caller holds the root
+        writer lock, so re-read the journal under it."""
+        doc = journal.read_journal(path)
+        (path / (journal.JOURNAL_NAME + ".tmp")).unlink(missing_ok=True)
+        if doc is None:
+            return None
+        if doc.get("op") != "rebalance":
+            # A foreign journal at a sharded root is stray intent from a
+            # never-started operation; nothing was written under it.
+            journal.journal_path(path).unlink(missing_ok=True)
+            return None
+        manifest_path = path / "lake.json"
+        manifest: dict[str, Any] = {}
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:  # pragma: no cover - torn writes
+                manifest = {}               # are prevented by tmp+replace
+        committed = manifest.get("txn") == doc.get("txn")
+        staging = path.parent / doc.get("staging", path.name + ".rebalance")
+        backups: dict[str, str] = doc.get("backups", {})
+        if committed:
+            for backup in backups.values():
+                shutil.rmtree(path / backup, ignore_errors=True)
+            (path / _FIT_STATE_FILE).unlink(missing_ok=True)
+        else:
+            old_names = set(doc.get("old_shards", []))
+            for name, backup in backups.items():
+                backup_dir = path / backup
+                if backup_dir.exists():
+                    current = path / name
+                    if current.exists():
+                        shutil.rmtree(current)
+                    os.replace(backup_dir, current)
+            for name in doc.get("new_shards", []):
+                if name not in old_names and (path / name).exists():
+                    shutil.rmtree(path / name)
+        shutil.rmtree(staging, ignore_errors=True)
+        (path / "lake.json.tmp").unlink(missing_ok=True)
+        journal.journal_path(path).unlink(missing_ok=True)
+        journal.fsync_dir(path)
+        return {
+            "op": "rebalance",
+            "action": "rolled_forward" if committed else "rolled_back",
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -424,33 +536,70 @@ class ShardedLakeStore:
         routing seed), returning a fresh handle on the result.
 
         Builds the new layout in a sibling staging directory, then swaps
-        it in.  The swap is **not** atomic (it moves shard directories);
-        do not rebalance under live writers, and expect to rebuild
-        discoverer indexes afterwards -- every shard's version restarts,
-        so all persisted indexes and the global fit state are invalidated
-        (the fit-state file is dropped here).
+        it in under the root intent journal: old shard directories are
+        *renamed aside* (``<name>.old-<txn>``), the staged ones moved in,
+        and the ``lake.json`` replace commits the swap -- a crash at any
+        point recovers to exactly the old or the new placement (never a
+        table visible in two live shards; see :meth:`_recover`).  Do not
+        rebalance under live writers or concurrent opens, and expect to
+        rebuild discoverer indexes afterwards -- every shard's version
+        restarts, so all persisted indexes and the global fit state are
+        invalidated (the fit-state file is dropped at commit).
         """
         if routing_seed is None:
             routing_seed = self.routing_seed
         staging = self._path.parent / (self._path.name + ".rebalance")
         if staging.exists():
             shutil.rmtree(staging)
-        fresh = type(self).create(
-            staging, num_shards=num_shards, routing_seed=routing_seed
-        )
-        for name in self.table_names:
-            fresh.ingest({name: self.load_table(name)}, prune=False)
         old_names = self.shard_names
-        fresh_names = fresh.shard_names
-        # Swap: drop old shard dirs + manifest, move the staged ones in.
-        for name in old_names:
-            shutil.rmtree(self._path / name, ignore_errors=True)
-        (self._path / _FIT_STATE_FILE).unlink(missing_ok=True)
-        for name in fresh_names:
-            os.replace(staging / name, self._path / name)
-        self._manifest = dict(fresh._manifest)
-        self._write_manifest()
-        shutil.rmtree(staging, ignore_errors=True)
+        new_names = [f"shard-{i:03d}" for i in range(num_shards)]
+        txn = journal.txn_id(
+            "rebalance", old_names, new_names, routing_seed, self.shard_versions()
+        )
+        backups = {name: f"{name}.old-{txn[:8]}" for name in old_names}
+        # Root writer lock for the whole swap: a concurrent open()'s
+        # recovery must see this journal as live, not crashed.
+        lock = journal.acquire_writer_lock(self._path)
+        try:
+            journal.write_journal(
+                self._path,
+                {
+                    "op": "rebalance",
+                    "txn": txn,
+                    "staging": staging.name,
+                    "old_shards": old_names,
+                    "new_shards": new_names,
+                    "backups": backups,
+                },
+            )
+            fresh = type(self).create(
+                staging, num_shards=num_shards, routing_seed=routing_seed
+            )
+            for name in self.table_names:
+                fresh.ingest({name: self.load_table(name)}, prune=False)
+            inject.fire("shard.rebalance.stage")
+            # Swap: rename old shard dirs aside (revertible), move staged in.
+            for name, backup in backups.items():
+                os.replace(self._path / name, self._path / backup)
+                inject.fire("shard.rebalance.backup", shard=name)
+            for name in new_names:
+                os.replace(staging / name, self._path / name)
+                inject.fire("shard.rebalance.move", shard=name)
+            manifest = dict(fresh._manifest)
+            manifest["txn"] = txn
+            self._manifest = manifest
+            self._write_manifest()
+            inject.fire("shard.rebalance.commit")
+            # Committed: the cleanup below is exactly what roll-forward
+            # recovery would finish after a crash from here on.
+            (self._path / _FIT_STATE_FILE).unlink(missing_ok=True)
+            for backup in backups.values():
+                shutil.rmtree(self._path / backup, ignore_errors=True)
+            shutil.rmtree(staging, ignore_errors=True)
+            journal.clear_journal(self._path)
+        finally:
+            if lock is not None:
+                lock.release()
         return self.reopen()
 
     # ------------------------------------------------------------------
@@ -461,7 +610,9 @@ class ShardedLakeStore:
             json.dumps(self._manifest, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        journal.fsync_file(temp)
         temp.replace(file)
+        journal.fsync_dir(self._path)
 
 
 class ShardedDataLake(DataLake):

@@ -40,6 +40,7 @@ span trees come back as dicts for the driver to graft
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -174,14 +175,34 @@ def fallback_search(
 _WORKER: dict[str, Any] = {}
 
 
-def process_worker_init(shard_path: str) -> None:
+def process_worker_init(shard_path: str, expected_version: int | None = None) -> None:
     """Pool initializer: hydrate this shard's persisted index (stats
-    snapshots, postings artifact, discoverer pickles) exactly once."""
-    from ..datalake.indexer import LakeIndex
-    from ..store.lakestore import LakeStore
+    snapshots, postings artifact, discoverer pickles) exactly once.
 
-    store = LakeStore.open(shard_path)
-    index = LakeIndex.from_store(store)
+    ``expected_version`` pins hydration to the lease's generation.  A
+    *respawned* worker (supervision replacing a dead one) can race a
+    concurrent ingest: the shard's on-disk version has moved and its
+    persisted indexes belong to a lake the driver is not serving --
+    answering from them would return wrong-version results.  Exiting
+    cleanly instead turns the race into a supervised scatter failure:
+    the affected answer degrades (annotated, never cached) until the
+    service reload swaps in a generation built for the new version.
+    ``os._exit`` rather than ``raise`` so the driver sees the same
+    broken-pool signal as a crash, without an initializer traceback
+    polluting stderr on an expected transition.
+    """
+    from ..datalake.indexer import LakeIndex
+    from ..store.lakestore import LakeStore, StoreError
+
+    try:
+        store = LakeStore.open(shard_path)
+        if expected_version is not None and store.lake_version != expected_version:
+            os._exit(3)
+        index = LakeIndex.from_store(store)
+    except StoreError:
+        # Mid-ingest artifact state (persisted indexes dropped, not yet
+        # rebuilt): same transition as the version race above.
+        os._exit(3)
     index.engine.defer_policy = True
     _WORKER["index"] = index
 
@@ -189,6 +210,12 @@ def process_worker_init(shard_path: str) -> None:
 def process_worker_run(payload: dict[str, Any]) -> dict[str, Any]:
     """One scatter task: decode the query, run the requested round on the
     warm shard index under a local tracer, ship results + span tree back."""
+    if payload.get("_fault_kill"):
+        # Injected worker death (repro.faults fault point
+        # ``shard.worker.exit``): die for real, before answering, so the
+        # driver observes a genuine BrokenProcessPool -- not an exception
+        # a result pickle could soften.
+        os._exit(17)
     index = _WORKER["index"]
     index.engine.default_budget = payload.get("budget")
     query = decode_table(payload["query"])

@@ -49,6 +49,18 @@ small ``version.json`` sibling (written on every manifest commit) lets
 :meth:`LakeStore.current_version` poll the on-disk version cheaply without
 re-parsing the full manifest -- the watch hook the serving layer
 (:mod:`repro.service`) uses to detect foreign ingests and hot-reload.
+
+Multi-file mutations (ingest, remove, migrate) are additionally
+**crash-consistent as a unit**: the store records its intent in
+``journal.json`` before the first write, fsyncs every data file (and its
+directory) before the manifest replace, stamps the manifest with the
+journal's deterministic ``txn`` id, and clears the journal only after the
+stale files are gone.  :meth:`LakeStore.open` runs :meth:`recover` first,
+which rolls an interrupted operation forward (journal txn == manifest
+txn: finish deleting stale files) or back (delete the pending files the
+crashed run had written) -- so a crash at *any* write point yields
+exactly the old or the new ``lake_version``, with no orphan files.  See
+:mod:`repro.store.journal` for the protocol.
 """
 
 from __future__ import annotations
@@ -64,10 +76,12 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from ..datalake.catalog import DataLake
 from ..datalake.stats import LakeStats
 from ..discovery.base import Discoverer
+from ..faults import inject
 from ..obs import metrics, trace
 from ..table.stats import TableStats
 from ..table.table import Table
 from ..table.values import Cell
+from . import journal
 from .codec import table_content_hash
 from .lru import LRUCache
 from .segment import (
@@ -167,6 +181,8 @@ class LakeStore:
         # (an evicted snapshot a live table already adopted stays valid --
         # the table keeps its reference; only the store-side pointer goes).
         self._stats_cache: LRUCache = LRUCache(stats_cache_capacity)
+        # Held only for the span of a journaled mutation (see _begin).
+        self._writer_lock: journal.WriterLock | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -230,6 +246,7 @@ class LakeStore:
         (None = unbounded, the batch default); see :class:`.lru.LRUCache`.
         """
         path = Path(path)
+        cls.recover(path)
         manifest_path = path / "manifest.json"
         if not manifest_path.exists():
             raise StoreNotFound(f"no lake store manifest at {path}")
@@ -252,6 +269,94 @@ class LakeStore:
                     f"the store (index build) or open with the matching SketchConfig"
                 )
         return store
+
+    @classmethod
+    def recover(cls, path: str | Path) -> dict[str, Any] | None:
+        """Settle an interrupted multi-file operation (crash recovery).
+
+        Runs at the top of :meth:`open`.  No journal means the last
+        operation finished cleanly -- return ``None`` without touching
+        anything.  Otherwise the manifest decides which side of the
+        commit point the crash fell on:
+
+        * journal ``txn`` == manifest ``txn``: the operation *committed*;
+          roll forward by finishing the post-commit cleanup (delete the
+          journal's ``stale`` files, refresh the version beacon);
+        * mismatch: the operation never committed; roll back by deleting
+          the ``pending`` files the crashed run managed to write -- the
+          manifest still references only the old, intact files.
+
+        Either way stray ``*.tmp`` files are garbage-collected and the
+        journal is cleared, leaving the directory byte-for-byte equal to
+        the pre- or post-operation state.
+
+        A journal whose writer is still *alive* (advisory writer lock
+        held -- readers may open while a writer mutates) is left alone:
+        the committed manifest never references pending files, so the
+        open proceeding without settlement still sees a consistent
+        store.
+        """
+        path = Path(path)
+        if journal.read_journal(path) is None:
+            return None
+        lock = journal.acquire_writer_lock(path, blocking=False)
+        if lock is None:
+            # Live writer mid-mutation; nothing has crashed.
+            return None
+        try:
+            return cls._settle(path)
+        finally:
+            lock.release()
+
+    @classmethod
+    def _settle(cls, path: Path) -> dict[str, Any] | None:
+        """The settlement body of :meth:`recover`; caller holds the
+        writer lock (so the journal can no longer change under us --
+        re-read it, the writer may have finished between the lock-free
+        peek and the lock grant)."""
+        doc = journal.read_journal(path)
+        (path / (journal.JOURNAL_NAME + ".tmp")).unlink(missing_ok=True)
+        if doc is None:
+            return None
+        manifest_path = path / "manifest.json"
+        if not manifest_path.exists():
+            # Crashed before the store's very first manifest write; there
+            # is no store to repair, only intent to discard.
+            journal.journal_path(path).unlink(missing_ok=True)
+            return {"op": doc.get("op"), "action": "discarded", "removed": []}
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        committed = manifest.get("txn") == doc.get("txn")
+        removed: list[str] = []
+        for rel in doc.get("stale" if committed else "pending", []):
+            file = path / rel
+            if file.exists():
+                file.unlink()
+                removed.append(rel)
+        for sub in ("", "segments", "stats", "indexes", "postings"):
+            directory = path / sub if sub else path
+            if directory.is_dir():
+                for stray in directory.glob("*.tmp"):
+                    stray.unlink(missing_ok=True)
+        # Re-sync the cheap version beacon: a crash between the manifest
+        # replace and the beacon write leaves pollers behind otherwise.
+        version_path = path / "version.json"
+        try:
+            beacon = json.loads(version_path.read_text(encoding="utf-8"))
+            beacon_version = int(beacon["lake_version"])
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, ValueError):
+            beacon_version = None
+        if beacon_version != manifest.get("lake_version"):
+            journal.write_json_atomic(
+                version_path, {"lake_version": manifest["lake_version"]}
+            )
+        journal.journal_path(path).unlink(missing_ok=True)
+        journal.fsync_dir(path)
+        metrics.counter("store.recoveries").inc()
+        return {
+            "op": doc.get("op"),
+            "action": "rolled_forward" if committed else "rolled_back",
+            "removed": removed,
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -396,13 +501,7 @@ class LakeStore:
         updated: list[str] = []
         unchanged: list[str] = []
         removed: list[str] = []
-        # Relative paths that become garbage once the new manifest commits.
-        # File stems are content-addressed (the stem embeds the content
-        # hash), so an update writes *new* segment/stats files and the
-        # manifest replace is the single atomic commit point: a crash at
-        # any moment leaves the old manifest describing the old, intact
-        # files.  Stale files are unlinked only after the commit.
-        stale: list[str] = []
+        writes: list[tuple[str, Table, str]] = []
 
         for name, table in lake.items():
             digest = table_content_hash(table)
@@ -412,26 +511,54 @@ class LakeStore:
                 if adopt_stats:
                     table.adopt_stats(self.table_stats(name))
                 continue
-            new_entry = self._write_table(name, table, digest, segment_format)
-            if entry is not None:
-                stale.extend(entry[key] for key in ("segment", "stats"))
-            tables[name] = new_entry
-            self._stats_cache.pop(name, None)
+            writes.append((name, table, digest))
             (updated if entry is not None else added).append(name)
 
         if prune:
-            for name in [n for n in tables if n not in lake]:
-                removed.append(name)
-                entry = tables.pop(name)
-                stale.extend(entry[key] for key in ("segment", "stats"))
-                self._stats_cache.pop(name, None)
+            removed = [n for n in tables if n not in lake]
 
-        if added or updated or removed:
+        if not writes and not removed:
+            self._write_manifest()
+            return IngestReport(
+                unchanged=tuple(unchanged), lake_version=self.lake_version
+            )
+
+        # Plan the whole delta up front so intent can be journaled before
+        # the first write.  ``pending`` is every file this call will
+        # create; ``stale`` every file that becomes garbage once the new
+        # manifest commits.  File stems are content-addressed (the stem
+        # embeds the content hash), so an update writes *new* segment/
+        # stats files and the manifest replace is the single atomic commit
+        # point: a crash at any moment leaves the old manifest describing
+        # the old, intact files, and recovery rolls the journal forward or
+        # back.  Stale files are unlinked only after the commit.
+        stale: list[str] = []
+        pending: list[str] = []
+        for name, _table, digest in writes:
+            entry = tables.get(name)
+            if entry is not None:
+                stale.extend(entry[key] for key in ("segment", "stats"))
+            stem = self._file_stem(name, digest)
+            pending.append(self._segment_rel(stem, segment_format))
+            pending.append(f"stats/{stem}.stats.json")
+        for name in removed:
+            stale.extend(tables[name][key] for key in ("segment", "stats"))
+        stale.extend(self._artifact_files())
+
+        txn = self._begin("ingest", pending, stale)
+        try:
+            for name, table, digest in writes:
+                tables[name] = self._write_table(name, table, digest, segment_format)
+                self._stats_cache.pop(name, None)
+            for name in removed:
+                tables.pop(name)
+                self._stats_cache.pop(name, None)
             self._manifest["lake_version"] += 1
-            stale.extend(self._invalidate_indexes())
-            stale.extend(self._invalidate_postings())
-        self._write_manifest()
-        self._unlink_all(stale)
+            self._invalidate_indexes()
+            self._invalidate_postings()
+            self._commit(txn, stale)
+        finally:
+            self._end()
         return IngestReport(
             added=tuple(added),
             updated=tuple(updated),
@@ -442,32 +569,46 @@ class LakeStore:
 
     def remove(self, name: str) -> None:
         """Drop one table (segment, stats and manifest entry)."""
-        entry = self._manifest["tables"].pop(name, None)
+        entry = self._manifest["tables"].get(name)
         if entry is None:
             raise KeyError(f"no table {name!r} in store {self._path}")
-        stale = [entry["segment"], entry["stats"]]
-        self._stats_cache.pop(name, None)
-        self._manifest["lake_version"] += 1
-        stale.extend(self._invalidate_indexes())
-        stale.extend(self._invalidate_postings())
-        self._write_manifest()
-        self._unlink_all(stale)
+        stale = [entry["segment"], entry["stats"], *self._artifact_files()]
+        txn = self._begin("remove", [], stale)
+        try:
+            self._manifest["tables"].pop(name)
+            self._stats_cache.pop(name, None)
+            self._manifest["lake_version"] += 1
+            self._invalidate_indexes()
+            self._invalidate_postings()
+            self._commit(txn, stale)
+        finally:
+            self._end()
+
+    @staticmethod
+    def _segment_rel(stem: str, segment_format: str) -> str:
+        suffix = ".seg.bin" if segment_format == "v2" else ".seg.jsonl"
+        return f"segments/{stem}{suffix}"
 
     def _write_segment_file(
         self, stem: str, table: Table, segment_format: str
     ) -> tuple[str, list[int]]:
-        """One segment under the chosen format: ``(relative path, offsets)``."""
-        if segment_format == "v2":
-            segment_rel = f"segments/{stem}.seg.bin"
-            return segment_rel, write_segment_v2(self._path / segment_rel, table)
-        segment_rel = f"segments/{stem}.seg.jsonl"
-        return segment_rel, write_segment(self._path / segment_rel, table)
+        """One segment under the chosen format: ``(relative path, offsets)``.
+
+        The segment writers fsync the data before their tmp->replace
+        rename; the directory fsync here makes the *entry* durable too,
+        so the manifest commit can never reference unsynced bytes."""
+        segment_rel = self._segment_rel(stem, segment_format)
+        writer = write_segment_v2 if segment_format == "v2" else write_segment
+        offsets = writer(self._path / segment_rel, table)
+        journal.fsync_dir((self._path / segment_rel).parent)
+        return segment_rel, offsets
 
     def _write_table(
         self, name: str, table: Table, digest: str, segment_format: str
     ) -> dict[str, Any]:
         stem = self._file_stem(name, digest)
         segment_rel, offsets = self._write_segment_file(stem, table, segment_format)
+        inject.fire("store.write_segment", table=name)
         stats_rel = f"stats/{stem}.stats.json"
         payload = {
             "columns": {
@@ -476,6 +617,7 @@ class LakeStore:
             }
         }
         self._write_json(self._path / stats_rel, payload)
+        inject.fire("store.write_stats", table=name)
         return {
             "content_hash": digest,
             "segment": segment_rel,
@@ -499,29 +641,46 @@ class LakeStore:
         default format for future writes is updated to match.
         """
         _check_segment_format(segment_format)
-        migrated: list[str] = []
+        plan: list[tuple[str, dict[str, Any]]] = []
         stale: list[str] = []
+        pending: list[str] = []
         for name, entry in self._manifest["tables"].items():
             if entry.get("segment_format", "v1") == segment_format:
                 continue
-            table = self.load_table(name)
-            stem = self._file_stem(name, entry["content_hash"])
-            segment_rel, offsets = self._write_segment_file(
-                stem, table, segment_format
-            )
+            plan.append((name, entry))
             stale.append(entry["segment"])
-            self._manifest["tables"][name] = dict(
-                entry,
-                segment=segment_rel,
-                segment_format=segment_format,
-                column_offsets=offsets,
+            pending.append(
+                self._segment_rel(
+                    self._file_stem(name, entry["content_hash"]), segment_format
+                )
             )
-            migrated.append(name)
-        changed = migrated or self.default_segment_format != segment_format
-        self._manifest["segment_format"] = segment_format
-        if changed:
-            self._write_manifest()
-            self._unlink_all(stale)
+        if not plan:
+            changed = self.default_segment_format != segment_format
+            self._manifest["segment_format"] = segment_format
+            if changed:
+                self._write_manifest()
+            return []
+        migrated: list[str] = []
+        txn = self._begin("migrate", pending, stale)
+        try:
+            for name, entry in plan:
+                table = self.load_table(name)
+                stem = self._file_stem(name, entry["content_hash"])
+                segment_rel, offsets = self._write_segment_file(
+                    stem, table, segment_format
+                )
+                inject.fire("store.write_segment", table=name)
+                self._manifest["tables"][name] = dict(
+                    entry,
+                    segment=segment_rel,
+                    segment_format=segment_format,
+                    column_offsets=offsets,
+                )
+                migrated.append(name)
+            self._manifest["segment_format"] = segment_format
+            self._commit(txn, stale)
+        finally:
+            self._end()
         return migrated
 
     def _unlink_all(self, relative_paths: Sequence[str]) -> None:
@@ -529,6 +688,79 @@ class LakeStore:
             file = self._path / rel
             if file.exists():
                 file.unlink()
+                inject.fire("store.unlink_stale", file=rel)
+
+    # ------------------------------------------------------------------
+    # Crash-consistent commit protocol (see repro.store.journal)
+    # ------------------------------------------------------------------
+    def _artifact_files(self) -> list[str]:
+        """The files the persisted discoverer indexes and posting
+        artifacts own right now -- the part of a content-changing commit's
+        stale set that :meth:`_invalidate_indexes` / ``_postings`` will
+        disown.  Peek only: the manifest is not touched."""
+        files: list[str] = []
+        info = self._manifest.get("indexes")
+        if info:
+            files.extend(
+                entry["file"] for entry in (info.get("discoverers") or {}).values()
+            )
+        postings = self._manifest.get("postings")
+        if postings:
+            files.append(postings["file"])
+            if postings.get("sketches"):
+                files.append(postings["sketches"])
+        return files
+
+    def _begin(self, op: str, pending: Sequence[str], stale: Sequence[str]) -> str:
+        """Journal intent before the first data write.  The txn id is
+        content-derived (not random) so recovery of a crashed operation
+        reproduces the byte-identical committed state a crash-free run
+        would have produced.
+
+        The writer lock is taken first and held until :meth:`_end` --
+        it is what stops a concurrent reader's ``open()``-time recovery
+        from settling this still-running operation (and serializes two
+        well-behaved writers instead of letting them corrupt each
+        other)."""
+        self._writer_lock = journal.acquire_writer_lock(self._path)
+        try:
+            txn = journal.txn_id(
+                op, self._manifest["lake_version"], sorted(pending), sorted(set(stale))
+            )
+            journal.write_journal(
+                self._path,
+                {
+                    "op": op,
+                    "txn": txn,
+                    "base_version": self._manifest["lake_version"],
+                    "pending": sorted(pending),
+                    "stale": sorted(set(stale)),
+                },
+            )
+        except BaseException:
+            # A crash inside the journal write itself must not leave the
+            # lock held -- the caller's finally never runs for it.
+            self._end()
+            raise
+        return txn
+
+    def _end(self) -> None:
+        """Drop the writer lock (idempotent).  Runs in ``finally`` --
+        releasing on *failure* is deliberate: a died operation should be
+        settleable by the next ``open()``."""
+        lock, self._writer_lock = self._writer_lock, None
+        if lock is not None:
+            lock.release()
+
+    def _commit(self, txn: str, stale: Sequence[str]) -> None:
+        """The atomic switch: stamp the manifest with the journal's txn
+        and replace it (data files are already durable), then do the
+        post-commit cleanup the journal also describes -- so recovery can
+        finish either half."""
+        self._manifest["txn"] = txn
+        self._write_manifest()
+        self._unlink_all(sorted(set(stale)))
+        journal.clear_journal(self._path)
 
     # ------------------------------------------------------------------
     # Hydration (the warm-start read path)
@@ -793,23 +1025,21 @@ class LakeStore:
 
     def _write_json(self, path: Path, payload: dict[str, Any]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        temp = path.with_name(path.name + ".tmp")
-        temp.write_text(
-            json.dumps(payload, ensure_ascii=False, separators=(",", ":")),
-            encoding="utf-8",
-        )
-        temp.replace(path)
+        journal.write_json_atomic(path, payload)
 
     def _write_manifest(self) -> None:
         self._write_json(self._path / "manifest.json", self._manifest)
+        inject.fire("store.write_manifest")
         # The cheap version beacon `current_version()` polls.  Written
         # *after* the manifest commit: a poller that races the two writes
         # sees an old version and simply reloads one poll later -- it can
-        # never see a version the manifest does not yet describe.
+        # never see a version the manifest does not yet describe (and
+        # recovery re-syncs it if a crash lands between the two writes).
         self._write_json(
             self._path / "version.json",
             {"lake_version": self._manifest["lake_version"]},
         )
+        inject.fire("store.write_version")
 
 
 class StoredDataLake(DataLake):

@@ -39,6 +39,7 @@ from pathlib import Path
 
 from .. import accel
 from ..obs import metrics
+from . import journal
 from ..table.table import Table
 from ..table.values import MISSING, PRODUCED, Cell, is_null
 from .codec import (
@@ -80,6 +81,9 @@ def write_segment(path: Path, table: Table) -> list[int]:
             offsets.append(handle.tell())
             handle.write(encode_column(array).encode("utf-8"))
             handle.write(b"\n")
+        handle.flush()
+        if journal.fsync_enabled():
+            os.fsync(handle.fileno())
     temp.replace(path)
     return offsets
 
@@ -209,6 +213,9 @@ def write_segment_v2(path: Path, table: Table) -> list[int]:
                 if code >= _NULL_CODES:
                     nonnull |= 1 << row
             handle.write(nonnull.to_bytes(bitmap_bytes, "little"))
+        handle.flush()
+        if journal.fsync_enabled():
+            os.fsync(handle.fileno())
     temp.replace(path)
     return offsets
 

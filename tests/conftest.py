@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.store import journal
 from repro.datalake.fixtures import (
     covid_integration_set,
     covid_joinable_table,
@@ -12,6 +13,20 @@ from repro.datalake.fixtures import (
     vaccine_integration_set,
 )
 from repro.datalake.synth import SyntheticLakeBuilder, build_integration_set
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_fsync_in_tests():
+    """Run the whole suite with physical fsyncs off (REPRO_FSYNC=0
+    equivalent).  Durability syscalls change no byte any assertion sees
+    -- atomicity still comes from tmp+``os.replace`` -- but at ~5-7ms
+    per fsync they dominate the runtime of ingest-heavy tests.  The
+    crash-recovery suite manages the flag itself (and restores whatever
+    this fixture set)."""
+    was_on = journal.fsync_enabled()
+    journal.set_fsync_enabled(False)
+    yield
+    journal.set_fsync_enabled(was_on)
 
 
 @pytest.fixture

@@ -1,0 +1,303 @@
+"""Unit tests for the fault-tolerance layer (repro.faults + its call sites).
+
+What is pinned here:
+
+* the injection plane's semantics -- arming, ``nth``/``times`` trigger
+  windows, recording, reset -- and that unknown points are loud errors
+  (silent typos would un-test the chaos suite);
+* :class:`RetryPolicy`: bounded exponential growth, jitter bounds, the
+  server's ``retry_after`` hint flooring a delay;
+* the retrying :class:`ServiceClient`: transparent recovery from dropped
+  connections, :class:`ServiceUnavailable` when drops outlast the
+  budget, **no** retry of the non-idempotent ``ingest`` op, and the
+  overload hint crossing the wire;
+* shard-worker supervision end to end over a real process pool: one
+  worker kill is invisible (respawn + retry, byte-identical answer), a
+  kill that also takes the retry degrades the answer -- annotated with
+  ``degraded_shards``, reported by ``health``, and **never cached**.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.core.pipeline import Dialite
+from repro.datalake import DataLake
+from repro.datalake.fixtures import (
+    covid_joinable_table,
+    covid_query_table,
+    covid_unionable_table,
+)
+from repro.datalake.indexer import LakeIndex
+from repro.faults import FaultInjected, RetryPolicy, inject
+from repro.service import (
+    LakeServer,
+    LakeService,
+    ServiceClient,
+    ServiceOverloaded,
+    ServiceUnavailable,
+)
+from repro.shard import ShardedLakeStore
+from repro.store import LakeStore
+from repro.table.table import Table
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    inject.reset()
+    yield
+    inject.reset()
+
+
+# ----------------------------------------------------------------------
+# The injection plane itself
+# ----------------------------------------------------------------------
+class TestInject:
+    def test_unarmed_fire_is_free(self):
+        inject.fire("store.write_manifest")  # no error, no bookkeeping
+
+    def test_unknown_point_is_loud(self):
+        with pytest.raises(ValueError):
+            inject.crash_after("store.no_such_point")
+        with inject.record():
+            # fire() validates names whenever the plane is enabled, so a
+            # typo'd call site cannot hide behind the fast path forever.
+            with pytest.raises(ValueError):
+                inject.fire("store.no_such_point")
+
+    def test_crash_after_nth_and_times(self):
+        inject.crash_after("store.write_segment", nth=2)
+        inject.fire("store.write_segment")  # first fire passes
+        with pytest.raises(FaultInjected) as err:
+            inject.fire("store.write_segment")
+        assert err.value.point == "store.write_segment"
+        inject.fire("store.write_segment")  # spent: armed once only
+
+    def test_fail_at_custom_error_and_times(self):
+        inject.fail_at("client.connect", ConnectionError("boom"), times=2)
+        for _ in range(2):
+            with pytest.raises(ConnectionError):
+                inject.fire("client.connect")
+        inject.fire("client.connect")  # window exhausted
+
+    def test_record_counts_fires(self):
+        with inject.record() as counts:
+            inject.fire("store.write_manifest")
+            inject.fire("store.write_manifest")
+            inject.fire("store.write_version")
+        assert counts["store.write_manifest"] == 2
+        assert counts["store.write_version"] == 1
+
+    def test_reset_disarms(self):
+        inject.crash_after("store.write_manifest")
+        inject.reset()
+        inject.fire("store.write_manifest")
+        assert not inject.active()
+
+    def test_worker_kill_consumed_once_per_shard(self):
+        inject.kill_worker(1, times=1)
+        assert not inject.take_worker_kill(0)
+        assert inject.take_worker_kill(1)
+        assert not inject.take_worker_kill(1)  # consumed
+
+
+class TestRetryPolicy:
+    def test_bounded_exponential_with_jitter(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.25
+        )
+        for attempt, base in enumerate([0.1, 0.2, 0.4, 0.5]):
+            for _ in range(20):
+                delay = policy.delay(attempt)
+                assert base <= delay <= 0.5 * 1.25 + 1e-9
+
+    def test_floor_from_server_hint(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.01, jitter=0.0, max_delay=2.0)
+        assert policy.delay(0) == pytest.approx(0.01)
+        assert policy.delay(0, floor=0.75) >= 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Client resilience over a live (unsharded) server
+# ----------------------------------------------------------------------
+def build_store(tmp_path):
+    lake = DataLake([covid_unionable_table(), covid_joinable_table()])
+    store = LakeStore.create(tmp_path / "lake.store")
+    store.ingest(lake)
+    roster = Dialite(DataLake()).discoverers.components()
+    LakeIndex.from_store(store, roster, lake=store.lake()).save_to_store(store)
+    return tmp_path / "lake.store"
+
+
+@pytest.fixture
+def server(tmp_path):
+    service = LakeService(
+        store=build_store(tmp_path),
+        workers=2,
+        batch_window=0.0,
+        reload_check_interval=0.0,
+    )
+    server = LakeServer(service)
+    server.start()
+    yield server
+    server.close()
+
+
+def fast_client(server, **kwargs):
+    host, port = server.address
+    kwargs.setdefault(
+        "retry", RetryPolicy(attempts=4, base_delay=0.01, max_delay=0.05)
+    )
+    return ServiceClient(f"{host}:{port}", timeout=30.0, **kwargs)
+
+
+class TestClientResilience:
+    def test_retries_through_dropped_connections(self, server):
+        client = fast_client(server)
+        inject.drop_connection(times=2)
+        response = client.discover(covid_query_table(), k=3, column="City")
+        assert response["ok"] and response["payload"]["results"]
+
+    def test_unavailable_when_drops_outlast_budget(self, server):
+        client = fast_client(server, retry=RetryPolicy(attempts=2, base_delay=0.01))
+        inject.drop_connection(times=5)
+        with pytest.raises(ServiceUnavailable):
+            client.ping()
+
+    def test_ingest_is_never_retried(self, server):
+        client = fast_client(server)
+        inject.drop_connection(times=1)
+        with pytest.raises(ServiceUnavailable):
+            client.ingest([Table(["A"], [("x",)], name="fresh")])
+        # One armed drop, one attempt: the fault is spent, proving the
+        # client did not burn retries on a non-idempotent op.
+        assert not inject.active()
+        # The read path retries fine afterwards.
+        assert client.ping()
+
+    def test_dead_endpoint_is_unavailable_not_oserror(self, tmp_path):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nobody listening here now
+        client = ServiceClient(
+            ("127.0.0.1", port),
+            timeout=0.2,
+            retry=RetryPolicy(attempts=2, base_delay=0.01),
+        )
+        with pytest.raises(ServiceUnavailable):
+            client.ping()
+
+    def test_overload_hint_crosses_the_wire(self, server):
+        server.service.queue_depth = 0
+        client = fast_client(server, retry=None)
+        with pytest.raises(ServiceOverloaded) as err:
+            client.discover(covid_query_table(), k=3)
+        assert err.value.retry_after == LakeService.overload_retry_after
+
+    def test_overload_retried_with_hint_floor(self, server):
+        server.service.queue_depth = 0
+        client = fast_client(server)
+        with pytest.raises(ServiceOverloaded):
+            client.discover(covid_query_table(), k=3)
+        # All attempts consumed (the server stays at depth 0), each
+        # floored at the hint; restoring capacity heals the client.
+        server.service.queue_depth = 64
+        assert client.discover(covid_query_table(), k=3)["ok"]
+
+    def test_health_op(self, server):
+        client = fast_client(server)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["lake_version"] == server.service.version
+        assert health["degraded_shards"] == []
+        assert "shards" not in health  # unsharded lake
+
+    def test_server_handle_fault_becomes_error_response(self, server):
+        client = fast_client(server, retry=None)
+        inject.fail_at("server.handle", ServiceUnavailable("injected"), times=1)
+        with pytest.raises(ServiceUnavailable):
+            client.ping()
+        assert client.ping()
+
+
+# ----------------------------------------------------------------------
+# Shard-worker supervision over a real process pool
+# ----------------------------------------------------------------------
+def tiny_sharded_store(tmp_path, num_shards=3):
+    tables = {}
+    for i in range(9):
+        rows = [(f"city{i}_{j}", f"state{j % 3}", i * j) for j in range(6)]
+        tables[f"t{i:02d}"] = Table(["City", "State", "Pop"], rows, name=f"t{i:02d}")
+    store = ShardedLakeStore.create(tmp_path / "lake", num_shards=num_shards)
+    store.ingest(tables)
+    return tmp_path / "lake"
+
+
+@pytest.fixture(scope="class")
+def sharded_service(tmp_path_factory):
+    path = tiny_sharded_store(tmp_path_factory.mktemp("chaos"))
+    service = LakeService(
+        store=path, workers=2, batch_window=0.0, reload_check_interval=0.0
+    )
+    yield service
+    service.close()
+
+
+def fresh_query(tag):
+    return Table(
+        ["City", "State"],
+        [(f"city{tag}_2", "state1"), (f"city{tag}_4", "state2")],
+        name=f"q{tag}",
+    )
+
+
+class TestSupervision:
+    def test_single_kill_is_transparent(self, sharded_service):
+        query = fresh_query(3)
+        baseline = sharded_service.discover(query, k=5)
+        respawns_before = sharded_service.pipeline.index.worker_respawns
+        inject.kill_worker(1, times=1)
+        # Fresh content so the cache cannot absorb the scatter.
+        survived = sharded_service.discover(fresh_query(4), k=5)
+        assert "degraded_shards" not in survived.payload
+        healthy_again = sharded_service.discover(query, k=5)
+        assert json.dumps(healthy_again.payload, sort_keys=True) == json.dumps(
+            baseline.payload, sort_keys=True
+        )
+        assert sharded_service.pipeline.index.worker_respawns > respawns_before
+
+    def test_double_kill_degrades_and_never_caches(self, sharded_service):
+        query = fresh_query(5)
+        inject.kill_worker(1, times=2)  # original submit AND the retry
+        degraded = sharded_service.discover(query, k=5)
+        assert degraded.payload["degraded_shards"] == [1]
+        assert not degraded.cached
+        assert sharded_service.stats.degraded >= 1
+
+        health = sharded_service.health_snapshot()
+        assert health["status"] == "degraded"
+        assert health["degraded_shards"] == [1]
+        assert health["worker_respawns"] >= 2
+        assert [s["alive"] for s in health["shards"]].count(True) == len(
+            health["shards"]
+        )
+
+        inject.reset()
+        # The degraded payload was not cached: the same request now
+        # recomputes against the respawned worker and comes back whole.
+        recovered = sharded_service.discover(query, k=5)
+        assert not recovered.cached
+        assert "degraded_shards" not in recovered.payload
+        assert sharded_service.health_snapshot()["status"] == "ok"
+        # ... and the healthy recompute is cacheable as usual.
+        assert sharded_service.discover(query, k=5).cached

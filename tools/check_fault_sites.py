@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI guard: the fault-injection registry and the code stay in sync.
+
+The chaos harness and the crash-recovery property tests are only as
+strong as the fault plane's coverage: a fault point that no longer maps
+to a real call site silently stops being exercised (the tests arm it,
+nothing fires, nothing is asserted), and a ``inject.fire(...)`` call
+whose name is not registered raises ``KeyError`` in *production* the
+first time injection is enabled.
+
+Both directions are checked against
+:data:`repro.faults.inject.FAULT_POINTS`:
+
+* **registry -> code**: every registered point's file must contain its
+  call-site marker -- ``inject.fire("<point>"`` by default, or the
+  explicit token recorded in the registry for points that trigger
+  through another mechanism (the worker-kill handshake);
+* **code -> registry**: every ``inject.fire("...")`` literal anywhere in
+  ``src/repro`` must name a registered point, and must live in the file
+  the registry says it does.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.faults.inject import FAULT_POINTS  # noqa: E402
+
+_FIRE = re.compile(r"""inject\.fire\(\s*["']([^"']+)["']""")
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+
+    # registry -> code
+    for point, (relpath, token) in sorted(FAULT_POINTS.items()):
+        path = SRC / relpath
+        if not path.exists():
+            problems.append(f"{point}: registered file {relpath} does not exist")
+            continue
+        source = path.read_text(encoding="utf-8")
+        marker = token if token is not None else f'inject.fire("{point}"'
+        if marker not in source:
+            problems.append(
+                f"{point}: no call site in {relpath} (expected {marker!r})"
+            )
+
+    # code -> registry.  The faults package itself is exempt: it is the
+    # definition site, and its docstrings show fire() calls as examples.
+    by_file: dict[str, list[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel.startswith("faults/"):
+            continue
+        for match in _FIRE.finditer(path.read_text(encoding="utf-8")):
+            by_file.setdefault(match.group(1), []).append(rel)
+    for point, files in sorted(by_file.items()):
+        if point not in FAULT_POINTS:
+            problems.append(
+                f"{point}: fired in {', '.join(files)} but not registered "
+                f"in repro.faults.inject.FAULT_POINTS"
+            )
+            continue
+        registered = FAULT_POINTS[point][0]
+        for rel in files:
+            if rel != registered:
+                problems.append(
+                    f"{point}: fired in {rel} but registered for {registered}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    if problems:
+        print("fault-site guard FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"fault-site guard ok: {len(FAULT_POINTS)} registered fault points "
+        f"all map to live call sites, and every inject.fire() call is "
+        f"registered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
