@@ -18,6 +18,9 @@
 #                     round trip asserts, no speed gate (runs in CI)
 #   make obs-smoke    observability overhead smoke: disabled tracing must cost
 #                     <= 8% vs a stubbed-no-op baseline on a warm workload (runs in CI)
+#   make obs-export-smoke  telemetry export round trip: registry snapshot ->
+#                     prometheus text -> parse -> values match; exporter JSONL
+#                     flush + keep-N rotation semantics (runs in CI)
 #   make bench-shard  sharded scatter-gather @20k tables x 4 shards: discover p95
 #                     >= 2.5x vs the 1-shard pipeline (wall p95 with >= 4 cores,
 #                     critical-path CPU p95 on starved hosts), identical top-k
@@ -33,7 +36,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke bench-segments segments-smoke obs-smoke bench-shard shard-smoke bench-chaos chaos-smoke ci
+.PHONY: test lint bench bench-smoke bench-store store-smoke bench-candidates candidates-smoke bench-fd fd-smoke bench-service serve-smoke bench-segments segments-smoke obs-smoke obs-export-smoke bench-shard shard-smoke bench-chaos chaos-smoke ci
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -123,6 +126,13 @@ bench-segments:
 obs-smoke:
 	$(PYTHON) tools/check_obs_overhead.py
 
+# Telemetry export smoke: a populated registry rendered to Prometheus
+# text and parsed back must match value-for-value (counters, gauges,
+# histogram sums and cumulative buckets); also pins the exporter's JSONL
+# flush envelope and rotate_file's keep-N semantics.
+obs-export-smoke:
+	$(PYTHON) tools/check_obs_export.py
+
 # Sharded-lake smoke: 4-shard process-executor scatter-gather answers are
 # asserted identical to the 1-shard pipeline, and a single-table ingest
 # must bump exactly one shard version; the >= 2.5x p95 gate only runs at
@@ -145,4 +155,4 @@ chaos-smoke:
 bench-chaos:
 	$(PYTHON) benchmarks/bench_chaos.py --check --json .benchmarks/chaos.json
 
-ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke segments-smoke obs-smoke shard-smoke chaos-smoke lint
+ci: test bench-smoke store-smoke candidates-smoke fd-smoke serve-smoke segments-smoke obs-smoke obs-export-smoke shard-smoke chaos-smoke lint

@@ -19,6 +19,12 @@ gracefully -- never wrongly:
    otherwise the run is vacuous and fails.
 4. **Bounded latency.**  Non-degraded p95 under chaos stays within 2x
    the no-fault baseline p95 (gated under ``--check``; reported always).
+5. **Telemetry saw everything (ISSUE 10).**  The service runs with a
+   flight recorder armed: every degraded request must land in the
+   postmortem JSONL with its full span tree attached, the SLO monitor
+   must be firing ``degraded_rate`` when health is polled right after
+   the degraded probe, and any non-ok health status must be explained
+   by SLO burn, never by a shard that stayed dead.
 
 Entry points: ``python benchmarks/bench_chaos.py --smoke`` is what
 ``make chaos-smoke`` runs in CI; ``make bench-chaos`` runs full scale
@@ -43,6 +49,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core.pipeline import Dialite  # noqa: E402
 from repro.faults import RetryPolicy, inject  # noqa: E402
 from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.obs.export import metrics_document, snapshot_identity  # noqa: E402
 from repro.service import (  # noqa: E402
     LakeServer,
     LakeService,
@@ -294,12 +301,18 @@ def run_suite(
             baseline_queries + chaos_queries + [probe_query, settle_query],
         )
 
+        # The flight recorder is armed for the whole run: with a
+        # postmortem sink configured every request carries a span tree,
+        # so each degraded/errored answer must show up in the JSONL with
+        # its full tree -- the ISSUE 10 capture gate.
+        postmortem_path = base / "postmortem.jsonl"
         service = LakeService(
             store=store_path,
             workers=clients,
             queue_depth=max(64, clients * 4),
             batch_window=0.005,
             reload_check_interval=0.05,
+            postmortem_path=postmortem_path,
         )
         server = LakeServer(service, port=0)
         server.start()
@@ -375,9 +388,32 @@ def run_suite(
             probe["service_degraded_count"] = service.stats.degraded
             health = client.health()
             probe["health_after"] = health["status"]
+            probe["shards_alive"] = all(
+                shard["alive"] for shard in health.get("shards", [])
+            )
+            probe["slo_firing"] = sorted(
+                {f["objective"] for f in health.get("slo", {}).get("firing", [])}
+            )
         finally:
             server.close()
             inject.reset()
+
+        # The recorder wrote synchronously during the run and the server
+        # close above flushed the service, so the postmortem sink is
+        # complete: one document per tripped request, tree attached.
+        postmortems = []
+        if postmortem_path.exists():
+            with postmortem_path.open(encoding="utf-8") as sink:
+                postmortems = [json.loads(line) for line in sink if line.strip()]
+        recorder = {
+            "entries": len(postmortems),
+            "degraded_dumps": sum(
+                1 for doc in postmortems if doc.get("reason") == "degraded"
+            ),
+            "with_trace": sum(1 for doc in postmortems if doc.get("trace")),
+            "with_trace_id": sum(1 for doc in postmortems if doc.get("trace_id")),
+            "reasons": sorted({doc.get("reason") for doc in postmortems}),
+        }
 
         return {
             "suite": "chaos",
@@ -389,6 +425,14 @@ def run_suite(
             "baseline": baseline,
             "chaos": chaos,
             "probe": probe,
+            "recorder": recorder,
+            # The run's process-wide metrics in the exporter's document
+            # envelope, so .benchmarks/chaos.json is greppable alongside
+            # live `repro obs export` JSONL sinks.
+            "telemetry": metrics_document(
+                obs_metrics.global_registry().snapshot(),
+                snapshot_identity("bench-chaos"),
+            ),
         }
     finally:
         shutil.rmtree(base, ignore_errors=True)
@@ -435,8 +479,42 @@ def gate(results: dict, check: bool) -> list[str]:
         failures.append("post-recovery recompute does not match the oracle")
     if probe["service_degraded_count"] + chaos["degraded"] < 1:
         failures.append("no degraded response observed anywhere")
-    if probe["health_after"] != "ok":
-        failures.append(f"health did not settle to ok: {probe['health_after']}")
+    # Health after the degraded probe: the SLO monitor *should* be
+    # burning (we just served degraded answers on purpose), so a warn/
+    # degraded status is correct -- what must never happen is a shard
+    # staying dead, or a non-ok status with no firing objective to
+    # explain it.
+    if not probe["shards_alive"]:
+        failures.append("a shard worker stayed dead after supervision healed")
+    if probe["health_after"] not in ("ok", "warn", "degraded"):
+        failures.append(f"unexpected health status: {probe['health_after']}")
+    if probe["health_after"] != "ok" and not probe["slo_firing"]:
+        failures.append(
+            f"health {probe['health_after']} with no firing SLO objective -- "
+            f"degradation is not explained by burn"
+        )
+    if "degraded_rate" not in probe["slo_firing"]:
+        failures.append(
+            f"SLO monitor did not fire degraded_rate right after the degraded "
+            f"probe (firing: {probe['slo_firing']})"
+        )
+    # Flight recorder: every degraded answer the service produced must
+    # have been dumped with its full span tree.  Server-side dumps can
+    # exceed the client-side degraded count (a response computed degraded
+    # whose connection dropped is retried and recomputed), never trail it.
+    recorder = results["recorder"]
+    expected_dumps = chaos["degraded"] + 1  # + the guaranteed-degraded probe
+    if recorder["degraded_dumps"] < expected_dumps:
+        failures.append(
+            f"flight recorder captured {recorder['degraded_dumps']} degraded "
+            f"postmortems; at least {expected_dumps} degraded requests were "
+            f"served"
+        )
+    if recorder["with_trace"] != recorder["entries"]:
+        failures.append(
+            f"{recorder['entries'] - recorder['with_trace']} postmortems were "
+            f"dumped without a span tree attached"
+        )
     if check and baseline["p95_s"] > 0:
         ratio = chaos["p95_s"] / baseline["p95_s"]
         if ratio > 2.0:
@@ -489,7 +567,14 @@ def main(argv=None) -> int:
     print(
         f"degraded probe: shards {probe['degraded_shards']}, healed from cache: "
         f"{probe['healed_from_cache']}, oracle match after heal: "
-        f"{probe['healed_matches_oracle']}, health: {probe['health_after']}"
+        f"{probe['healed_matches_oracle']}, health: {probe['health_after']}, "
+        f"slo firing: {probe['slo_firing']}"
+    )
+    recorder = results["recorder"]
+    print(
+        f"flight recorder: {recorder['entries']} postmortems "
+        f"({recorder['degraded_dumps']} degraded, reasons {recorder['reasons']}), "
+        f"{recorder['with_trace']} with full span trees"
     )
     print(json.dumps(results))
     if args.json:
@@ -506,7 +591,8 @@ def main(argv=None) -> int:
         "acceptance ok: every request completed (retried or explicitly "
         "degraded), zero wrong/stale responses vs the per-version oracle, "
         "supervision respawned killed workers, degraded answers were "
-        "annotated and never cached"
+        "annotated and never cached, and every degraded request landed "
+        "in the flight recorder with its full span tree"
     )
     return 0
 

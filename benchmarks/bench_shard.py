@@ -51,6 +51,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.datalake import DataLake, seeds  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.obs.export import metrics_document, snapshot_identity  # noqa: E402
 from repro.discovery import (  # noqa: E402
     JosieJoinSearch,
     LSHEnsembleJoinSearch,
@@ -254,6 +256,12 @@ def main(argv=None) -> int:
     num_tables = 400 if args.smoke else args.tables
     repeats = 2 if args.smoke else args.repeats
     results = run_suite(num_tables, repeats, shards=args.shards, vocab=args.vocab)
+    # Process-wide metrics in the exporter's document envelope, so the
+    # .benchmarks/ record reads like a live `repro obs export` sink line.
+    results["telemetry"] = metrics_document(
+        obs_metrics.global_registry().snapshot(),
+        snapshot_identity("bench-shard"),
+    )
 
     print(
         f"{results['tables']} tables, {results['shards']} shards, "

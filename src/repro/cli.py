@@ -18,6 +18,8 @@ equivalent headless surface::
     python -m repro integrate  --tables a.csv b.csv c.csv --out integrated.csv
     python -m repro integrate  --tables a.csv b.csv c.csv --workers 4 --explain
     python -m repro serve      --store lake.store --port 8765 --workers 8
+    python -m repro obs export 127.0.0.1:8765 --format prometheus
+    python -m repro obs top    127.0.0.1:8765 --interval 2
     python -m repro discover   --service 127.0.0.1:8765 --query query.csv --column City
     python -m repro integrate  --service 127.0.0.1:8765 --query query.csv --column City
     python -m repro analyze    --table integrated.csv --app correlation \
@@ -242,6 +244,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fd-workers", type=int, default=1)
     serve.add_argument("--port-file", default=None,
                        help="write 'host port lake_version' here once bound (for scripts)")
+    serve.add_argument("--trace-path", default=None,
+                       help="JSONL sink: every request's span tree, one per line")
+    serve.add_argument("--trace-path-max-bytes", type=int, default=None,
+                       help="rotate the trace sink past this size (keeps 3 backups)")
+    serve.add_argument("--postmortem-path", default=None,
+                       help="flight-recorder postmortem JSONL: full span tree + "
+                       "recent request ring on every errored/deadline/degraded/"
+                       "slow request")
+    serve.add_argument("--latency-threshold-ms", type=float, default=None,
+                       help="also trip a postmortem when a request exceeds this latency")
+    serve.add_argument("--export-path", default=None,
+                       help="telemetry exporter JSONL: periodic metrics snapshots "
+                       "+ completed span trees (rotating)")
+    serve.add_argument("--export-interval", type=float, default=30.0,
+                       help="exporter flush interval in seconds (default 30)")
+
+    obs = commands.add_parser(
+        "obs", help="operate on a running service's telemetry"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_export = obs_commands.add_parser(
+        "export", help="pull a running service's merged metrics snapshot"
+    )
+    obs_export.add_argument("address", metavar="HOST:PORT",
+                            help="a running `repro serve` instance")
+    obs_export.add_argument(
+        "--format", dest="export_format", default="prometheus",
+        choices=("prometheus", "json"),
+        help="prometheus text exposition (default) or the raw JSON snapshot",
+    )
+    obs_export.add_argument("--out", default=None, help="write here instead of stdout")
+    obs_top = obs_commands.add_parser(
+        "top", help="poll a running service's health: status, SLO burn, shards"
+    )
+    obs_top.add_argument("address", metavar="HOST:PORT",
+                         help="a running `repro serve` instance")
+    obs_top.add_argument("--interval", type=float, default=2.0,
+                         help="poll interval in seconds (default 2)")
+    obs_top.add_argument("--iterations", type=int, default=None,
+                         help="stop after N polls (default: until Ctrl-C)")
 
     report = commands.add_parser(
         "report", help="run the full pipeline and write a markdown report"
@@ -889,6 +931,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stats_cache_capacity=args.stats_cache_capacity,
         candidate_budget=args.candidate_budget,
         fd_workers=args.fd_workers,
+        trace_path=args.trace_path,
+        trace_path_max_bytes=args.trace_path_max_bytes,
+        postmortem_path=args.postmortem_path,
+        latency_threshold_ms=args.latency_threshold_ms,
+        export_path=args.export_path,
+        export_interval_s=args.export_interval,
     )
     server = LakeServer(service, host=args.host, port=args.port)
     host, port = server.address
@@ -897,8 +945,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{args.workers} workers, cache {args.cache_capacity}) on {host}:{port}"
     )
     print(
-        "ops: ping version health stats metrics discover align integrate "
-        "ingest shutdown"
+        "ops: ping version health stats metrics metrics_text discover align "
+        "integrate ingest shutdown"
     )
     if args.port_file:
         from pathlib import Path
@@ -911,6 +959,74 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         server.close()
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """``repro obs export|top``: the telemetry pull surfaces."""
+    from .service import ServiceClient
+
+    client = ServiceClient(args.address)
+    if args.obs_command == "export":
+        if args.export_format == "prometheus":
+            text = client.metrics_text()
+        else:
+            import json
+
+            text = json.dumps(client.metrics(), indent=2, sort_keys=True) + "\n"
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text, encoding="utf-8")
+            print(f"written: {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    # top: poll health until interrupted (or --iterations polls).
+    import time
+
+    polls = 0
+    try:
+        while True:
+            print(_render_top(client.health()))
+            polls += 1
+            if args.iterations is not None and polls >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+def _render_top(health: dict) -> str:
+    """One `repro obs top` frame from a ``health`` wire payload."""
+    lines = [
+        f"status: {health['status']}  "
+        f"lake v{health['lake_version']} epoch {health.get('lake_epoch', '?')}  "
+        f"inflight {health['inflight']}/{health['workers']} workers  "
+        f"respawns {health.get('worker_respawns', 0)}"
+    ]
+    degraded = health.get("degraded_shards") or []
+    if degraded:
+        lines.append(f"degraded shards (last discover): {degraded}")
+    slo = health.get("slo") or {}
+    firing = {entry["objective"]: entry for entry in slo.get("firing", [])}
+    for name, doc in (slo.get("objectives") or {}).items():
+        burns = "  ".join(f"{w}={b:g}x" for w, b in doc.get("burn", {}).items())
+        mark = ""
+        if name in firing:
+            mark = f"  FIRING ({firing[name]['severity']})"
+        lines.append(f"  slo {name} (target {doc['target']}): burn {burns}{mark}")
+    shards = health.get("shards")
+    if shards:
+        cells = []
+        for entry in shards:
+            age = entry.get("last_respawn_age_s")
+            suffix = "" if age is None else f" respawned {age:.0f}s ago"
+            cells.append(
+                f"{entry['shard']}[v{entry['version']} "
+                f"{'up' if entry.get('alive') else 'DOWN'}{suffix}]"
+            )
+        lines.append("  shards: " + " ".join(cells))
+    return "\n".join(lines)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -977,6 +1093,7 @@ _COMMANDS = {
     "discover": _cmd_discover,
     "integrate": _cmd_integrate,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
     "trace": _cmd_trace,
     "report": _cmd_report,
     "analyze": _cmd_analyze,

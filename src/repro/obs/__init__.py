@@ -1,12 +1,19 @@
-"""repro.obs -- pipeline-wide observability.
+"""repro.obs -- pipeline-wide observability and production telemetry.
 
-Two pieces, one discipline:
+Five pieces, one discipline:
 
-* :mod:`repro.obs.trace` -- request-scoped span trees.  Instrumented code
-  calls ``trace.span("stage.phase", key=value)`` unconditionally; when no
-  tracer is ambient the call returns a shared no-op singleton.
+* :mod:`repro.obs.trace` -- request-scoped span trees with distributed
+  trace ids.  Instrumented code calls ``trace.span("stage.phase",
+  key=value)`` unconditionally; when no tracer is ambient the call
+  returns a shared no-op singleton.
 * :mod:`repro.obs.metrics` -- process-wide counters / gauges / fixed
   bucket histograms with mergeable JSON snapshots.
+* :mod:`repro.obs.export` -- durable edges: rotating JSONL sinks, a
+  background :class:`TelemetryExporter`, Prometheus text rendering.
+* :mod:`repro.obs.recorder` -- the :class:`FlightRecorder` request ring
+  with automatic postmortem dumps on error/deadline/latency/degraded.
+* :mod:`repro.obs.slo` -- rolling-window multi-burn-rate
+  :class:`SLOMonitor` feeding ``health_snapshot()``.
 
 Instrumented modules import these as **modules** (``from repro.obs import
 trace, metrics``) rather than importing the helpers by name, so the
@@ -14,7 +21,15 @@ overhead harness (``tools/check_obs_overhead.py``) can stub the helpers
 globally for its baseline measurement.
 """
 
-from . import metrics, trace
+from . import export, metrics, recorder, slo, trace
+from .export import (
+    TelemetryExporter,
+    metrics_document,
+    parse_prometheus_text,
+    prometheus_text,
+    rotate_file,
+    snapshot_identity,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -23,21 +38,45 @@ from .metrics import (
     global_registry,
     merge_snapshots,
 )
-from .trace import NOOP_SPAN, Span, Tracer, activate, current_tracer, format_trace
+from .recorder import FlightRecorder
+from .slo import DEFAULT_OBJECTIVES, Objective, SLOMonitor
+from .trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    format_trace,
+    new_trace_id,
+)
 
 __all__ = [
     "trace",
     "metrics",
+    "export",
+    "recorder",
+    "slo",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "global_registry",
     "merge_snapshots",
+    "TelemetryExporter",
+    "metrics_document",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "rotate_file",
+    "snapshot_identity",
+    "FlightRecorder",
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "SLOMonitor",
     "NOOP_SPAN",
     "Span",
     "Tracer",
     "activate",
     "current_tracer",
     "format_trace",
+    "new_trace_id",
 ]

@@ -1,0 +1,124 @@
+"""Flight recorder: always-on request ring buffer + automatic postmortems.
+
+A production incident is diagnosed from the requests *around* the bad
+one, but always-on tracing of every request is exactly the overhead the
+PR-7 discipline forbids.  The :class:`FlightRecorder` splits the
+difference:
+
+* Every request -- traced or not -- appends a small summary dict (op,
+  lake version, latency, cache hit, degraded shards, error) to a bounded
+  ring.  That is one deque append per request: near-zero cost, bounded
+  memory, always running.
+* When a request *trips* (errors, blows its deadline, exceeds a latency
+  threshold, or comes back degraded) and a postmortem path is
+  configured, the recorder dumps one JSONL document with the trigger
+  reason, the tripping request's full span tree, and the recent ring
+  contents -- the "what was happening just before" context an operator
+  otherwise reconstructs by hand.
+
+The service keeps tracing enabled whenever a postmortem path is set
+(``wants_trace``), so the dump always has a tree to include; the
+check_obs_overhead gate pins that the *disabled* configuration (no
+postmortem path) stays within budget.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+
+from .export import rotate_file
+
+__all__ = ["FlightRecorder", "trip_reason"]
+
+#: Error type names that indicate a blown deadline rather than a fault.
+_DEADLINE_ERRORS = ("DeadlineExceeded",)
+
+
+def trip_reason(summary: dict, latency_threshold_ms: "float | None") -> "str | None":
+    """Why *summary* deserves a postmortem (None = healthy request).
+
+    Precedence: deadline > error > degraded > latency -- the most
+    specific explanation wins when several apply.
+    """
+    error = summary.get("error")
+    if error in _DEADLINE_ERRORS:
+        return "deadline"
+    if error:
+        return "error"
+    if summary.get("degraded_shards"):
+        return "degraded"
+    latency = summary.get("latency_ms")
+    if (
+        latency_threshold_ms is not None
+        and latency is not None
+        and latency >= latency_threshold_ms
+    ):
+        return "latency"
+    return None
+
+
+class FlightRecorder:
+    """Bounded ring of request summaries with postmortem capture.
+
+    *capacity* bounds the ring; *postmortem_path* (optional) enables
+    dumps, rotated at *postmortem_max_bytes* keeping
+    *postmortem_keep* backups; *latency_threshold_ms* (optional) adds
+    the slow-request trigger.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        postmortem_path: "Path | str | None" = None,
+        latency_threshold_ms: "float | None" = None,
+        postmortem_max_bytes: "int | None" = 16 * 1024 * 1024,
+        postmortem_keep: int = 3,
+    ) -> None:
+        self._ring: deque = deque(maxlen=max(1, int(capacity)))
+        self.postmortem_path = Path(postmortem_path) if postmortem_path else None
+        self.latency_threshold_ms = latency_threshold_ms
+        self._max_bytes = postmortem_max_bytes
+        self._keep = postmortem_keep
+        self._io_lock = threading.Lock()
+        self.postmortem_count = 0
+
+    @property
+    def wants_trace(self) -> bool:
+        """True when postmortems are enabled -- the service keeps a
+        tracer alive per request so a trip always has a tree to dump."""
+        return self.postmortem_path is not None
+
+    def recent(self, n: "int | None" = None) -> list:
+        """The most recent ring entries, oldest first."""
+        entries = list(self._ring)
+        return entries if n is None else entries[-n:]
+
+    def observe(self, summary: dict, tree: "dict | None" = None) -> "str | None":
+        """Ingest one finished request; returns the trip reason when a
+        postmortem was written (None otherwise)."""
+        ring_before = list(self._ring)
+        self._ring.append(summary)
+        reason = trip_reason(summary, self.latency_threshold_ms)
+        if reason is None or self.postmortem_path is None:
+            return None
+        document = {
+            "kind": "postmortem",
+            "reason": reason,
+            "ts": summary.get("ts"),
+            "trace_id": summary.get("trace_id"),
+            "summary": summary,
+            "trace": tree or {},
+            "ring": ring_before[-32:],
+        }
+        line = json.dumps(document, sort_keys=True) + "\n"
+        with self._io_lock:
+            self.postmortem_path.parent.mkdir(parents=True, exist_ok=True)
+            rotate_file(self.postmortem_path, self._max_bytes, self._keep)
+            with self.postmortem_path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+            self.postmortem_count += 1
+        return reason

@@ -1,0 +1,197 @@
+"""SLO monitoring: rolling windows, error budgets, multi-window burn rates.
+
+An objective says "at least *target* of requests must be good" over a
+rolling window; the **burn rate** is how fast the error budget
+(``1 - target``) is being spent: ``bad_fraction / (1 - target)``.  Burn
+1.0 spends exactly the budget; burn 10 exhausts a day's budget in ~2.4
+hours.  Following the multi-window practice, an objective *fires* only
+when the burn is elevated in **every** window -- the short window makes
+the alert responsive, the long window stops a single blip from paging.
+
+:class:`SLOMonitor` keeps per-objective good/bad counts in coarse time
+buckets (O(buckets) memory, O(1) amortised per request) and evaluates to
+a plain dict the service folds into ``health_snapshot()``:
+
+``{"status": ok|warn|degraded, "firing": [...], "objectives": {...}}``
+
+The clock is injectable so tests can march time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "Objective",
+    "DEFAULT_OBJECTIVES",
+    "SLOMonitor",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One service-level objective.
+
+    *kind* selects what makes a request "bad":
+
+    - ``availability``: any error.
+    - ``latency``: latency above *latency_threshold_ms*.
+    - ``degraded``: a degraded (partial-shard) answer.
+    """
+
+    name: str
+    kind: str
+    target: float
+    latency_threshold_ms: "float | None" = None
+
+    def is_bad(self, *, ok: bool, latency_ms: float, degraded: bool) -> bool:
+        if self.kind == "availability":
+            return not ok
+        if self.kind == "latency":
+            threshold = self.latency_threshold_ms or 0.0
+            return latency_ms > threshold
+        if self.kind == "degraded":
+            return degraded
+        raise ValueError(f"unknown objective kind: {self.kind!r}")
+
+
+DEFAULT_OBJECTIVES: tuple[Objective, ...] = (
+    Objective(name="availability", kind="availability", target=0.999),
+    Objective(
+        name="latency_p99", kind="latency", target=0.99, latency_threshold_ms=5000.0
+    ),
+    Objective(name="degraded_rate", kind="degraded", target=0.999),
+)
+
+#: (short, long) rolling windows in seconds.
+DEFAULT_WINDOWS_S: tuple[float, ...] = (60.0, 600.0)
+
+#: Burn thresholds: >= WARN_BURN in all windows fires "warn";
+#: >= PAGE_BURN in all windows escalates to "degraded".
+WARN_BURN = 1.0
+PAGE_BURN = 10.0
+
+#: An objective needs at least this many requests in a window before it
+#: may fire -- stops a single bad request in an idle service from paging.
+MIN_EVENTS = 5
+
+
+class _WindowCounts:
+    """Good/bad counts over one rolling window, in coarse time buckets.
+
+    The window is divided into *buckets* slots; each ``observe`` lands in
+    the slot for "now" and slots older than the window are zeroed lazily.
+    Totals are therefore accurate to one bucket's width, which is all a
+    burn-rate alert needs.
+    """
+
+    __slots__ = ("window_s", "_bucket_s", "_slots", "_stamps", "_clock")
+
+    def __init__(self, window_s: float, buckets: int = 12, clock=time.monotonic):
+        self.window_s = float(window_s)
+        self._bucket_s = self.window_s / buckets
+        self._slots: list[dict] = [self._empty() for _ in range(buckets)]
+        self._stamps: list[int] = [-1] * buckets
+        self._clock = clock
+
+    @staticmethod
+    def _empty() -> dict:
+        return {"total": 0, "bad": {}}
+
+    def _slot(self) -> dict:
+        epoch = int(self._clock() / self._bucket_s)
+        index = epoch % len(self._slots)
+        if self._stamps[index] != epoch:
+            self._slots[index] = self._empty()
+            self._stamps[index] = epoch
+        return self._slots[index]
+
+    def observe(self, bad_objectives: list) -> None:
+        slot = self._slot()
+        slot["total"] += 1
+        bad = slot["bad"]
+        for name in bad_objectives:
+            bad[name] = bad.get(name, 0) + 1
+
+    def totals(self) -> dict:
+        """``{"total": n, "bad": {objective: n}}`` over the live window."""
+        epoch = int(self._clock() / self._bucket_s)
+        total = 0
+        bad: dict = {}
+        for index, stamp in enumerate(self._stamps):
+            if stamp < 0 or epoch - stamp >= len(self._slots):
+                continue  # never written, or aged out of the window
+            slot = self._slots[index]
+            total += slot["total"]
+            for name, count in slot["bad"].items():
+                bad[name] = bad.get(name, 0) + count
+        return {"total": total, "bad": bad}
+
+
+class SLOMonitor:
+    """Multi-window burn-rate evaluation over a stream of request facts.
+
+    Feed every finished request to :meth:`observe`; read
+    :meth:`evaluate` whenever health is polled.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        objectives: "tuple[Objective, ...]" = DEFAULT_OBJECTIVES,
+        windows_s: "tuple[float, ...]" = DEFAULT_WINDOWS_S,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        self.objectives = tuple(objectives)
+        self.windows_s = tuple(sorted(windows_s))
+        self._windows = [_WindowCounts(w, clock=clock) for w in self.windows_s]
+        self._lock = threading.Lock()
+
+    def observe(self, *, ok: bool, latency_ms: float, degraded: bool) -> None:
+        bad = [
+            objective.name
+            for objective in self.objectives
+            if objective.is_bad(ok=ok, latency_ms=latency_ms, degraded=degraded)
+        ]
+        with self._lock:
+            for window in self._windows:
+                window.observe(bad)
+
+    def evaluate(self) -> dict:
+        """The health document: overall status, firing objectives, and
+        per-objective burn rates per window."""
+        with self._lock:
+            totals = [window.totals() for window in self._windows]
+        objectives: dict = {}
+        firing: list = []
+        for objective in self.objectives:
+            budget = max(1e-9, 1.0 - objective.target)
+            burns: dict = {}
+            eligible = True
+            min_burn = float("inf")
+            for window_s, window_totals in zip(self.windows_s, totals):
+                total = window_totals["total"]
+                bad = window_totals["bad"].get(objective.name, 0)
+                burn = (bad / total) / budget if total else 0.0
+                burns[f"{int(window_s)}s"] = round(burn, 3)
+                if total < MIN_EVENTS:
+                    eligible = False
+                min_burn = min(min_burn, burn)
+            doc = {"target": objective.target, "burn": burns}
+            if objective.latency_threshold_ms is not None:
+                doc["latency_threshold_ms"] = objective.latency_threshold_ms
+            objectives[objective.name] = doc
+            if eligible and min_burn >= WARN_BURN:
+                severity = "degraded" if min_burn >= PAGE_BURN else "warn"
+                firing.append(
+                    {"objective": objective.name, "severity": severity, "burn": burns}
+                )
+        if any(entry["severity"] == "degraded" for entry in firing):
+            status = "degraded"
+        elif firing:
+            status = "warn"
+        else:
+            status = "ok"
+        return {"status": status, "firing": firing, "objectives": objectives}

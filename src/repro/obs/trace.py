@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 
 __all__ = [
     "Span",
@@ -40,8 +41,18 @@ __all__ = [
     "current_tracer",
     "activate",
     "format_trace",
+    "new_trace_id",
     "NOOP_SPAN",
 ]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request identifier.  Minted once per traced
+    request -- by the furthest-upstream party (the wire client, or the
+    service for direct callers) -- and carried through every process the
+    request touches, so the client tree, the server tree and each shard
+    worker's tree all stamp the same id."""
+    return uuid.uuid4().hex[:16]
 
 
 class _NoopSpan:
@@ -165,9 +176,14 @@ class Tracer:
     nest under the current thread's innermost open span, falling back to
     the thread's *anchor* (set by :func:`activate` at pool boundaries)
     and then the root.
+
+    *trace_id* is the distributed-request identifier: pass the id minted
+    upstream (wire envelope, scatter payload) to adopt it, or omit it to
+    mint a fresh one.  :meth:`to_dict` stamps it on the root node.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
         self.root: Span | None = None
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -276,8 +292,16 @@ class Tracer:
         return span
 
     def to_dict(self) -> dict:
-        """The finished tree (empty dict when nothing was recorded)."""
-        return self.root.to_dict() if self.root is not None else {}
+        """The finished tree (empty dict when nothing was recorded).
+
+        The root node carries the distributed ``trace_id`` so every
+        exported tree -- JSONL sink, postmortem, wire response -- can be
+        correlated back to the request that produced it."""
+        if self.root is None:
+            return {}
+        document = self.root.to_dict()
+        document["trace_id"] = self.trace_id
+        return document
 
 
 # ----------------------------------------------------------------------
@@ -363,9 +387,12 @@ def _format_node(
     timing = f"{node['wall_ms']:.1f}ms"
     if node.get("children"):
         timing += f" (self {node['self_ms']:.1f}ms)"
-    lines.append(
-        f"{prefix}{connector}{node['name']}  {timing}" + (f"  [{shown}]" if shown else "")
+    line = f"{prefix}{connector}{node['name']}  {timing}" + (
+        f"  [{shown}]" if shown else ""
     )
+    if is_root and node.get("trace_id"):
+        line += f"  (trace {node['trace_id']})"
+    lines.append(line)
     children = node.get("children") or []
     if node.get("name") == "discover.scatter":
         # Scatter parents fan out one child per shard; render slowest

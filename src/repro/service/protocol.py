@@ -34,6 +34,8 @@ from typing import Any, Iterable, Sequence
 
 from ..faults import inject
 from ..faults.retry import RetryPolicy
+from ..obs import export as obs_export
+from ..obs import trace as tracing
 from ..store.codec import decode_table, encode_table
 from ..table.table import Table
 from .service import (
@@ -183,6 +185,20 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 "lake_version": self.service.version,
                 "payload": self.service.metrics_snapshot(),
             }
+        if op == "metrics_text":
+            # The same merged snapshot as ``metrics``, rendered in the
+            # Prometheus text exposition format (scrape adapters, the
+            # `repro obs export` CLI).
+            return {
+                "ok": True,
+                "op": "metrics_text",
+                "lake_version": self.service.version,
+                "payload": {
+                    "text": obs_export.prometheus_text(
+                        self.service.metrics_snapshot()
+                    )
+                },
+            }
         if op == "shutdown":
             return {"ok": True, "op": "shutdown", "shutdown": True, "payload": {}}
         if op == "ingest":
@@ -196,6 +212,10 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 "payload": report,
             }
         trace = bool(request.get("trace", False))
+        # Adopt the client's distributed trace id: the service's
+        # ``service.<op>`` tree is stamped with it, so the client can
+        # graft the returned tree under its own root span.
+        trace_id = request.get("trace_id")
         if op == "discover":
             response = self.service.discover(
                 decode_table(request["query"]),
@@ -204,6 +224,7 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 discoverers=request.get("discoverers"),
                 deadline=deadline,
                 trace=trace,
+                trace_id=trace_id,
             )
             return response.to_json()
         if op == "align":
@@ -211,6 +232,7 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 [decode_table(doc) for doc in request["tables"]],
                 deadline=deadline,
                 trace=trace,
+                trace_id=trace_id,
             )
             return response.to_json()
         if op == "integrate":
@@ -225,6 +247,7 @@ class LakeServer(socketserver.ThreadingTCPServer):
                 align=request.get("align", True),
                 deadline=deadline,
                 trace=trace,
+                trace_id=trace_id,
             )
             return response.to_json()
         raise ServiceError(f"unknown wire op {op!r}")
@@ -328,8 +351,30 @@ class ServiceClient:
         self.retry = retry
 
     def call(self, op: str, **params: Any) -> dict[str, Any]:
-        """Send one request document; return the response document."""
+        """Send one request document; return the response document.
+
+        A traced call (``trace=True`` in *params*) mints the distributed
+        trace id here -- the client is the furthest-upstream party --
+        ships it in the envelope, and grafts the server's returned tree
+        under its own ``client.<op>`` root, so the response's ``trace``
+        is ONE tree: client connect/serialize/wait, server admission/
+        queue/execute, and (for sharded lakes) every shard worker.
+        """
         request = {"op": op, **{k: v for k, v in params.items() if v is not None}}
+        if not request.get("trace"):
+            return self._call_with_retry(op, request)
+        tracer = tracing.Tracer()
+        request["trace_id"] = tracer.trace_id
+        with tracing.activate(tracer):
+            with tracer.span(f"client.{op}"):
+                response = self._call_with_retry(op, request)
+        server_tree = response.get("trace")
+        if server_tree:
+            tracer.attach_tree(server_tree, parent=tracer.root)
+        response["trace"] = tracer.to_dict()
+        return response
+
+    def _call_with_retry(self, op: str, request: dict[str, Any]) -> dict[str, Any]:
         attempts = self.retry.attempts if self.retry is not None else 1
         if op in _NO_RETRY_OPS:
             attempts = 1
@@ -351,18 +396,24 @@ class ServiceClient:
         """One connection, one request, one response line."""
         try:
             inject.fire("client.connect")
-            with socket.create_connection(
-                (self.host, self.port), timeout=self.connect_timeout
-            ) as conn:
-                conn.settimeout(self.timeout)
-                conn.sendall(
-                    json.dumps(
-                        request, ensure_ascii=False, separators=(",", ":")
-                    ).encode("utf-8")
-                    + b"\n"
+            with tracing.span("client.connect"):
+                conn = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
                 )
-                with conn.makefile("rb") as reader:
-                    line = reader.readline()
+            with conn:
+                conn.settimeout(self.timeout)
+                with tracing.span("client.serialize") as serialize_span:
+                    data = (
+                        json.dumps(
+                            request, ensure_ascii=False, separators=(",", ":")
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    serialize_span.add(bytes=len(data))
+                    conn.sendall(data)
+                with tracing.span("client.wait"):
+                    with conn.makefile("rb") as reader:
+                        line = reader.readline()
         except OSError as error:  # ConnectionError, timeout, refused, ...
             raise ServiceUnavailable(
                 f"service at {self.host}:{self.port} unreachable: {error}"
@@ -395,6 +446,10 @@ class ServiceClient:
 
     def metrics(self) -> dict[str, Any]:
         return self.call("metrics")["payload"]
+
+    def metrics_text(self) -> str:
+        """The merged metrics snapshot in Prometheus text format."""
+        return self.call("metrics_text")["payload"]["text"]
 
     def discover(
         self,

@@ -58,7 +58,10 @@ from typing import Any, Callable, Mapping, Sequence
 from ..core.pipeline import Dialite
 from ..datalake.indexer import LakeIndex
 from ..shard.store import ShardedLakeStore, open_any_store
+from ..obs import export as obs_export
 from ..obs import metrics as obs_metrics
+from ..obs import recorder as obs_recorder
+from ..obs import slo as obs_slo
 from ..obs import trace as tracing
 from ..obs.metrics import MetricsRegistry
 from ..store.codec import encode_table, table_content_hash
@@ -129,6 +132,10 @@ class ServiceResponse:
     #: The request's span tree (:meth:`Tracer.to_dict` shape), attached
     #: only when the caller asked for tracing.
     trace: dict[str, Any] | None = field(default=None, compare=False)
+    #: True when this request skipped discover micro-batching because it
+    #: was traced -- its latency is an *unbatched* latency (see README's
+    #: observability trade-off note).  Annotation only; never cached.
+    trace_batching_bypassed: bool = field(default=False, compare=False)
 
     def to_json(self) -> dict[str, Any]:
         document = {
@@ -140,6 +147,8 @@ class ServiceResponse:
         }
         if self.trace is not None:
             document["trace"] = self.trace
+        if self.trace_batching_bypassed:
+            document["trace_batching_bypassed"] = True
         return document
 
 
@@ -322,6 +331,15 @@ class LakeService:
         candidate_budget: int | None = None,
         fd_workers: int = 1,
         trace_path: "str | Path | None" = None,
+        trace_path_max_bytes: int | None = None,
+        trace_path_keep: int = 3,
+        postmortem_path: "str | Path | None" = None,
+        recorder: "obs_recorder.FlightRecorder | None" = None,
+        recorder_capacity: int = 256,
+        latency_threshold_ms: float | None = None,
+        slo_monitor: "obs_slo.SLOMonitor | None" = None,
+        export_path: "str | Path | None" = None,
+        export_interval_s: float = 30.0,
     ):
         if pipeline is None:
             if store is None:
@@ -353,9 +371,40 @@ class LakeService:
         self.stats = ServiceStats()
         self.cache = LRUCache(cache_capacity, ttl=cache_ttl)
         #: JSONL trace sink: when set, *every* request is traced and its
-        #: span tree appended as one JSON line (offline analysis).
+        #: span tree appended as one JSON line (offline analysis),
+        #: size-rotated at ``trace_path_max_bytes`` keeping
+        #: ``trace_path_keep`` backups.
         self._trace_path = Path(trace_path) if trace_path is not None else None
+        self._trace_path_max_bytes = trace_path_max_bytes
+        self._trace_path_keep = trace_path_keep
         self._trace_lock = threading.Lock()
+        #: Flight recorder: always-on request ring; with a
+        #: ``postmortem_path`` it dumps tree + ring on every tripped
+        #: request (error / deadline / latency threshold / degraded).
+        self.recorder = (
+            recorder
+            if recorder is not None
+            else obs_recorder.FlightRecorder(
+                recorder_capacity,
+                postmortem_path=postmortem_path,
+                latency_threshold_ms=latency_threshold_ms,
+            )
+        )
+        #: SLO monitor: every finished request feeds it; burn rates
+        #: surface through :meth:`health_snapshot`.
+        self.slo = slo_monitor if slo_monitor is not None else obs_slo.SLOMonitor()
+        #: The serving epoch: 1 at construction, +1 per hot-swap reload.
+        self._epoch = 1
+        #: Background exporter (optional): periodic metrics snapshots and
+        #: completed span trees to rotating JSONL.
+        self._exporter: "obs_export.TelemetryExporter | None" = None
+        if export_path is not None:
+            self._exporter = obs_export.TelemetryExporter(
+                export_path,
+                interval_s=export_interval_s,
+                identity=obs_export.snapshot_identity("service"),
+                registries=[self.metrics_snapshot],
+            ).start()
 
         self._handlers: dict[str, Callable[[_Generation, dict[str, Any]], dict]] = {
             "discover": self._handle_discover,
@@ -421,19 +470,34 @@ class LakeService:
         return snapshot
 
     def health_snapshot(self) -> dict[str, Any]:
-        """Liveness + degradation in one cheap document (the ``health``
-        wire op): repro version-agnostic status, the serving lake
-        version, per-shard worker liveness for sharded lakes, and which
-        shards (if any) the *last* discover had to serve without."""
+        """Liveness + degradation + SLO burn in one cheap document (the
+        ``health`` wire op): status, the serving lake version and epoch,
+        per-shard worker liveness (with last-respawn ages) for sharded
+        lakes, which shards (if any) the *last* discover had to serve
+        without, and the SLO monitor's firing objectives.
+
+        Status precedence: ``closed`` > ``degraded`` (live shard loss,
+        or an SLO objective burning at page rate) > ``warn`` (an
+        objective burning at warn rate) > ``ok``.
+        """
         index = getattr(self._gen.pipeline, "_index", None)
         degraded = tuple(getattr(index, "last_degraded_shards", ()) or ())
+        slo = self.slo.evaluate()
+        if self._closed:
+            status = "closed"
+        elif degraded or slo["status"] == "degraded":
+            status = "degraded"
+        else:
+            status = slo["status"]  # "warn" or "ok"
         document: dict[str, Any] = {
-            "status": "closed" if self._closed else ("degraded" if degraded else "ok"),
+            "status": status,
             "lake_version": self.version,
+            "lake_epoch": self._epoch,
             "inflight": self._inflight,
             "workers": self.workers,
             "degraded_shards": list(degraded),
             "worker_respawns": int(getattr(index, "worker_respawns", 0) or 0),
+            "slo": slo,
         }
         shard_health = getattr(index, "shard_health", None)
         if shard_health is not None:
@@ -464,11 +528,16 @@ class LakeService:
 
     def _write_trace(self, document: dict[str, Any]) -> None:
         """Append one finished span tree to the JSONL sink (one compact
-        JSON object per line; no-op without a ``trace_path``)."""
+        JSON object per line; no-op without a ``trace_path``).  The sink
+        is size-rotated under the same lock that serializes writers, so
+        rotation never tears a line."""
         if self._trace_path is None or not document:
             return
         line = json.dumps(document, separators=(",", ":"), sort_keys=True)
         with self._trace_lock:
+            obs_export.rotate_file(
+                self._trace_path, self._trace_path_max_bytes, self._trace_path_keep
+            )
             with self._trace_path.open("a", encoding="utf-8") as sink:
                 sink.write(line + "\n")
 
@@ -493,6 +562,7 @@ class LakeService:
         *,
         deadline: float | None = None,
         trace: bool = False,
+        trace_id: str | None = None,
     ) -> ServiceResponse:
         """Serve one request: cache lookup, admission, execution, wait.
 
@@ -503,26 +573,93 @@ class LakeService:
         cache -> queue wait -> execution, with every pipeline stage
         nested under it) and attaches it to the response.  A traced
         request bypasses discover micro-batching so its attribution is
-        exact.  When the service has a ``trace_path`` sink, every
-        request is traced and appended there; *trace* additionally
-        returns the tree to this caller.
+        exact (the response is stamped ``trace_batching_bypassed``).
+        *trace_id* adopts a distributed id minted upstream (the wire
+        server passes the client's envelope id here) so client, server
+        and shard-worker trees correlate.  When the service has a
+        ``trace_path`` sink or a flight-recorder postmortem path, every
+        request is traced internally; *trace* additionally returns the
+        tree to this caller.
+
+        Every finished request -- traced or not -- feeds the flight
+        recorder ring and the SLO monitor.
         """
         tracer = (
-            tracing.Tracer()
-            if (trace or self._trace_path is not None)
+            tracing.Tracer(trace_id=trace_id)
+            if (trace or self._trace_path is not None or self.recorder.wants_trace)
             else None
         )
-        if tracer is None:
-            return self._request_inner(op, params, deadline, None)
+        started = time.monotonic()
+        response: ServiceResponse | None = None
+        error: BaseException | None = None
         try:
-            with tracing.activate(tracer):
-                with tracer.span(f"service.{op}"):
-                    response = self._request_inner(op, params, deadline, tracer)
+            if tracer is None:
+                response = self._request_inner(op, params, deadline, None)
+            else:
+                with tracing.activate(tracer):
+                    with tracer.span(f"service.{op}"):
+                        response = self._request_inner(op, params, deadline, tracer)
+                if (
+                    op == "discover"
+                    and not response.cached
+                    and self.batch_window > 0.0
+                    and self.batch_max > 1
+                ):
+                    # This discover executed solo (see _dispatch_loop's
+                    # tracer check); stamp the response so operators do
+                    # not read its latency as a batched latency.
+                    response = replace(response, trace_batching_bypassed=True)
+                if trace:
+                    response = replace(response, trace=tracer.to_dict())
+            return response
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
-            self._write_trace(tracer.to_dict())
-        if trace:
-            response = replace(response, trace=tracer.to_dict())
-        return response
+            tree = tracer.to_dict() if tracer is not None else None
+            if tree:
+                self._write_trace(tree)
+            self._observe_request(op, started, response, error, tracer, tree)
+
+    def _observe_request(
+        self,
+        op: str,
+        started: float,
+        response: ServiceResponse | None,
+        error: BaseException | None,
+        tracer: "tracing.Tracer | None",
+        tree: dict[str, Any] | None,
+    ) -> None:
+        """Feed the telemetry plane with one finished request: the
+        flight-recorder ring (postmortem on trip), the SLO windows, and
+        the exporter's trace queue.  Never raises -- telemetry must not
+        change a request's outcome."""
+        try:
+            latency_ms = (time.monotonic() - started) * 1000.0
+            degraded: list = []
+            if response is not None and isinstance(response.payload, dict):
+                degraded = list(response.payload.get("degraded_shards") or ())
+            summary = {
+                "op": op,
+                "ts": time.time(),
+                "lake_version": (
+                    response.lake_version if response is not None else self.version
+                ),
+                "latency_ms": round(latency_ms, 3),
+                "cached": bool(response.cached) if response is not None else False,
+                "degraded_shards": degraded,
+                "error": type(error).__name__ if error is not None else None,
+                "trace_id": tracer.trace_id if tracer is not None else None,
+            }
+            self.recorder.observe(summary, tree)
+            self.slo.observe(
+                ok=error is None, latency_ms=latency_ms, degraded=bool(degraded)
+            )
+            exporter = self._exporter
+            if exporter is not None and tree:
+                exporter.offer_trace(tree, summary=summary)
+        except Exception:  # noqa: BLE001 - telemetry is strictly best-effort
+            pass
 
     def _request_inner(
         self,
@@ -594,6 +731,7 @@ class LakeService:
         discoverers: Sequence[str] | None = None,
         deadline: float | None = None,
         trace: bool = False,
+        trace_id: str | None = None,
     ) -> ServiceResponse:
         return self.request(
             "discover",
@@ -605,6 +743,7 @@ class LakeService:
             },
             deadline=deadline,
             trace=trace,
+            trace_id=trace_id,
         )
 
     def align(
@@ -612,9 +751,14 @@ class LakeService:
         tables: Sequence[Table],
         deadline: float | None = None,
         trace: bool = False,
+        trace_id: str | None = None,
     ) -> ServiceResponse:
         return self.request(
-            "align", {"tables": list(tables)}, deadline=deadline, trace=trace
+            "align",
+            {"tables": list(tables)},
+            deadline=deadline,
+            trace=trace,
+            trace_id=trace_id,
         )
 
     def integrate(
@@ -628,6 +772,7 @@ class LakeService:
         align: bool = True,
         deadline: float | None = None,
         trace: bool = False,
+        trace_id: str | None = None,
     ) -> ServiceResponse:
         if (tables is None) == (query is None):
             raise ServiceError("integrate takes either tables or a query")
@@ -643,6 +788,7 @@ class LakeService:
             },
             deadline=deadline,
             trace=trace,
+            trace_id=trace_id,
         )
 
     # ------------------------------------------------------------------
@@ -708,6 +854,7 @@ class LakeService:
             with tracing.span("service.reload", from_version=gen.version) as reload_span:
                 self._gen = self._build_generation(gen)
                 reload_span.add(to_version=self._gen.version)
+            self._epoch += 1
             self.stats.count("reloads")
             return True
         finally:
@@ -1107,6 +1254,13 @@ class LakeService:
         self._queue.put(_SHUTDOWN)
         self._dispatcher.join(timeout=10)
         self._executor.shutdown(wait=True)
+        # Stop the exporter *after* the pool drains so its final flush
+        # sees the last requests' metrics and queued traces.
+        if self._exporter is not None:
+            try:
+                self._exporter.close()
+            except Exception:  # noqa: BLE001 - shutdown must not raise
+                pass
         # Sharded indexes own executor resources (thread pools / worker
         # process leases); release them once nothing can dispatch.
         index_close = getattr(self._gen.pipeline._index, "close", None)

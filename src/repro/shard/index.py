@@ -192,6 +192,10 @@ class ShardedLakeIndex:
         self._scatter_timeout = scatter_timeout
         self._last_degraded: tuple[int, ...] = ()
         self._respawns = 0
+        # Monotonic timestamp of each shard's most recent supervised
+        # respawn (None = never respawned); surfaced as an *age* through
+        # shard_health() so pollers can spot flapping workers.
+        self._last_respawn_at: list[float | None] = [None] * store.num_shards
         # Serializes lazy executor construction: the serving layer's
         # worker threads may race the first search.
         self._exec_lock = threading.Lock()
@@ -251,15 +255,23 @@ class ShardedLakeIndex:
         """Per-shard liveness (the service ``health`` op's shard view).
         A lease that was never spawned reports alive -- it will be on
         first use; a broken one reports dead until supervision respawns
-        it on the next scatter."""
+        it on the next scatter.  ``last_respawn_age_s`` is the seconds
+        since supervision last replaced the shard's pool (None = never):
+        a small, repeatedly-resetting age marks a flapping worker without
+        any metrics plumbing."""
+        now = time.monotonic()
         health: list[dict[str, Any]] = []
         for i, name in enumerate(self._store.shard_names):
+            respawned_at = self._last_respawn_at[i]
             entry: dict[str, Any] = {
                 "shard": name,
                 "version": (
                     self._shard_versions[i]
                     if i < len(self._shard_versions)
                     else None
+                ),
+                "last_respawn_age_s": (
+                    round(now - respawned_at, 3) if respawned_at is not None else None
                 ),
             }
             if self._executor == "processes":
@@ -451,6 +463,9 @@ class ShardedLakeIndex:
                     lease = previous._leases[i]
                     if lease is not None and lease.version == version:
                         self._leases[i] = lease.acquire()
+                        # The donated pool carries its respawn history:
+                        # a flapping worker stays visible across reloads.
+                        self._last_respawn_at[i] = previous._last_respawn_at[i]
                         continue
             info = shard.info()
             persisted_names = list(info.get("indexes") or [])
@@ -532,6 +547,7 @@ class ShardedLakeIndex:
             except Exception:  # noqa: BLE001 - a broken pool may refuse
                 pass
         self._respawns += 1
+        self._last_respawn_at[i] = time.monotonic()
         metrics.counter("shard.worker.respawns").inc()
 
     # ------------------------------------------------------------------
@@ -708,6 +724,10 @@ class ShardedLakeIndex:
                 "budget": self._budget,
                 "label": f"shard[{i}]",
                 "round": round_,
+                # Distributed trace propagation: the worker adopts this
+                # request's id so its shipped-back tree grafts into the
+                # same tree the client started.
+                "trace_id": tracer.trace_id if tracer is not None else None,
             }
             # The fault plane is process-local, so an armed worker kill is
             # consumed driver-side at submit time and shipped as a poison

@@ -205,6 +205,7 @@ def process_worker_init(shard_path: str, expected_version: int | None = None) ->
         os._exit(3)
     index.engine.defer_policy = True
     _WORKER["index"] = index
+    _WORKER["shard_path"] = shard_path
 
 
 def process_worker_run(payload: dict[str, Any]) -> dict[str, Any]:
@@ -225,11 +226,16 @@ def process_worker_run(payload: dict[str, Any]) -> dict[str, Any]:
     # profiling cost and skew the wall/cpu accounting between executors.
     # What the clocks measure on both paths is retrieval + scoring.
     query.stats.warm()
-    tracer = trace.Tracer()
+    # Adopt the driver's distributed trace id so this worker's tree
+    # grafts into the request's single tree; stamp the root span with it
+    # as observable proof of propagation in the merged rendering.
+    trace_id = payload.get("trace_id")
+    tracer = trace.Tracer(trace_id=trace_id)
     start = time.perf_counter()
     start_cpu = time.thread_time()
+    root_counters = {"trace_id": trace_id} if trace_id else {}
     with tracer.activate():
-        with tracer.span(payload["label"]):
+        with tracer.span(payload["label"], **root_counters):
             if payload.get("round") == "fallback":
                 answer: Any = fallback_search(
                     index, query, payload["k"], payload["column"], payload["names"]
@@ -252,5 +258,13 @@ def process_worker_run(payload: dict[str, Any]) -> dict[str, Any]:
 
 def process_worker_metrics(_: Any = None) -> dict[str, Any]:
     """This worker process's metrics snapshot (the driver folds all of
-    them into one view with ``merge_snapshots``)."""
-    return metrics.global_registry().snapshot()
+    them into one view with ``merge_snapshots``).  The ``identity`` key
+    names the reporting process; :func:`merge_snapshots` ignores it, so
+    folding is unchanged while exported documents stay attributable."""
+    from ..obs.export import snapshot_identity
+
+    snapshot = metrics.global_registry().snapshot()
+    snapshot["identity"] = snapshot_identity(
+        "shard-worker", shard=_WORKER.get("shard_path")
+    )
+    return snapshot

@@ -478,6 +478,56 @@ class TestServe:
             main(["discover", "--query", str(query_csv)])
 
 
+class TestObs:
+    """ISSUE 10 surface: `repro obs export` (Prometheus/JSON pull) and
+    `repro obs top` (one-shot health/SLO frame) against a live server."""
+
+    @pytest.fixture
+    def live_server(self, lake_dir, tmp_path, capsys):
+        from repro.datalake.fixtures import covid_query_table
+        from repro.service import LakeServer, LakeService
+
+        store_dir = tmp_path / "lake.store"
+        assert main(["index", "build", "--lake", str(lake_dir), "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        service = LakeService(store=store_dir, workers=1, batch_window=0.0)
+        server = LakeServer(service, port=0)
+        server.start()
+        service.discover(covid_query_table(), k=2)  # something to report
+        host, port = server.address
+        yield f"{host}:{port}"
+        server.close()
+
+    def test_export_prometheus_to_stdout(self, live_server, capsys):
+        assert main(["obs", "export", live_server]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_requests counter" in out
+        assert "repro_service_requests 1" in out
+        assert "repro_service_latency_discover_bucket" in out
+
+    def test_export_json_to_file(self, live_server, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "metrics.json"
+        code = main(
+            ["obs", "export", live_server, "--format", "json",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        assert f"written: {out_file}" in capsys.readouterr().out
+        document = json.loads(out_file.read_text(encoding="utf-8"))
+        assert document["counters"]["service.requests"] >= 1
+
+    def test_top_one_frame(self, live_server, capsys):
+        assert main(["obs", "top", live_server, "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("status: ok")
+        assert "lake v1 epoch 1" in out
+        assert "slo availability (target 0.999)" in out
+        assert "slo degraded_rate" in out
+        assert "burn 60s=0x  600s=0x" in out
+
+
 class TestStoreMigrate:
     """store migrate flips segment formats in place; index info reports
     the store's format mix before and after."""

@@ -298,6 +298,14 @@ class TestSupervision:
         recovered = sharded_service.discover(query, k=5)
         assert not recovered.cached
         assert "degraded_shards" not in recovered.payload
-        assert sharded_service.health_snapshot()["status"] == "ok"
+        # Shard-level health is whole again.  Overall status may still be
+        # warn/degraded for a while: the SLO monitor's rolling windows
+        # legitimately remember the injected failure (PR 10), so a non-ok
+        # status must be explained by a firing objective, not shard loss.
+        health = sharded_service.health_snapshot()
+        assert health["degraded_shards"] == []
+        assert all(shard["alive"] for shard in health.get("shards", []))
+        if health["status"] != "ok":
+            assert health["slo"]["firing"]
         # ... and the healthy recompute is cacheable as usual.
         assert sharded_service.discover(query, k=5).cached

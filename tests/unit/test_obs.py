@@ -19,7 +19,14 @@ The contracts pinned here:
   buckets sum and quantiles recompute;
 * **span-derived kernel stats** -- ``fd_stats_from_span`` reproduces the
   historical ``--explain`` stats keys byte-for-byte, so the explain
-  renderers can be thin views over trace data.
+  renderers can be thin views over trace data;
+* **distributed trace ids** -- a tracer mints a 16-hex id or adopts one
+  passed across a process boundary, ``to_dict`` stamps it on the root,
+  and ``attach_tree`` grafts a worker's finished tree so scatter-gather
+  requests render as one tree;
+* **the trace renderer** -- ``format_trace`` (the ``repro trace`` /
+  ``--trace`` output) shows the trace id on the root line, orders a
+  scatter fan-out slowest-shard first, and surfaces error annotations.
 """
 
 from __future__ import annotations
@@ -39,7 +46,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
-from repro.obs.trace import NOOP_SPAN, Tracer, activate, format_trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    activate,
+    format_trace,
+    new_trace_id,
+)
 
 
 def nearest_rank(sorted_values: list[float], q: float) -> float:
@@ -187,6 +200,117 @@ class TestSpanTrees:
         assert "└─" in rendered and "[n=2]" in rendered
         assert format_trace({}) == "(empty trace)"
         assert json.loads(json.dumps(tracer.to_dict()))  # JSON-safe
+
+
+class TestTraceIds:
+    def test_minted_id_is_16_hex(self):
+        minted = new_trace_id()
+        assert len(minted) == 16
+        int(minted, 16)  # raises if not hex
+        assert new_trace_id() != minted
+
+    def test_adoption_vs_minting(self):
+        assert Tracer(trace_id="deadbeefcafe0123").trace_id == "deadbeefcafe0123"
+        tracer = Tracer()
+        assert len(tracer.trace_id) == 16
+
+    def test_to_dict_stamps_root_only(self):
+        tracer = Tracer(trace_id="feedface00000001")
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        doc = tracer.to_dict()
+        assert doc["trace_id"] == "feedface00000001"
+        assert "trace_id" not in doc["children"][0]
+
+    def test_attach_tree_grafts_worker_tree(self):
+        """The process-boundary hand-off: a worker's finished to_dict
+        tree re-attaches under the driver's scatter span verbatim."""
+        worker = Tracer(trace_id="aa00aa00aa00aa00")
+        with worker.span("shard[1]", tables=12, trace_id=worker.trace_id):
+            with worker.span("probe"):
+                pass
+        shipped = worker.to_dict()  # crosses the pickle boundary as a dict
+
+        driver = Tracer(trace_id="aa00aa00aa00aa00")
+        with driver.span("discover") as scatter:
+            driver.attach_tree(shipped, parent=scatter)
+        doc = driver.to_dict()
+        grafted = doc["children"][0]
+        assert grafted["name"] == "shard[1]"
+        assert grafted["counters"]["tables"] == 12
+        assert grafted["counters"]["trace_id"] == "aa00aa00aa00aa00"
+        assert [c["name"] for c in grafted["children"]] == ["probe"]
+        assert grafted["wall_ms"] == shipped["wall_ms"]  # verbatim, not re-timed
+
+
+def scatter_tree() -> dict:
+    """A hand-built sharded discover tree in Span.to_dict shape: four
+    shard children with distinct self times plus one error-annotated
+    span, mirroring what a traced ``discover --service`` returns."""
+    def node(name, self_ms, counters=None, children=()):
+        children = list(children)
+        wall = self_ms + sum(c["wall_ms"] for c in children)
+        return {
+            "name": name,
+            "wall_ms": wall,
+            "cpu_ms": wall,
+            "self_ms": self_ms,
+            "counters": dict(counters or {}),
+            "children": children,
+        }
+
+    shards = [
+        node("shard[0]", 12.0, {"trace_id": "0123456789abcdef"}),
+        node("shard[1]", 48.0, {"trace_id": "0123456789abcdef"}),
+        node(
+            "shard[2]",
+            3.0,
+            {"trace_id": "0123456789abcdef", "error": "WorkerCrash"},
+        ),
+        node("shard[3]", 21.0, {"trace_id": "0123456789abcdef"}),
+    ]
+    scatter = node("discover.scatter", 1.0, {"shards": 4}, shards)
+    root = node(
+        "service.discover", 2.0, {"k": 5}, [scatter]
+    )
+    root["trace_id"] = "0123456789abcdef"
+    return root
+
+
+class TestTraceRenderer:
+    def test_root_line_carries_trace_id(self):
+        rendered = format_trace(scatter_tree())
+        first_line = rendered.splitlines()[0]
+        assert first_line.startswith("service.discover")
+        assert "(trace 0123456789abcdef)" in first_line
+        # Only the root advertises the id; child lines stay compact.
+        assert sum("(trace " in line for line in rendered.splitlines()) == 1
+
+    def test_scatter_children_sorted_slowest_first(self):
+        rendered = format_trace(scatter_tree())
+        order = [
+            line.split("shard[")[1][0]
+            for line in rendered.splitlines()
+            if "shard[" in line
+        ]
+        assert order == ["1", "3", "0", "2"]  # by self_ms descending
+
+    def test_error_annotation_rendered(self):
+        rendered = format_trace(scatter_tree())
+        [crashed] = [line for line in rendered.splitlines() if "shard[2]" in line]
+        assert "error=WorkerCrash" in crashed
+
+    def test_non_scatter_children_keep_call_order(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("b_first"):
+                pass
+            with tracer.span("a_second"):
+                pass
+        rendered = format_trace(tracer.to_dict()).splitlines()
+        assert rendered[1].find("b_first") > 0
+        assert rendered[2].find("a_second") > 0
 
 
 class TestNoopEquivalence:

@@ -653,6 +653,213 @@ class TestObservability:
             payload = client.metrics()
             assert payload["counters"]["service.requests"] >= 1
             traced = client.discover(covid_query_table(), k=2, trace=True)
-            assert traced["trace"]["name"] == "service.discover"
+            # Distributed propagation: the wire client owns the root span
+            # and the server's tree grafts under it, stamped with the id
+            # the client minted.
+            tree = traced["trace"]
+            assert tree["name"] == "client.discover"
+            assert tree["trace_id"]
+            child_names = [child["name"] for child in tree["children"]]
+            assert "client.connect" in child_names
+            assert "client.serialize" in child_names
+            assert "service.discover" in child_names
+        finally:
+            server.close()
+
+
+class TestTelemetry:
+    """ISSUE 10: the production telemetry plane around the service."""
+
+    def test_trace_sink_size_rotation_keeps_n(self, store_path, tmp_path):
+        """trace_path_max_bytes=1 forces a rotation before every append,
+        so five requests through keep=2 leave exactly the live sink plus
+        two backups holding the three newest trees."""
+        sink_dir = tmp_path / "obs"
+        sink_dir.mkdir()
+        sink = sink_dir / "traces.jsonl"
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.0,
+            trace_path=sink, trace_path_max_bytes=1, trace_path_keep=2,
+        )
+        try:
+            for _ in range(5):
+                svc.discover(covid_query_table(), k=2)
+        finally:
+            svc.close()
+        names = sorted(p.name for p in sink_dir.iterdir())
+        assert names == ["traces.jsonl", "traces.jsonl.1", "traces.jsonl.2"]
+        for name in names:
+            [line] = (sink_dir / name).read_text(encoding="utf-8").splitlines()
+            document = json.loads(line)
+            assert document["name"] == "service.discover"
+            assert document["trace_id"]
+
+    def test_trace_sink_unbounded_by_default(self, store_path, tmp_path):
+        sink_dir = tmp_path / "obs"
+        sink_dir.mkdir()
+        sink = sink_dir / "traces.jsonl"
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.0, trace_path=sink
+        )
+        try:
+            for _ in range(3):
+                svc.discover(covid_query_table(), k=2)
+        finally:
+            svc.close()
+        assert sorted(p.name for p in sink_dir.iterdir()) == ["traces.jsonl"]
+        assert len(sink.read_text(encoding="utf-8").splitlines()) == 3
+
+    def test_traced_requests_bypass_batching_and_say_so(self, store_path):
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.05, batch_max=8,
+            reload_check_interval=0.0,
+        )
+        try:
+            traced = svc.discover(covid_query_table(), k=2, trace=True)
+            assert traced.trace_batching_bypassed
+            assert traced.to_json()["trace_batching_bypassed"] is True
+            # The untraced twin batches normally and its wire document
+            # stays byte-compatible (no new key when nothing bypassed).
+            untraced = svc.discover(covid_query_table(), k=2)
+            assert not untraced.trace_batching_bypassed
+            assert "trace_batching_bypassed" not in untraced.to_json()
+            # A traced cache hit never reached the batcher: not annotated.
+            hit = svc.discover(covid_query_table(), k=2, trace=True)
+            assert hit.cached and not hit.trace_batching_bypassed
+        finally:
+            svc.close()
+
+    def test_health_snapshot_epoch_and_slo(self, service):
+        before = service.health_snapshot()
+        assert before["status"] == "ok"
+        assert before["lake_epoch"] == 1
+        slo = before["slo"]
+        assert slo["status"] == "ok" and slo["firing"] == []
+        assert {"availability", "latency_p99", "degraded_rate"} <= set(
+            slo["objectives"]
+        )
+        service.ingest([Table(["City"], [("Oslo",)], name="epoch_bump")])
+        after = service.health_snapshot()
+        assert after["lake_version"] == 2
+        assert after["lake_epoch"] == 2  # every generation swap bumps it
+
+    def test_slo_degrades_health_on_error_burn(self, store_path):
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.0,
+            reload_check_interval=0.0,
+        )
+        try:
+            svc.add_handler("boom", lambda gen, params: 1 / 0)
+            for _ in range(8):
+                with pytest.raises(Exception):
+                    svc.request("boom", {})
+            health = svc.health_snapshot()
+            assert health["status"] == "degraded"
+            firing = {f["objective"] for f in health["slo"]["firing"]}
+            assert "availability" in firing
+        finally:
+            svc.close()
+
+    def test_postmortem_on_error(self, store_path, tmp_path):
+        sink = tmp_path / "postmortem.jsonl"
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.0,
+            reload_check_interval=0.0, postmortem_path=sink,
+        )
+        try:
+            svc.add_handler("boom", lambda gen, params: 1 / 0)
+            svc.discover(covid_query_table(), k=2)  # healthy ring context
+            with pytest.raises(Exception):
+                svc.request("boom", {})
+        finally:
+            svc.close()
+        [doc] = [json.loads(l) for l in sink.read_text(encoding="utf-8").splitlines()]
+        assert doc["kind"] == "postmortem" and doc["reason"] == "error"
+        assert doc["summary"]["op"] == "boom"
+        assert doc["summary"]["error"] == "ZeroDivisionError"
+        assert doc["trace"], "postmortem must carry the tripping span tree"
+        assert doc["trace"]["trace_id"] == doc["trace_id"]
+        assert [entry["op"] for entry in doc["ring"]] == ["discover"]
+        assert svc.recorder.postmortem_count == 1
+
+    def test_postmortem_on_deadline(self, store_path, tmp_path):
+        sink = tmp_path / "postmortem.jsonl"
+        svc = LakeService(
+            store=store_path, workers=1, queue_depth=4, batch_window=0.0,
+            reload_check_interval=0.0, postmortem_path=sink,
+        )
+        gate = threading.Event()
+        try:
+            svc.add_handler("block", lambda gen, params: {"ok": gate.wait(10)})
+            occupier = threading.Thread(target=lambda: svc.request("block", {}))
+            occupier.start()
+            deadline = time.monotonic() + 5
+            while svc.inflight < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(DeadlineExceeded):
+                svc.request("block", {}, deadline=0.05)
+            gate.set()
+            occupier.join(timeout=5)
+        finally:
+            gate.set()
+            svc.close()
+        docs = [json.loads(l) for l in sink.read_text(encoding="utf-8").splitlines()]
+        assert any(doc["reason"] == "deadline" for doc in docs)
+
+    def test_latency_threshold_trips_recorder(self, store_path, tmp_path):
+        sink = tmp_path / "postmortem.jsonl"
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.0,
+            reload_check_interval=0.0, postmortem_path=sink,
+            latency_threshold_ms=0.0,  # everything is "slow": always trips
+        )
+        try:
+            svc.discover(covid_query_table(), k=2)
+        finally:
+            svc.close()
+        [doc] = [json.loads(l) for l in sink.read_text(encoding="utf-8").splitlines()]
+        assert doc["reason"] == "latency"
+        assert doc["summary"]["latency_ms"] >= 0.0
+
+    def test_exporter_flushes_on_close(self, store_path, tmp_path):
+        sink = tmp_path / "telemetry.jsonl"
+        svc = LakeService(
+            store=store_path, workers=1, batch_window=0.0,
+            reload_check_interval=0.0,
+            export_path=sink, export_interval_s=3600.0,  # only the close flush
+        )
+        try:
+            svc.discover(covid_query_table(), k=2, trace=True)
+            svc.discover(covid_query_table(), k=2)
+        finally:
+            svc.close()
+        docs = [json.loads(l) for l in sink.read_text(encoding="utf-8").splitlines()]
+        metrics_docs = [d for d in docs if d["kind"] == "metrics"]
+        trace_docs = [d for d in docs if d["kind"] == "trace"]
+        assert metrics_docs and trace_docs
+        assert metrics_docs[0]["identity"]["role"] == "service"
+        assert metrics_docs[0]["metrics"]["counters"]["service.requests"] >= 2
+        assert trace_docs[0]["trace"]["trace_id"]
+        assert trace_docs[0]["summary"]["op"] == "discover"
+
+    def test_metrics_text_wire_op(self, store_path):
+        from repro.obs.export import parse_prometheus_text
+        from repro.service import LakeServer, ServiceClient
+
+        svc = LakeService(store=store_path, workers=1, batch_window=0.0)
+        server = LakeServer(svc, port=0)
+        server.start()
+        try:
+            client = ServiceClient(server.address)
+            client.discover(covid_query_table(), k=2)
+            text = client.metrics_text()
+            parsed = parse_prometheus_text(text)
+            assert parsed["repro_service_requests"] >= 1
+            assert "# TYPE repro_service_requests counter" in text
+            # The JSON metrics op and the text rendering agree.
+            assert (
+                parsed["repro_service_requests"]
+                == client.metrics()["counters"]["service.requests"]
+            )
         finally:
             server.close()

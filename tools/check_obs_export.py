@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI smoke: the telemetry export round trip must be lossless.
+
+Exercises the full `repro obs export` data path without a server:
+
+1. populate a fresh ``MetricsRegistry`` with known counters, gauges and
+   histogram observations;
+2. render its snapshot with ``prometheus_text`` and parse it back with
+   ``parse_prometheus_text``;
+3. assert every parsed value matches the registry exactly (counters,
+   gauges, histogram sum/count, and cumulative bucket counts);
+4. run a ``TelemetryExporter`` flush cycle (metrics document + queued
+   trace) against a temp file and verify the JSONL documents round-trip
+   through ``json.loads`` with identity attached;
+5. verify ``rotate_file`` keep-N semantics on an oversized sink.
+
+Fails loudly (exit 1) on the first mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import (  # noqa: E402
+    TelemetryExporter,
+    parse_prometheus_text,
+    prometheus_text,
+    rotate_file,
+    snapshot_identity,
+)
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"obs export smoke FAILED: {message}")
+    sys.exit(1)
+
+
+def check_prometheus_round_trip() -> None:
+    registry = MetricsRegistry()
+    registry.counter("service.requests").inc(41)
+    registry.counter("shard.scatter.failures").inc(3)
+    registry.gauge("cache.entries").set(17.5)
+    latency = registry.histogram("service.latency.discover")
+    for value in (0.4, 3.0, 12.0, 48.0, 950.0):
+        latency.observe_ms(value)
+    snapshot = registry.snapshot()
+
+    text = prometheus_text(snapshot)
+    parsed = parse_prometheus_text(text)
+
+    if parsed.get("repro_service_requests") != 41:
+        fail(f"counter mismatch: {parsed.get('repro_service_requests')!r} != 41")
+    if parsed.get("repro_shard_scatter_failures") != 3:
+        fail("counter shard.scatter.failures did not survive")
+    if parsed.get("repro_cache_entries") != 17.5:
+        fail(f"gauge mismatch: {parsed.get('repro_cache_entries')!r} != 17.5")
+
+    hist = snapshot["histograms"]["service.latency.discover"]
+    if parsed.get("repro_service_latency_discover_count") != hist["count"]:
+        fail("histogram count mismatch")
+    if abs(parsed.get("repro_service_latency_discover_sum", -1) - hist["sum"]) > 1e-6:
+        fail("histogram sum mismatch")
+    buckets = parsed.get("repro_service_latency_discover_bucket") or {}
+    cumulative = 0
+    for bound, count in hist["buckets"].items():
+        cumulative += count
+        le = "+Inf" if bound == "+inf" else f"{float(bound):g}"
+        key = f'le="{le}"'
+        if buckets.get(key) != cumulative:
+            fail(
+                f"bucket {key}: parsed {buckets.get(key)!r}, "
+                f"registry cumulative {cumulative}"
+            )
+    if buckets.get('le="+Inf"') != hist["count"]:
+        fail("+Inf bucket must equal the observation count")
+    print(
+        f"  prometheus round trip ok: {len(parsed)} metric families, "
+        f"{len(buckets)} latency buckets, values match registry"
+    )
+
+
+def check_exporter_flush(base: Path) -> None:
+    registry = MetricsRegistry()
+    registry.counter("demo.flushes").inc(7)
+    sink = base / "telemetry.jsonl"
+    exporter = TelemetryExporter(
+        sink,
+        interval_s=3600.0,  # flushed explicitly; the thread never fires
+        identity=snapshot_identity("smoke"),
+        registries=[registry.snapshot],
+    )
+    exporter.offer_trace(
+        {"name": "client.discover", "wall_ms": 1.0, "trace_id": "abc123"},
+        summary={"op": "discover", "latency_ms": 1.0},
+    )
+    written = exporter.flush()
+    exporter.close()
+    lines = [json.loads(l) for l in sink.read_text(encoding="utf-8").splitlines()]
+    if written < 2 or len(lines) < 2:
+        fail(f"expected >=2 exported documents, got {len(lines)}")
+    kinds = {doc["kind"] for doc in lines}
+    if not {"metrics", "trace"} <= kinds:
+        fail(f"expected metrics+trace documents, got kinds {sorted(kinds)}")
+    metrics_doc = next(doc for doc in lines if doc["kind"] == "metrics")
+    if metrics_doc["metrics"]["counters"].get("demo.flushes") != 7:
+        fail("exported metrics document lost the counter value")
+    if metrics_doc["identity"].get("role") != "smoke":
+        fail("exported metrics document lost its identity")
+    trace_doc = next(doc for doc in lines if doc["kind"] == "trace")
+    if trace_doc["trace"].get("trace_id") != "abc123":
+        fail("exported trace document lost its trace_id")
+    print(f"  exporter flush ok: {len(lines)} JSONL documents, identity attached")
+
+
+def check_rotation(base: Path) -> None:
+    sink = base / "rotating.jsonl"
+    for round_ in range(4):
+        sink.write_text("x" * 128, encoding="utf-8")
+        rotate_file(sink, max_bytes=64, keep=2)
+    backups = sorted(p.name for p in base.glob("rotating.jsonl.*"))
+    if backups != ["rotating.jsonl.1", "rotating.jsonl.2"]:
+        fail(f"keep-2 rotation left {backups}")
+    if sink.exists():
+        fail("rotate_file must move the live file aside")
+    print(f"  rotation ok: keep-2 held {backups}, oldest dropped")
+
+
+def main() -> int:
+    print("obs export smoke:")
+    check_prometheus_round_trip()
+    with tempfile.TemporaryDirectory(prefix="repro-obs-export-") as tmp:
+        base = Path(tmp)
+        check_exporter_flush(base)
+        check_rotation(base)
+    print("obs export smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

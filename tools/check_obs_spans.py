@@ -26,12 +26,18 @@ from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: Modules whose loops run per tuple, per cell or per posting entry.
+#: Modules whose loops run per tuple, per cell or per posting entry --
+#: plus the telemetry plane itself (exporter flush / recorder ring / SLO
+#: windows), which must never open spans in its own loops: telemetry
+#: observing telemetry is exactly the recursion the discipline forbids.
 HOT_MODULES = (
     "integration/intern.py",
     "integration/vectorized.py",
     "candidates/postings.py",
     "store/codec.py",
+    "obs/export.py",
+    "obs/recorder.py",
+    "obs/slo.py",
 )
 
 _FLAGGED = {"span", "record"}
